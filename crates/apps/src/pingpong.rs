@@ -1,0 +1,173 @@
+//! The ping-pong benchmark (paper §5.2).
+//!
+//! "A simple 'ping-pong' program, in which two processes repeatedly
+//! exchange a fixed-sized message via MPI_Send and MPI_Recv calls. While
+//! artificial, this communication pattern is characteristic of many SPMD
+//! applications."
+
+use mpichgq_core::{QosAttribute, QosEnv};
+use mpichgq_mpi::{Mpi, MpiProgram, Poll, ReqId};
+use mpichgq_sim::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Measurement accumulated by rank 0.
+#[derive(Debug, Clone, Default)]
+pub struct PingPongResult {
+    pub rounds: u64,
+    pub bytes_each_way: u64,
+    pub measure_start: Option<SimTime>,
+    pub measure_end: Option<SimTime>,
+}
+
+impl PingPongResult {
+    /// One-way throughput in Kb/s, as plotted in Figure 5 ("as the two
+    /// processes exchange messages, total throughput — and reservation —
+    /// is twice what is shown here").
+    pub fn one_way_kbps(&self) -> f64 {
+        let (Some(s), Some(e)) = (self.measure_start, self.measure_end) else {
+            return 0.0;
+        };
+        let dur = e.since(s).as_secs_f64();
+        if dur <= 0.0 {
+            return 0.0;
+        }
+        self.bytes_each_way as f64 * 8.0 / 1_000.0 / dur
+    }
+}
+
+/// One rank of the ping-pong pair. Rank 0 optionally installs a QoS
+/// attribute before the exchange begins.
+pub struct PingPong {
+    msg_bytes: u32,
+    warmup: SimTime,
+    end: SimTime,
+    qos: Option<(QosEnv, QosAttribute)>,
+    result: Rc<RefCell<PingPongResult>>,
+    state: State,
+    send_req: Option<ReqId>,
+    recv_req: Option<ReqId>,
+}
+
+enum State {
+    Init,
+    Exchanging,
+    Finished,
+}
+
+const TAG: u32 = 0xBEEF;
+
+impl PingPong {
+    /// Build the two rank programs and the shared result handle.
+    ///
+    /// If `qos` is provided, *both* ranks put the attribute (each side
+    /// reserves its outgoing direction, which is why the paper notes the
+    /// total reservation is twice the one-way value).
+    pub fn pair(
+        msg_bytes: u32,
+        warmup: SimTime,
+        end: SimTime,
+        qos: Option<(QosEnv, QosAttribute)>,
+    ) -> (PingPong, PingPong, Rc<RefCell<PingPongResult>>) {
+        let result = Rc::new(RefCell::new(PingPongResult::default()));
+        let mk = || PingPong {
+            msg_bytes,
+            warmup,
+            end,
+            qos: qos.clone(),
+            result: result.clone(),
+            state: State::Init,
+            send_req: None,
+            recv_req: None,
+        };
+        (mk(), mk(), result)
+    }
+
+    fn peer(mpi: &Mpi) -> usize {
+        1 - mpi.rank()
+    }
+
+    fn start_round(&mut self, mpi: &mut Mpi) {
+        let w = mpi.comm_world();
+        let peer = Self::peer(mpi);
+        if mpi.rank() == 0 {
+            self.send_req = Some(mpi.isend(w, peer, TAG, self.msg_bytes));
+            self.recv_req = Some(mpi.irecv(w, Some(peer), Some(TAG)));
+        } else {
+            self.recv_req = Some(mpi.irecv(w, Some(peer), Some(TAG)));
+        }
+    }
+}
+
+impl MpiProgram for PingPong {
+    fn poll(&mut self, mpi: &mut Mpi) -> Poll {
+        loop {
+            match self.state {
+                State::Init => {
+                    if let Some((env, attr)) = self.qos.take() {
+                        let w = mpi.comm_world();
+                        mpi.attr_put(w, env.keyval(), Rc::new(attr));
+                    }
+                    self.state = State::Exchanging;
+                    self.start_round(mpi);
+                }
+                State::Exchanging => {
+                    let now = mpi.now();
+                    // Rank 1: echo every message back.
+                    if mpi.rank() == 1 {
+                        let Some(r) = self.recv_req else {
+                            self.state = State::Finished;
+                            continue;
+                        };
+                        match mpi.test(r) {
+                            Some(info) => {
+                                self.recv_req = None;
+                                if now >= self.end {
+                                    self.state = State::Finished;
+                                    continue;
+                                }
+                                let w = mpi.comm_world();
+                                mpi.isend(w, 0, TAG, info.len);
+                                self.recv_req = Some(mpi.irecv(w, Some(0), Some(TAG)));
+                            }
+                            None => return Poll::Pending,
+                        }
+                        continue;
+                    }
+                    // Rank 0: measure completed rounds.
+                    let Some(r) = self.recv_req else {
+                        self.state = State::Finished;
+                        continue;
+                    };
+                    match mpi.test(r) {
+                        Some(_) => {
+                            self.recv_req = None;
+                            if let Some(s) = self.send_req.take() {
+                                // Eager sends complete quickly; drain it.
+                                let _ = mpi.test(s);
+                            }
+                            let mut res = self.result.borrow_mut();
+                            if now >= self.warmup {
+                                if res.measure_start.is_none() {
+                                    res.measure_start = Some(now);
+                                } else {
+                                    res.rounds += 1;
+                                    res.bytes_each_way += self.msg_bytes as u64;
+                                }
+                                res.measure_end = Some(now);
+                            }
+                            drop(res);
+                            if now >= self.end {
+                                self.state = State::Finished;
+                                continue;
+                            }
+                            self.start_round(mpi);
+                        }
+                        None => return Poll::Pending,
+                    }
+                }
+                State::Finished => return Poll::Done,
+            }
+        }
+    }
+}

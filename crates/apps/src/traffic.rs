@@ -1,0 +1,199 @@
+//! Traffic generators: the UDP contention source ("contention is generated
+//! via a UDP traffic generator that is quite capable of overwhelming any
+//! TCP application that does not have a reservation", §5.2), its sink, and
+//! the plain paced TCP sender used for Figure 1.
+
+use mpichgq_netsim::NodeId;
+use mpichgq_sim::{SimDelta, SimTime, ThroughputMeter};
+use mpichgq_tcp::{App, Ctx, DataMode, SockId, TcpCfg};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Constant-bit-rate UDP blaster with optional start/stop times and
+/// inter-packet jitter (to avoid deterministic phase-locking against other
+/// periodic sources — real generators are never perfectly periodic).
+pub struct UdpBlaster {
+    pub dst: NodeId,
+    pub dport: u16,
+    pub payload: u32,
+    pub interval: SimDelta,
+    /// Uniform jitter as a fraction of the interval (0.0 = strict CBR).
+    pub jitter: f64,
+    pub start_at: SimTime,
+    pub stop_at: SimTime,
+    sock: Option<SockId>,
+}
+
+impl UdpBlaster {
+    /// A blaster offering `rate_bps` of UDP with `payload`-byte datagrams.
+    pub fn with_rate(dst: NodeId, dport: u16, payload: u32, rate_bps: u64) -> UdpBlaster {
+        let interval = SimDelta::transmission((payload + 28) as u64, rate_bps);
+        UdpBlaster {
+            dst,
+            dport,
+            payload,
+            interval,
+            jitter: 0.1,
+            start_at: SimTime::ZERO,
+            stop_at: SimTime::MAX,
+            sock: None,
+        }
+    }
+
+    pub fn window(mut self, start: SimTime, stop: SimTime) -> UdpBlaster {
+        self.start_at = start;
+        self.stop_at = stop;
+        self
+    }
+
+    fn arm(&self, ctx: &mut Ctx) {
+        let mut d = self.interval;
+        if self.jitter > 0.0 {
+            // Uniform in [interval - span, interval + span].
+            let span = ((self.interval.as_nanos() as f64 * self.jitter) as u64)
+                .min(self.interval.as_nanos());
+            if span > 0 {
+                let off = ctx.net.rng.below(2 * span + 1);
+                d = SimDelta::from_nanos(self.interval.as_nanos() - span + off);
+            }
+        }
+        ctx.set_timer(d, 0);
+    }
+}
+
+impl App for UdpBlaster {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.sock = Some(ctx.udp_bind(59_999));
+        let wait = self.start_at.since(ctx.now());
+        ctx.set_timer(wait, 0);
+    }
+    fn on_timer(&mut self, _t: u32, ctx: &mut Ctx) {
+        let now = ctx.now();
+        if now >= self.stop_at {
+            return;
+        }
+        if now >= self.start_at {
+            ctx.udp_send(self.sock.unwrap(), self.dst, self.dport, self.payload);
+        }
+        self.arm(ctx);
+    }
+}
+
+/// Counts received UDP payload bytes into a shared meter.
+pub struct UdpSink {
+    pub port: u16,
+    pub meter: Rc<RefCell<ThroughputMeter>>,
+}
+
+impl UdpSink {
+    pub fn new(port: u16, bucket: SimDelta) -> (UdpSink, Rc<RefCell<ThroughputMeter>>) {
+        let meter = Rc::new(RefCell::new(ThroughputMeter::new(bucket)));
+        (UdpSink { port, meter: meter.clone() }, meter)
+    }
+}
+
+impl App for UdpSink {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.udp_bind(self.port);
+    }
+    fn on_udp(&mut self, _s: SockId, _from: (NodeId, u16), len: u32, ctx: &mut Ctx) {
+        self.meter.borrow_mut().on_bytes(ctx.now(), len as u64);
+    }
+}
+
+/// Figure 1's workload: "a simple TCP program that is attempting to send
+/// data at approximately 50 Mb/s over a congested network". The sender
+/// paces application writes at `target_bps`; TCP (and the reservation
+/// policer) decide what actually gets through.
+pub struct PacedTcpSender {
+    pub dst: NodeId,
+    pub dport: u16,
+    pub target_bps: u64,
+    pub chunk: u64,
+    pub cfg: TcpCfg,
+    pub stop_at: SimTime,
+    sock: Option<SockId>,
+    /// Bytes the pacing schedule has released but TCP hasn't accepted.
+    backlog: u64,
+    connected: bool,
+}
+
+impl PacedTcpSender {
+    pub fn new(dst: NodeId, dport: u16, target_bps: u64, cfg: TcpCfg) -> PacedTcpSender {
+        PacedTcpSender {
+            dst,
+            dport,
+            target_bps,
+            chunk: 16 * 1024,
+            cfg,
+            stop_at: SimTime::MAX,
+            sock: None,
+            backlog: 0,
+            connected: false,
+        }
+    }
+
+    fn interval(&self) -> SimDelta {
+        SimDelta::transmission(self.chunk, self.target_bps)
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx) {
+        let sock = self.sock.unwrap();
+        while self.backlog > 0 {
+            let n = ctx.send(sock, self.backlog);
+            self.backlog -= n;
+            if n == 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl App for PacedTcpSender {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.sock = Some(ctx.tcp_connect(self.dst, self.dport, self.cfg, DataMode::Counted));
+    }
+    fn on_connected(&mut self, _s: SockId, ctx: &mut Ctx) {
+        self.connected = true;
+        ctx.set_timer(self.interval(), 0);
+    }
+    fn on_timer(&mut self, _t: u32, ctx: &mut Ctx) {
+        if ctx.now() >= self.stop_at {
+            return;
+        }
+        self.backlog += self.chunk;
+        self.pump(ctx);
+        ctx.set_timer(self.interval(), 0);
+    }
+    fn on_writable(&mut self, _s: SockId, ctx: &mut Ctx) {
+        self.pump(ctx);
+    }
+}
+
+/// TCP receiver recording goodput into a shared meter.
+pub struct MeteredTcpReceiver {
+    pub port: u16,
+    pub cfg: TcpCfg,
+    pub meter: Rc<RefCell<ThroughputMeter>>,
+}
+
+impl MeteredTcpReceiver {
+    pub fn new(
+        port: u16,
+        cfg: TcpCfg,
+        bucket: SimDelta,
+    ) -> (MeteredTcpReceiver, Rc<RefCell<ThroughputMeter>>) {
+        let meter = Rc::new(RefCell::new(ThroughputMeter::new(bucket)));
+        (MeteredTcpReceiver { port, cfg, meter: meter.clone() }, meter)
+    }
+}
+
+impl App for MeteredTcpReceiver {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.tcp_listen(self.port, self.cfg, DataMode::Counted);
+    }
+    fn on_readable(&mut self, sock: SockId, ctx: &mut Ctx) {
+        let n = ctx.recv(sock, u64::MAX);
+        self.meter.borrow_mut().on_bytes(ctx.now(), n);
+    }
+}

@@ -1,0 +1,132 @@
+//! Workload-level behavior of the paper's applications on an uncontended
+//! network: cadence, accounting, and blocking-send backpressure semantics.
+
+use mpichgq_apps::{
+    finish_viz, steady_iteration_rate, PingPong, StencilCfg, StencilRank, TwoSites, VizCfg,
+    VizReceiver, VizSender,
+};
+use mpichgq_mpi::JobBuilder;
+use mpichgq_netsim::topology::Dumbbell;
+use mpichgq_sim::{SimDelta, SimTime};
+use mpichgq_tcp::Sim;
+
+fn sim2() -> (Sim, mpichgq_netsim::NodeId, mpichgq_netsim::NodeId) {
+    let d = Dumbbell::build(50_000_000, SimDelta::from_millis(1), 77);
+    let (a, b) = (d.src, d.dst);
+    (Sim::new(d.net), a, b)
+}
+
+#[test]
+fn viz_sender_keeps_cadence_on_clean_network() {
+    let (mut sim, a, b) = sim2();
+    let end = SimTime::from_secs(10);
+    let vcfg = VizCfg {
+        frame_bytes: 20_000,
+        fps: 10.0,
+        work_per_frame: SimDelta::ZERO,
+        start: SimTime::from_millis(500),
+        end,
+    };
+    let (tx, stats, _proc) = VizSender::new(vcfg, None);
+    let (rx, meter, frames) = VizReceiver::new(SimDelta::from_secs(1), end);
+    let _job = JobBuilder::new()
+        .rank(a, Box::new(tx))
+        .rank(b, Box::new(rx))
+        .launch(&mut sim);
+    sim.run_until(end);
+    let run = finish_viz(meter, frames, end, SimTime::from_secs(2), end);
+    // ~95 frames offered over 9.5 s; all delivered, none late.
+    assert!(run.frames_received >= 93, "got {}", run.frames_received);
+    let st = stats.borrow();
+    assert_eq!(st.frames_sent, run.frames_received);
+    assert_eq!(st.frames_late, 0, "clean network: no backpressure");
+    // Steady bandwidth = 1.6 Mb/s.
+    assert!((run.achieved_kbps_steady - 1600.0).abs() < 50.0);
+}
+
+#[test]
+fn viz_sender_reports_late_frames_under_backpressure() {
+    // A 1 Mb/s bottleneck cannot carry 1.6 Mb/s of frames: the blocking
+    // send pushes the sender off schedule, and it says so.
+    let d = Dumbbell::build(1_000_000, SimDelta::from_millis(1), 78);
+    let (a, b) = (d.src, d.dst);
+    let mut sim = Sim::new(d.net);
+    let end = SimTime::from_secs(10);
+    let vcfg = VizCfg {
+        frame_bytes: 20_000,
+        fps: 10.0,
+        work_per_frame: SimDelta::ZERO,
+        start: SimTime::from_millis(500),
+        end,
+    };
+    let (tx, stats, _proc) = VizSender::new(vcfg, None);
+    let (rx, meter, frames) = VizReceiver::new(SimDelta::from_secs(1), end);
+    let _job = JobBuilder::new()
+        .rank(a, Box::new(tx))
+        .rank(b, Box::new(rx))
+        .launch(&mut sim);
+    sim.run_until(end);
+    let run = finish_viz(meter, frames, end, SimTime::from_secs(2), end);
+    let st = stats.borrow();
+    assert!(st.frames_late > 10, "late frames: {}", st.frames_late);
+    // Achieved bandwidth is capped near the bottleneck, not the target.
+    assert!(run.achieved_kbps_steady < 1_100.0, "{}", run.achieved_kbps_steady);
+    assert!(run.achieved_kbps_steady > 700.0, "{}", run.achieved_kbps_steady);
+}
+
+#[test]
+fn pingpong_round_time_matches_path_rtt() {
+    let (mut sim, a, b) = sim2();
+    let end = SimTime::from_secs(5);
+    // 1000-byte messages over a ~2 ms path: round time ≈ RTT + overheads.
+    let (p0, p1, result) = PingPong::pair(1_000, SimTime::from_millis(500), end, None);
+    let _job = JobBuilder::new()
+        .rank(a, Box::new(p0))
+        .rank(b, Box::new(p1))
+        .launch(&mut sim);
+    sim.run_until(end);
+    let r = result.borrow();
+    assert!(r.rounds > 0);
+    let dur = r.measure_end.unwrap().since(r.measure_start.unwrap()).as_secs_f64();
+    let per_round_ms = dur * 1e3 / r.rounds as f64;
+    // One-way propagation is 1.02 ms (10 µs + 1 ms + 10 µs), so RTT is
+    // ~2.04 ms; serialization and per-hop store-and-forward add ~0.4 ms.
+    assert!(
+        (2.2..3.2).contains(&per_round_ms),
+        "round time {per_round_ms:.2} ms"
+    );
+}
+
+#[test]
+fn stencil_two_ranks_completes_and_paces() {
+    let mut ts = TwoSites::build(1, 10_000_000, SimTime::from_millis(2), 0.7);
+    let cfg = StencilCfg {
+        ranks: 2,
+        iterations: 20,
+        halo_bytes: 10_000,
+        compute: SimDelta::from_millis(100),
+    };
+    let (ranks, log) = StencilRank::job(cfg, None);
+    let mut builder = JobBuilder::new();
+    for (host, rank) in ts.hosts().into_iter().zip(ranks) {
+        builder = builder.rank(host, Box::new(rank));
+    }
+    builder.launch(&mut ts.sim);
+    ts.sim.run_until(SimTime::from_secs(30));
+    assert_eq!(log.borrow().len(), 20, "all iterations completed");
+    let rate = steady_iteration_rate(&log);
+    // Compute-bound ideal is 10/s; halo transfer adds ~10 ms per iteration.
+    assert!((6.0..10.0).contains(&rate), "iteration rate {rate:.2}");
+}
+
+#[test]
+fn stencil_rejects_odd_rank_counts() {
+    let cfg = StencilCfg {
+        ranks: 3,
+        iterations: 1,
+        halo_bytes: 1,
+        compute: SimDelta::from_millis(1),
+    };
+    let result = std::panic::catch_unwind(|| StencilRank::job(cfg, None));
+    assert!(result.is_err());
+}

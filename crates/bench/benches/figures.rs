@@ -1,0 +1,76 @@
+//! One representative point per paper table/figure, run at reduced scale,
+//! so `cargo bench` exercises every experiment path and tracks its
+//! wall-clock cost. The full-resolution regeneration lives in the
+//! `src/bin/figN_*` harness binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpichgq_bench::*;
+use mpichgq_netsim::DepthRule;
+use mpichgq_sim::SimTime;
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("figures/fig1_sawtooth_10s", |b| {
+        b.iter(|| {
+            let cfg = Fig1Cfg { duration: SimTime::from_secs(10), ..Fig1Cfg::default() };
+            black_box(fig1_tcp_sawtooth(cfg).mean())
+        })
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("figures/fig5_point_120kb_9mbps", |b| {
+        b.iter(|| {
+            let mut cfg = Fig5Cfg::new(15_000, 9_000.0);
+            cfg.duration = SimTime::from_secs(6);
+            cfg.warmup = SimTime::from_secs(2);
+            black_box(fig5_pingpong_point(cfg))
+        })
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("figures/fig6_point_30kb_2600", |b| {
+        b.iter(|| {
+            let mut cfg = Fig6Cfg::new(30_000, 10.0, 2_600.0);
+            cfg.duration = SimTime::from_secs(8);
+            black_box(fig6_viz_point(cfg))
+        })
+    });
+}
+
+fn bench_table1_cell(c: &mut Criterion) {
+    c.bench_function("figures/table1_cell_800_1fps", |b| {
+        b.iter(|| {
+            let mut cfg = Fig6Cfg::new(100_000, 1.0, 1_200.0);
+            cfg.depth_rule = DepthRule::Normal;
+            cfg.duration = SimTime::from_secs(15);
+            black_box(viz_delivery_ratio(cfg))
+        })
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("figures/fig7_trace_1s", |b| {
+        b.iter(|| black_box(fig7_seq_trace(10.0, SimTime::from_secs(1)).len()))
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    c.bench_function("figures/fig8_timeline_30s", |b| {
+        b.iter(|| black_box(fig8_cpu_reservation(Fig8Cfg::default()).mean()))
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    c.bench_function("figures/fig9_timeline_50s", |b| {
+        b.iter(|| black_box(fig9_combined(Fig9Cfg::default()).mean()))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig1, bench_fig5, bench_fig6, bench_table1_cell, bench_fig7, bench_fig8, bench_fig9
+);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Microbenchmarks of the simulation substrates: the event engine, the
+//! DiffServ mechanisms, and GARA's slot tables. These bound how much
+//! simulated traffic the experiment harnesses can push per wall-clock
+//! second.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mpichgq_gara::SlotTable;
+use mpichgq_netsim::{
+    Classifier, Dscp, FlowSpec, NodeId, Packet, PolicingAction, Proto, Queue, QueueCfg,
+    TokenBucket, L4,
+};
+use mpichgq_sim::{Engine, SimTime};
+use std::hint::black_box;
+
+fn pkt(sport: u16) -> Packet {
+    Packet {
+        src: NodeId(0),
+        dst: NodeId(1),
+        src_port: sport,
+        dst_port: 80,
+        dscp: Dscp::BestEffort,
+        l4: L4::Udp,
+        payload_len: 1472,
+        id: 0,
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine/schedule_pop_100k", |b| {
+        b.iter(|| {
+            let mut e: Engine<u32> = Engine::new();
+            for i in 0..100_000u32 {
+                e.schedule(SimTime::from_nanos((i as u64 * 2_654_435_761) % 1_000_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = e.pop() {
+                acc += v as u64;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_token_bucket(c: &mut Criterion) {
+    c.bench_function("diffserv/token_bucket_1m_consumes", |b| {
+        b.iter(|| {
+            let mut tb = TokenBucket::new(100_000_000, 1_000_000);
+            let mut ok = 0u32;
+            for i in 0..1_000_000u64 {
+                if tb.try_consume(SimTime::from_nanos(i * 1000), 1500) {
+                    ok += 1;
+                }
+            }
+            black_box(ok)
+        })
+    });
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    // 16 installed flows; packets match the last rule (worst case).
+    c.bench_function("diffserv/classifier_16rules_100k_pkts", |b| {
+        b.iter_batched(
+            || {
+                let mut cl = Classifier::new();
+                for i in 0..16u16 {
+                    cl.install(
+                        FlowSpec::exact(NodeId(0), NodeId(1), Proto::Udp, 1000 + i, 80),
+                        Dscp::Ef,
+                        Some(TokenBucket::new(10_000_000, 100_000)),
+                        PolicingAction::Drop,
+                    );
+                }
+                cl
+            },
+            |mut cl| {
+                let mut fwd = 0u32;
+                for i in 0..100_000u64 {
+                    let mut p = pkt(1015);
+                    if cl.classify(SimTime::from_nanos(i * 1000), &mut p)
+                        == mpichgq_netsim::Verdict::Forward
+                    {
+                        fwd += 1;
+                    }
+                }
+                black_box(fwd)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_priority_queue(c: &mut Criterion) {
+    c.bench_function("diffserv/priority_queue_100k_cycle", |b| {
+        b.iter(|| {
+            let mut q = Queue::new(QueueCfg::priority_default());
+            let mut out = 0u32;
+            for i in 0..100_000u32 {
+                let mut p = pkt(1);
+                p.dscp = if i % 4 == 0 { Dscp::Ef } else { Dscp::BestEffort };
+                let _ = q.enqueue(p);
+                if i % 2 == 0
+                    && q.pop().is_some() {
+                        out += 1;
+                    }
+            }
+            black_box(out)
+        })
+    });
+}
+
+fn bench_slot_table(c: &mut Criterion) {
+    c.bench_function("gara/slot_table_1k_inserts_removes", |b| {
+        b.iter(|| {
+            let mut st = SlotTable::new(1_000_000);
+            let mut ids = Vec::new();
+            for i in 0..1_000u64 {
+                let start = SimTime::from_secs(i % 97);
+                let end = SimTime::from_secs(i % 97 + 3);
+                if let Ok(id) = st.try_insert(start, end, 10_000) {
+                    ids.push(id);
+                }
+                if ids.len() > 64 {
+                    let id = ids.remove(0);
+                    st.remove(id);
+                }
+            }
+            black_box(st.len())
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_engine, bench_token_bucket, bench_classifier, bench_priority_queue, bench_slot_table
+);
+criterion_main!(benches);

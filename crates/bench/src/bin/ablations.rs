@@ -1,0 +1,108 @@
+//! Ablations of the design choices DESIGN.md §4 calls out:
+//!
+//! 1. edge policing action: drop vs demote;
+//! 2. token-bucket depth rules (see also `table1_burstiness`);
+//! 3. end-system traffic shaping (§5.4's proposal);
+//! 4. TCP era: the burstiness penalty's sensitivity to the minimum RTO;
+//! 5. layer-2 framing: where the paper's 1.06× reservation factor comes
+//!    from.
+
+use mpichgq_bench::{output, viz_delivery_ratio, Fig6Cfg};
+use mpichgq_core::{ip_overhead_factor, wire_overhead_factor, DEFAULT_MSS};
+use mpichgq_netsim::{DepthRule, Framing, PolicingAction};
+use mpichgq_sim::{SimDelta, SimTime};
+
+fn main() {
+    let fast = output::fast_mode();
+    let dur = if fast { 15 } else { 30 };
+
+    // --- 1. drop vs demote at an undersized reservation -----------------
+    println!("# ablation 1: policing action at an undersized reservation");
+    println!("#   (2400 Kb/s attempted, 1600 Kb/s reserved, moderate contention)");
+    println!("action,delivery_ratio");
+    for (label, action) in [("drop", PolicingAction::Drop), ("demote", PolicingAction::Demote)] {
+        let mut cfg = Fig6Cfg::new(30_000, 10.0, 1600.0);
+        cfg.policing_action = action;
+        cfg.contention_bps = 100_000_000;
+        cfg.duration = SimTime::from_secs(dur);
+        println!("{label},{:.2}", viz_delivery_ratio(cfg));
+    }
+
+    // --- 3. end-system shaping vs policing only -------------------------
+    println!("# ablation 3: end-system shaping of the 1 fps burst (800 Kb/s target, 1000 Kb/s reserved)");
+    println!("shaping,delivery_ratio");
+    for (label, shape) in [("off", false), ("on", true)] {
+        let mut cfg = Fig6Cfg::new(100_000, 1.0, 1000.0);
+        cfg.shape_at_source = shape;
+        cfg.duration = SimTime::from_secs(dur);
+        println!("{label},{:.2}", viz_delivery_ratio(cfg));
+    }
+
+    // --- 4. burstiness penalty vs minimum RTO ---------------------------
+    println!("# ablation 4: Table 1 cell (800 Kb/s, 1 fps, normal bucket) vs TCP minimum RTO");
+    println!("rto_min_ms,min_reservation_kbps");
+    for rto_ms in [200u64, 500, 1000] {
+        let min = table1_min_reservation_with_rto(800.0, 1.0, rto_ms, fast);
+        println!("{rto_ms},{min:.0}");
+    }
+
+    // --- 2b. eager vs rendezvous threshold (a negative result) ----------
+    println!("# ablation 2b: MPI eager threshold for the 1 fps burst (800 Kb/s target, 1100 Kb/s reserved)");
+    println!("#   NEGATIVE RESULT: the protocol choice does not change the burst the");
+    println!("#   policer sees — rendezvous only prepends an RTS/CTS round trip; the");
+    println!("#   data still leaves as one TCP-paced burst. Shaping must happen below");
+    println!("#   MPI (the token bucket or the globus-io shaper), as the paper argues.");
+    println!("eager_limit,delivery_ratio");
+    for (label, limit) in [("64k_eager", 64 * 1024u32), ("8k_rendezvous", 8 * 1024)] {
+        let mut cfg = Fig6Cfg::new(100_000, 1.0, 1_100.0);
+        cfg.eager_limit = limit;
+        cfg.duration = SimTime::from_secs(dur);
+        println!("{label},{:.2}", viz_delivery_ratio(cfg));
+    }
+
+    // --- 5. framing overhead (the 1.06 factor) --------------------------
+    println!("# ablation 5: reservation factor per app byte, 100 KB messages, by framing");
+    println!("framing,factor");
+    println!("ip_only,{:.3}", ip_overhead_factor(100 * 1024, DEFAULT_MSS));
+    for (label, f) in [
+        ("none", Framing::None),
+        ("ethernet", Framing::Ethernet),
+        ("atm_aal5", Framing::AtmAal5),
+    ] {
+        println!("{label},{:.3}", wire_overhead_factor(100 * 1024, DEFAULT_MSS, f));
+    }
+    println!("# the paper's \"around 1.06 of the sending rate\" sits between the");
+    println!("# ethernet and ATM figures; ATM cell padding dominates the tax.");
+}
+
+/// Table-1 bisection with an explicit minimum RTO.
+fn table1_min_reservation_with_rto(target_kbps: f64, fps: f64, rto_ms: u64, fast: bool) -> f64 {
+    let frame_bytes = (target_kbps * 1000.0 / 8.0 / fps).round() as u32;
+    let achieves = |resv: f64| {
+        let mut cfg = Fig6Cfg::new(frame_bytes, fps, resv);
+        cfg.depth_rule = DepthRule::Normal;
+        cfg.rto_min = SimDelta::from_millis(rto_ms);
+        cfg.duration = if fast { SimTime::from_secs(30) } else { SimTime::from_secs(60) };
+        viz_delivery_ratio(cfg) >= 0.95
+    };
+    let mut lo = target_kbps * 0.5;
+    let mut hi = target_kbps * 4.0;
+    if achieves(lo) {
+        return lo;
+    }
+    while !achieves(hi) {
+        hi *= 1.5;
+        if hi > target_kbps * 10.0 {
+            return f64::INFINITY;
+        }
+    }
+    while hi / lo > 1.02 {
+        let mid = (lo * hi).sqrt();
+        if achieves(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}

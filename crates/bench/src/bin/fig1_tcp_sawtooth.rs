@@ -1,0 +1,26 @@
+//! Figure 1: "An application using TCP has made a reservation for only
+//! 40 Mb/s, when it is sending at 50 Mb/s" — the bandwidth trace oscillates
+//! as TCP repeatedly overruns the policer, loses packets, backs off, and
+//! climbs again.
+
+use mpichgq_bench::{fig1_tcp_sawtooth, output, Fig1Cfg};
+use mpichgq_sim::SimTime;
+
+fn main() {
+    let mut cfg = Fig1Cfg::default();
+    if output::fast_mode() {
+        cfg.duration = SimTime::from_secs(30);
+    }
+    let series = fig1_tcp_sawtooth(cfg);
+    output::print_series(
+        "Figure 1: TCP at 50 Mb/s with a 40 Mb/s reservation (bandwidth vs time)",
+        "bandwidth_kbps",
+        &series,
+    );
+    println!(
+        "# summary: min {:.0} Kb/s, max {:.0} Kb/s, mean {:.0} Kb/s (paper: sawtooth ~22000-52000)",
+        series.min(),
+        series.max(),
+        series.mean()
+    );
+}

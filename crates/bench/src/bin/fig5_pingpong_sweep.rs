@@ -1,0 +1,27 @@
+//! Figure 5: "The effect of different reservation sizes for the ping-pong
+//! MPICH-GQ program. Each line represents the throughput achieved for a
+//! particular message size at different reservation sizes."
+
+use mpichgq_bench::{fig5_sweep, output};
+
+fn main() {
+    let fast = output::fast_mode();
+    let msgs = [8u32, 40, 80, 120]; // kilobits, as in the paper
+    let reservations: Vec<f64> = if fast {
+        vec![0.0, 1000.0, 3000.0, 6000.0, 9000.0, 12000.0]
+    } else {
+        (0..=12).map(|i| i as f64 * 1000.0).collect()
+    };
+    let rows = fig5_sweep(&msgs, &reservations, fast);
+    output::print_sweep(
+        "Figure 5: one-way ping-pong throughput vs one-way reservation, under heavy UDP contention",
+        "msg_kbits",
+        "reservation_kbps",
+        "one_way_throughput_kbps",
+        &rows,
+    );
+    for (msg, pts) in &rows {
+        let max = pts.iter().map(|&(_, v)| v).fold(0.0, f64::max);
+        println!("# {msg} Kb messages saturate at {max:.0} Kb/s");
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 6: "The effect of different reservations on the visualization
+//! application attempting different throughputs. Note that making a
+//! reservation that is even a little bit too small dramatically decreases
+//! the throughput that is achieved."
+
+use mpichgq_bench::{fig6_sweep, output};
+
+fn main() {
+    let fast = output::fast_mode();
+    let frames_kb = [5u32, 10, 20, 30]; // at 10 fps: 400..2400 Kb/s attempted
+    let reservations: Vec<f64> = if fast {
+        vec![0.0, 400.0, 800.0, 1200.0, 1600.0, 2000.0, 2400.0, 2800.0]
+    } else {
+        (0..=14).map(|i| i as f64 * 200.0).collect()
+    };
+    let rows = fig6_sweep(&frames_kb, &reservations, fast);
+    output::print_sweep(
+        "Figure 6: visualization throughput vs reservation (10 frames/s), under contention",
+        "frame_kbytes",
+        "reservation_kbps",
+        "achieved_kbps",
+        &rows,
+    );
+    for (fk, pts) in &rows {
+        let target = fk * 80;
+        let knee = pts
+            .iter()
+            .find(|&&(_, v)| v >= 0.97 * target as f64)
+            .map(|&(r, _)| r);
+        match knee {
+            Some(r) => println!(
+                "# {target} Kb/s attempted: adequate at ~{r:.0} Kb/s ({:.2}x)",
+                r / target as f64
+            ),
+            None => println!("# {target} Kb/s attempted: not achieved in the sweep range"),
+        }
+    }
+}

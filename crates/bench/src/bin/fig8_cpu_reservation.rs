@@ -1,0 +1,21 @@
+//! Figure 8: "The bandwidth achieved by the visualization application.
+//! Contention for the CPU on the sending side begins at 10 seconds, and a
+//! reservation is made at 20 seconds."
+
+use mpichgq_bench::{fig8_cpu_reservation, output, phase_mean, Fig8Cfg};
+
+fn main() {
+    let cfg = Fig8Cfg::default();
+    let series = fig8_cpu_reservation(cfg);
+    output::print_series(
+        "Figure 8: visualization bandwidth with CPU contention at 10 s, DSRT reservation at 20 s",
+        "bandwidth_kbps",
+        &series,
+    );
+    println!(
+        "# phases: clean {:.0} Kb/s | hog {:.0} Kb/s | 90% CPU reservation {:.0} Kb/s (paper: ~15000 | ~8000 | ~15000)",
+        phase_mean(&series, 2.0, 10.0),
+        phase_mean(&series, 11.0, 20.0),
+        phase_mean(&series, 22.0, 30.0),
+    );
+}

@@ -1,0 +1,26 @@
+//! Figure 9: "Initially it runs well (0-10 seconds), then network
+//! congestion affects its bandwidth (11-20 seconds) until a network
+//! reservation is made (21-30 seconds). Bandwidth again decreases when
+//! there is CPU contention at the sender (31-40 seconds) until there is a
+//! CPU reservation (41-50 seconds)."
+
+use mpichgq_bench::{fig9_combined, output, phase_mean, Fig9Cfg};
+
+fn main() {
+    let cfg = Fig9Cfg::default();
+    let series = fig9_combined(cfg);
+    output::print_series(
+        "Figure 9: 35 Mb/s visualization under staged network + CPU contention and reservations",
+        "bandwidth_kbps",
+        &series,
+    );
+    println!(
+        "# phases: clean {:.0} | congestion {:.0} | net reservation {:.0} | cpu contention {:.0} | cpu reservation {:.0} Kb/s",
+        phase_mean(&series, 2.0, 10.0),
+        phase_mean(&series, 11.0, 21.0),
+        phase_mean(&series, 22.0, 31.0),
+        phase_mean(&series, 32.0, 41.0),
+        phase_mean(&series, 42.0, 50.0),
+    );
+    println!("# paper shape: full | depressed | restored | depressed | restored — both reservations are needed");
+}

@@ -1,0 +1,32 @@
+//! Figure 4: the GARNET testbed model — topology inventory.
+
+use mpichgq_netsim::{Garnet, GarnetCfg, NodeKind};
+
+fn main() {
+    let g = Garnet::build(GarnetCfg::default());
+    println!("# Figure 4: GARNET testbed model");
+    for i in 0..g.net.node_count() {
+        let id = mpichgq_netsim::NodeId(i as u32);
+        let n = g.net.node(id);
+        let kind = match n.kind {
+            NodeKind::Host => "host",
+            NodeKind::Router => "router",
+        };
+        println!("{id}: {kind} {}", n.name);
+    }
+    println!("# channels (directed):");
+    for c in g.net.chan_ids() {
+        let ch = g.net.chan(c);
+        println!(
+            "{} -> {}: {} Mb/s, {:.3} ms, {:?}{}",
+            ch.from,
+            ch.to,
+            ch.cfg.bandwidth_bps / 1_000_000,
+            ch.cfg.delay.as_secs_f64() * 1e3,
+            ch.cfg.framing,
+            if ch.edge_ingress { " [edge ingress]" } else { "" }
+        );
+    }
+    let d = g.net.path_delay(g.premium_src, g.premium_dst).unwrap();
+    println!("# premium path one-way propagation delay: {:.3} ms", d.as_secs_f64() * 1e3);
+}

@@ -1,0 +1,774 @@
+//! The experiment implementations (paper §5).
+
+use mpichgq_apps::{
+    finish_viz, GarnetLab, MeteredTcpReceiver, PacedTcpSender, PingPong, Scheduler, VizCfg,
+    VizReceiver, VizSender,
+};
+use mpichgq_core::{enable_qos, QosAgentCfg, QosAttribute};
+use mpichgq_gara::{CpuRequest, NetworkRequest, Request, StartSpec};
+use mpichgq_mpi::JobBuilder;
+use mpichgq_netsim::{DepthRule, GarnetCfg, PolicingAction, Proto};
+use mpichgq_sim::{SimDelta, SimTime, TimeSeries};
+use mpichgq_tcp::TcpCfg;
+
+/// The offered UDP contention load: enough to keep the best-effort queue
+/// of an OC3 trunk persistently full.
+pub const CONTENTION_BPS: u64 = 150_000_000;
+
+fn secs(s: f64) -> SimTime {
+    SimTime::from_secs_f64(s)
+}
+
+/// TCP tuning of the paper's era: the premium end systems were Solaris
+/// Ultras with coarse retransmission timers (minimum RTO around half a
+/// second). The coarse minimum RTO is what makes bursty flows pay for
+/// shallow token buckets: every stall outlives the bucket's 0.2 s fill
+/// time and wastes refill (Table 1's burstiness penalty).
+pub fn era_tcp() -> TcpCfg {
+    TcpCfg { rto_min: SimDelta::from_millis(500), ..TcpCfg::default() }
+}
+
+/// MPI configuration used by the paper-replica experiments.
+pub fn era_mpi() -> mpichgq_mpi::MpiCfg {
+    mpichgq_mpi::MpiCfg { tcp: era_tcp(), ..Default::default() }
+}
+
+/// Agent configuration for the reservation sweeps: the paper's reservation
+/// axis is the raw network premium bandwidth.
+pub fn sweep_agent_cfg() -> QosAgentCfg {
+    QosAgentCfg { translate_overhead: false, ..QosAgentCfg::default() }
+}
+
+// ---------------------------------------------------------------------
+// Figure 1 — raw TCP with an undersized reservation: the sawtooth
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+pub struct Fig1Cfg {
+    /// Application pacing rate (paper: ~50 Mb/s).
+    pub app_rate_bps: u64,
+    /// Premium reservation (paper: 40 Mb/s, "somewhat too low").
+    pub reservation_bps: u64,
+    pub duration: SimTime,
+}
+
+impl Default for Fig1Cfg {
+    fn default() -> Self {
+        Fig1Cfg {
+            app_rate_bps: 50_000_000,
+            reservation_bps: 40_000_000,
+            duration: SimTime::from_secs(100),
+        }
+    }
+}
+
+/// Run Figure 1: a plain TCP flow paced at `app_rate_bps` under heavy
+/// contention, with a premium reservation of `reservation_bps`. Returns
+/// the receiver's 1-second bandwidth trace (Kb/s).
+pub fn fig1_tcp_sawtooth(cfg: Fig1Cfg) -> TimeSeries {
+    let mut lab = GarnetLab::new(GarnetCfg::default(), 0.7);
+    lab.add_contention(CONTENTION_BPS, SimTime::ZERO, cfg.duration);
+    let (psrc, pdst) = (lab.premium_src, lab.premium_dst);
+
+    // Reserve for the flow (both host-pair directions matter only for the
+    // data path; ACKs ride best-effort as in the paper's testbed).
+    lab.with_gara(|g, net| {
+        g.reserve(
+            net,
+            Request::Network(NetworkRequest {
+                src: psrc,
+                dst: pdst,
+                proto: Proto::Tcp,
+                src_port: None,
+                dst_port: None,
+                rate_bps: cfg.reservation_bps,
+                depth: DepthRule::Normal,
+                action: PolicingAction::Drop,
+                shape_at_source: false,
+            }),
+            StartSpec::Now,
+            None,
+        )
+        .expect("figure-1 reservation admitted");
+    });
+
+    let tcp = TcpCfg { send_buf: 512 * 1024, recv_buf: 512 * 1024, ..TcpCfg::default() };
+    let (rx, meter) = MeteredTcpReceiver::new(6000, tcp, SimDelta::from_secs(1));
+    lab.sim.spawn_app(pdst, Box::new(rx));
+    lab.sim
+        .spawn_app(psrc, Box::new(PacedTcpSender::new(pdst, 6000, cfg.app_rate_bps, tcp)));
+    lab.run_until(cfg.duration);
+    let m = std::rc::Rc::try_unwrap(meter)
+        .map(|c| c.into_inner())
+        .unwrap_or_else(|rc| rc.borrow().clone());
+    m.finish(cfg.duration)
+}
+
+// ---------------------------------------------------------------------
+// Figure 5 — ping-pong throughput vs reservation, under contention
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Cfg {
+    pub msg_bytes: u32,
+    pub reservation_kbps: f64,
+    pub duration: SimTime,
+    pub warmup: SimTime,
+}
+
+impl Fig5Cfg {
+    pub fn new(msg_bytes: u32, reservation_kbps: f64) -> Fig5Cfg {
+        Fig5Cfg {
+            msg_bytes,
+            reservation_kbps,
+            duration: SimTime::from_secs(20),
+            warmup: SimTime::from_secs(5),
+        }
+    }
+}
+
+/// GARNET with the wide-area extension delay used for the ping-pong
+/// experiment (round-trip in the paper's ~15 ms regime, putting the
+/// Figure 5 knees in the paper's 0–12 Mb/s reservation range).
+pub fn fig5_garnet() -> GarnetCfg {
+    GarnetCfg { core_delay: SimDelta::from_millis(3), ..GarnetCfg::default() }
+}
+
+/// One Figure 5 point: one-way ping-pong throughput (Kb/s) for a message
+/// size and reservation, with contention on both trunk directions.
+/// `reservation_kbps == 0` means no reservation.
+pub fn fig5_pingpong_point(cfg: Fig5Cfg) -> f64 {
+    let mut lab = GarnetLab::new(fig5_garnet(), 0.7);
+    lab.add_contention(CONTENTION_BPS, SimTime::ZERO, cfg.duration);
+    lab.add_contention_reverse(CONTENTION_BPS, SimTime::ZERO, cfg.duration);
+
+    let (builder, env) = enable_qos(JobBuilder::new(), sweep_agent_cfg());
+    let qos = if cfg.reservation_kbps > 0.0 {
+        Some((
+            env,
+            QosAttribute::premium(cfg.reservation_kbps, cfg.msg_bytes),
+        ))
+    } else {
+        None
+    };
+    let (p0, p1, result) = PingPong::pair(cfg.msg_bytes, cfg.warmup, cfg.duration, qos);
+    let _job = builder
+        .rank(lab.premium_src, Box::new(p0))
+        .rank(lab.premium_dst, Box::new(p1))
+        .cfg(era_mpi())
+        .launch(&mut lab.sim);
+    lab.run_until(cfg.duration);
+    let r = result.borrow();
+    r.one_way_kbps()
+}
+
+/// The full Figure 5 sweep: message sizes in kilobits (paper: 8, 40, 80,
+/// 120 Kb) × reservation values (Kb/s). Returns `(msg_kbits, points)`.
+pub fn fig5_sweep(
+    msg_kbits: &[u32],
+    reservations_kbps: &[f64],
+    fast: bool,
+) -> Vec<(u32, Vec<(f64, f64)>)> {
+    sweep_parallel(msg_kbits, reservations_kbps, move |&mk, &resv| {
+        let mut cfg = Fig5Cfg::new(mk * 1000 / 8, resv);
+        if fast {
+            cfg.duration = SimTime::from_secs(8);
+            cfg.warmup = SimTime::from_secs(3);
+        }
+        fig5_pingpong_point(cfg)
+    })
+}
+
+/// Run a two-axis sweep in parallel with scoped threads (each simulation
+/// is independent and single-threaded).
+fn sweep_parallel<A, B>(
+    rows: &[A],
+    cols: &[B],
+    f: impl Fn(&A, &B) -> f64 + Sync,
+) -> Vec<(A, Vec<(f64, f64)>)>
+where
+    A: Sync + Copy + Send,
+    B: Sync + Copy + Into<f64> + Send,
+{
+    let mut out: Vec<(A, Vec<(f64, f64)>)> = Vec::new();
+    let results: Vec<Vec<f64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = rows
+            .iter()
+            .map(|a| {
+                let f = &f;
+                s.spawn(move || cols.iter().map(|b| f(a, b)).collect::<Vec<f64>>())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep worker")).collect()
+    });
+    for (a, row) in rows.iter().zip(results) {
+        let pts = cols
+            .iter()
+            .zip(row)
+            .map(|(b, v)| ((*b).into(), v))
+            .collect();
+        out.push((*a, pts));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figure 6 — visualization throughput vs reservation
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Cfg {
+    pub frame_bytes: u32,
+    pub fps: f64,
+    /// Reservation in Kb/s (0 = none).
+    pub reservation_kbps: f64,
+    pub depth_rule: DepthRule,
+    pub shape_at_source: bool,
+    /// What the edge policer does with out-of-profile packets (ablation:
+    /// the paper's testbed dropped them).
+    pub policing_action: PolicingAction,
+    /// Offered contention load.
+    pub contention_bps: u64,
+    /// Minimum TCP retransmission timeout (era ablation; see
+    /// EXPERIMENTS.md calibration notes).
+    pub rto_min: SimDelta,
+    /// MPI eager/rendezvous threshold (ablation: rendezvous paces frame
+    /// bursts with an extra round trip).
+    pub eager_limit: u32,
+    pub duration: SimTime,
+}
+
+impl Fig6Cfg {
+    pub fn new(frame_bytes: u32, fps: f64, reservation_kbps: f64) -> Fig6Cfg {
+        Fig6Cfg {
+            frame_bytes,
+            fps,
+            reservation_kbps,
+            depth_rule: DepthRule::Normal,
+            shape_at_source: false,
+            policing_action: PolicingAction::Drop,
+            contention_bps: CONTENTION_BPS,
+            rto_min: SimDelta::from_millis(500),
+            eager_limit: 64 * 1024,
+            duration: SimTime::from_secs(20),
+        }
+    }
+}
+
+/// One visualization run under contention; returns steady-state achieved
+/// bandwidth in Kb/s (mean of 1-s buckets over the second half).
+pub fn fig6_viz_point(cfg: Fig6Cfg) -> f64 {
+    viz_run_under_contention(cfg).achieved_kbps_steady
+}
+
+/// Fraction of the offered frames that were delivered by the end of the
+/// run — the sustained-throughput criterion for Table 1 (delivery that
+/// merely accumulates latency does not count as achieving the rate).
+pub fn viz_delivery_ratio(cfg: Fig6Cfg) -> f64 {
+    let offered = (cfg.fps * (cfg.duration.as_secs_f64() - 0.5)).floor();
+    let run = viz_run_under_contention(cfg);
+    run.frames_received as f64 / offered
+}
+
+/// Full visualization run; returns the whole bandwidth series too.
+pub fn viz_run_under_contention(cfg: Fig6Cfg) -> mpichgq_apps::VizRun {
+    let mut lab = GarnetLab::new(GarnetCfg::default(), 0.7);
+    lab.add_contention(cfg.contention_bps, SimTime::ZERO, cfg.duration);
+
+    let agent_cfg = QosAgentCfg {
+        depth_rule: cfg.depth_rule,
+        shape_at_source: cfg.shape_at_source,
+        action: cfg.policing_action,
+        ..sweep_agent_cfg()
+    };
+    let (builder, env) = enable_qos(JobBuilder::new(), agent_cfg);
+    let qos = if cfg.reservation_kbps > 0.0 {
+        Some((env, QosAttribute::premium(cfg.reservation_kbps, cfg.frame_bytes)))
+    } else {
+        None
+    };
+    let vcfg = VizCfg {
+        frame_bytes: cfg.frame_bytes,
+        fps: cfg.fps,
+        work_per_frame: SimDelta::ZERO,
+        start: SimTime::from_millis(500),
+        end: cfg.duration,
+    };
+    let (tx, _stats, _proc) = VizSender::new(vcfg, qos);
+    let (rx, meter, frames) = VizReceiver::new(SimDelta::from_secs(1), cfg.duration);
+    let tcp = TcpCfg { rto_min: cfg.rto_min, ..TcpCfg::default() };
+    let mpi_cfg = mpichgq_mpi::MpiCfg { tcp, eager_limit: cfg.eager_limit };
+    let _job = builder
+        .rank(lab.premium_src, Box::new(tx))
+        .rank(lab.premium_dst, Box::new(rx))
+        .cfg(mpi_cfg)
+        .launch(&mut lab.sim);
+    lab.run_until(cfg.duration);
+    if std::env::var("MPICHGQ_DEBUG").is_ok() {
+        eprintln!(
+            "DEBUG drops={:?} contention_delivered={} edge_rules={}",
+            lab.sim.net.drops,
+            lab.contention_delivered(),
+            lab.sim.net.node(lab.routers[0]).classifier.len()
+        );
+    }
+    let half = SimTime::from_nanos(cfg.duration.as_nanos() / 2);
+    finish_viz(meter, frames, cfg.duration, half, cfg.duration)
+}
+
+/// The Figure 6 sweep: attempted rates via (frame size, 10 fps) as in the
+/// paper (5/10/20/30 KB frames → 400/800/1600/2400 Kb/s).
+pub fn fig6_sweep(
+    frame_kb: &[u32],
+    reservations_kbps: &[f64],
+    fast: bool,
+) -> Vec<(u32, Vec<(f64, f64)>)> {
+    sweep_parallel(frame_kb, reservations_kbps, move |&fk, &resv| {
+        let mut cfg = Fig6Cfg::new(fk * 1000, 10.0, resv);
+        if fast {
+            cfg.duration = SimTime::from_secs(10);
+        }
+        fig6_viz_point(cfg)
+    })
+}
+
+// ---------------------------------------------------------------------
+// Table 1 — burstiness vs token-bucket depth
+// ---------------------------------------------------------------------
+
+/// Find the minimum reservation (Kb/s) at which the visualization program
+/// achieves ≥ `fraction` of its target bandwidth, by bisection.
+pub fn table1_min_reservation(
+    target_kbps: f64,
+    fps: f64,
+    depth_rule: DepthRule,
+    fraction: f64,
+    fast: bool,
+) -> f64 {
+    let frame_bytes = (target_kbps * 1000.0 / 8.0 / fps).round() as u32;
+    let achieves = |resv_kbps: f64| -> bool {
+        let mut cfg = Fig6Cfg::new(frame_bytes, fps, resv_kbps);
+        cfg.depth_rule = depth_rule;
+        cfg.duration = if fast {
+            SimTime::from_secs(30)
+        } else {
+            SimTime::from_secs(60)
+        };
+        viz_delivery_ratio(cfg) >= fraction
+    };
+    // Bracket from below (a policer at half the target cannot pass 95% of
+    // it) and expand upward until the target is achievable.
+    let mut lo = target_kbps * 0.5;
+    let mut hi = target_kbps * 3.0;
+    if achieves(lo) {
+        return lo;
+    }
+    while !achieves(hi) {
+        hi *= 1.5;
+        if hi > target_kbps * 10.0 {
+            return f64::INFINITY;
+        }
+    }
+    // Bisect to ~2% resolution.
+    while hi / lo > 1.02 {
+        let mid = (lo * hi).sqrt();
+        if achieves(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// One Table 1 row: target bandwidth → required reservation for
+/// (10 fps, normal), (1 fps, normal), (1 fps, large).
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Row {
+    pub target_kbps: f64,
+    pub fps10_normal: f64,
+    pub fps1_normal: f64,
+    pub fps1_large: f64,
+}
+
+pub fn table1(targets_kbps: &[f64], fraction: f64, fast: bool) -> Vec<Table1Row> {
+    let cells: Vec<Table1Row> = std::thread::scope(|s| {
+        let handles: Vec<_> = targets_kbps
+            .iter()
+            .map(|&t| {
+                s.spawn(move || Table1Row {
+                    target_kbps: t,
+                    fps10_normal: table1_min_reservation(t, 10.0, DepthRule::Normal, fraction, fast),
+                    fps1_normal: table1_min_reservation(t, 1.0, DepthRule::Normal, fraction, fast),
+                    fps1_large: table1_min_reservation(t, 1.0, DepthRule::Large, fraction, fast),
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("table1 worker")).collect()
+    });
+    cells
+}
+
+// ---------------------------------------------------------------------
+// Figure 7 — sequence-number traces of two burstiness profiles
+// ---------------------------------------------------------------------
+
+/// Trace `(t, seq)` of the viz flow's data segments over `window` seconds,
+/// for the given frame rate at a fixed 400 Kb/s application rate with an
+/// adequate reservation (no contention; the paper isolates burstiness).
+pub fn fig7_seq_trace(fps: f64, window: SimTime) -> TimeSeries {
+    let target_kbps = 400.0;
+    let frame_bytes = (target_kbps * 1000.0 / 8.0 / fps).round() as u32;
+    let mut lab = GarnetLab::new(GarnetCfg::default(), 0.7);
+    let (builder, env) = enable_qos(JobBuilder::new(), QosAgentCfg::default());
+    let qos = Some((env, QosAttribute::premium(800.0, frame_bytes)));
+    let end = window + SimDelta::from_secs(1);
+    let vcfg = VizCfg {
+        frame_bytes,
+        fps,
+        work_per_frame: SimDelta::ZERO,
+        start: SimTime::from_millis(100),
+        end,
+    };
+    let (tx, _stats, _proc) = VizSender::new(vcfg, qos);
+    let (rx, _meter, _frames) = VizReceiver::new(SimDelta::from_secs(1), end);
+    // Trace the sender's connection to rank 1 once it exists: do it from
+    // inside the sender by wrapping the program.
+    struct Traced {
+        inner: VizSender,
+        traced: bool,
+    }
+    impl mpichgq_mpi::MpiProgram for Traced {
+        fn poll(&mut self, mpi: &mut mpichgq_mpi::Mpi) -> mpichgq_mpi::Poll {
+            if !self.traced {
+                self.traced = true;
+                mpi.trace_peer_connection(1, "fig7.seq");
+            }
+            self.inner.poll(mpi)
+        }
+    }
+    let _job = builder
+        .rank(lab.premium_src, Box::new(Traced { inner: tx, traced: false }))
+        .rank(lab.premium_dst, Box::new(rx))
+        .cfg(era_mpi())
+        .launch(&mut lab.sim);
+    lab.run_until(end);
+    // The paper's Figure 7 shows exactly one second of steady state, with
+    // sequence numbers rebased to the window: trim and rebase the raw trace.
+    let raw = lab.sim.net.recorder.series("fig7.seq");
+    let w_start = SimTime::from_millis(700); // past wireup and the QoS put
+    let w_end = w_start + SimDelta::from_nanos(window.as_nanos());
+    let base = raw
+        .points()
+        .iter()
+        .find(|&&(t, _)| t >= w_start)
+        .map(|&(_, v)| v)
+        .unwrap_or(0.0);
+    let mut out = TimeSeries::default();
+    for &(t, v) in raw.points() {
+        if t >= w_start && t < w_end {
+            out.push(t - SimDelta::from_nanos(w_start.as_nanos()), v - base);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figures 8 and 9 — CPU contention and combined reservations
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+pub struct Fig8Cfg {
+    pub target_mbps: f64,
+    pub fps: f64,
+    /// CPU render time per frame, as a fraction of the frame interval.
+    pub work_fraction: f64,
+    pub hog_at: SimTime,
+    pub cpu_reservation_at: SimTime,
+    pub cpu_fraction: f64,
+    pub duration: SimTime,
+}
+
+impl Default for Fig8Cfg {
+    fn default() -> Self {
+        Fig8Cfg {
+            target_mbps: 15.0,
+            fps: 10.0,
+            work_fraction: 0.8,
+            hog_at: SimTime::from_secs(10),
+            cpu_reservation_at: SimTime::from_secs(20),
+            cpu_fraction: 0.9,
+            duration: SimTime::from_secs(30),
+        }
+    }
+}
+
+/// Figure 8: visualization bandwidth trace with CPU contention starting at
+/// `hog_at` and a DSRT reservation at `cpu_reservation_at`.
+pub fn fig8_cpu_reservation(cfg: Fig8Cfg) -> TimeSeries {
+    let mut lab = GarnetLab::new(GarnetCfg::default(), 0.7);
+    let frame_bytes = (cfg.target_mbps * 1e6 / 8.0 / cfg.fps).round() as u32;
+    let interval = 1.0 / cfg.fps;
+    let vcfg = VizCfg {
+        frame_bytes,
+        fps: cfg.fps,
+        work_per_frame: SimDelta::from_secs_f64(interval * cfg.work_fraction),
+        start: SimTime::from_millis(200),
+        end: cfg.duration,
+    };
+    let (builder, _env) = enable_qos(JobBuilder::new(), QosAgentCfg::default());
+    let (tx, _stats, proc_out) = VizSender::new(vcfg, None);
+    let (rx, meter, frames) = VizReceiver::new(SimDelta::from_secs(1), cfg.duration);
+    let psrc = lab.premium_src;
+    let _job = builder
+        .rank(lab.premium_src, Box::new(tx))
+        .rank(lab.premium_dst, Box::new(rx))
+        .launch(&mut lab.sim);
+
+    let mut sched = Scheduler::new();
+    sched.at(cfg.hog_at, move |net, _stack| {
+        net.cpu_spawn_hog(psrc);
+    });
+    let proc2 = proc_out.clone();
+    let cpu_frac = cfg.cpu_fraction;
+    sched.at(cfg.cpu_reservation_at, move |net, stack| {
+        let proc = proc2.borrow().expect("viz sender started");
+        let mut gara = stack.take_service::<mpichgq_gara::Gara>().unwrap();
+        gara.reserve(
+            net,
+            Request::Cpu(CpuRequest { host: psrc, proc, fraction: cpu_frac }),
+            StartSpec::Now,
+            None,
+        )
+        .expect("CPU reservation admitted");
+        stack.put_service_box(gara);
+    });
+    sched.install(&mut lab.sim);
+
+    lab.run_until(cfg.duration);
+    finish_viz(meter, frames, cfg.duration, SimTime::ZERO, cfg.duration).series
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct Fig9Cfg {
+    pub target_mbps: f64,
+    pub fps: f64,
+    pub work_fraction: f64,
+    /// Offered contention load. Defaults below full starvation so a
+    /// best-effort trickle keeps TCP's RTO backoff bounded, as in the
+    /// paper's trace (its congestion phase shows depressed, not zero,
+    /// bandwidth).
+    pub contention_bps: u64,
+    pub congestion_at: SimTime,
+    pub net_reservation_at: SimTime,
+    pub hog_at: SimTime,
+    pub cpu_reservation_at: SimTime,
+    pub cpu_fraction: f64,
+    pub duration: SimTime,
+}
+
+impl Default for Fig9Cfg {
+    fn default() -> Self {
+        Fig9Cfg {
+            target_mbps: 35.0,
+            fps: 10.0,
+            work_fraction: 0.8,
+            contention_bps: 130_000_000,
+            congestion_at: SimTime::from_secs(10),
+            net_reservation_at: SimTime::from_secs(21),
+            hog_at: SimTime::from_secs(31),
+            cpu_reservation_at: SimTime::from_secs(41),
+            cpu_fraction: 0.9,
+            duration: SimTime::from_secs(50),
+        }
+    }
+}
+
+/// Figure 9: the combined scenario — network congestion, then a network
+/// reservation, then CPU contention, then a CPU reservation.
+pub fn fig9_combined(cfg: Fig9Cfg) -> TimeSeries {
+    let mut lab = GarnetLab::new(GarnetCfg::default(), 0.7);
+    lab.add_contention(cfg.contention_bps, cfg.congestion_at, cfg.duration);
+    let frame_bytes = (cfg.target_mbps * 1e6 / 8.0 / cfg.fps).round() as u32;
+    let interval = 1.0 / cfg.fps;
+    let vcfg = VizCfg {
+        frame_bytes,
+        fps: cfg.fps,
+        work_per_frame: SimDelta::from_secs_f64(interval * cfg.work_fraction),
+        start: SimTime::from_millis(200),
+        end: cfg.duration,
+    };
+    // 35 Mb/s with blocking frame sends needs era-appropriately tuned
+    // socket buffers (the paper's §5.5 lesson about buffer sizing).
+    let tcp = TcpCfg { send_buf: 512 * 1024, recv_buf: 512 * 1024, ..TcpCfg::default() };
+    let mpi_cfg = mpichgq_mpi::MpiCfg { tcp, ..Default::default() };
+    let (builder, _env) = enable_qos(JobBuilder::new(), QosAgentCfg::default());
+    let (tx, _stats, proc_out) = VizSender::new(vcfg, None);
+    let (rx, meter, frames) = VizReceiver::new(SimDelta::from_secs(1), cfg.duration);
+    let psrc = lab.premium_src;
+    let pdst = lab.premium_dst;
+    let _job = builder
+        .rank(psrc, Box::new(tx))
+        .rank(pdst, Box::new(rx))
+        .cfg(mpi_cfg)
+        .launch(&mut lab.sim);
+
+    let mut sched = Scheduler::new();
+    let net_rate = (cfg.target_mbps * 1e6 * 1.1) as u64;
+    sched.at(cfg.net_reservation_at, move |net, stack| {
+        let mut gara = stack.take_service::<mpichgq_gara::Gara>().unwrap();
+        gara.reserve(
+            net,
+            Request::Network(NetworkRequest {
+                src: psrc,
+                dst: pdst,
+                proto: Proto::Tcp,
+                src_port: None,
+                dst_port: None,
+                rate_bps: net_rate,
+                depth: DepthRule::Normal,
+                action: PolicingAction::Drop,
+                shape_at_source: false,
+            }),
+            StartSpec::Now,
+            None,
+        )
+        .expect("network reservation admitted");
+        stack.put_service_box(gara);
+    });
+    sched.at(cfg.hog_at, move |net, _stack| {
+        net.cpu_spawn_hog(psrc);
+    });
+    let proc2 = proc_out.clone();
+    let cpu_frac = cfg.cpu_fraction;
+    sched.at(cfg.cpu_reservation_at, move |net, stack| {
+        let proc = proc2.borrow().expect("viz sender started");
+        let mut gara = stack.take_service::<mpichgq_gara::Gara>().unwrap();
+        gara.reserve(
+            net,
+            Request::Cpu(CpuRequest { host: psrc, proc, fraction: cpu_frac }),
+            StartSpec::Now,
+            None,
+        )
+        .expect("CPU reservation admitted");
+        stack.put_service_box(gara);
+    });
+    sched.install(&mut lab.sim);
+
+    lab.run_until(cfg.duration);
+    finish_viz(meter, frames, cfg.duration, SimTime::ZERO, cfg.duration).series
+}
+
+/// Mean of a series over `[from, to)` seconds — phase summaries for the
+/// Figure 8/9 timelines.
+pub fn phase_mean(series: &TimeSeries, from: f64, to: f64) -> f64 {
+    series.mean_in(secs(from), secs(to))
+}
+
+// ---------------------------------------------------------------------
+// §3 anecdote — the finite-difference application whose bursts defeat an
+// "average-rate" reservation
+// ---------------------------------------------------------------------
+
+/// Which QoS the boundary ranks request for their intercommunicator.
+#[derive(Debug, Clone, Copy)]
+pub enum Sec3Qos {
+    None,
+    /// Premium at the given app rate (Kb/s), with the given bucket rule.
+    Premium { kbps: f64, depth: DepthRule, shaped: bool },
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct Sec3Cfg {
+    pub ranks_per_site: usize,
+    pub halo_bytes: u32,
+    /// Compute time per iteration; with the paper's numbers (100 KB halo,
+    /// 0.8 s compute) the average WAN rate is 1 Mb/s.
+    pub compute: SimDelta,
+    pub iterations: u32,
+    pub wan_bps: u64,
+    pub qos: Sec3Qos,
+    /// Add best-effort UDP contention across the WAN.
+    pub contention: bool,
+}
+
+impl Default for Sec3Cfg {
+    fn default() -> Self {
+        Sec3Cfg {
+            ranks_per_site: 8,
+            halo_bytes: 100_000,
+            compute: SimDelta::from_millis(800),
+            iterations: 30,
+            wan_bps: 10_000_000,
+            qos: Sec3Qos::None,
+            contention: false,
+        }
+    }
+}
+
+/// Result: steady iteration rate vs the rate compute time alone allows.
+#[derive(Debug, Clone, Copy)]
+pub struct Sec3Out {
+    pub iterations_done: usize,
+    pub steady_iters_per_sec: f64,
+    pub ideal_iters_per_sec: f64,
+}
+
+pub fn sec3_finite_difference(cfg: Sec3Cfg) -> Sec3Out {
+    use mpichgq_apps::{steady_iteration_rate, StencilCfg, StencilRank, TwoSites, UdpBlaster, UdpSink};
+
+    let mut ts = TwoSites::build(
+        cfg.ranks_per_site,
+        cfg.wan_bps,
+        SimTime::from_millis(5),
+        0.7,
+    );
+    let horizon = SimTime::from_secs_f64(
+        cfg.iterations as f64 * cfg.compute.as_secs_f64() * 8.0 + 20.0,
+    );
+    if cfg.contention {
+        let (sink, _m) = UdpSink::new(20_000, SimDelta::from_secs(1));
+        let sink_host = ts.site_b[cfg.ranks_per_site - 1];
+        let src_host = ts.site_a[cfg.ranks_per_site - 1];
+        ts.sim.spawn_app(sink_host, Box::new(sink));
+        ts.sim.spawn_app(
+            src_host,
+            Box::new(UdpBlaster::with_rate(sink_host, 20_000, 1472, cfg.wan_bps * 12 / 10)),
+        );
+    }
+
+    let agent_cfg = match cfg.qos {
+        Sec3Qos::Premium { depth, shaped, .. } => QosAgentCfg {
+            depth_rule: depth,
+            shape_at_source: shaped,
+            ..sweep_agent_cfg()
+        },
+        Sec3Qos::None => sweep_agent_cfg(),
+    };
+    let (mut builder, env) = enable_qos(JobBuilder::new(), agent_cfg);
+    let qos = match cfg.qos {
+        Sec3Qos::Premium { kbps, .. } => {
+            Some((env, QosAttribute::premium(kbps, cfg.halo_bytes)))
+        }
+        Sec3Qos::None => None,
+    };
+    let scfg = StencilCfg {
+        ranks: cfg.ranks_per_site * 2,
+        iterations: cfg.iterations,
+        halo_bytes: cfg.halo_bytes,
+        compute: cfg.compute,
+    };
+    let (ranks, log) = StencilRank::job(scfg, qos);
+    for (host, rank) in ts.hosts().into_iter().zip(ranks) {
+        builder = builder.rank(host, Box::new(rank));
+    }
+    builder.cfg(era_mpi()).launch(&mut ts.sim);
+    ts.sim.run_until(horizon);
+
+    let iterations_done = log.borrow().len();
+    Sec3Out {
+        iterations_done,
+        steady_iters_per_sec: steady_iteration_rate(&log),
+        ideal_iters_per_sec: 1.0 / cfg.compute.as_secs_f64(),
+    }
+}

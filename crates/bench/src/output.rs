@@ -1,0 +1,52 @@
+//! Console output helpers for the experiment binaries: CSV series and
+//! aligned tables, so each binary prints the same rows/series the paper's
+//! figures and tables report.
+
+use mpichgq_sim::TimeSeries;
+
+/// Print a `(t, value)` series as CSV with a header.
+pub fn print_series(title: &str, value_label: &str, s: &TimeSeries) {
+    println!("# {title}");
+    println!("time_s,{value_label}");
+    print!("{}", s.to_csv());
+}
+
+/// Print a sweep family: one CSV block per row key.
+pub fn print_sweep(title: &str, row_label: &str, col_label: &str, value_label: &str,
+                   rows: &[(u32, Vec<(f64, f64)>)]) {
+    println!("# {title}");
+    println!("{row_label},{col_label},{value_label}");
+    for (key, pts) in rows {
+        for (x, y) in pts {
+            println!("{key},{x:.0},{y:.1}");
+        }
+    }
+}
+
+/// Print an aligned table from header + rows of strings.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("# {title}");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// `--fast` flag helper for experiment binaries.
+pub fn fast_mode() -> bool {
+    std::env::args().any(|a| a == "--fast")
+}

@@ -1,0 +1,441 @@
+//! End-to-end tests of the MPI QoS Agent on the GARNET model: attribute
+//! puts translate into edge-router configuration, grants are readable back
+//! through attributes, and premium flows survive contention.
+
+use mpichgq_core::{enable_qos, QosAgentCfg, QosAttribute, QosOutcome};
+use mpichgq_gara::{install, Gara};
+use mpichgq_mpi::{JobBuilder, Mpi, Poll};
+use mpichgq_netsim::{Garnet, GarnetCfg, NodeId, PolicingAction};
+use mpichgq_sim::{SimDelta, SimTime};
+use mpichgq_tcp::{App, Ctx, Sim, SockId};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Build the GARNET model with GARA managing 70% of each trunk for EF.
+fn setup() -> (Sim, Garnet) {
+    let g = Garnet::build(GarnetCfg::default());
+    let premium_src = g.premium_src;
+    let premium_dst = g.premium_dst;
+    let competitive_src = g.competitive_src;
+    let competitive_dst = g.competitive_dst;
+    let routers = g.routers;
+    let mut sim = Sim::new(g.net);
+    let mut gara = Gara::new();
+    gara.manage_core_links(&sim.net, 0.7);
+    install(&mut sim.stack, gara);
+    // Node handles survive the move of the Net into the Sim; keep them in a
+    // handle struct with a trivial placeholder network.
+    let handles = Garnet {
+        net: mpichgq_netsim::TopoBuilder::new(0).build(),
+        premium_src,
+        premium_dst,
+        competitive_src,
+        competitive_dst,
+        routers,
+    };
+    (sim, handles)
+}
+
+/// A simple premium-put program for rank 0; rank 1 idles.
+fn putter(
+    attr: QosAttribute,
+    env: mpichgq_core::QosEnv,
+    outcome: Rc<RefCell<Option<QosOutcome>>>,
+) -> Box<dyn mpichgq_mpi::MpiProgram> {
+    let mut done = false;
+    Box::new(move |mpi: &mut Mpi| {
+        if !done {
+            done = true;
+            let w = mpi.comm_world();
+            mpi.attr_put(w, env.keyval(), Rc::new(attr));
+            *outcome.borrow_mut() = Some(env.outcome(mpi, w));
+        }
+        Poll::Done
+    })
+}
+
+fn idle() -> Box<dyn mpichgq_mpi::MpiProgram> {
+    Box::new(|_mpi: &mut Mpi| Poll::Done)
+}
+
+#[test]
+fn premium_attribute_installs_policer_and_grants() {
+    let (mut sim, g) = setup();
+    let outcome = Rc::new(RefCell::new(None));
+    let (builder, env) = enable_qos(JobBuilder::new(), QosAgentCfg::default());
+    let attr = QosAttribute::premium(8_000.0, 15_000); // 8 Mb/s app rate
+    let job = builder
+        .rank(g.premium_src, putter(attr, env, outcome.clone()))
+        .rank(g.premium_dst, idle())
+        .launch(&mut sim);
+    sim.run_until(SimTime::from_secs(2));
+    assert!(job.finished());
+    let out = outcome.borrow().clone().unwrap();
+    let QosOutcome::Granted { network_rate_bps } = out else {
+        panic!("expected grant, got {out:?}");
+    };
+    // Overhead-translated: above the app rate, below +20%.
+    assert!(network_rate_bps > 8_000_000, "{network_rate_bps}");
+    assert!(network_rate_bps < 9_600_000, "{network_rate_bps}");
+    // A classifier rule with policer exists on the premium edge router.
+    let edge = g.routers[0];
+    assert_eq!(sim.net.node(edge).classifier.len(), 1);
+}
+
+#[test]
+fn oversized_request_is_denied_cleanly() {
+    let (mut sim, g) = setup();
+    let outcome = Rc::new(RefCell::new(None));
+    let (builder, env) = enable_qos(JobBuilder::new(), QosAgentCfg::default());
+    // 200 Mb/s app rate >> 70% of OC3.
+    let attr = QosAttribute::premium(200_000.0, 15_000);
+    let job = builder
+        .rank(g.premium_src, putter(attr, env, outcome.clone()))
+        .rank(g.premium_dst, idle())
+        .launch(&mut sim);
+    sim.run_until(SimTime::from_secs(2));
+    assert!(job.finished());
+    let out = outcome.borrow().clone().unwrap();
+    assert!(matches!(out, QosOutcome::Denied { .. }), "{out:?}");
+    assert_eq!(sim.net.node(g.routers[0]).classifier.len(), 0);
+}
+
+#[test]
+fn best_effort_reput_cancels_reservation() {
+    let (mut sim, g) = setup();
+    let (builder, env) = enable_qos(JobBuilder::new(), QosAgentCfg::default());
+    let env2 = env.clone();
+    let seen = Rc::new(RefCell::new(Vec::new()));
+    let seen2 = seen.clone();
+    let mut done = false;
+    let prog = move |mpi: &mut Mpi| {
+        if !done {
+            done = true;
+            let w = mpi.comm_world();
+            mpi.attr_put(w, env2.keyval(), Rc::new(QosAttribute::premium(8_000.0, 15_000)));
+            seen2.borrow_mut().push(env2.outcome(mpi, w));
+            // Downgrade to best-effort: the reservation must be released.
+            mpi.attr_put(w, env2.keyval(), Rc::new(QosAttribute::best_effort()));
+            seen2.borrow_mut().push(env2.outcome(mpi, w));
+        }
+        Poll::Done
+    };
+    let job = builder
+        .rank(g.premium_src, Box::new(prog))
+        .rank(g.premium_dst, idle())
+        .launch(&mut sim);
+    sim.run_until(SimTime::from_secs(2));
+    assert!(job.finished());
+    let seen = seen.borrow();
+    assert!(seen[0].is_granted());
+    assert_eq!(seen[1], QosOutcome::None);
+    assert_eq!(
+        sim.net.node(g.routers[0]).classifier.len(),
+        0,
+        "policer removed on downgrade"
+    );
+}
+
+#[test]
+fn reput_replaces_rather_than_leaks() {
+    let (mut sim, g) = setup();
+    let (builder, env) = enable_qos(JobBuilder::new(), QosAgentCfg::default());
+    let env2 = env.clone();
+    let mut done = false;
+    let prog = move |mpi: &mut Mpi| {
+        if !done {
+            done = true;
+            let w = mpi.comm_world();
+            // Two consecutive puts; capacity (70% of OC3 ≈ 108 Mb/s) only
+            // fits each alone if the first is released on re-put.
+            mpi.attr_put(w, env2.keyval(), Rc::new(QosAttribute::premium(80_000.0, 15_000)));
+            assert!(env2.outcome(mpi, w).is_granted());
+            mpi.attr_put(w, env2.keyval(), Rc::new(QosAttribute::premium(90_000.0, 15_000)));
+            assert!(
+                env2.outcome(mpi, w).is_granted(),
+                "second put should replace the first, not stack"
+            );
+        }
+        Poll::Done
+    };
+    let job = builder
+        .rank(g.premium_src, Box::new(prog))
+        .rank(g.premium_dst, idle())
+        .launch(&mut sim);
+    sim.run_until(SimTime::from_secs(2));
+    assert!(job.finished());
+    assert_eq!(sim.net.node(g.routers[0]).classifier.len(), 1);
+}
+
+#[test]
+fn shaping_config_installs_host_shaper() {
+    let (mut sim, g) = setup();
+    let cfg = QosAgentCfg { shape_at_source: true, ..QosAgentCfg::default() };
+    let outcome = Rc::new(RefCell::new(None));
+    let (builder, env) = enable_qos(JobBuilder::new(), cfg);
+    let job = builder
+        .rank(
+            g.premium_src,
+            putter(QosAttribute::premium(8_000.0, 15_000), env, outcome.clone()),
+        )
+        .rank(g.premium_dst, idle())
+        .launch(&mut sim);
+    sim.run_until(SimTime::from_secs(2));
+    assert!(job.finished());
+    assert!(outcome.borrow().clone().unwrap().is_granted());
+    assert_eq!(sim.net.node(g.premium_src).shapers.len(), 1);
+}
+
+#[test]
+fn premium_mpi_stream_survives_contention() {
+    // The headline behavior (paper §5.2/§5.3 in miniature): an MPI stream
+    // under heavy UDP contention collapses without a reservation and runs
+    // at full rate with one.
+    let run = |premium: bool| -> f64 {
+        let (mut sim, g) = setup();
+        let received = Rc::new(RefCell::new(0u64));
+        let (builder, env) = enable_qos(JobBuilder::new(), QosAgentCfg::default());
+        let env2 = env.clone();
+
+        // Sender: put attr (if premium), then stream 40 KB frames every
+        // 100 ms for 8 seconds (≈3.2 Mb/s application rate).
+        let mut state = 0u8;
+        let mut frames = 0u32;
+        let sender = move |mpi: &mut Mpi| {
+            let w = mpi.comm_world();
+            match state {
+                0 => {
+                    if premium {
+                        mpi.attr_put(
+                            w,
+                            env2.keyval(),
+                            Rc::new(QosAttribute::premium(3_200.0, 40_000)),
+                        );
+                        assert!(env2.outcome(mpi, w).is_granted());
+                    }
+                    state = 1;
+                    mpi.set_timer(SimDelta::from_millis(100), 1);
+                    Poll::Pending
+                }
+                1 => {
+                    if mpi.take_timer(1) {
+                        mpi.isend(w, 1, 1, 40_000);
+                        frames += 1;
+                        if frames == 80 {
+                            state = 2;
+                            return Poll::Done;
+                        }
+                        mpi.set_timer(SimDelta::from_millis(100), 1);
+                    }
+                    Poll::Pending
+                }
+                _ => Poll::Done,
+            }
+        };
+        let rcv_total = received.clone();
+        let mut req = None;
+        let mut got = 0u32;
+        let receiver = move |mpi: &mut Mpi| {
+            let w = mpi.comm_world();
+            loop {
+                if req.is_none() {
+                    req = Some(mpi.irecv(w, Some(0), Some(1)));
+                }
+                match mpi.test(req.unwrap()) {
+                    Some(info) => {
+                        *rcv_total.borrow_mut() += info.len as u64;
+                        req = None;
+                        got += 1;
+                        if got == 80 {
+                            return Poll::Done;
+                        }
+                    }
+                    None => return Poll::Pending,
+                }
+            }
+        };
+        let _job = builder
+            .rank(g.premium_src, Box::new(sender))
+            .rank(g.premium_dst, Box::new(receiver))
+            .launch(&mut sim);
+
+        // Contention: UDP blaster at line rate from the competitive source.
+        struct Blaster {
+            dst: NodeId,
+            sock: Option<SockId>,
+        }
+        impl App for Blaster {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                self.sock = Some(ctx.udp_bind(20000));
+                ctx.set_timer(SimDelta::from_micros(77), 0);
+            }
+            fn on_timer(&mut self, _t: u32, ctx: &mut Ctx) {
+                // 1472-byte payloads every 77 µs ≈ 155 Mb/s offered.
+                ctx.udp_send(self.sock.unwrap(), self.dst, 20000, 1472);
+                ctx.set_timer(SimDelta::from_micros(77), 0);
+            }
+        }
+        struct Sink;
+        impl App for Sink {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.udp_bind(20000);
+            }
+        }
+        sim.spawn_app(g.competitive_dst, Box::new(Sink));
+        sim.spawn_app(g.competitive_src, Box::new(Blaster { dst: g.competitive_dst, sock: None }));
+
+        sim.run_until(SimTime::from_secs(20));
+        let delivered = *received.borrow();
+        delivered as f64 / (80.0 * 40_000.0)
+    };
+    let with = run(true);
+    let without = run(false);
+    assert!(with > 0.99, "premium stream delivered only {with:.2} of offered");
+    assert!(
+        without < 0.7,
+        "best-effort stream should collapse under contention, got {without:.2}"
+    );
+}
+
+#[test]
+fn low_latency_class_uses_shallow_bucket() {
+    let (mut sim, g) = setup();
+    let outcome = Rc::new(RefCell::new(None));
+    let (builder, env) = enable_qos(JobBuilder::new(), QosAgentCfg::default());
+    let job = builder
+        .rank(
+            g.premium_src,
+            putter(QosAttribute::low_latency(640.0, 1_000), env, outcome.clone()),
+        )
+        .rank(g.premium_dst, idle())
+        .launch(&mut sim);
+    sim.run_until(SimTime::from_secs(2));
+    assert!(job.finished());
+    assert!(outcome.borrow().clone().unwrap().is_granted());
+    assert_eq!(sim.net.node(g.routers[0]).classifier.len(), 1);
+}
+
+#[test]
+fn demote_policy_marks_excess_best_effort() {
+    // Configuration ablation: with Demote, out-of-profile packets travel
+    // best-effort instead of vanishing (checked at the classifier level in
+    // netsim; here we check the agent threads the policy through).
+    let (mut sim, g) = setup();
+    let cfg = QosAgentCfg { action: PolicingAction::Demote, ..QosAgentCfg::default() };
+    let outcome = Rc::new(RefCell::new(None));
+    let (builder, env) = enable_qos(JobBuilder::new(), cfg);
+    let job = builder
+        .rank(
+            g.premium_src,
+            putter(QosAttribute::premium(1_000.0, 1_000), env, outcome.clone()),
+        )
+        .rank(g.premium_dst, idle())
+        .launch(&mut sim);
+    sim.run_until(SimTime::from_secs(2));
+    assert!(job.finished());
+    assert!(outcome.borrow().clone().unwrap().is_granted());
+}
+
+#[test]
+fn availability_query_reflects_broker_state() {
+    let (mut sim, g) = setup();
+    let avail = Rc::new(RefCell::new(Vec::new()));
+    let (builder, env) = enable_qos(JobBuilder::new(), QosAgentCfg::default());
+    let env2 = env.clone();
+    let avail2 = avail.clone();
+    let mut done = false;
+    let prog = move |mpi: &mut Mpi| {
+        if !done {
+            done = true;
+            let w = mpi.comm_world();
+            // 70% of OC3 ≈ 108.8 Mb/s reservable.
+            avail2.borrow_mut().push(env2.available_bandwidth(mpi, w).unwrap());
+            mpi.attr_put(w, env2.keyval(), Rc::new(QosAttribute::premium(50_000.0, 15_000)));
+            assert!(env2.outcome(mpi, w).is_granted());
+            avail2.borrow_mut().push(env2.available_bandwidth(mpi, w).unwrap());
+        }
+        Poll::Done
+    };
+    let job = builder
+        .rank(g.premium_src, Box::new(prog))
+        .rank(g.premium_dst, idle())
+        .launch(&mut sim);
+    sim.run_until(SimTime::from_secs(2));
+    assert!(job.finished());
+    let avail = avail.borrow();
+    let before = avail[0];
+    let after = avail[1];
+    assert!(before > 100_000_000, "reservable ~108 Mb/s, saw {before}");
+    // The 50 Mb/s grant (plus overhead) is debited from availability.
+    assert!(
+        before - after > 50_000_000,
+        "availability should drop by at least the granted rate: {before} -> {after}"
+    );
+}
+
+#[test]
+fn negotiation_falls_back_to_what_fits() {
+    let (mut sim, g) = setup();
+    let picked = Rc::new(RefCell::new(None));
+    let (builder, env) = enable_qos(JobBuilder::new(), QosAgentCfg::default());
+    let env2 = env.clone();
+    let picked2 = picked.clone();
+    let mut done = false;
+    let prog = move |mpi: &mut Mpi| {
+        if !done {
+            done = true;
+            let w = mpi.comm_world();
+            // Preference order: 200 Mb/s (impossible), 150 Mb/s (impossible),
+            // 40 Mb/s (fits).
+            let choice = env2.negotiate(
+                mpi,
+                w,
+                &[
+                    QosAttribute::premium(200_000.0, 15_000),
+                    QosAttribute::premium(150_000.0, 15_000),
+                    QosAttribute::premium(40_000.0, 15_000),
+                ],
+            );
+            *picked2.borrow_mut() = Some(choice);
+            assert!(env2.outcome(mpi, w).is_granted());
+        }
+        Poll::Done
+    };
+    let job = builder
+        .rank(g.premium_src, Box::new(prog))
+        .rank(g.premium_dst, idle())
+        .launch(&mut sim);
+    sim.run_until(SimTime::from_secs(2));
+    assert!(job.finished());
+    assert_eq!(*picked.borrow(), Some(Some(2)), "third alternative fits");
+    // Exactly one rule installed (failed attempts left nothing behind).
+    assert_eq!(sim.net.node(g.routers[0]).classifier.len(), 1);
+}
+
+#[test]
+fn negotiation_total_failure_leaves_best_effort() {
+    let (mut sim, g) = setup();
+    let picked = Rc::new(RefCell::new(Some(Some(99))));
+    let (builder, env) = enable_qos(JobBuilder::new(), QosAgentCfg::default());
+    let env2 = env.clone();
+    let picked2 = picked.clone();
+    let mut done = false;
+    let prog = move |mpi: &mut Mpi| {
+        if !done {
+            done = true;
+            let w = mpi.comm_world();
+            let choice = env2.negotiate(mpi, w, &[QosAttribute::premium(500_000.0, 15_000)]);
+            *picked2.borrow_mut() = Some(choice);
+            assert_eq!(env2.outcome(mpi, w), QosOutcome::None);
+        }
+        Poll::Done
+    };
+    let job = builder
+        .rank(g.premium_src, Box::new(prog))
+        .rank(g.premium_dst, idle())
+        .launch(&mut sim);
+    sim.run_until(SimTime::from_secs(2));
+    assert!(job.finished());
+    assert_eq!(*picked.borrow(), Some(None));
+    assert_eq!(sim.net.node(g.routers[0]).classifier.len(), 0);
+}

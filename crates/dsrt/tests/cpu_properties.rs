@@ -1,0 +1,168 @@
+//! Property tests of the CPU scheduler model: work conservation, share
+//! bounds, and schedule consistency under arbitrary event sequences.
+
+use mpichgq_dsrt::{CompleteOutcome, Cpu, ProcId, Update, WorkId};
+use mpichgq_sim::{SimDelta, SimTime};
+use proptest::prelude::*;
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Replays scheduler updates against a simulated event queue, merging a
+/// list of timed disturbances (share changes) into the event order, until
+/// the target work completes. Returns the completion time.
+type Disturbance = (SimTime, Box<dyn FnOnce(&mut Cpu) -> Vec<Update>>);
+
+fn run_to_completion(
+    cpu: &mut Cpu,
+    target: WorkId,
+    mut pending: Vec<Update>,
+    mut disturbances: Vec<Disturbance>,
+) -> SimTime {
+    disturbances.sort_by_key(|(t, _)| *t);
+    let mut now = SimTime::ZERO;
+    for _ in 0..10_000 {
+        pending.sort_by_key(|u| u.eta);
+        let next_eta = pending.first().map(|u| u.eta);
+        let next_dist = disturbances.first().map(|(t, _)| *t);
+        let take_disturbance = match (next_dist, next_eta) {
+            (Some(d), Some(e)) => d <= e,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => panic!("nothing pending but work not complete"),
+        };
+        if take_disturbance {
+            let (t, f) = disturbances.remove(0);
+            assert!(t >= now, "disturbance in the past");
+            now = t;
+            let ups = f(cpu);
+            if !ups.is_empty() {
+                pending = ups;
+            }
+            continue;
+        }
+        let u = pending.remove(0);
+        assert!(u.eta >= now, "schedule went backwards");
+        now = u.eta;
+        match cpu.complete(now, u.work, u.gen) {
+            CompleteOutcome::Stale => {}
+            CompleteOutcome::Done { updates, .. } => {
+                if u.work == target {
+                    return now;
+                }
+                pending = updates;
+            }
+        }
+    }
+    panic!("runaway schedule");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// A work item of `w` CPU-seconds never finishes in less than `w` wall
+    /// seconds, no matter how many hogs come and go; and with `h` permanent
+    /// hogs it never finishes faster than `w × (h+1)`.
+    #[test]
+    fn work_takes_at_least_its_cpu_time(
+        work_ms in 100u64..5_000,
+        hogs in 0usize..4,
+    ) {
+        let mut cpu = Cpu::new();
+        let p = cpu.add_process();
+        for _ in 0..hogs {
+            let _ = cpu.spawn_hog(SimTime::ZERO);
+        }
+        let (wid, ups) = cpu.start_work(SimTime::ZERO, p, SimDelta::from_millis(work_ms));
+        let done = run_to_completion(&mut cpu, wid, ups, Vec::new());
+        let wall = done.as_secs_f64();
+        let w = work_ms as f64 / 1000.0;
+        prop_assert!(wall >= w - 1e-9, "finished in {wall} < {w}");
+        let expected = w * (hogs as f64 + 1.0);
+        prop_assert!((wall - expected).abs() < 1e-6,
+            "fair share: expected {expected}, got {wall}");
+    }
+
+    /// Work is conserved across arbitrary mid-flight share changes: with a
+    /// hog arriving at `t1` and leaving at `t2`, total CPU time given to
+    /// the work equals the requested amount exactly.
+    #[test]
+    fn work_conserved_across_share_changes(
+        work_ms in 500u64..4_000,
+        t1_ms in 1u64..400,
+        dwell_ms in 1u64..2_000,
+    ) {
+        let mut cpu = Cpu::new();
+        let p = cpu.add_process();
+        let (wid, ups) = cpu.start_work(SimTime::ZERO, p, SimDelta::from_millis(work_ms));
+        let t1 = SimTime::from_millis(t1_ms);
+        let t2 = SimTime::from_millis(t1_ms + dwell_ms);
+        let hog: Rc<Cell<Option<ProcId>>> = Rc::new(Cell::new(None));
+        let hog2 = hog.clone();
+        let disturbances: Vec<Disturbance> = vec![
+            (t1, Box::new(move |cpu: &mut Cpu| {
+                let (h, ups) = cpu.spawn_hog(t1);
+                hog.set(Some(h));
+                ups
+            })),
+            (t2, Box::new(move |cpu: &mut Cpu| {
+                match hog2.get() {
+                    Some(h) => cpu.remove_process(t2, h),
+                    None => Vec::new(),
+                }
+            })),
+        ];
+        let done = run_to_completion(&mut cpu, wid, ups, disturbances);
+        // Closed form: full speed before t1 and after t2, half speed
+        // between (one hog).
+        let w = work_ms as f64 / 1000.0;
+        let (t1s, t2s) = (t1.as_secs_f64(), t2.as_secs_f64());
+        let expected = if w <= t1s {
+            w
+        } else {
+            let after_t1 = w - t1s; // cpu-seconds left at t1
+            let half_window = (t2s - t1s) / 2.0; // cpu-secs doable in [t1,t2]
+            if after_t1 <= half_window {
+                t1s + after_t1 * 2.0
+            } else {
+                t2s + (after_t1 - half_window)
+            }
+        };
+        prop_assert!((done.as_secs_f64() - expected).abs() < 1e-6,
+            "expected {expected}, got {}", done.as_secs_f64());
+    }
+
+    /// Reservations are honored exactly: with one hog present, a process
+    /// holding fraction `f` finishes `w` cpu-seconds in `w/f` wall seconds.
+    #[test]
+    fn reservation_rate_is_exact(
+        work_ms in 100u64..2_000,
+        frac_pct in 10u64..95,
+    ) {
+        let mut cpu = Cpu::new();
+        let p = cpu.add_process();
+        let _ = cpu.spawn_hog(SimTime::ZERO);
+        cpu.set_reservation(SimTime::ZERO, p, Some(frac_pct as f64 / 100.0)).unwrap();
+        let (wid, ups) = cpu.start_work(SimTime::ZERO, p, SimDelta::from_millis(work_ms));
+        let done = run_to_completion(&mut cpu, wid, ups, Vec::new());
+        let expected = work_ms as f64 / 1000.0 / (frac_pct as f64 / 100.0);
+        prop_assert!((done.as_secs_f64() - expected).abs() < 1e-6,
+            "expected {expected}, got {}", done.as_secs_f64());
+    }
+
+    /// Admission control: sequences of reservations never admit more than
+    /// MAX_RESERVABLE in total.
+    #[test]
+    fn reservations_never_exceed_cap(fracs in proptest::collection::vec(1u64..60, 1..8)) {
+        let mut cpu = Cpu::new();
+        let mut admitted = 0.0f64;
+        for f in fracs {
+            let p = cpu.add_process();
+            let frac = f as f64 / 100.0;
+            if cpu.set_reservation(SimTime::ZERO, p, Some(frac)).is_ok() {
+                admitted += frac;
+            }
+        }
+        prop_assert!(admitted <= mpichgq_dsrt::MAX_RESERVABLE + 1e-9,
+            "admitted {admitted}");
+    }
+}

@@ -1,0 +1,745 @@
+//! The GARA reservation system.
+//!
+//! "GARA, a resource management architecture that supports flow-specific
+//! QoS specification, secure immediate and advance co-reservation, online
+//! monitoring/control, and policy-driven management of a variety of
+//! resource types, including networks." (§4.2)
+//!
+//! Uniform API across resource types: the same [`Gara::reserve`] call makes
+//! an immediate or advance reservation of network bandwidth, CPU, or
+//! storage; the returned [`ResvId`] handle supports modify, cancel, and
+//! monitoring (polling via [`Gara::status`] or callbacks via
+//! [`Gara::subscribe`]). Admission control uses per-resource slot tables
+//! (the bandwidth-broker role); enforcement calls resource-specific
+//! operations: installing classifier rules and token-bucket policers on the
+//! flow's edge router, granting DSRT CPU reservations, or debiting a
+//! storage server's bandwidth table.
+
+use crate::slot_table::{Rejected, SlotId, SlotTable};
+use mpichgq_dsrt::ProcId;
+use mpichgq_netsim::{
+    depth_for, ChanId, DepthRule, Dscp, FlowSpec, Net, NodeId, NodeKind, PolicingAction, Proto,
+    TokenBucket,
+};
+use mpichgq_sim::{SimDelta, SimTime};
+use mpichgq_tcp::{control_token, Controller, ControllerId, Stack};
+use std::collections::HashMap;
+
+/// Reservation handle ("an opaque object ... that allows the calling
+/// program to modify, cancel, and monitor the reservation", §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResvId(pub u64);
+
+/// Reservation lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Admitted for a future interval; not yet enforced.
+    Pending,
+    /// Currently enforced.
+    Active,
+    /// The interval ended.
+    Expired,
+    /// Cancelled by the holder.
+    Cancelled,
+    /// Enforcement failed at activation time.
+    Failed,
+}
+
+/// A network-flow reservation request.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkRequest {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub proto: Proto,
+    /// `None` binds all ports between the host pair (how MPICH-GQ binds
+    /// "all relevant flows" of a communicator link).
+    pub src_port: Option<u16>,
+    pub dst_port: Option<u16>,
+    /// Premium bandwidth, on-the-wire bits per second.
+    pub rate_bps: u64,
+    /// Token-bucket depth rule for the edge policer (§4.3, §5.4).
+    pub depth: DepthRule,
+    /// Drop (paper testbed) or demote out-of-profile packets.
+    pub action: PolicingAction,
+    /// Also install an end-system shaper pacing the flow at the reserved
+    /// rate (the paper's §5.4 alternative; exercised by our ablations).
+    pub shape_at_source: bool,
+}
+
+impl NetworkRequest {
+    pub fn flow_spec(&self) -> FlowSpec {
+        FlowSpec {
+            src: Some(self.src),
+            dst: Some(self.dst),
+            proto: Some(self.proto),
+            src_port: self.src_port,
+            dst_port: self.dst_port,
+            dscp: None,
+        }
+    }
+}
+
+/// A DSRT CPU reservation request.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuRequest {
+    pub host: NodeId,
+    pub proc: ProcId,
+    /// Fraction of the CPU in `(0, 1]`.
+    pub fraction: f64,
+}
+
+/// A DPSS-style storage-bandwidth reservation request.
+#[derive(Debug, Clone)]
+pub struct StorageRequest {
+    pub server: String,
+    pub bytes_per_sec: u64,
+}
+
+/// A request for one resource.
+#[derive(Debug, Clone)]
+pub enum Request {
+    Network(NetworkRequest),
+    Cpu(CpuRequest),
+    Storage(StorageRequest),
+}
+
+/// When a reservation should begin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartSpec {
+    Now,
+    /// Advance reservation.
+    At(SimTime),
+}
+
+/// Why a reservation was refused.
+#[derive(Debug)]
+pub enum ReserveError {
+    /// A slot table on the path (or host/server) lacked capacity.
+    Admission(Rejected),
+    /// Network request between unreachable endpoints.
+    NoRoute,
+    /// Storage server not registered.
+    UnknownServer(String),
+    /// Invalid parameters (zero rate, fraction out of range, ...).
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for ReserveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReserveError::Admission(r) => write!(f, "admission control: {r}"),
+            ReserveError::NoRoute => write!(f, "no route between endpoints"),
+            ReserveError::UnknownServer(s) => write!(f, "unknown storage server {s}"),
+            ReserveError::Invalid(m) => write!(f, "invalid request: {m}"),
+        }
+    }
+}
+impl std::error::Error for ReserveError {}
+
+#[derive(Debug)]
+enum SlotRef {
+    Net(ChanId, SlotId),
+    Cpu(NodeId, SlotId),
+    Storage(String, SlotId),
+}
+
+#[derive(Debug, Default)]
+enum Enforcement {
+    #[default]
+    None,
+    Net {
+        router: NodeId,
+        rule: u64,
+        shaper: Option<u64>,
+    },
+    Cpu,
+}
+
+struct Resv {
+    req: Request,
+    start: SimTime,
+    end: SimTime,
+    status: Status,
+    slots: Vec<SlotRef>,
+    enforcement: Enforcement,
+}
+
+/// CPU slot tables count in milli-fractions so they stay integral.
+const CPU_UNITS: f64 = 1000.0;
+/// DSRT's admission ceiling, in milli-fraction units.
+const CPU_CAPACITY: u64 = (mpichgq_dsrt::MAX_RESERVABLE * CPU_UNITS) as u64;
+
+/// The GARA system (one per simulation; installed as a `Stack` service).
+pub struct Gara {
+    resvs: HashMap<u64, Resv>,
+    next_id: u64,
+    /// Managed (bandwidth-brokered) channels: EF slot tables in bits/s.
+    links: HashMap<ChanId, SlotTable>,
+    /// Per-host CPU slot tables in milli-fraction units.
+    cpus: HashMap<NodeId, SlotTable>,
+    /// Storage servers: bandwidth tables in bytes/s.
+    storage: HashMap<String, SlotTable>,
+    events: Vec<(ResvId, Status)>,
+    listeners: Vec<Box<dyn FnMut(ResvId, Status)>>,
+    ctl: Option<ControllerId>,
+}
+
+impl Gara {
+    pub fn new() -> Gara {
+        Gara {
+            resvs: HashMap::new(),
+            next_id: 0,
+            links: HashMap::new(),
+            cpus: HashMap::new(),
+            storage: HashMap::new(),
+            events: Vec::new(),
+            listeners: Vec::new(),
+            ctl: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Resource registration (the bandwidth-broker's configuration)
+    // ------------------------------------------------------------------
+
+    /// Put `chan` under admission control with `reservable_bps` of EF
+    /// capacity.
+    pub fn manage_chan(&mut self, chan: ChanId, reservable_bps: u64) {
+        self.links.insert(chan, SlotTable::new(reservable_bps));
+    }
+
+    /// Manage every router-to-router channel, reserving at most
+    /// `fraction` of each link's capacity for EF ("the number of expedited
+    /// packets must be carefully limited", §2).
+    pub fn manage_core_links(&mut self, net: &Net, fraction: f64) {
+        assert!((0.0..=1.0).contains(&fraction));
+        for id in net.chan_ids() {
+            let c = net.chan(id);
+            let from_router = net.node(c.from).kind == NodeKind::Router;
+            let to_router = net.node(c.to).kind == NodeKind::Router;
+            if from_router && to_router {
+                let cap = (c.cfg.bandwidth_bps as f64 * fraction) as u64;
+                self.manage_chan(id, cap);
+            }
+        }
+    }
+
+    /// Register a DPSS-style storage server with an aggregate bandwidth.
+    pub fn manage_storage(&mut self, server: &str, capacity_bytes_per_sec: u64) {
+        self.storage
+            .insert(server.to_owned(), SlotTable::new(capacity_bytes_per_sec));
+    }
+
+    pub fn managed_chan_count(&self) -> usize {
+        self.links.len()
+    }
+
+    // ------------------------------------------------------------------
+    // The uniform reservation API
+    // ------------------------------------------------------------------
+
+    /// Make an immediate or advance reservation. `duration = None` means
+    /// "until cancelled".
+    pub fn reserve(
+        &mut self,
+        net: &mut Net,
+        req: Request,
+        start: StartSpec,
+        duration: Option<SimDelta>,
+    ) -> Result<ResvId, ReserveError> {
+        let now = net.now();
+        let start_t = match start {
+            StartSpec::Now => now,
+            StartSpec::At(t) => t.max(now),
+        };
+        let end_t = match duration {
+            Some(d) => start_t + d,
+            None => SimTime::MAX,
+        };
+        self.validate(&req)?;
+        let slots = self.admit(net, &req, start_t, end_t)?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.resvs.insert(
+            id,
+            Resv {
+                req,
+                start: start_t,
+                end: end_t,
+                status: Status::Pending,
+                slots,
+                enforcement: Enforcement::None,
+            },
+        );
+        let rid = ResvId(id);
+        if start_t <= now {
+            self.activate(net, rid);
+        } else {
+            self.emit(rid, Status::Pending);
+        }
+        self.arm(net);
+        Ok(rid)
+    }
+
+    /// Atomic co-reservation: every request is admitted or none is
+    /// ("co-reservation of CPU, network, and other resources needed for
+    /// end-to-end performance", §1).
+    pub fn co_reserve(
+        &mut self,
+        net: &mut Net,
+        reqs: Vec<(Request, StartSpec, Option<SimDelta>)>,
+    ) -> Result<Vec<ResvId>, ReserveError> {
+        let mut granted = Vec::new();
+        for (req, start, dur) in reqs {
+            match self.reserve(net, req, start, dur) {
+                Ok(id) => granted.push(id),
+                Err(e) => {
+                    for id in granted {
+                        self.cancel(net, id);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(granted)
+    }
+
+    /// Cancel a reservation, releasing admission state and enforcement.
+    pub fn cancel(&mut self, net: &mut Net, id: ResvId) {
+        let Some(r) = self.resvs.get(&id.0) else { return };
+        match r.status {
+            Status::Active => self.deactivate(net, id, Status::Cancelled),
+            Status::Pending => {
+                self.release_slots(id);
+                self.set_status(id, Status::Cancelled);
+            }
+            _ => {}
+        }
+    }
+
+    /// Modify the rate of an active/pending network reservation in place.
+    pub fn modify_network_rate(
+        &mut self,
+        net: &mut Net,
+        id: ResvId,
+        new_rate_bps: u64,
+    ) -> Result<(), ReserveError> {
+        if new_rate_bps == 0 {
+            return Err(ReserveError::Invalid("zero rate"));
+        }
+        let r = self
+            .resvs
+            .get(&id.0)
+            .filter(|r| matches!(r.status, Status::Active | Status::Pending))
+            .ok_or(ReserveError::Invalid("no such modifiable reservation"))?;
+        let Request::Network(nreq) = &r.req else {
+            return Err(ReserveError::Invalid("not a network reservation"));
+        };
+        let depth_rule = nreq.depth;
+        // First pass: try to resize every slot; roll back on failure.
+        let mut resized: Vec<(ChanId, SlotId, u64)> = Vec::new();
+        let slot_list: Vec<(ChanId, SlotId)> = r
+            .slots
+            .iter()
+            .filter_map(|s| match s {
+                SlotRef::Net(c, sid) => Some((*c, *sid)),
+                _ => None,
+            })
+            .collect();
+        let old_rate = nreq.rate_bps;
+        for (chan, sid) in &slot_list {
+            let table = self.links.get_mut(chan).expect("managed chan vanished");
+            match table.try_resize(*sid, new_rate_bps) {
+                Ok(()) => resized.push((*chan, *sid, old_rate)),
+                Err(rej) => {
+                    for (c, s, old) in resized {
+                        self.links.get_mut(&c).unwrap().try_resize(s, old).unwrap();
+                    }
+                    return Err(ReserveError::Admission(rej));
+                }
+            }
+        }
+        // Commit: update the request and reconfigure the live policer.
+        let r = self.resvs.get_mut(&id.0).unwrap();
+        if let Request::Network(nreq) = &mut r.req {
+            nreq.rate_bps = new_rate_bps;
+        }
+        if let Enforcement::Net { router, rule, .. } = r.enforcement {
+            let depth = depth_for(depth_rule, new_rate_bps);
+            let now = net.now();
+            let mut tb = TokenBucket::new(new_rate_bps, depth);
+            tb.reconfigure(now, new_rate_bps, depth);
+            net.node_mut(router).classifier.set_policer(rule, Some(tb));
+        }
+        Ok(())
+    }
+
+    /// Modify the CPU fraction of an active/pending CPU reservation, with
+    /// the same all-or-nothing admission as a fresh request ("essentially
+    /// the same calls are used" across resource types, §4.2).
+    pub fn modify_cpu_fraction(
+        &mut self,
+        net: &mut Net,
+        id: ResvId,
+        new_fraction: f64,
+    ) -> Result<(), ReserveError> {
+        if !(new_fraction > 0.0 && new_fraction <= 1.0) {
+            return Err(ReserveError::Invalid("CPU fraction out of (0,1]"));
+        }
+        let r = self
+            .resvs
+            .get(&id.0)
+            .filter(|r| matches!(r.status, Status::Active | Status::Pending))
+            .ok_or(ReserveError::Invalid("no such modifiable reservation"))?;
+        let Request::Cpu(creq) = r.req.clone() else {
+            return Err(ReserveError::Invalid("not a CPU reservation"));
+        };
+        let slot = r.slots.iter().find_map(|s| match s {
+            SlotRef::Cpu(h, sid) => Some((*h, *sid)),
+            _ => None,
+        });
+        let Some((host, sid)) = slot else {
+            return Err(ReserveError::Invalid("reservation has no CPU slot"));
+        };
+        let amount = (new_fraction * CPU_UNITS).round() as u64;
+        self.cpus
+            .get_mut(&host)
+            .expect("cpu table for admitted reservation")
+            .try_resize(sid, amount)
+            .map_err(ReserveError::Admission)?;
+        let active = self.resvs[&id.0].status == Status::Active;
+        if let Request::Cpu(c) = &mut self.resvs.get_mut(&id.0).unwrap().req {
+            c.fraction = new_fraction;
+        }
+        if active {
+            net.cpu_set_reservation(creq.host, creq.proc, Some(new_fraction))
+                .map_err(|_| ReserveError::Invalid("DSRT refused the new fraction"))?;
+        }
+        Ok(())
+    }
+
+    pub fn status(&self, id: ResvId) -> Option<Status> {
+        self.resvs.get(&id.0).map(|r| r.status)
+    }
+
+    /// Drain status-change events (the polling interface).
+    pub fn take_events(&mut self) -> Vec<(ResvId, Status)> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Register a callback invoked on every status change (the callback
+    /// interface: "a user's function is called every time the state of the
+    /// reservation changes in an interesting way", §4.2).
+    pub fn subscribe(&mut self, f: Box<dyn FnMut(ResvId, Status)>) {
+        self.listeners.push(f);
+    }
+
+    /// Free EF capacity on a managed channel over a window (for programs
+    /// that "select from among alternative resources, according to their
+    /// availability", §4.2).
+    pub fn available_on(&self, chan: ChanId, start: SimTime, end: SimTime) -> Option<u64> {
+        self.links.get(&chan).map(|t| t.available(start, end))
+    }
+
+    /// Free EF capacity along the whole path from `src` to `dst` over a
+    /// window: the minimum across every managed channel on the path.
+    /// Returns `None` if the endpoints are unreachable; unmanaged paths
+    /// report `u64::MAX` (no broker limit applies).
+    pub fn available_on_path(
+        &self,
+        net: &Net,
+        src: NodeId,
+        dst: NodeId,
+        start: SimTime,
+        end: SimTime,
+    ) -> Option<u64> {
+        let path = net.path_chans(src, dst)?;
+        let mut avail = u64::MAX;
+        for chan in path {
+            if let Some(t) = self.links.get(&chan) {
+                avail = avail.min(t.available(start, end));
+            }
+        }
+        Some(avail)
+    }
+
+    // ------------------------------------------------------------------
+    // Timer driving
+    // ------------------------------------------------------------------
+
+    pub(crate) fn set_controller_id(&mut self, id: ControllerId) {
+        self.ctl = Some(id);
+    }
+
+    /// Earliest pending activation or active expiry.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.resvs
+            .values()
+            .filter_map(|r| match r.status {
+                Status::Pending => Some(r.start),
+                Status::Active if r.end != SimTime::MAX => Some(r.end),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Activate/expire everything due at `now`, then re-arm the timer.
+    pub fn advance(&mut self, net: &mut Net) {
+        let now = net.now();
+        loop {
+            let due: Vec<u64> = self
+                .resvs
+                .iter()
+                .filter(|(_, r)| match r.status {
+                    Status::Pending => r.start <= now,
+                    Status::Active => r.end <= now,
+                    _ => false,
+                })
+                .map(|(&id, _)| id)
+                .collect();
+            if due.is_empty() {
+                break;
+            }
+            for id in due {
+                let rid = ResvId(id);
+                match self.resvs[&id].status {
+                    Status::Pending => self.activate(net, rid),
+                    Status::Active => self.deactivate(net, rid, Status::Expired),
+                    _ => {}
+                }
+            }
+        }
+        self.arm(net);
+    }
+
+    fn arm(&self, net: &mut Net) {
+        if let (Some(ctl), Some(d)) = (self.ctl, self.next_deadline()) {
+            if d != SimTime::MAX {
+                net.schedule_control(d.max(net.now()), control_token(ctl, 0));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn validate(&self, req: &Request) -> Result<(), ReserveError> {
+        match req {
+            Request::Network(n) => {
+                if n.rate_bps == 0 {
+                    return Err(ReserveError::Invalid("zero rate"));
+                }
+            }
+            Request::Cpu(c) => {
+                if !(c.fraction > 0.0 && c.fraction <= 1.0) {
+                    return Err(ReserveError::Invalid("CPU fraction out of (0,1]"));
+                }
+            }
+            Request::Storage(s) => {
+                if s.bytes_per_sec == 0 {
+                    return Err(ReserveError::Invalid("zero storage bandwidth"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn admit(
+        &mut self,
+        net: &Net,
+        req: &Request,
+        start: SimTime,
+        end: SimTime,
+    ) -> Result<Vec<SlotRef>, ReserveError> {
+        let mut slots = Vec::new();
+        let result = (|| -> Result<(), ReserveError> {
+            match req {
+                Request::Network(n) => {
+                    let path = net.path_chans(n.src, n.dst).ok_or(ReserveError::NoRoute)?;
+                    for chan in path {
+                        if let Some(table) = self.links.get_mut(&chan) {
+                            let sid = table
+                                .try_insert(start, end, n.rate_bps)
+                                .map_err(ReserveError::Admission)?;
+                            slots.push(SlotRef::Net(chan, sid));
+                        }
+                    }
+                    Ok(())
+                }
+                Request::Cpu(c) => {
+                    let table = self
+                        .cpus
+                        .entry(c.host)
+                        .or_insert_with(|| SlotTable::new(CPU_CAPACITY));
+                    let amount = (c.fraction * CPU_UNITS).round() as u64;
+                    let sid = table
+                        .try_insert(start, end, amount)
+                        .map_err(ReserveError::Admission)?;
+                    slots.push(SlotRef::Cpu(c.host, sid));
+                    Ok(())
+                }
+                Request::Storage(s) => {
+                    let table = self
+                        .storage
+                        .get_mut(&s.server)
+                        .ok_or_else(|| ReserveError::UnknownServer(s.server.clone()))?;
+                    let sid = table
+                        .try_insert(start, end, s.bytes_per_sec)
+                        .map_err(ReserveError::Admission)?;
+                    slots.push(SlotRef::Storage(s.server.clone(), sid));
+                    Ok(())
+                }
+            }
+        })();
+        match result {
+            Ok(()) => Ok(slots),
+            Err(e) => {
+                // Roll back partial admissions.
+                for s in slots {
+                    self.release_slot(&s);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn release_slot(&mut self, s: &SlotRef) {
+        match s {
+            SlotRef::Net(c, sid) => {
+                if let Some(t) = self.links.get_mut(c) {
+                    t.remove(*sid);
+                }
+            }
+            SlotRef::Cpu(h, sid) => {
+                if let Some(t) = self.cpus.get_mut(h) {
+                    t.remove(*sid);
+                }
+            }
+            SlotRef::Storage(name, sid) => {
+                if let Some(t) = self.storage.get_mut(name) {
+                    t.remove(*sid);
+                }
+            }
+        }
+    }
+
+    fn release_slots(&mut self, id: ResvId) {
+        let slots = std::mem::take(&mut self.resvs.get_mut(&id.0).unwrap().slots);
+        for s in &slots {
+            self.release_slot(s);
+        }
+    }
+
+    fn activate(&mut self, net: &mut Net, id: ResvId) {
+        let r = self.resvs.get_mut(&id.0).unwrap();
+        let enforcement = match &r.req {
+            Request::Network(n) => {
+                let Some(path) = net.path_chans(n.src, n.dst) else {
+                    self.set_status(id, Status::Failed);
+                    return;
+                };
+                // The edge router is the first router on the path.
+                let router = net.chan(path[0]).to;
+                debug_assert_eq!(net.node(router).kind, NodeKind::Router);
+                let depth = depth_for(n.depth, n.rate_bps);
+                let rule = net.node_mut(router).classifier.install(
+                    n.flow_spec(),
+                    Dscp::Ef,
+                    Some(TokenBucket::new(n.rate_bps, depth)),
+                    n.action,
+                );
+                let shaper = if n.shape_at_source {
+                    Some(net.install_shaper(
+                        n.src,
+                        n.flow_spec(),
+                        TokenBucket::new(n.rate_bps, depth),
+                    ))
+                } else {
+                    None
+                };
+                Enforcement::Net { router, rule, shaper }
+            }
+            Request::Cpu(c) => {
+                match net.cpu_set_reservation(c.host, c.proc, Some(c.fraction)) {
+                    Ok(()) => Enforcement::Cpu,
+                    Err(_) => {
+                        // Slot-table admission should have prevented this.
+                        self.release_slots(id);
+                        self.set_status(id, Status::Failed);
+                        return;
+                    }
+                }
+            }
+            Request::Storage(_) => Enforcement::None, // accounting only
+        };
+        let r = self.resvs.get_mut(&id.0).unwrap();
+        r.enforcement = enforcement;
+        self.set_status(id, Status::Active);
+    }
+
+    fn deactivate(&mut self, net: &mut Net, id: ResvId, final_status: Status) {
+        let r = self.resvs.get_mut(&id.0).unwrap();
+        let enforcement = std::mem::take(&mut r.enforcement);
+        let cpu_req = match &r.req {
+            Request::Cpu(c) => Some(*c),
+            _ => None,
+        };
+        match enforcement {
+            Enforcement::Net { router, rule, shaper } => {
+                net.node_mut(router).classifier.remove(rule);
+                if let Some(sid) = shaper {
+                    let src = match &self.resvs[&id.0].req {
+                        Request::Network(n) => n.src,
+                        _ => unreachable!(),
+                    };
+                    net.remove_shaper(src, sid);
+                }
+            }
+            Enforcement::Cpu => {
+                let c = cpu_req.expect("cpu enforcement without cpu request");
+                let _ = net.cpu_set_reservation(c.host, c.proc, None);
+            }
+            Enforcement::None => {}
+        }
+        self.release_slots(id);
+        self.set_status(id, final_status);
+    }
+
+    fn set_status(&mut self, id: ResvId, status: Status) {
+        self.resvs.get_mut(&id.0).unwrap().status = status;
+        self.emit(id, status);
+    }
+
+    fn emit(&mut self, id: ResvId, status: Status) {
+        self.events.push((id, status));
+        for l in &mut self.listeners {
+            l(id, status);
+        }
+    }
+}
+
+impl Default for Gara {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Timer driver: forwards GARA's scheduled deadlines back into
+/// [`Gara::advance`]. Registered by [`install`].
+struct GaraDriver;
+
+impl Controller for GaraDriver {
+    fn on_control(&mut self, _payload: u64, net: &mut Net, stack: &mut Stack) {
+        let Some(mut g) = stack.take_service::<Gara>() else { return };
+        g.advance(net);
+        stack.put_service_box(g);
+    }
+}
+
+/// Install `gara` as a stack service with its timer driver attached.
+pub fn install(stack: &mut Stack, mut gara: Gara) {
+    let id = stack.add_controller(Box::new(GaraDriver));
+    gara.set_controller_id(id);
+    stack.insert_service(gara);
+}

@@ -1,0 +1,243 @@
+//! Slot tables: interval-based capacity accounting for admission control.
+//!
+//! "This manager uses a slot table to keep track of reservations and invokes
+//! resource-specific operations to enforce reservations." (§4.2, citing
+//! Degermark et al. and the LBNL bandwidth broker design.)
+//!
+//! A [`SlotTable`] tracks allocations of a scalar capacity (bits/s of EF
+//! bandwidth on a link, percent of a CPU, MB/s of a storage server) over
+//! time intervals, supporting immediate and *advance* reservations with
+//! all-or-nothing admission.
+
+use mpichgq_sim::SimTime;
+use std::collections::HashMap;
+
+/// Identifies an allocation within one table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotId(pub u64);
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    start: SimTime,
+    end: SimTime,
+    amount: u64,
+}
+
+/// Admission failure: how much was free at the worst point of the interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected {
+    pub requested: u64,
+    pub available: u64,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "reservation of {} rejected; only {} available in the interval",
+            self.requested, self.available
+        )
+    }
+}
+impl std::error::Error for Rejected {}
+
+/// Capacity-over-time bookkeeping with all-or-nothing admission.
+#[derive(Debug, Clone)]
+pub struct SlotTable {
+    capacity: u64,
+    slots: HashMap<u64, Slot>,
+    next_id: u64,
+}
+
+impl SlotTable {
+    pub fn new(capacity: u64) -> Self {
+        SlotTable { capacity, slots: HashMap::new(), next_id: 0 }
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Peak committed amount over `[start, end)`, excluding slot `except`.
+    fn peak_in(&self, start: SimTime, end: SimTime, except: Option<SlotId>) -> u64 {
+        // Sweep the overlapping slots' boundary points. With the modest
+        // reservation counts GARA sees, O(n²) over overlaps is fine.
+        let mut points: Vec<SimTime> = vec![start];
+        for s in self.overlapping(start, end, except) {
+            if s.start > start {
+                points.push(s.start);
+            }
+        }
+        let mut peak = 0;
+        for &p in &points {
+            let load: u64 = self
+                .overlapping(start, end, except)
+                .filter(|s| s.start <= p && p < s.end)
+                .map(|s| s.amount)
+                .sum();
+            peak = peak.max(load);
+        }
+        peak
+    }
+
+    fn overlapping(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        except: Option<SlotId>,
+    ) -> impl Iterator<Item = &Slot> {
+        self.slots.iter().filter_map(move |(&id, s)| {
+            if Some(SlotId(id)) == except {
+                return None;
+            }
+            if s.start < end && start < s.end {
+                Some(s)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Free capacity at the tightest instant of `[start, end)`.
+    pub fn available(&self, start: SimTime, end: SimTime) -> u64 {
+        self.capacity - self.peak_in(start, end, None)
+    }
+
+    /// Admit `amount` over `[start, end)` or reject without side effects.
+    pub fn try_insert(
+        &mut self,
+        start: SimTime,
+        end: SimTime,
+        amount: u64,
+    ) -> Result<SlotId, Rejected> {
+        assert!(start < end, "empty reservation interval");
+        let peak = self.peak_in(start, end, None);
+        if peak + amount > self.capacity {
+            return Err(Rejected { requested: amount, available: self.capacity - peak });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.slots.insert(id, Slot { start, end, amount });
+        Ok(SlotId(id))
+    }
+
+    /// Remove an allocation; returns whether it existed.
+    pub fn remove(&mut self, id: SlotId) -> bool {
+        self.slots.remove(&id.0).is_some()
+    }
+
+    /// Change the amount of an existing allocation (reservation modify).
+    /// On rejection the original allocation is kept unchanged.
+    pub fn try_resize(&mut self, id: SlotId, new_amount: u64) -> Result<(), Rejected> {
+        let Some(&slot) = self.slots.get(&id.0) else {
+            return Err(Rejected { requested: new_amount, available: 0 });
+        };
+        let peak_others = self.peak_in(slot.start, slot.end, Some(id));
+        if peak_others + new_amount > self.capacity {
+            return Err(Rejected {
+                requested: new_amount,
+                available: self.capacity - peak_others,
+            });
+        }
+        self.slots.get_mut(&id.0).unwrap().amount = new_amount;
+        Ok(())
+    }
+
+    /// Committed amount at instant `t`.
+    pub fn load_at(&self, t: SimTime) -> u64 {
+        self.slots
+            .values()
+            .filter(|s| s.start <= t && t < s.end)
+            .map(|s| s.amount)
+            .sum()
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn admits_up_to_capacity() {
+        let mut st = SlotTable::new(100);
+        st.try_insert(t(0), t(10), 60).unwrap();
+        st.try_insert(t(0), t(10), 40).unwrap();
+        let err = st.try_insert(t(0), t(10), 1).unwrap_err();
+        assert_eq!(err.available, 0);
+    }
+
+    #[test]
+    fn non_overlapping_intervals_are_independent() {
+        let mut st = SlotTable::new(100);
+        st.try_insert(t(0), t(10), 100).unwrap();
+        st.try_insert(t(10), t(20), 100).unwrap();
+        assert_eq!(st.load_at(t(5)), 100);
+        assert_eq!(st.load_at(t(15)), 100);
+        // Endpoint is exclusive: a reservation ending at 10 frees 10.
+        assert_eq!(st.available(t(9), t(10)), 0);
+    }
+
+    #[test]
+    fn advance_reservation_blocks_future_window() {
+        let mut st = SlotTable::new(100);
+        // Book the future.
+        st.try_insert(t(100), t(200), 80).unwrap();
+        // An open-ended request crossing it must fit under the peak.
+        assert!(st.try_insert(t(0), t(300), 30).is_err());
+        st.try_insert(t(0), t(300), 20).unwrap();
+    }
+
+    #[test]
+    fn remove_frees_capacity() {
+        let mut st = SlotTable::new(100);
+        let id = st.try_insert(t(0), t(10), 100).unwrap();
+        assert!(st.try_insert(t(0), t(10), 1).is_err());
+        assert!(st.remove(id));
+        assert!(!st.remove(id));
+        st.try_insert(t(0), t(10), 100).unwrap();
+    }
+
+    #[test]
+    fn resize_checks_against_others_only() {
+        let mut st = SlotTable::new(100);
+        let a = st.try_insert(t(0), t(10), 60).unwrap();
+        st.try_insert(t(0), t(10), 40).unwrap();
+        // Growing a is impossible (0 free), shrinking fine, regrow to 60 fine.
+        assert!(st.try_resize(a, 61).is_err());
+        st.try_resize(a, 10).unwrap();
+        st.try_resize(a, 60).unwrap();
+        assert_eq!(st.load_at(t(5)), 100);
+    }
+
+    #[test]
+    fn rejection_reports_tightest_point() {
+        let mut st = SlotTable::new(100);
+        st.try_insert(t(5), t(6), 90).unwrap();
+        let err = st.try_insert(t(0), t(10), 20).unwrap_err();
+        assert_eq!(err.available, 10);
+    }
+
+    #[test]
+    fn staircase_peak_detection() {
+        let mut st = SlotTable::new(100);
+        st.try_insert(t(0), t(4), 30).unwrap();
+        st.try_insert(t(2), t(6), 30).unwrap();
+        st.try_insert(t(3), t(5), 30).unwrap();
+        // Peak is 90 in [3,4).
+        assert_eq!(st.available(t(0), t(10)), 10);
+        assert!(st.try_insert(t(0), t(10), 11).is_err());
+        st.try_insert(t(0), t(10), 10).unwrap();
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests of the slot table: the bandwidth broker's core
+//! invariant — committed capacity never exceeds the limit at any instant,
+//! under arbitrary insert/remove/resize sequences.
+
+use mpichgq_gara::{SlotId, SlotTable};
+use mpichgq_sim::SimTime;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { start: u64, len: u64, amount: u64 },
+    Remove { idx: usize },
+    Resize { idx: usize, amount: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..100, 1u64..50, 1u64..60).prop_map(|(start, len, amount)| Op::Insert {
+            start,
+            len,
+            amount
+        }),
+        (any::<usize>()).prop_map(|idx| Op::Remove { idx }),
+        (any::<usize>(), 1u64..60).prop_map(|(idx, amount)| Op::Resize { idx, amount }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn never_oversubscribed(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        const CAP: u64 = 100;
+        let mut st = SlotTable::new(CAP);
+        let mut held: Vec<SlotId> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert { start, len, amount } => {
+                    let s = SimTime::from_secs(start);
+                    let e = SimTime::from_secs(start + len);
+                    if let Ok(id) = st.try_insert(s, e, amount) {
+                        held.push(id);
+                    }
+                }
+                Op::Remove { idx } => {
+                    if !held.is_empty() {
+                        let id = held.remove(idx % held.len());
+                        assert!(st.remove(id));
+                    }
+                }
+                Op::Resize { idx, amount } => {
+                    if !held.is_empty() {
+                        let id = held[idx % held.len()];
+                        let _ = st.try_resize(id, amount);
+                    }
+                }
+            }
+            // Invariant: load at every whole second stays within capacity.
+            for t in 0..160u64 {
+                let load = st.load_at(SimTime::from_secs(t));
+                prop_assert!(load <= CAP, "load {load} at t={t} exceeds capacity");
+            }
+        }
+    }
+
+    /// `available` is exact: a request for exactly the available amount is
+    /// admitted; one unit more is rejected.
+    #[test]
+    fn available_is_tight(
+        bookings in proptest::collection::vec((0u64..50, 1u64..30, 1u64..50), 0..12),
+        qstart in 0u64..60,
+        qlen in 1u64..30,
+    ) {
+        const CAP: u64 = 100;
+        let mut st = SlotTable::new(CAP);
+        for (start, len, amount) in bookings {
+            let _ = st.try_insert(
+                SimTime::from_secs(start),
+                SimTime::from_secs(start + len),
+                amount,
+            );
+        }
+        let qs = SimTime::from_secs(qstart);
+        let qe = SimTime::from_secs(qstart + qlen);
+        let avail = st.available(qs, qe);
+        prop_assert!(avail <= CAP);
+        if avail > 0 {
+            let id = st.try_insert(qs, qe, avail);
+            prop_assert!(id.is_ok(), "exact-fit insert of {avail} rejected");
+            st.remove(id.unwrap());
+        }
+        prop_assert!(st.try_insert(qs, qe, avail + 1).is_err(),
+            "over-fit insert of {} admitted", avail + 1);
+    }
+
+    /// Removing everything restores full capacity everywhere.
+    #[test]
+    fn remove_all_restores_capacity(
+        bookings in proptest::collection::vec((0u64..50, 1u64..30, 1u64..100), 1..12),
+    ) {
+        const CAP: u64 = 100;
+        let mut st = SlotTable::new(CAP);
+        let mut held = Vec::new();
+        for (start, len, amount) in bookings {
+            if let Ok(id) = st.try_insert(
+                SimTime::from_secs(start),
+                SimTime::from_secs(start + len),
+                amount,
+            ) {
+                held.push(id);
+            }
+        }
+        for id in held {
+            assert!(st.remove(id));
+        }
+        prop_assert!(st.is_empty());
+        prop_assert_eq!(st.available(SimTime::ZERO, SimTime::from_secs(1000)), CAP);
+    }
+}

@@ -1,0 +1,117 @@
+//! Job launch: placing ranks on hosts and wiring them up.
+//!
+//! Plays the role MPICH-G2's Globus device plays in the paper's
+//! architecture: startup and process management. Ranks are placed one per
+//! host (the experiments in §5 pair a sender and receiver host); each rank
+//! listens on `base_port + rank` and the mesh is established eagerly at
+//! launch.
+
+use crate::engine::{InitHook, MpiCfg, MpiProgram, RankEngine};
+use crate::wire::JobShared;
+use mpichgq_netsim::NodeId;
+use mpichgq_tcp::Sim;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Handle to a launched job.
+pub struct JobHandle {
+    shared: Rc<RefCell<JobShared>>,
+}
+
+impl JobHandle {
+    /// True once every rank's program returned `Poll::Done`.
+    pub fn finished(&self) -> bool {
+        self.shared.borrow().all_finished()
+    }
+
+    /// True once rank `r`'s program finished.
+    pub fn rank_finished(&self, r: usize) -> bool {
+        self.shared.borrow().finished[r]
+    }
+
+    /// Host of rank `r`.
+    pub fn host_of(&self, r: usize) -> NodeId {
+        self.shared.borrow().hosts[r]
+    }
+
+    /// The TCP port rank `r` listens on.
+    pub fn port_of(&self, r: usize) -> u16 {
+        self.shared.borrow().port_of(r)
+    }
+}
+
+/// Builds and launches an MPI job.
+pub struct JobBuilder {
+    hosts: Vec<NodeId>,
+    programs: Vec<Box<dyn MpiProgram>>,
+    base_port: u16,
+    cfg: MpiCfg,
+    init_hooks: Vec<InitHook>,
+}
+
+impl JobBuilder {
+    pub fn new() -> JobBuilder {
+        JobBuilder {
+            hosts: Vec::new(),
+            programs: Vec::new(),
+            base_port: 10_000,
+            cfg: MpiCfg::default(),
+            init_hooks: Vec::new(),
+        }
+    }
+
+    /// Add one rank: its host and its program. Ranks are numbered in the
+    /// order added. One rank per host (loopback is not modeled).
+    pub fn rank(mut self, host: NodeId, program: Box<dyn MpiProgram>) -> JobBuilder {
+        assert!(
+            !self.hosts.contains(&host),
+            "one rank per host: {host} already used"
+        );
+        self.hosts.push(host);
+        self.programs.push(program);
+        self
+    }
+
+    pub fn base_port(mut self, p: u16) -> JobBuilder {
+        self.base_port = p;
+        self
+    }
+
+    pub fn cfg(mut self, cfg: MpiCfg) -> JobBuilder {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Register a per-rank initialization hook, run once before the first
+    /// program poll (e.g. `mpichgq-core`'s QoS keyval registration).
+    pub fn init_hook(mut self, h: InitHook) -> JobBuilder {
+        self.init_hooks.push(h);
+        self
+    }
+
+    /// Spawn every rank's engine into the simulation.
+    pub fn launch(self, sim: &mut Sim) -> JobHandle {
+        assert!(!self.hosts.is_empty(), "job with zero ranks");
+        let shared = Rc::new(RefCell::new(JobShared::new(
+            self.hosts.clone(),
+            self.base_port,
+        )));
+        for (rank, program) in self.programs.into_iter().enumerate() {
+            let engine = RankEngine::new(
+                rank,
+                shared.clone(),
+                self.cfg.clone(),
+                program,
+                self.init_hooks.clone(),
+            );
+            sim.spawn_app(self.hosts[rank], Box::new(engine));
+        }
+        JobHandle { shared }
+    }
+}
+
+impl Default for JobBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,254 @@
+//! Collective-operation correctness across rank counts, including
+//! non-powers of two, plus communicator splitting.
+
+use mpichgq_mpi::{
+    Allgather, Allreduce, Barrier, Bcast, CollState, CommId, CommSplit, Gather, JobBuilder, Mpi,
+    Poll, Reduce,
+};
+use mpichgq_netsim::{Framing, LinkCfg, NodeId, QueueCfg, TopoBuilder};
+use mpichgq_sim::{SimDelta, SimTime};
+use mpichgq_tcp::Sim;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn star(n: usize) -> (Sim, Vec<NodeId>) {
+    let mut b = TopoBuilder::new(17);
+    let hosts: Vec<NodeId> = (0..n).map(|i| b.host(&format!("h{i}"))).collect();
+    let r = b.router("r");
+    let cfg = LinkCfg {
+        bandwidth_bps: 100_000_000,
+        delay: SimDelta::from_micros(200),
+        framing: Framing::Ethernet,
+    };
+    for &h in &hosts {
+        b.link(h, r, cfg, QueueCfg::priority_default());
+    }
+    (Sim::new(b.build()), hosts)
+}
+
+fn sum_op(a: &[u8], b: &[u8]) -> Vec<u8> {
+    let x = u64::from_le_bytes(a.try_into().unwrap());
+    let y = u64::from_le_bytes(b.try_into().unwrap());
+    (x + y).to_le_bytes().to_vec()
+}
+
+/// Run one collective program on every rank; panics if it does not finish.
+fn run_all(
+    n: usize,
+    mk: impl Fn(usize) -> Box<dyn mpichgq_mpi::MpiProgram>,
+) {
+    let (mut sim, hosts) = star(n);
+    let mut job = JobBuilder::new();
+    for (r, &h) in hosts.iter().enumerate() {
+        job = job.rank(h, mk(r));
+    }
+    let handle = job.launch(&mut sim);
+    sim.run_until(SimTime::from_secs(60));
+    assert!(handle.finished(), "collective deadlocked with {n} ranks");
+}
+
+#[test]
+fn allgather_all_sizes() {
+    for n in [1usize, 2, 3, 5, 8] {
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen_outer = seen.clone();
+        run_all(n, |r| {
+            let seen = seen.clone();
+            let mut ag: Option<Allgather> = None;
+            Box::new(move |mpi: &mut Mpi| {
+                if ag.is_none() {
+                    ag = Some(Allgather::new(mpi, mpi.comm_world(), vec![r as u8; r + 1]));
+                }
+                match ag.as_mut().unwrap().poll(mpi) {
+                    CollState::Ready => {
+                        seen.borrow_mut().push(ag.as_mut().unwrap().take_all());
+                        Poll::Done
+                    }
+                    CollState::Pending => Poll::Pending,
+                }
+            })
+        });
+        let seen = seen_outer.borrow();
+        assert_eq!(seen.len(), n);
+        let expect: Vec<Vec<u8>> = (0..n).map(|r| vec![r as u8; r + 1]).collect();
+        for got in seen.iter() {
+            assert_eq!(got, &expect, "n={n}");
+        }
+    }
+}
+
+#[test]
+fn allreduce_sums_on_every_rank() {
+    for n in [2usize, 3, 7] {
+        let sums = Rc::new(RefCell::new(Vec::new()));
+        let sums_outer = sums.clone();
+        run_all(n, |r| {
+            let sums = sums.clone();
+            let mut ar: Option<Allreduce> = None;
+            Box::new(move |mpi: &mut Mpi| {
+                if ar.is_none() {
+                    let mine = ((r + 1) as u64).to_le_bytes().to_vec();
+                    ar = Some(Allreduce::new(mpi, mpi.comm_world(), mine, sum_op));
+                }
+                match ar.as_mut().unwrap().poll(mpi) {
+                    CollState::Ready => {
+                        let out = ar.as_mut().unwrap().take_result().unwrap();
+                        sums.borrow_mut()
+                            .push(u64::from_le_bytes(out.try_into().unwrap()));
+                        Poll::Done
+                    }
+                    CollState::Pending => Poll::Pending,
+                }
+            })
+        });
+        let expect = (n as u64) * (n as u64 + 1) / 2;
+        let sums = sums_outer.borrow();
+        assert_eq!(sums.len(), n);
+        assert!(sums.iter().all(|&s| s == expect), "n={n}: {sums:?}");
+    }
+}
+
+#[test]
+fn reduce_non_power_of_two() {
+    for n in [3usize, 5, 6] {
+        let out = Rc::new(RefCell::new(None));
+        let out_outer = out.clone();
+        run_all(n, |r| {
+            let out = out.clone();
+            let mut red: Option<Reduce> = None;
+            Box::new(move |mpi: &mut Mpi| {
+                if red.is_none() {
+                    let mine = ((r + 1) as u64).to_le_bytes().to_vec();
+                    // Root 1 exercises the rotated tree.
+                    red = Some(Reduce::new(mpi, mpi.comm_world(), 1, mine, sum_op));
+                }
+                match red.as_mut().unwrap().poll(mpi) {
+                    CollState::Ready => {
+                        if mpi.rank() == 1 {
+                            let v = red.as_mut().unwrap().take_result().unwrap();
+                            *out.borrow_mut() =
+                                Some(u64::from_le_bytes(v.try_into().unwrap()));
+                        }
+                        Poll::Done
+                    }
+                    CollState::Pending => Poll::Pending,
+                }
+            })
+        });
+        assert_eq!(
+            *out_outer.borrow(),
+            Some((n as u64) * (n as u64 + 1) / 2),
+            "n={n}"
+        );
+    }
+}
+
+#[test]
+fn bcast_from_nonzero_root_five_ranks() {
+    let n = 5;
+    let got = Rc::new(RefCell::new(0usize));
+    let got_outer = got.clone();
+    run_all(n, |r| {
+        let got = got.clone();
+        let mut bc: Option<Bcast> = None;
+        Box::new(move |mpi: &mut Mpi| {
+            if bc.is_none() {
+                let data = (r == 3).then(|| Some(vec![9, 9, 9]));
+                bc = Some(Bcast::new(mpi, mpi.comm_world(), 3, 3, data));
+            }
+            match bc.as_mut().unwrap().poll(mpi) {
+                CollState::Ready => {
+                    assert_eq!(bc.as_mut().unwrap().take_data().unwrap(), vec![9, 9, 9]);
+                    *got.borrow_mut() += 1;
+                    Poll::Done
+                }
+                CollState::Pending => Poll::Pending,
+            }
+        })
+    });
+    assert_eq!(*got_outer.borrow(), n);
+}
+
+#[test]
+fn comm_split_partitions_and_isolates() {
+    // 6 ranks split by parity; keys reverse the order within each half.
+    let n = 6;
+    let reports = Rc::new(RefCell::new(Vec::new()));
+    let reports_outer = reports.clone();
+    run_all(n, |r| {
+        let reports = reports.clone();
+        let mut split: Option<CommSplit> = None;
+        let mut sub: Option<CommId> = None;
+        let mut bar: Option<Barrier> = None;
+        Box::new(move |mpi: &mut Mpi| {
+            if split.is_none() {
+                let color = (r % 2) as i32;
+                let key = -(r as i32); // reverse order within the color
+                split = Some(CommSplit::new(mpi, mpi.comm_world(), color, key));
+            }
+            if sub.is_none() {
+                match split.as_mut().unwrap().poll(mpi) {
+                    CollState::Ready => {
+                        let c = split.as_mut().unwrap().take_comm();
+                        sub = Some(c);
+                        let comm = mpi.comm(c);
+                        reports.borrow_mut().push((
+                            r,
+                            comm.my_rank,
+                            comm.group.members().to_vec(),
+                        ));
+                        // A barrier on the sub-communicator proves the new
+                        // context works end to end.
+                        bar = Some(Barrier::new(mpi, c));
+                    }
+                    CollState::Pending => return Poll::Pending,
+                }
+            }
+            match bar.as_mut().unwrap().poll(mpi) {
+                CollState::Ready => Poll::Done,
+                CollState::Pending => Poll::Pending,
+            }
+        })
+    });
+    let reports = reports_outer.borrow();
+    assert_eq!(reports.len(), n);
+    for &(world, sub_rank, ref members) in reports.iter() {
+        let expect_members: Vec<usize> = if world % 2 == 0 {
+            vec![4, 2, 0] // keys -4 < -2 < 0
+        } else {
+            vec![5, 3, 1]
+        };
+        assert_eq!(members, &expect_members, "world rank {world}");
+        let expect_rank = expect_members.iter().position(|&m| m == world).unwrap();
+        assert_eq!(sub_rank, expect_rank, "world rank {world}");
+    }
+}
+
+#[test]
+fn gather_five_ranks_nonzero_root() {
+    let n = 5;
+    let out = Rc::new(RefCell::new(None));
+    let out_outer = out.clone();
+    run_all(n, |r| {
+        let out = out.clone();
+        let mut g: Option<Gather> = None;
+        Box::new(move |mpi: &mut Mpi| {
+            if g.is_none() {
+                g = Some(Gather::new(mpi, mpi.comm_world(), 2, vec![r as u8 * 10]));
+            }
+            match g.as_mut().unwrap().poll(mpi) {
+                CollState::Ready => {
+                    if mpi.rank() == 2 {
+                        *out.borrow_mut() = Some(g.as_mut().unwrap().take_collected());
+                    }
+                    Poll::Done
+                }
+                CollState::Pending => Poll::Pending,
+            }
+        })
+    });
+    assert_eq!(
+        *out_outer.borrow(),
+        Some(vec![vec![0], vec![10], vec![20], vec![30], vec![40]])
+    );
+}

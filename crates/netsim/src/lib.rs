@@ -1,0 +1,35 @@
+//! # mpichgq-netsim — a packet network with Differentiated Services
+//!
+//! The substitute for the paper's GARNET testbed (Figure 4): hosts and
+//! store-and-forward routers joined by bandwidth/delay/framing-modeled
+//! links, with the full DiffServ edge tool-kit the paper's Cisco 7500 MQC
+//! configuration used (§5.1):
+//!
+//! * a **packet classifier** on edge-ingress interfaces ([`classifier`]);
+//! * **token-bucket** marking and policing of premium flows ([`tokenbucket`]);
+//! * **priority queuing** implementing the EF per-hop behavior ([`queue`]);
+//! * optional **end-system traffic shaping** ([`shaper`]) — the paper's
+//!   proposed remedy for bursty MPI traffic (§5.4);
+//! * a per-host **CPU model** (via `mpichgq-dsrt`) so CPU contention and
+//!   reservations (Figures 8–9) live in the same event timeline.
+//!
+//! Transport protocols (TCP/UDP state machines) and applications sit above
+//! this crate behind the [`net::NetHandler`] trait.
+
+pub mod classifier;
+pub mod link;
+pub mod net;
+pub mod packet;
+pub mod queue;
+pub mod shaper;
+pub mod tokenbucket;
+pub mod topology;
+
+pub use classifier::{Classifier, FlowSpec, PolicingAction, Verdict};
+pub use link::{Chan, ChanId, Framing, LinkCfg};
+pub use net::{DropStats, Net, NetHandler, Node, NodeKind, TopoBuilder};
+pub use packet::{Dscp, FlowKey, L4, NodeId, Packet, Proto, TcpFlags, TcpHeader};
+pub use queue::{Enqueue, Queue, QueueCfg, QueueStats};
+pub use shaper::{ShapeOutcome, Shaper, ShaperStats};
+pub use tokenbucket::{depth_for, DepthRule, TokenBucket};
+pub use topology::{Dumbbell, Garnet, GarnetCfg};

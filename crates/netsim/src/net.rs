@@ -1,0 +1,775 @@
+//! The network world: nodes, channels, event dispatch.
+//!
+//! [`Net`] owns everything below the transport layer: links and their
+//! queues, routers with DiffServ edge classifiers, per-host CPUs (the DSRT
+//! model) and egress shapers. Transport protocols and applications live
+//! *above* it, in an object implementing [`NetHandler`]; `Net` hands
+//! host-level occurrences (packet arrivals, timers, CPU completions) up to
+//! the handler and never calls into itself re-entrantly, which keeps the
+//! borrow structure simple and the event order deterministic.
+
+use crate::classifier::{Classifier, Verdict};
+use crate::link::{Chan, ChanId, LinkCfg};
+use crate::packet::{NodeId, Packet};
+use crate::queue::{Enqueue, Queue, QueueCfg, QueueStats};
+use crate::shaper::{ShapeOutcome, Shaper};
+use crate::tokenbucket::TokenBucket;
+use crate::classifier::FlowSpec;
+use mpichgq_dsrt::{AdmissionError, CompleteOutcome, Cpu, ProcId, Update, WorkId};
+use mpichgq_sim::{Engine, Recorder, SimRng, SimTime};
+
+/// What kind of node this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    Host,
+    Router,
+}
+
+/// A host or router.
+pub struct Node {
+    pub kind: NodeKind,
+    pub name: String,
+    /// Outgoing channels, in creation order.
+    pub ifaces: Vec<ChanId>,
+    /// Edge-ingress classifier (routers; applied to packets arriving on
+    /// channels flagged `edge_ingress`).
+    pub classifier: Classifier,
+    /// Host CPU model (hosts).
+    pub cpu: Cpu,
+    /// Egress traffic shapers (hosts).
+    pub shapers: Vec<Shaper>,
+    next_shaper_id: u64,
+}
+
+impl Node {
+    fn new(kind: NodeKind, name: String) -> Self {
+        Node {
+            kind,
+            name,
+            ifaces: Vec::new(),
+            classifier: Classifier::new(),
+            cpu: Cpu::new(),
+            shapers: Vec::new(),
+            next_shaper_id: 0,
+        }
+    }
+}
+
+/// Internal event type.
+#[derive(Debug)]
+pub enum Ev {
+    /// Transmission of the head packet on `chan` finished.
+    TxDone { chan: ChanId },
+    /// `pkt` arrives at `chan.to`.
+    Deliver { chan: ChanId, pkt: Packet },
+    /// A transport/application timer on a host.
+    HostTimer { host: NodeId, token: u64 },
+    /// A CPU work item may have completed.
+    CpuDone { host: NodeId, work: WorkId, gen: u64 },
+    /// A host egress shaper can release queued packets.
+    ShaperRelease { host: NodeId, shaper: u64, gen: u64 },
+    /// Scenario-script control point.
+    Control { token: u64 },
+}
+
+/// Upper layers (transport stacks, scenario controllers) implement this.
+pub trait NetHandler {
+    /// A packet addressed to `host` arrived.
+    fn deliver(&mut self, net: &mut Net, host: NodeId, pkt: Packet);
+    /// A timer set via [`Net::set_host_timer`] fired.
+    fn host_timer(&mut self, net: &mut Net, host: NodeId, token: u64);
+    /// A CPU work item of `proc` on `host` completed.
+    fn cpu_done(&mut self, net: &mut Net, host: NodeId, proc: ProcId);
+    /// A control point set via [`Net::schedule_control`] was reached.
+    fn control(&mut self, net: &mut Net, token: u64);
+}
+
+/// Global drop accounting, by cause.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DropStats {
+    /// Dropped by an edge policer (out of profile).
+    pub policed: u64,
+    /// Dropped by a full queue.
+    pub queue_full: u64,
+    /// Arrived at a host that was not the destination (routing bug guard).
+    pub misrouted: u64,
+}
+
+/// The simulated network.
+pub struct Net {
+    engine: Engine<Ev>,
+    nodes: Vec<Node>,
+    chans: Vec<Chan>,
+    queues: Vec<Queue>,
+    /// `routes[node][dst] = outgoing channel` (hop-count shortest paths).
+    routes: Vec<Vec<Option<ChanId>>>,
+    pub recorder: Recorder,
+    pub rng: SimRng,
+    pub drops: DropStats,
+    next_pkt_id: u64,
+}
+
+impl Net {
+    pub(crate) fn from_parts(
+        nodes: Vec<Node>,
+        chans: Vec<Chan>,
+        queues: Vec<Queue>,
+        routes: Vec<Vec<Option<ChanId>>>,
+        seed: u64,
+    ) -> Self {
+        Net {
+            engine: Engine::new(),
+            nodes,
+            chans,
+            queues,
+            routes,
+            recorder: Recorder::new(),
+            rng: SimRng::new(seed),
+            drops: DropStats::default(),
+            next_pkt_id: 0,
+        }
+    }
+
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    pub fn events_processed(&self) -> u64 {
+        self.engine.processed()
+    }
+
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn chan(&self, id: ChanId) -> &Chan {
+        &self.chans[id.0 as usize]
+    }
+
+    pub fn queue_stats(&self, id: ChanId) -> QueueStats {
+        self.queues[id.0 as usize].stats()
+    }
+
+    /// The outgoing channel `from` uses to reach `to`, if any.
+    pub fn route(&self, from: NodeId, to: NodeId) -> Option<ChanId> {
+        self.routes[from.0 as usize][to.0 as usize]
+    }
+
+    /// The sum of per-hop propagation delays from `a` to `b` (no queueing or
+    /// serialization) — what the QoS agent uses for `bandwidth × delay`
+    /// bucket sizing.
+    pub fn path_delay(&self, a: NodeId, b: NodeId) -> Option<mpichgq_sim::SimDelta> {
+        let mut cur = a;
+        let mut total = mpichgq_sim::SimDelta::ZERO;
+        let mut hops = 0;
+        while cur != b {
+            let chan = self.route(cur, b)?;
+            let c = &self.chans[chan.0 as usize];
+            total += c.cfg.delay;
+            cur = c.to;
+            hops += 1;
+            if hops > self.nodes.len() {
+                return None; // routing loop guard
+            }
+        }
+        Some(total)
+    }
+
+    /// The ordered list of channels a packet from `a` to `b` traverses.
+    pub fn path_chans(&self, a: NodeId, b: NodeId) -> Option<Vec<ChanId>> {
+        let mut cur = a;
+        let mut out = Vec::new();
+        while cur != b {
+            let chan = self.route(cur, b)?;
+            out.push(chan);
+            cur = self.chans[chan.0 as usize].to;
+            if out.len() > self.nodes.len() {
+                return None;
+            }
+        }
+        Some(out)
+    }
+
+    /// All directed channels, for resource-manager registration sweeps.
+    pub fn chan_ids(&self) -> impl Iterator<Item = ChanId> {
+        (0..self.chans.len() as u32).map(ChanId)
+    }
+
+    /// Flag a channel as edge ingress, so the downstream router classifies
+    /// arrivals on it. Host→router channels are flagged automatically; use
+    /// this for inter-domain router links, where "the ingress router of a
+    /// domain \[polices\] the premium aggregate" (§5.1).
+    pub fn set_edge_ingress(&mut self, chan: ChanId, flag: bool) {
+        self.chans[chan.0 as usize].edge_ingress = flag;
+    }
+
+    /// Allocate a fresh packet id (for tracing).
+    pub fn alloc_pkt_id(&mut self) -> u64 {
+        let id = self.next_pkt_id;
+        self.next_pkt_id += 1;
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Transport-facing API
+    // ------------------------------------------------------------------
+
+    /// Inject `pkt` at its source host. The packet passes the host's egress
+    /// shapers, then is routed toward `pkt.dst`.
+    pub fn send_ip(&mut self, mut pkt: Packet) {
+        let src = pkt.src;
+        debug_assert_eq!(self.nodes[src.0 as usize].kind, NodeKind::Host);
+        pkt.id = self.alloc_pkt_id();
+        let now = self.now();
+        // Egress shaping (first matching shaper wins).
+        let node = &mut self.nodes[src.0 as usize];
+        let mut shaped = None;
+        for s in &mut node.shapers {
+            if s.spec.matches(&pkt) {
+                shaped = Some(s.id);
+                break;
+            }
+        }
+        if let Some(sid) = shaped {
+            let s = node
+                .shapers
+                .iter_mut()
+                .find(|s| s.id == sid)
+                .expect("shaper vanished");
+            match s.offer(now, pkt) {
+                ShapeOutcome::PassThrough(p) => self.forward_from(src, p),
+                ShapeOutcome::Queued { arm_at } => {
+                    if let Some(at) = arm_at {
+                        let gen = s.gen;
+                        self.engine.schedule(
+                            at,
+                            Ev::ShaperRelease { host: src, shaper: sid, gen },
+                        );
+                    }
+                }
+            }
+        } else {
+            self.forward_from(src, pkt);
+        }
+    }
+
+    /// Arm a host-level timer; the handler receives (`host`, `token`).
+    pub fn set_host_timer(&mut self, host: NodeId, at: SimTime, token: u64) {
+        self.engine.schedule(at, Ev::HostTimer { host, token });
+    }
+
+    /// Arm a scenario control point.
+    pub fn schedule_control(&mut self, at: SimTime, token: u64) {
+        self.engine.schedule(at, Ev::Control { token });
+    }
+
+    // ------------------------------------------------------------------
+    // CPU (DSRT) API
+    // ------------------------------------------------------------------
+
+    pub fn cpu_add_process(&mut self, host: NodeId) -> ProcId {
+        self.nodes[host.0 as usize].cpu.add_process()
+    }
+
+    pub fn cpu_spawn_hog(&mut self, host: NodeId) -> ProcId {
+        let now = self.now();
+        let (pid, ups) = self.nodes[host.0 as usize].cpu.spawn_hog(now);
+        self.apply_cpu_updates(host, ups);
+        pid
+    }
+
+    pub fn cpu_remove_process(&mut self, host: NodeId, pid: ProcId) {
+        let now = self.now();
+        let ups = self.nodes[host.0 as usize].cpu.remove_process(now, pid);
+        self.apply_cpu_updates(host, ups);
+    }
+
+    pub fn cpu_set_reservation(
+        &mut self,
+        host: NodeId,
+        pid: ProcId,
+        fraction: Option<f64>,
+    ) -> Result<(), AdmissionError> {
+        let now = self.now();
+        let ups = self.nodes[host.0 as usize]
+            .cpu
+            .set_reservation(now, pid, fraction)?;
+        self.apply_cpu_updates(host, ups);
+        Ok(())
+    }
+
+    pub fn cpu_start_work(
+        &mut self,
+        host: NodeId,
+        pid: ProcId,
+        cpu_time: mpichgq_sim::SimDelta,
+    ) -> WorkId {
+        let now = self.now();
+        let (wid, ups) = self.nodes[host.0 as usize].cpu.start_work(now, pid, cpu_time);
+        self.apply_cpu_updates(host, ups);
+        wid
+    }
+
+    pub fn cpu_share_of(&self, host: NodeId, pid: ProcId) -> f64 {
+        self.nodes[host.0 as usize].cpu.share_of(pid)
+    }
+
+    fn apply_cpu_updates(&mut self, host: NodeId, updates: Vec<Update>) {
+        for u in updates {
+            self.engine
+                .schedule(u.eta, Ev::CpuDone { host, work: u.work, gen: u.gen });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // QoS configuration API (used by GARA resource managers)
+    // ------------------------------------------------------------------
+
+    /// Install an egress shaper on `host`; returns its id.
+    pub fn install_shaper(&mut self, host: NodeId, spec: FlowSpec, bucket: TokenBucket) -> u64 {
+        let node = &mut self.nodes[host.0 as usize];
+        let id = node.next_shaper_id;
+        node.next_shaper_id += 1;
+        node.shapers.push(Shaper::new(id, spec, bucket));
+        id
+    }
+
+    /// Remove a shaper, forwarding anything still queued inside it.
+    pub fn remove_shaper(&mut self, host: NodeId, id: u64) -> bool {
+        let node = &mut self.nodes[host.0 as usize];
+        let Some(pos) = node.shapers.iter().position(|s| s.id == id) else {
+            return false;
+        };
+        let s = node.shapers.remove(pos);
+        for p in s.queue {
+            self.forward_from(host, p);
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    /// Run until `limit`, dispatching host-level events to `h`. The clock
+    /// ends exactly at `limit` (or the last event, whichever is later).
+    pub fn run_until<H: NetHandler>(&mut self, h: &mut H, limit: SimTime) {
+        while let Some((_, ev)) = self.engine.pop_until(limit) {
+            self.dispatch(ev, h);
+        }
+    }
+
+    /// Run until the event queue drains (useful in tests).
+    pub fn run_to_quiescence<H: NetHandler>(&mut self, h: &mut H) {
+        while let Some((_, ev)) = self.engine.pop() {
+            self.dispatch(ev, h);
+        }
+    }
+
+    fn dispatch<H: NetHandler>(&mut self, ev: Ev, h: &mut H) {
+        match ev {
+            Ev::TxDone { chan } => {
+                self.chans[chan.0 as usize].busy = false;
+                self.try_start_tx(chan);
+            }
+            Ev::Deliver { chan, pkt } => self.on_deliver(chan, pkt, h),
+            Ev::HostTimer { host, token } => h.host_timer(self, host, token),
+            Ev::CpuDone { host, work, gen } => {
+                let now = self.now();
+                match self.nodes[host.0 as usize].cpu.complete(now, work, gen) {
+                    CompleteOutcome::Stale => {}
+                    CompleteOutcome::Done { proc, updates } => {
+                        self.apply_cpu_updates(host, updates);
+                        h.cpu_done(self, host, proc);
+                    }
+                }
+            }
+            Ev::ShaperRelease { host, shaper, gen } => {
+                let now = self.now();
+                let node = &mut self.nodes[host.0 as usize];
+                let Some(s) = node.shapers.iter_mut().find(|s| s.id == shaper) else {
+                    return;
+                };
+                let (pkts, next) = s.release(now, gen);
+                if let Some(at) = next {
+                    let g = s.gen;
+                    self.engine
+                        .schedule(at, Ev::ShaperRelease { host, shaper, gen: g });
+                }
+                for p in pkts {
+                    self.forward_from(host, p);
+                }
+            }
+            Ev::Control { token } => h.control(self, token),
+        }
+    }
+
+    fn on_deliver<H: NetHandler>(&mut self, chan: ChanId, mut pkt: Packet, h: &mut H) {
+        let arrival = &self.chans[chan.0 as usize];
+        let node_id = arrival.to;
+        let edge = arrival.edge_ingress;
+        match self.nodes[node_id.0 as usize].kind {
+            NodeKind::Router => {
+                if edge {
+                    let now = self.now();
+                    match self.nodes[node_id.0 as usize]
+                        .classifier
+                        .classify(now, &mut pkt)
+                    {
+                        Verdict::Forward => {}
+                        Verdict::Drop => {
+                            self.drops.policed += 1;
+                            return;
+                        }
+                    }
+                }
+                self.forward_from(node_id, pkt);
+            }
+            NodeKind::Host => {
+                if pkt.dst == node_id {
+                    h.deliver(self, node_id, pkt);
+                } else {
+                    self.drops.misrouted += 1;
+                }
+            }
+        }
+    }
+
+    fn forward_from(&mut self, node: NodeId, pkt: Packet) {
+        let Some(chan) = self.route(node, pkt.dst) else {
+            self.drops.misrouted += 1;
+            return;
+        };
+        match self.queues[chan.0 as usize].enqueue(pkt) {
+            Enqueue::Queued => self.try_start_tx(chan),
+            Enqueue::DroppedFull => self.drops.queue_full += 1,
+        }
+    }
+
+    fn try_start_tx(&mut self, chan: ChanId) {
+        let c = &mut self.chans[chan.0 as usize];
+        if c.busy {
+            return;
+        }
+        let Some(pkt) = self.queues[chan.0 as usize].pop() else {
+            return;
+        };
+        let c = &mut self.chans[chan.0 as usize];
+        c.busy = true;
+        let ser = c.serialization(pkt.ip_len());
+        c.tx_packets += 1;
+        c.tx_bytes_wire += c.cfg.framing.wire_bytes(pkt.ip_len()) as u64;
+        let delay = c.cfg.delay;
+        let now = self.now();
+        self.engine.schedule(now + ser, Ev::TxDone { chan });
+        self.engine
+            .schedule(now + ser + delay, Ev::Deliver { chan, pkt });
+    }
+}
+
+/// Builds topologies: add nodes, connect them, then [`TopoBuilder::build`].
+pub struct TopoBuilder {
+    nodes: Vec<Node>,
+    chans: Vec<Chan>,
+    queues: Vec<Queue>,
+    seed: u64,
+}
+
+impl TopoBuilder {
+    pub fn new(seed: u64) -> Self {
+        TopoBuilder {
+            nodes: Vec::new(),
+            chans: Vec::new(),
+            queues: Vec::new(),
+            seed,
+        }
+    }
+
+    pub fn host(&mut self, name: &str) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::new(NodeKind::Host, name.to_owned()));
+        id
+    }
+
+    pub fn router(&mut self, name: &str) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::new(NodeKind::Router, name.to_owned()));
+        id
+    }
+
+    /// Connect `a` and `b` with a symmetric full-duplex link. Host-to-router
+    /// links are flagged as edge ingress on the router side. Returns the two
+    /// directed channels `(a→b, b→a)`.
+    pub fn link(&mut self, a: NodeId, b: NodeId, cfg: LinkCfg, queue: QueueCfg) -> (ChanId, ChanId) {
+        let ab = self.add_chan(a, b, cfg, queue);
+        let ba = self.add_chan(b, a, cfg, queue);
+        (ab, ba)
+    }
+
+    /// Connect with different per-direction configurations.
+    pub fn link_asym(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        cfg_ab: LinkCfg,
+        q_ab: QueueCfg,
+        cfg_ba: LinkCfg,
+        q_ba: QueueCfg,
+    ) -> (ChanId, ChanId) {
+        let ab = self.add_chan(a, b, cfg_ab, q_ab);
+        let ba = self.add_chan(b, a, cfg_ba, q_ba);
+        (ab, ba)
+    }
+
+    fn add_chan(&mut self, from: NodeId, to: NodeId, cfg: LinkCfg, queue: QueueCfg) -> ChanId {
+        let id = ChanId(self.chans.len() as u32);
+        let edge_ingress = self.nodes[from.0 as usize].kind == NodeKind::Host
+            && self.nodes[to.0 as usize].kind == NodeKind::Router;
+        self.chans.push(Chan {
+            from,
+            to,
+            cfg,
+            edge_ingress,
+            busy: false,
+            tx_packets: 0,
+            tx_bytes_wire: 0,
+        });
+        self.queues.push(Queue::new(queue));
+        self.nodes[from.0 as usize].ifaces.push(id);
+        id
+    }
+
+    /// Compute hop-count shortest-path routes and freeze the topology.
+    pub fn build(self) -> Net {
+        let n = self.nodes.len();
+        let mut routes = vec![vec![None; n]; n];
+        // BFS from every destination, walking reverse edges.
+        for dst in 0..n {
+            let mut dist = vec![u32::MAX; n];
+            dist[dst] = 0;
+            let mut frontier = std::collections::VecDeque::new();
+            frontier.push_back(dst);
+            while let Some(cur) = frontier.pop_front() {
+                // All channels arriving at `cur` come from predecessors.
+                for (ci, c) in self.chans.iter().enumerate() {
+                    if c.to.0 as usize != cur {
+                        continue;
+                    }
+                    let pred = c.from.0 as usize;
+                    if dist[pred] == u32::MAX {
+                        dist[pred] = dist[cur] + 1;
+                        routes[pred][dst] = Some(ChanId(ci as u32));
+                        frontier.push_back(pred);
+                    }
+                }
+            }
+        }
+        Net::from_parts(self.nodes, self.chans, self.queues, routes, self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Framing;
+    use crate::packet::{Dscp, L4};
+    use mpichgq_sim::SimDelta;
+
+    struct Collect {
+        got: Vec<(SimTime, NodeId, u64)>,
+        timers: Vec<(SimTime, u64)>,
+    }
+    impl Collect {
+        fn new() -> Self {
+            Collect { got: Vec::new(), timers: Vec::new() }
+        }
+    }
+    impl NetHandler for Collect {
+        fn deliver(&mut self, net: &mut Net, host: NodeId, pkt: Packet) {
+            self.got.push((net.now(), host, pkt.id));
+        }
+        fn host_timer(&mut self, net: &mut Net, _host: NodeId, token: u64) {
+            self.timers.push((net.now(), token));
+        }
+        fn cpu_done(&mut self, _net: &mut Net, _host: NodeId, _proc: ProcId) {}
+        fn control(&mut self, _net: &mut Net, _token: u64) {}
+    }
+
+    fn line_topology() -> (Net, NodeId, NodeId) {
+        // h1 -- r -- h2, 8 Mb/s, 1 ms per link, no framing overhead.
+        let mut b = TopoBuilder::new(1);
+        let h1 = b.host("h1");
+        let r = b.router("r");
+        let h2 = b.host("h2");
+        let cfg = LinkCfg { bandwidth_bps: 8_000_000, delay: SimDelta::from_millis(1), framing: Framing::None };
+        b.link(h1, r, cfg, QueueCfg::droptail_default());
+        b.link(r, h2, cfg, QueueCfg::droptail_default());
+        (b.build(), h1, h2)
+    }
+
+    fn udp(src: NodeId, dst: NodeId, payload: u32) -> Packet {
+        Packet {
+            src,
+            dst,
+            src_port: 1,
+            dst_port: 2,
+            dscp: Dscp::BestEffort,
+            l4: L4::Udp,
+            payload_len: payload,
+            id: 0,
+        }
+    }
+
+    #[test]
+    fn end_to_end_latency_is_serialization_plus_delay() {
+        let (mut net, h1, h2) = line_topology();
+        let mut h = Collect::new();
+        // ip_len = 28 + 972 = 1000 bytes; at 8 Mb/s, serialization = 1 ms.
+        net.send_ip(udp(h1, h2, 972));
+        net.run_to_quiescence(&mut h);
+        assert_eq!(h.got.len(), 1);
+        // 1 ms ser + 1 ms delay + 1 ms ser + 1 ms delay = 4 ms.
+        assert_eq!(h.got[0].0, SimTime::from_millis(4));
+        assert_eq!(h.got[0].1, h2);
+    }
+
+    #[test]
+    fn pipeline_keeps_link_busy() {
+        let (mut net, h1, h2) = line_topology();
+        let mut h = Collect::new();
+        for _ in 0..10 {
+            net.send_ip(udp(h1, h2, 972));
+        }
+        net.run_to_quiescence(&mut h);
+        assert_eq!(h.got.len(), 10);
+        // Last packet: 10 ms of back-to-back serialization on hop 1, the
+        // store-and-forward router adds one serialization, plus 2 ms delay.
+        assert_eq!(h.got.last().unwrap().0, SimTime::from_millis(13));
+    }
+
+    #[test]
+    fn host_timer_fires() {
+        let (mut net, _h1, _h2) = line_topology();
+        let mut h = Collect::new();
+        net.set_host_timer(NodeId(0), SimTime::from_millis(5), 42);
+        net.run_to_quiescence(&mut h);
+        assert_eq!(h.timers, vec![(SimTime::from_millis(5), 42)]);
+    }
+
+    #[test]
+    fn routing_loops_and_unreachable_are_guarded() {
+        // Two disconnected hosts.
+        let mut b = TopoBuilder::new(1);
+        let h1 = b.host("h1");
+        let _h2 = b.host("h2");
+        let h3 = b.host("h3");
+        let mut net = b.build();
+        let mut h = Collect::new();
+        net.send_ip(udp(h1, h3, 100));
+        net.run_to_quiescence(&mut h);
+        assert!(h.got.is_empty());
+        assert_eq!(net.drops.misrouted, 1);
+        assert!(net.path_delay(h1, h3).is_none());
+    }
+
+    #[test]
+    fn path_delay_sums_hops() {
+        let (net, h1, h2) = line_topology();
+        assert_eq!(net.path_delay(h1, h2).unwrap(), SimDelta::from_millis(2));
+        assert_eq!(net.path_delay(h1, h1).unwrap(), SimDelta::ZERO);
+    }
+
+    #[test]
+    fn edge_policing_drops_out_of_profile_traffic() {
+        let (mut net, h1, h2) = line_topology();
+        let router = NodeId(1);
+        // Police h1->h2 UDP at 8 Kb/s with a 2000-byte bucket; mark EF.
+        net.node_mut(router).classifier.install(
+            FlowSpec::host_pair(h1, h2, crate::packet::Proto::Udp),
+            Dscp::Ef,
+            Some(TokenBucket::new(8_000, 2_000)),
+            crate::classifier::PolicingAction::Drop,
+        );
+        let mut h = Collect::new();
+        for _ in 0..5 {
+            net.send_ip(udp(h1, h2, 972)); // 1000-byte datagrams
+        }
+        net.run_to_quiescence(&mut h);
+        // Bucket admits 2 packets; 3 are policed.
+        assert_eq!(h.got.len(), 2);
+        assert_eq!(net.drops.policed, 3);
+    }
+
+    #[test]
+    fn shaper_delays_instead_of_dropping() {
+        let (mut net, h1, h2) = line_topology();
+        let router = NodeId(1);
+        net.node_mut(router).classifier.install(
+            FlowSpec::host_pair(h1, h2, crate::packet::Proto::Udp),
+            Dscp::Ef,
+            Some(TokenBucket::new(80_000, 2_000)),
+            crate::classifier::PolicingAction::Drop,
+        );
+        // Shape at the same rate at the host: nothing should be policed.
+        net.install_shaper(
+            h1,
+            FlowSpec::host_pair(h1, h2, crate::packet::Proto::Udp),
+            TokenBucket::new(80_000, 2_000),
+        );
+        let mut h = Collect::new();
+        for _ in 0..5 {
+            net.send_ip(udp(h1, h2, 972));
+        }
+        net.run_to_quiescence(&mut h);
+        assert_eq!(h.got.len(), 5, "shaped packets must all arrive");
+        assert_eq!(net.drops.policed, 0);
+    }
+
+    #[test]
+    fn cpu_done_reaches_handler() {
+        struct CpuH {
+            done_at: Option<SimTime>,
+        }
+        impl NetHandler for CpuH {
+            fn deliver(&mut self, _n: &mut Net, _h: NodeId, _p: Packet) {}
+            fn host_timer(&mut self, _n: &mut Net, _h: NodeId, _t: u64) {}
+            fn cpu_done(&mut self, net: &mut Net, _host: NodeId, _proc: ProcId) {
+                self.done_at = Some(net.now());
+            }
+            fn control(&mut self, _n: &mut Net, _t: u64) {}
+        }
+        let (mut net, h1, _h2) = line_topology();
+        let pid = net.cpu_add_process(h1);
+        net.cpu_spawn_hog(h1);
+        net.cpu_start_work(h1, pid, SimDelta::from_secs(1));
+        let mut h = CpuH { done_at: None };
+        net.run_to_quiescence(&mut h);
+        // 1 cpu-second at 50% share = 2 seconds.
+        assert_eq!(h.done_at, Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = || {
+            let (mut net, h1, h2) = line_topology();
+            let mut h = Collect::new();
+            for i in 0..20 {
+                let mut p = udp(h1, h2, 100 + i * 10);
+                p.id = 0;
+                net.send_ip(p);
+            }
+            net.run_to_quiescence(&mut h);
+            h.got
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,190 @@
+//! Packets and protocol headers.
+//!
+//! Like classic network simulators (ns-2), the network layer knows the
+//! *formats* of transport headers — routers classify on ports and the
+//! DS field — while the transport *behaviour* (TCP state machines) lives in
+//! the `mpichgq-tcp` crate. Payloads are modeled by length only; reliable
+//! in-order delivery lets higher layers reconstruct message contents from a
+//! side channel without copying bulk bytes through every queue.
+
+use std::fmt;
+
+/// A node in the network (host or router).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Differentiated Services code point. We model the two PHBs the paper
+/// uses: default (best-effort) and Expedited Forwarding (RFC 2598).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Dscp {
+    #[default]
+    BestEffort,
+    /// Expedited Forwarding: served from the strict-priority queue.
+    Ef,
+}
+
+/// Transport protocol selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Proto {
+    Tcp,
+    Udp,
+}
+
+/// TCP header flags (only those the Reno model needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags {
+    pub syn: bool,
+    pub ack: bool,
+    pub fin: bool,
+    pub rst: bool,
+}
+
+impl TcpFlags {
+    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, fin: false, rst: false };
+    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, fin: false, rst: false };
+    pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, rst: false };
+    pub const FIN_ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: true, rst: false };
+    pub const RST: TcpFlags = TcpFlags { syn: false, ack: false, fin: false, rst: true };
+}
+
+/// TCP header fields carried through the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHeader {
+    pub seq: u64,
+    pub ack: u64,
+    pub flags: TcpFlags,
+    /// Advertised receive window in bytes.
+    pub wnd: u32,
+}
+
+/// Transport header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L4 {
+    Tcp(TcpHeader),
+    Udp,
+}
+
+pub const IP_HEADER_BYTES: u32 = 20;
+pub const TCP_HEADER_BYTES: u32 = 20;
+pub const UDP_HEADER_BYTES: u32 = 8;
+
+/// One IP packet in flight.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub dscp: Dscp,
+    pub l4: L4,
+    /// Transport payload length in bytes (contents are modeled out of band).
+    pub payload_len: u32,
+    /// Monotonic id for tracing.
+    pub id: u64,
+}
+
+impl Packet {
+    pub fn proto(&self) -> Proto {
+        match self.l4 {
+            L4::Tcp(_) => Proto::Tcp,
+            L4::Udp => Proto::Udp,
+        }
+    }
+
+    /// Total IP datagram length (what routers queue and police on).
+    pub fn ip_len(&self) -> u32 {
+        let l4h = match self.l4 {
+            L4::Tcp(_) => TCP_HEADER_BYTES,
+            L4::Udp => UDP_HEADER_BYTES,
+        };
+        IP_HEADER_BYTES + l4h + self.payload_len
+    }
+
+    pub fn tcp(&self) -> Option<&TcpHeader> {
+        match &self.l4 {
+            L4::Tcp(h) => Some(h),
+            L4::Udp => None,
+        }
+    }
+}
+
+/// A flow's 5-tuple endpoints (as extracted from an MPI communicator by the
+/// QoS agent: "basically port and machine names").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub proto: Proto,
+    pub src_port: u16,
+    pub dst_port: u16,
+}
+
+impl FlowKey {
+    pub fn of(pkt: &Packet) -> FlowKey {
+        FlowKey {
+            src: pkt.src,
+            dst: pkt.dst,
+            proto: pkt.proto(),
+            src_port: pkt.src_port,
+            dst_port: pkt.dst_port,
+        }
+    }
+
+    /// The same flow viewed from the other direction (for ACK channels).
+    pub fn reversed(&self) -> FlowKey {
+        FlowKey {
+            src: self.dst,
+            dst: self.src,
+            proto: self.proto,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(l4: L4, payload: u32) -> Packet {
+        Packet {
+            src: NodeId(0),
+            dst: NodeId(1),
+            src_port: 1000,
+            dst_port: 2000,
+            dscp: Dscp::BestEffort,
+            l4,
+            payload_len: payload,
+            id: 0,
+        }
+    }
+
+    #[test]
+    fn ip_len_includes_headers() {
+        let t = pkt(
+            L4::Tcp(TcpHeader { seq: 0, ack: 0, flags: TcpFlags::ACK, wnd: 0 }),
+            1460,
+        );
+        assert_eq!(t.ip_len(), 1500);
+        let u = pkt(L4::Udp, 1472);
+        assert_eq!(u.ip_len(), 1500);
+    }
+
+    #[test]
+    fn flow_key_reversal() {
+        let p = pkt(L4::Udp, 100);
+        let k = FlowKey::of(&p);
+        let r = k.reversed();
+        assert_eq!(r.src, NodeId(1));
+        assert_eq!(r.dst, NodeId(0));
+        assert_eq!(r.src_port, 2000);
+        assert_eq!(r.dst_port, 1000);
+        assert_eq!(r.reversed(), k);
+    }
+}

@@ -1,0 +1,258 @@
+//! Router output queues: drop-tail FIFO and the strict-priority queue that
+//! implements the Expedited Forwarding per-hop behavior.
+//!
+//! "Priority Queuing is used on the egress port of edge routers ... Priority
+//! queueing ensures that all packets associated with reservations are sent
+//! before any other packets. When there are no packets in the priority
+//! queue, other packets are allowed to use the entire available bandwidth."
+//! (§5.1)
+
+use crate::packet::{Dscp, Packet};
+use std::collections::VecDeque;
+
+/// Outcome of an enqueue attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enqueue {
+    Queued,
+    /// Dropped because the target queue was full.
+    DroppedFull,
+}
+
+/// Counters kept by every queue, split by traffic class.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueStats {
+    pub enq_be: u64,
+    pub enq_ef: u64,
+    pub drop_be: u64,
+    pub drop_ef: u64,
+    pub dequeued: u64,
+    pub bytes_dequeued: u64,
+}
+
+/// A byte-capacity-bounded FIFO.
+#[derive(Debug)]
+struct Fifo {
+    q: VecDeque<Packet>,
+    cap_bytes: u64,
+    cur_bytes: u64,
+}
+
+impl Fifo {
+    fn new(cap_bytes: u64) -> Self {
+        Fifo { q: VecDeque::new(), cap_bytes, cur_bytes: 0 }
+    }
+    fn try_push(&mut self, pkt: Packet) -> Result<(), Packet> {
+        let len = pkt.ip_len() as u64;
+        if self.cur_bytes + len > self.cap_bytes {
+            return Err(pkt);
+        }
+        self.cur_bytes += len;
+        self.q.push_back(pkt);
+        Ok(())
+    }
+    fn pop(&mut self) -> Option<Packet> {
+        let p = self.q.pop_front()?;
+        self.cur_bytes -= p.ip_len() as u64;
+        Some(p)
+    }
+}
+
+/// Queue discipline on one outgoing interface.
+#[derive(Debug)]
+pub enum Queue {
+    /// Single class, drop-tail (plain router, no QoS).
+    DropTail { fifo: Fifo2, stats: QueueStats },
+    /// Strict-priority EF queue over a best-effort drop-tail queue.
+    Priority {
+        ef: Fifo2,
+        be: Fifo2,
+        stats: QueueStats,
+    },
+}
+
+// Public alias so struct fields stay private but the type is constructible here.
+#[derive(Debug)]
+pub struct Fifo2(Fifo);
+
+/// Configuration for an interface queue.
+#[derive(Debug, Clone, Copy)]
+pub enum QueueCfg {
+    DropTail { cap_bytes: u64 },
+    Priority { ef_cap_bytes: u64, be_cap_bytes: u64 },
+}
+
+impl QueueCfg {
+    /// 100 full-size packets of best-effort buffering — a typical late-90s
+    /// router default — and a deeper EF queue (EF load is admission-limited,
+    /// so its queue is sized to absorb policed bursts, not to police).
+    pub fn priority_default() -> QueueCfg {
+        QueueCfg::Priority { ef_cap_bytes: 1_000_000, be_cap_bytes: 150_000 }
+    }
+    pub fn droptail_default() -> QueueCfg {
+        QueueCfg::DropTail { cap_bytes: 150_000 }
+    }
+}
+
+impl Queue {
+    pub fn new(cfg: QueueCfg) -> Self {
+        match cfg {
+            QueueCfg::DropTail { cap_bytes } => Queue::DropTail {
+                fifo: Fifo2(Fifo::new(cap_bytes)),
+                stats: QueueStats::default(),
+            },
+            QueueCfg::Priority { ef_cap_bytes, be_cap_bytes } => Queue::Priority {
+                ef: Fifo2(Fifo::new(ef_cap_bytes)),
+                be: Fifo2(Fifo::new(be_cap_bytes)),
+                stats: QueueStats::default(),
+            },
+        }
+    }
+
+    pub fn enqueue(&mut self, pkt: Packet) -> Enqueue {
+        let is_ef = pkt.dscp == Dscp::Ef;
+        match self {
+            Queue::DropTail { fifo, stats } => match fifo.0.try_push(pkt) {
+                Ok(()) => {
+                    if is_ef { stats.enq_ef += 1 } else { stats.enq_be += 1 }
+                    Enqueue::Queued
+                }
+                Err(_) => {
+                    if is_ef { stats.drop_ef += 1 } else { stats.drop_be += 1 }
+                    Enqueue::DroppedFull
+                }
+            },
+            Queue::Priority { ef, be, stats } => {
+                let target = if is_ef { ef } else { be };
+                match target.0.try_push(pkt) {
+                    Ok(()) => {
+                        if is_ef { stats.enq_ef += 1 } else { stats.enq_be += 1 }
+                        Enqueue::Queued
+                    }
+                    Err(_) => {
+                        if is_ef { stats.drop_ef += 1 } else { stats.drop_be += 1 }
+                        Enqueue::DroppedFull
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dequeue the next packet to transmit: EF strictly before best-effort.
+    pub fn pop(&mut self) -> Option<Packet> {
+        let (pkt, stats) = match self {
+            Queue::DropTail { fifo, stats } => (fifo.0.pop(), stats),
+            Queue::Priority { ef, be, stats } => (ef.0.pop().or_else(|| be.0.pop()), stats),
+        };
+        if let Some(p) = &pkt {
+            stats.dequeued += 1;
+            stats.bytes_dequeued += p.ip_len() as u64;
+        }
+        pkt
+    }
+
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Queue::DropTail { fifo, .. } => fifo.0.q.is_empty(),
+            Queue::Priority { ef, be, .. } => ef.0.q.is_empty() && be.0.q.is_empty(),
+        }
+    }
+
+    /// Bytes currently queued (all classes).
+    pub fn backlog_bytes(&self) -> u64 {
+        match self {
+            Queue::DropTail { fifo, .. } => fifo.0.cur_bytes,
+            Queue::Priority { ef, be, .. } => ef.0.cur_bytes + be.0.cur_bytes,
+        }
+    }
+
+    pub fn stats(&self) -> QueueStats {
+        match self {
+            Queue::DropTail { stats, .. } | Queue::Priority { stats, .. } => *stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{L4, NodeId};
+
+    fn pkt(dscp: Dscp, payload: u32) -> Packet {
+        Packet {
+            src: NodeId(0),
+            dst: NodeId(1),
+            src_port: 1,
+            dst_port: 2,
+            dscp,
+            l4: L4::Udp,
+            payload_len: payload,
+            id: 0,
+        }
+    }
+
+    #[test]
+    fn droptail_enforces_byte_capacity() {
+        let mut q = Queue::new(QueueCfg::DropTail { cap_bytes: 3_000 });
+        // Each packet: 28 + 972 = 1000 bytes.
+        for _ in 0..3 {
+            assert_eq!(q.enqueue(pkt(Dscp::BestEffort, 972)), Enqueue::Queued);
+        }
+        assert_eq!(q.enqueue(pkt(Dscp::BestEffort, 972)), Enqueue::DroppedFull);
+        assert_eq!(q.stats().drop_be, 1);
+        assert_eq!(q.backlog_bytes(), 3_000);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = Queue::new(QueueCfg::droptail_default());
+        for i in 0..5 {
+            let mut p = pkt(Dscp::BestEffort, 100);
+            p.id = i;
+            q.enqueue(p);
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop().unwrap().id, i);
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn priority_serves_ef_first() {
+        let mut q = Queue::new(QueueCfg::priority_default());
+        let mut be = pkt(Dscp::BestEffort, 100);
+        be.id = 1;
+        let mut ef = pkt(Dscp::Ef, 100);
+        ef.id = 2;
+        q.enqueue(be);
+        q.enqueue(ef);
+        assert_eq!(q.pop().unwrap().id, 2);
+        assert_eq!(q.pop().unwrap().id, 1);
+    }
+
+    #[test]
+    fn be_flood_does_not_displace_ef() {
+        let mut q = Queue::new(QueueCfg::Priority { ef_cap_bytes: 10_000, be_cap_bytes: 2_000 });
+        for _ in 0..10 {
+            q.enqueue(pkt(Dscp::BestEffort, 972));
+        }
+        assert!(q.stats().drop_be > 0);
+        assert_eq!(q.enqueue(pkt(Dscp::Ef, 972)), Enqueue::Queued);
+        assert_eq!(q.stats().drop_ef, 0);
+        assert_eq!(q.pop().unwrap().dscp, Dscp::Ef);
+    }
+
+    #[test]
+    fn ef_queue_has_its_own_capacity() {
+        let mut q = Queue::new(QueueCfg::Priority { ef_cap_bytes: 1_000, be_cap_bytes: 1_000 });
+        assert_eq!(q.enqueue(pkt(Dscp::Ef, 972)), Enqueue::Queued);
+        assert_eq!(q.enqueue(pkt(Dscp::Ef, 972)), Enqueue::DroppedFull);
+        assert_eq!(q.stats().drop_ef, 1);
+    }
+
+    #[test]
+    fn empty_priority_queue_lets_be_use_everything() {
+        let mut q = Queue::new(QueueCfg::priority_default());
+        q.enqueue(pkt(Dscp::BestEffort, 500));
+        assert_eq!(q.pop().unwrap().dscp, Dscp::BestEffort);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests of the DiffServ mechanisms: token-bucket conformance,
+//! shaper conservation and ordering, framing monotonicity, and end-to-end
+//! priority isolation on a live network.
+
+use mpichgq_netsim::{
+    topology::Dumbbell, Dscp, FlowSpec, Framing, NetHandler, NodeId, Packet, PolicingAction,
+    Proto, TokenBucket, L4,
+};
+use mpichgq_sim::{SimDelta, SimTime};
+use proptest::prelude::*;
+
+fn udp(src: NodeId, dst: NodeId, payload: u32, dscp: Dscp) -> Packet {
+    Packet {
+        src,
+        dst,
+        src_port: 1,
+        dst_port: 2,
+        dscp,
+        l4: L4::Udp,
+        payload_len: payload,
+        id: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Conformant bytes over any interval never exceed depth + rate × T,
+    /// for arbitrary offered patterns.
+    #[test]
+    fn token_bucket_long_run_conformance(
+        rate_kbps in 50u64..5_000,
+        depth in 500u64..50_000,
+        offers in proptest::collection::vec((0u64..2_000, 40u32..1_500), 10..200),
+    ) {
+        let mut tb = TokenBucket::new(rate_kbps * 1000, depth);
+        let mut now = SimTime::ZERO;
+        let mut conformant: u64 = 0;
+        for (gap_us, size) in offers {
+            now += SimDelta::from_micros(gap_us);
+            if tb.try_consume(now, size) {
+                conformant += size as u64;
+            }
+        }
+        let bound = depth as f64 + rate_kbps as f64 * 1000.0 / 8.0 * now.as_secs_f64() + 1.0;
+        prop_assert!((conformant as f64) <= bound,
+            "{conformant} conformant bytes exceed bound {bound}");
+    }
+
+    /// Framing never shrinks a packet, and is monotone in payload size.
+    #[test]
+    fn framing_monotone_and_inflating(len_a in 1u32..65_000, len_b in 1u32..65_000) {
+        for f in [Framing::None, Framing::Ethernet, Framing::AtmAal5] {
+            prop_assert!(f.wire_bytes(len_a) >= len_a);
+            let (lo, hi) = if len_a <= len_b { (len_a, len_b) } else { (len_b, len_a) };
+            prop_assert!(f.wire_bytes(lo) <= f.wire_bytes(hi),
+                "{f:?} not monotone at {lo}/{hi}");
+        }
+    }
+
+    /// A shaped flow is delayed, never dropped or reordered: every packet
+    /// offered to a host shaper arrives at the destination exactly once
+    /// and in order.
+    #[test]
+    fn shaper_conserves_and_orders(
+        count in 1usize..40,
+        payload in 100u32..1_400,
+        rate_kbps in 100u64..2_000,
+        depth in 500u64..5_000,
+    ) {
+        let d = Dumbbell::build(10_000_000, SimDelta::from_millis(1), 5);
+        let (src, dst) = (d.src, d.dst);
+        let mut net = d.net;
+        net.install_shaper(
+            src,
+            FlowSpec::host_pair(src, dst, Proto::Udp),
+            TokenBucket::new(rate_kbps * 1000, depth.max(payload as u64 + 28)),
+        );
+        struct Collect {
+            got: Vec<u64>,
+        }
+        impl NetHandler for Collect {
+            fn deliver(&mut self, _n: &mut mpichgq_netsim::Net, _h: NodeId, pkt: Packet) {
+                self.got.push(pkt.id);
+            }
+            fn host_timer(&mut self, _n: &mut mpichgq_netsim::Net, _h: NodeId, _t: u64) {}
+            fn cpu_done(&mut self, _n: &mut mpichgq_netsim::Net, _h: NodeId, _p: mpichgq_dsrt::ProcId) {}
+            fn control(&mut self, _n: &mut mpichgq_netsim::Net, _t: u64) {}
+        }
+        let mut h = Collect { got: Vec::new() };
+        for _ in 0..count {
+            net.send_ip(udp(src, dst, payload, Dscp::BestEffort));
+        }
+        net.run_to_quiescence(&mut h);
+        prop_assert_eq!(h.got.len(), count, "shaper lost packets");
+        let mut sorted = h.got.clone();
+        sorted.sort();
+        prop_assert_eq!(&h.got, &sorted, "shaper reordered packets");
+    }
+
+    /// EF traffic marked at the edge is never dropped by queues as long as
+    /// its policed rate fits the link, regardless of best-effort flood
+    /// size.
+    #[test]
+    fn ef_isolated_from_best_effort_flood(
+        flood_pkts in 10usize..300,
+        ef_pkts in 1usize..30,
+    ) {
+        let d = Dumbbell::build(5_000_000, SimDelta::from_millis(1), 9);
+        let (src, dst, r1) = (d.src, d.dst, d.r1);
+        let mut net = d.net;
+        // Mark (without policing) UDP to port 9: EF.
+        net.node_mut(r1).classifier.install(
+            FlowSpec {
+                src: Some(src),
+                dst: Some(dst),
+                proto: Some(Proto::Udp),
+                src_port: None,
+                dst_port: Some(9),
+                dscp: None,
+            },
+            Dscp::Ef,
+            None,
+            PolicingAction::Drop,
+        );
+        struct Count {
+            ef: usize,
+        }
+        impl NetHandler for Count {
+            fn deliver(&mut self, _n: &mut mpichgq_netsim::Net, _h: NodeId, pkt: Packet) {
+                if pkt.dst_port == 9 {
+                    self.ef += 1;
+                }
+            }
+            fn host_timer(&mut self, _n: &mut mpichgq_netsim::Net, _h: NodeId, _t: u64) {}
+            fn cpu_done(&mut self, _n: &mut mpichgq_netsim::Net, _h: NodeId, _p: mpichgq_dsrt::ProcId) {}
+            fn control(&mut self, _n: &mut mpichgq_netsim::Net, _t: u64) {}
+        }
+        let mut h = Count { ef: 0 };
+        // Interleave the flood and the EF packets.
+        for i in 0..flood_pkts.max(ef_pkts) {
+            if i < flood_pkts {
+                let mut p = udp(src, dst, 1_400, Dscp::BestEffort);
+                p.dst_port = 7;
+                net.send_ip(p);
+            }
+            if i < ef_pkts {
+                let mut p = udp(src, dst, 200, Dscp::BestEffort);
+                p.dst_port = 9;
+                net.send_ip(p);
+            }
+        }
+        net.run_to_quiescence(&mut h);
+        prop_assert_eq!(h.ef, ef_pkts, "EF packets lost to a best-effort flood");
+    }
+}

@@ -1,0 +1,122 @@
+//! Inter-domain EF aggregate policing (paper §5.1): the ingress router of
+//! a downstream domain polices the whole premium class with one token
+//! bucket, protecting itself from an upstream domain that marks too much.
+
+use mpichgq_dsrt::ProcId;
+use mpichgq_netsim::{
+    Dscp, FlowSpec, Framing, LinkCfg, Net, NetHandler, NodeId, Packet, PolicingAction, Proto,
+    QueueCfg, TokenBucket, TopoBuilder, L4,
+};
+use mpichgq_sim::SimDelta;
+
+struct Count {
+    ef: u64,
+    be: u64,
+}
+impl NetHandler for Count {
+    fn deliver(&mut self, _n: &mut Net, _h: NodeId, pkt: Packet) {
+        match pkt.dscp {
+            Dscp::Ef => self.ef += 1,
+            Dscp::BestEffort => self.be += 1,
+        }
+    }
+    fn host_timer(&mut self, _n: &mut Net, _h: NodeId, _t: u64) {}
+    fn cpu_done(&mut self, _n: &mut Net, _h: NodeId, _p: ProcId) {}
+    fn control(&mut self, _n: &mut Net, _t: u64) {}
+}
+
+fn udp(src: NodeId, dst: NodeId, dport: u16) -> Packet {
+    Packet {
+        src,
+        dst,
+        src_port: 1,
+        dst_port: dport,
+        dscp: Dscp::BestEffort,
+        l4: L4::Udp,
+        payload_len: 972, // 1000-byte datagrams
+        id: 0,
+    }
+}
+
+#[test]
+fn domain_ingress_polices_the_premium_aggregate() {
+    // Two domains: (h1,h2 -> rA) | domain boundary | (rB -> sink host).
+    let mut b = TopoBuilder::new(21);
+    let h1 = b.host("src-1");
+    let h2 = b.host("src-2");
+    let ra = b.router("domain-a-edge");
+    let rb = b.router("domain-b-ingress");
+    let dst = b.host("sink");
+    let l = LinkCfg { bandwidth_bps: 100_000_000, delay: SimDelta::from_millis(1), framing: Framing::None };
+    b.link(h1, ra, l, QueueCfg::priority_default());
+    b.link(h2, ra, l, QueueCfg::priority_default());
+    let (ab, _ba) = b.link(ra, rb, l, QueueCfg::priority_default());
+    b.link(rb, dst, l, QueueCfg::priority_default());
+    let mut net = b.build();
+
+    // Domain A marks both flows EF with generous per-flow policers
+    // (an over-admitting upstream domain).
+    for h in [h1, h2] {
+        net.node_mut(ra).classifier.install(
+            FlowSpec::host_pair(h, dst, Proto::Udp),
+            Dscp::Ef,
+            Some(TokenBucket::new(50_000_000, 1_000_000)),
+            PolicingAction::Drop,
+        );
+    }
+    // Domain B's ingress polices the EF *aggregate* to 10 packets' worth.
+    net.set_edge_ingress(ab, true);
+    net.node_mut(rb).classifier.install(
+        FlowSpec::ef_aggregate(),
+        Dscp::Ef,
+        Some(TokenBucket::new(8_000, 10_000)),
+        PolicingAction::Drop,
+    );
+
+    // Each source sends 10 packets back to back.
+    for i in 0..10 {
+        net.send_ip(udp(h1, dst, 5));
+        let _ = i;
+        net.send_ip(udp(h2, dst, 5));
+    }
+    let mut h = Count { ef: 0, be: 0 };
+    net.run_to_quiescence(&mut h);
+    // 20 offered, aggregate bucket admits 10 (1000 bytes each).
+    assert_eq!(h.ef, 10, "aggregate policer must bound the EF class");
+    assert_eq!(net.drops.policed, 10);
+}
+
+#[test]
+fn demoting_domain_ingress_keeps_excess_as_best_effort() {
+    let mut b = TopoBuilder::new(22);
+    let h1 = b.host("src");
+    let ra = b.router("a");
+    let rb = b.router("b");
+    let dst = b.host("sink");
+    let l = LinkCfg { bandwidth_bps: 100_000_000, delay: SimDelta::from_millis(1), framing: Framing::None };
+    b.link(h1, ra, l, QueueCfg::priority_default());
+    let (ab, _) = b.link(ra, rb, l, QueueCfg::priority_default());
+    b.link(rb, dst, l, QueueCfg::priority_default());
+    let mut net = b.build();
+    net.node_mut(ra).classifier.install(
+        FlowSpec::host_pair(h1, dst, Proto::Udp),
+        Dscp::Ef,
+        None,
+        PolicingAction::Drop,
+    );
+    net.set_edge_ingress(ab, true);
+    net.node_mut(rb).classifier.install(
+        FlowSpec::ef_aggregate(),
+        Dscp::Ef,
+        Some(TokenBucket::new(8_000, 5_000)),
+        PolicingAction::Demote,
+    );
+    for _ in 0..10 {
+        net.send_ip(udp(h1, dst, 5));
+    }
+    let mut h = Count { ef: 0, be: 0 };
+    net.run_to_quiescence(&mut h);
+    assert_eq!(h.ef, 5);
+    assert_eq!(h.be, 5, "excess premium demoted, not dropped");
+    assert_eq!(net.drops.policed, 0);
+}

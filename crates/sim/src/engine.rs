@@ -1,0 +1,198 @@
+//! The discrete-event engine: a time-ordered event queue.
+//!
+//! The engine is deliberately minimal and generic over the event type `E`;
+//! the world model (nodes, links, stacks) lives in higher crates and drives
+//! the engine with a pop-dispatch loop. Ties in time are broken by insertion
+//! order (a monotonic sequence number), which makes runs deterministic.
+//!
+//! Cancellation is not supported directly; users attach generation counters
+//! to their events and ignore stale ones on delivery (lazy cancellation).
+//! This is both simpler and faster than tombstoning heap entries.
+
+use crate::time::{SimDelta, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+pub struct Engine<E> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Entry<E>>,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the most recently popped event.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events popped so far.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `ev` at absolute time `at`.
+    ///
+    /// Panics if `at` is in the past: the simulation never travels backwards.
+    pub fn schedule(&mut self, at: SimTime, ev: E) {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, ev });
+    }
+
+    /// Schedule `ev` after delay `d` from the current time.
+    #[inline]
+    pub fn schedule_in(&mut self, d: SimDelta, ev: E) {
+        self.schedule(self.now + d, ev);
+    }
+
+    /// Timestamp of the next pending event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let e = self.heap.pop()?;
+        debug_assert!(e.at >= self.now);
+        self.now = e.at;
+        self.processed += 1;
+        Some((e.at, e.ev))
+    }
+
+    /// Pop the next event only if it is due at or before `limit`.
+    ///
+    /// If the next event is later than `limit`, the clock advances to `limit`
+    /// and `None` is returned (so that `now()` reflects the horizon reached).
+    pub fn pop_until(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= limit => self.pop(),
+            _ => {
+                if self.now < limit {
+                    self.now = limit;
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule(SimTime::from_secs(3), 3);
+        e.schedule(SimTime::from_secs(1), 1);
+        e.schedule(SimTime::from_secs(2), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(e.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut e: Engine<u32> = Engine::new();
+        let t = SimTime::from_millis(5);
+        for v in 0..10 {
+            e.schedule(t, v);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_until_respects_limit_and_advances_clock() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule(SimTime::from_secs(10), 10);
+        assert_eq!(e.pop_until(SimTime::from_secs(5)), None);
+        assert_eq!(e.now(), SimTime::from_secs(5));
+        assert_eq!(e.pop_until(SimTime::from_secs(10)), Some((SimTime::from_secs(10), 10)));
+    }
+
+    #[test]
+    fn pop_until_on_empty_advances_to_limit() {
+        let mut e: Engine<u32> = Engine::new();
+        assert_eq!(e.pop_until(SimTime::from_secs(7)), None);
+        assert_eq!(e.now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_past_panics() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule(SimTime::from_secs(2), 1);
+        e.pop();
+        e.schedule(SimTime::from_secs(1), 2);
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule(SimTime::from_secs(1), 1);
+        e.pop();
+        e.schedule_in(SimDelta::from_secs(1), 2);
+        assert_eq!(e.pop().unwrap().0, SimTime::from_secs(2));
+    }
+}

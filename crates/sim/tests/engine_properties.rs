@@ -1,0 +1,97 @@
+//! Property tests of the event kernel: global time ordering, FIFO
+//! tie-breaking, and horizon semantics for arbitrary schedules.
+
+use mpichgq_sim::{Engine, SimTime, ThroughputMeter, TimeSeries};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Events always pop in non-decreasing time order, and same-time events
+    /// pop in insertion order, for any schedule (including schedules built
+    /// incrementally while popping).
+    #[test]
+    fn pops_ordered_with_fifo_ties(
+        times in proptest::collection::vec(0u64..1_000, 1..300),
+        extra in proptest::collection::vec(0u64..1_000, 0..50),
+    ) {
+        let mut e: Engine<(u64, usize)> = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            e.schedule(SimTime::from_micros(t), (t, i));
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut last_seq_at_time: Option<usize> = None;
+        let mut popped = 0usize;
+        let mut extra_iter = extra.iter();
+        while let Some((at, (t, seq))) = e.pop() {
+            prop_assert!(at >= last_time, "time went backwards");
+            prop_assert_eq!(at, SimTime::from_micros(t));
+            if at == last_time {
+                if let Some(prev) = last_seq_at_time {
+                    // Ties among the initial batch pop in insertion order.
+                    if seq < times.len() && prev < times.len() {
+                        prop_assert!(seq > prev, "FIFO violated: {seq} after {prev}");
+                    }
+                }
+                last_seq_at_time = Some(seq);
+            } else {
+                last_seq_at_time = Some(seq);
+            }
+            last_time = at;
+            popped += 1;
+            // Occasionally schedule more events at or after `now`.
+            if let Some(&x) = extra_iter.next() {
+                let at2 = at + mpichgq_sim::SimDelta::from_micros(x);
+                e.schedule(at2, (at2.as_nanos() / 1000, usize::MAX));
+            }
+        }
+        prop_assert_eq!(popped, times.len() + extra.len().min(times.len() + extra.len()));
+    }
+
+    /// `pop_until` never returns events beyond the limit and always leaves
+    /// the clock at exactly max(limit, last event time ≤ limit).
+    #[test]
+    fn pop_until_horizon(times in proptest::collection::vec(0u64..1_000, 0..100), limit in 0u64..1_000) {
+        let mut e: Engine<u64> = Engine::new();
+        for &t in &times {
+            e.schedule(SimTime::from_micros(t), t);
+        }
+        let lim = SimTime::from_micros(limit);
+        let mut below = 0;
+        while let Some((at, _)) = e.pop_until(lim) {
+            prop_assert!(at <= lim);
+            below += 1;
+        }
+        prop_assert_eq!(below, times.iter().filter(|&&t| t <= limit).count());
+        prop_assert_eq!(e.now(), lim);
+        prop_assert_eq!(e.len(), times.len() - below);
+    }
+
+    /// The throughput meter conserves bytes: the bucketed series integrates
+    /// back to the total, for arbitrary arrival patterns.
+    #[test]
+    fn meter_conserves_bytes(
+        arrivals in proptest::collection::vec((0u64..5_000, 1u64..10_000), 1..200),
+        bucket_ms in 1u64..500,
+    ) {
+        let bucket = mpichgq_sim::SimDelta::from_millis(bucket_ms);
+        let mut m = ThroughputMeter::new(bucket);
+        let mut now = SimTime::ZERO;
+        let mut total = 0u64;
+        for (gap_us, n) in arrivals {
+            now += mpichgq_sim::SimDelta::from_micros(gap_us);
+            m.on_bytes(now, n);
+            total += n;
+        }
+        prop_assert_eq!(m.total_bytes(), total);
+        let end = now + bucket; // close the last bucket
+        let series: TimeSeries = m.finish(end);
+        let integrated: f64 = series
+            .points()
+            .iter()
+            .map(|&(_, kbps)| kbps * 1_000.0 / 8.0 * bucket.as_secs_f64())
+            .sum();
+        prop_assert!((integrated - total as f64).abs() < 1.0,
+            "series integrates to {integrated}, sent {total}");
+    }
+}

@@ -1,0 +1,732 @@
+//! The socket layer: demultiplexing, applications, and the glue between
+//! sans-io TCP connections and the simulated network.
+//!
+//! A [`Stack`] owns every socket and application in the simulation and
+//! implements [`NetHandler`]: packet arrivals are demuxed to TCP/UDP
+//! sockets, connection outputs are applied to the network, and applications
+//! are woken through the [`App`] trait with a [`Ctx`] capability handle
+//! (sockets, timers, CPU work, services). This mirrors the role of the
+//! hosts' kernels plus the globus-io library in the paper's architecture.
+
+use crate::conn::{Connection, Out, SegFlags, SegIn, SegOut, State, TcpCfg};
+use mpichgq_dsrt::ProcId;
+use mpichgq_netsim::{L4, Net, NetHandler, NodeId, Packet, TcpFlags, TcpHeader};
+use mpichgq_sim::{SimDelta, SimTime};
+use std::any::{Any, TypeId};
+use std::collections::{HashMap, VecDeque};
+
+/// Identifies a socket in the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SockId(pub u32);
+
+/// Identifies an application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AppId(pub u32);
+
+/// Whether a socket carries real bytes (integrity-checked transfers) or
+/// counted bytes only (bulk experiments, where copying real payloads
+/// through every queue would be waste).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataMode {
+    Counted,
+    Bytes,
+}
+
+/// Application event interface. All methods have empty defaults; programs
+/// are explicit state machines driven by these callbacks.
+#[allow(unused_variables)]
+pub trait App {
+    fn on_start(&mut self, ctx: &mut Ctx) {}
+    fn on_connected(&mut self, sock: SockId, ctx: &mut Ctx) {}
+    fn on_accept(&mut self, listener: SockId, sock: SockId, ctx: &mut Ctx) {}
+    fn on_readable(&mut self, sock: SockId, ctx: &mut Ctx) {}
+    fn on_writable(&mut self, sock: SockId, ctx: &mut Ctx) {}
+    fn on_remote_closed(&mut self, sock: SockId, ctx: &mut Ctx) {}
+    fn on_closed(&mut self, sock: SockId, ctx: &mut Ctx) {}
+    fn on_timer(&mut self, token: u32, ctx: &mut Ctx) {}
+    fn on_udp(&mut self, sock: SockId, from: (NodeId, u16), len: u32, ctx: &mut Ctx) {}
+    fn on_cpu_done(&mut self, ctx: &mut Ctx) {}
+}
+
+/// Scenario scripting hook: reservations made mid-run, contention starting
+/// and stopping, etc. Fired by control events armed with
+/// [`Stack::schedule_control`]. Several controllers can coexist (a scenario
+/// script plus the GARA timer driver); each receives only its own events.
+pub trait Controller {
+    fn on_control(&mut self, payload: u64, net: &mut Net, stack: &mut Stack);
+}
+
+/// Identifies a registered [`Controller`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControllerId(pub u8);
+
+/// Compose a control token for [`mpichgq_netsim::Net::schedule_control`]
+/// from a controller id and a 56-bit payload.
+pub fn control_token(id: ControllerId, payload: u64) -> u64 {
+    assert!(payload < (1 << 56), "control payload too large");
+    ((id.0 as u64) << 56) | payload
+}
+
+/// Real-byte stream storage for one direction of a TCP socket pair.
+#[derive(Debug, Default)]
+struct StreamBuf {
+    /// Stream offset of `data[0]` (first app byte is offset 1, after SYN).
+    start: u64,
+    data: VecDeque<u8>,
+}
+
+enum SockKind {
+    Tcp(Box<Connection>),
+    Listener { cfg: TcpCfg, mode: DataMode },
+    Udp,
+}
+
+struct Sock {
+    host: NodeId,
+    owner: AppId,
+    kind: SockKind,
+    mode: DataMode,
+    lport: u16,
+    peer: Option<(NodeId, u16)>,
+    /// The other endpoint's socket (simulator-side link for byte streams).
+    peer_sock: Option<SockId>,
+    from_listener: Option<SockId>,
+    tx: StreamBuf,
+    /// Recorder series name for data-segment sequence traces (Figure 7).
+    trace: Option<String>,
+}
+
+struct AppSlot {
+    app: Option<Box<dyn App>>,
+    host: NodeId,
+    proc: ProcId,
+}
+
+// Timer token layout: [kind:8][index:24][payload:32]
+const KIND_TCP: u64 = 1;
+const KIND_APP: u64 = 2;
+
+fn encode_token(kind: u64, index: u32, payload: u32) -> u64 {
+    (kind << 56) | ((index as u64 & 0xFF_FFFF) << 32) | payload as u64
+}
+
+fn decode_token(token: u64) -> (u64, u32, u32) {
+    ((token >> 56) & 0xFF, ((token >> 32) & 0xFF_FFFF) as u32, token as u32)
+}
+
+/// The transport + application layer for the whole simulation.
+pub struct Stack {
+    socks: Vec<Sock>,
+    apps: Vec<AppSlot>,
+    listeners: HashMap<(NodeId, u16), SockId>,
+    conns: HashMap<(NodeId, u16, NodeId, u16), SockId>,
+    udp_binds: HashMap<(NodeId, u16), SockId>,
+    next_port: HashMap<NodeId, u16>,
+    services: HashMap<TypeId, Box<dyn Any>>,
+    controllers: Vec<Option<Box<dyn Controller>>>,
+}
+
+impl Default for Stack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stack {
+    pub fn new() -> Self {
+        Stack {
+            socks: Vec::new(),
+            apps: Vec::new(),
+            listeners: HashMap::new(),
+            conns: HashMap::new(),
+            udp_binds: HashMap::new(),
+            next_port: HashMap::new(),
+            services: HashMap::new(),
+            controllers: Vec::new(),
+        }
+    }
+
+    /// Register an application on `host`, registering a CPU process for it,
+    /// and deliver its `on_start`.
+    pub fn spawn_app(&mut self, net: &mut Net, host: NodeId, app: Box<dyn App>) -> AppId {
+        let proc = net.cpu_add_process(host);
+        let id = AppId(self.apps.len() as u32);
+        self.apps.push(AppSlot { app: Some(app), host, proc });
+        self.wake(net, id, |a, ctx| a.on_start(ctx));
+        id
+    }
+
+    /// Register a controller; its id selects which control events it sees.
+    pub fn add_controller(&mut self, c: Box<dyn Controller>) -> ControllerId {
+        self.add_controller_with(|_| c)
+    }
+
+    /// Register a controller built from its own id (for controllers that
+    /// schedule events to themselves).
+    pub fn add_controller_with(
+        &mut self,
+        f: impl FnOnce(ControllerId) -> Box<dyn Controller>,
+    ) -> ControllerId {
+        let id = ControllerId(self.controllers.len() as u8);
+        self.controllers.push(Some(f(id)));
+        id
+    }
+
+    /// Arm a control point at `at` for controller `id` with `payload`.
+    pub fn schedule_control(
+        &mut self,
+        net: &mut Net,
+        id: ControllerId,
+        at: SimTime,
+        payload: u64,
+    ) {
+        net.schedule_control(at, control_token(id, payload));
+    }
+
+    // --- services (shared singletons like the GARA system) ---
+
+    pub fn insert_service<T: Any>(&mut self, svc: T) {
+        self.services.insert(TypeId::of::<T>(), Box::new(svc));
+    }
+
+    pub fn service_mut<T: Any>(&mut self) -> Option<&mut T> {
+        self.services
+            .get_mut(&TypeId::of::<T>())
+            .and_then(|b| b.downcast_mut::<T>())
+    }
+
+    pub fn take_service<T: Any>(&mut self) -> Option<Box<T>> {
+        self.services
+            .remove(&TypeId::of::<T>())
+            .map(|b| b.downcast::<T>().expect("service type mismatch"))
+    }
+
+    pub fn put_service_box<T: Any>(&mut self, svc: Box<T>) {
+        self.services.insert(TypeId::of::<T>(), svc);
+    }
+
+    /// Statistics of a TCP socket's connection.
+    pub fn conn_stats(&self, sock: SockId) -> Option<crate::conn::ConnStats> {
+        match &self.socks[sock.0 as usize].kind {
+            SockKind::Tcp(c) => Some(c.stats),
+            _ => None,
+        }
+    }
+
+    pub fn conn_state(&self, sock: SockId) -> Option<State> {
+        match &self.socks[sock.0 as usize].kind {
+            SockKind::Tcp(c) => Some(c.state()),
+            _ => None,
+        }
+    }
+
+    /// The local (host, port) of a socket — what the paper's communicator
+    /// introspection function extracts for external QoS agents.
+    pub fn sock_name(&self, sock: SockId) -> (NodeId, u16) {
+        let s = &self.socks[sock.0 as usize];
+        (s.host, s.lport)
+    }
+
+    pub fn sock_peer(&self, sock: SockId) -> Option<(NodeId, u16)> {
+        self.socks[sock.0 as usize].peer
+    }
+
+    fn alloc_port(&mut self, host: NodeId) -> u16 {
+        let p = self.next_port.entry(host).or_insert(49152);
+        let port = *p;
+        *p = p.checked_add(1).expect("ephemeral ports exhausted");
+        port
+    }
+
+    /// Wake `app` with a freshly built context.
+    fn wake(
+        &mut self,
+        net: &mut Net,
+        app: AppId,
+        f: impl FnOnce(&mut dyn App, &mut Ctx),
+    ) {
+        let slot = &mut self.apps[app.0 as usize];
+        let host = slot.host;
+        let Some(mut a) = slot.app.take() else {
+            // Re-entrant wake of an already-active app: by construction
+            // connection outputs triggered by an app's own calls never wake
+            // apps, so this indicates a bug.
+            panic!("re-entrant application wake (app {})", app.0);
+        };
+        let mut ctx = Ctx { net, stack: self, app, host };
+        f(a.as_mut(), &mut ctx);
+        self.apps[app.0 as usize].app = Some(a);
+    }
+
+    /// Apply a batch of connection outputs for `sock`.
+    fn apply_outs(&mut self, net: &mut Net, sock: SockId, outs: Vec<Out>) {
+        for out in outs {
+            match out {
+                Out::Seg(seg) => self.emit_segment(net, sock, seg),
+                Out::ArmTimer { at, gen } => {
+                    let host = self.socks[sock.0 as usize].host;
+                    net.set_host_timer(host, at, encode_token(KIND_TCP, sock.0, gen as u32));
+                }
+                Out::Connected => {
+                    let owner = self.socks[sock.0 as usize].owner;
+                    self.wake(net, owner, |a, ctx| a.on_connected(sock, ctx));
+                }
+                Out::Accepted => {
+                    let owner = self.socks[sock.0 as usize].owner;
+                    let listener = self.socks[sock.0 as usize]
+                        .from_listener
+                        .expect("accepted socket without listener");
+                    self.wake(net, owner, |a, ctx| a.on_accept(listener, sock, ctx));
+                }
+                Out::Readable => {
+                    let owner = self.socks[sock.0 as usize].owner;
+                    self.wake(net, owner, |a, ctx| a.on_readable(sock, ctx));
+                }
+                Out::Writable => {
+                    let owner = self.socks[sock.0 as usize].owner;
+                    self.wake(net, owner, |a, ctx| a.on_writable(sock, ctx));
+                }
+                Out::RemoteClosed => {
+                    let owner = self.socks[sock.0 as usize].owner;
+                    self.wake(net, owner, |a, ctx| a.on_remote_closed(sock, ctx));
+                }
+                Out::Closed => {
+                    let owner = self.socks[sock.0 as usize].owner;
+                    // Free the 4-tuple for reuse.
+                    let s = &self.socks[sock.0 as usize];
+                    if let Some((ph, pp)) = s.peer {
+                        self.conns.remove(&(s.host, s.lport, ph, pp));
+                    }
+                    self.wake(net, owner, |a, ctx| a.on_closed(sock, ctx));
+                }
+            }
+        }
+    }
+
+    fn emit_segment(&mut self, net: &mut Net, sock: SockId, seg: SegOut) {
+        let s = &self.socks[sock.0 as usize];
+        let (peer_host, peer_port) = s.peer.expect("segment without peer");
+        if let Some(name) = &s.trace {
+            if seg.len > 0 {
+                net.recorder.add(name, net.now(), seg.seq as f64);
+            }
+        }
+        let pkt = Packet {
+            src: s.host,
+            dst: peer_host,
+            src_port: s.lport,
+            dst_port: peer_port,
+            dscp: Default::default(),
+            l4: L4::Tcp(TcpHeader {
+                seq: seg.seq,
+                ack: seg.ack,
+                flags: TcpFlags {
+                    syn: seg.flags.syn,
+                    ack: seg.flags.ack,
+                    fin: seg.flags.fin,
+                    rst: seg.flags.rst,
+                },
+                wnd: seg.wnd,
+            }),
+            payload_len: seg.len,
+            id: 0,
+        };
+        net.send_ip(pkt);
+    }
+
+    fn on_tcp_packet(&mut self, net: &mut Net, host: NodeId, pkt: Packet) {
+        let h = *pkt.tcp().expect("tcp demux on non-tcp packet");
+        let key = (host, pkt.dst_port, pkt.src, pkt.src_port);
+        let seg = SegIn {
+            seq: h.seq,
+            ack: h.ack,
+            wnd: h.wnd,
+            len: pkt.payload_len,
+            flags: SegFlags {
+                syn: h.flags.syn,
+                ack: h.flags.ack,
+                fin: h.flags.fin,
+                rst: h.flags.rst,
+            },
+        };
+        if let Some(&sock) = self.conns.get(&key) {
+            let now = net.now();
+            let outs = match &mut self.socks[sock.0 as usize].kind {
+                SockKind::Tcp(c) => c.on_segment(&seg, now),
+                _ => Vec::new(),
+            };
+            self.apply_outs(net, sock, outs);
+            return;
+        }
+        // No connection: a SYN for a listening port performs a passive open.
+        if seg.flags.syn && !seg.flags.ack {
+            if let Some(&listener) = self.listeners.get(&(host, pkt.dst_port)) {
+                let (cfg, mode, owner) = match &self.socks[listener.0 as usize].kind {
+                    SockKind::Listener { cfg, mode } => {
+                        (*cfg, *mode, self.socks[listener.0 as usize].owner)
+                    }
+                    _ => unreachable!("listener map points at non-listener"),
+                };
+                let now = net.now();
+                let (conn, outs) = Connection::accept(cfg, &seg, now);
+                let sock = SockId(self.socks.len() as u32);
+                self.socks.push(Sock {
+                    host,
+                    owner,
+                    kind: SockKind::Tcp(Box::new(conn)),
+                    mode,
+                    lport: pkt.dst_port,
+                    peer: Some((pkt.src, pkt.src_port)),
+                    peer_sock: None,
+                    from_listener: Some(listener),
+                    tx: StreamBuf { start: 1, data: VecDeque::new() },
+                    trace: None,
+                });
+                self.conns.insert(key, sock);
+                // Link the two endpoints for byte-stream transport.
+                let client_key = (pkt.src, pkt.src_port, host, pkt.dst_port);
+                if let Some(&client) = self.conns.get(&client_key) {
+                    assert_eq!(
+                        self.socks[client.0 as usize].mode, mode,
+                        "DataMode mismatch between connect and listen"
+                    );
+                    self.socks[client.0 as usize].peer_sock = Some(sock);
+                    self.socks[sock.0 as usize].peer_sock = Some(client);
+                }
+                self.apply_outs(net, sock, outs);
+            }
+            // No listener: silently drop (a real stack would RST).
+        }
+    }
+}
+
+impl NetHandler for Stack {
+    fn deliver(&mut self, net: &mut Net, host: NodeId, pkt: Packet) {
+        match pkt.l4 {
+            L4::Tcp(_) => self.on_tcp_packet(net, host, pkt),
+            L4::Udp => {
+                if let Some(&sock) = self.udp_binds.get(&(host, pkt.dst_port)) {
+                    let owner = self.socks[sock.0 as usize].owner;
+                    let from = (pkt.src, pkt.src_port);
+                    let len = pkt.payload_len;
+                    self.wake(net, owner, |a, ctx| a.on_udp(sock, from, len, ctx));
+                }
+            }
+        }
+    }
+
+    fn host_timer(&mut self, net: &mut Net, _host: NodeId, token: u64) {
+        let (kind, index, payload) = decode_token(token);
+        match kind {
+            KIND_TCP => {
+                let sock = SockId(index);
+                let now = net.now();
+                let outs = match &mut self.socks[sock.0 as usize].kind {
+                    SockKind::Tcp(c) => c.on_timer(payload as u64, now),
+                    _ => Vec::new(),
+                };
+                self.apply_outs(net, sock, outs);
+            }
+            KIND_APP => {
+                let app = AppId(index);
+                if self.apps[app.0 as usize].app.is_some() {
+                    self.wake(net, app, |a, ctx| a.on_timer(payload, ctx));
+                }
+            }
+            _ => panic!("unknown timer token kind {kind}"),
+        }
+    }
+
+    fn cpu_done(&mut self, net: &mut Net, host: NodeId, proc: ProcId) {
+        let found = self
+            .apps
+            .iter()
+            .position(|s| s.host == host && s.proc == proc && s.app.is_some());
+        if let Some(i) = found {
+            self.wake(net, AppId(i as u32), |a, ctx| a.on_cpu_done(ctx));
+        }
+    }
+
+    fn control(&mut self, net: &mut Net, token: u64) {
+        let id = (token >> 56) as usize;
+        let payload = token & ((1 << 56) - 1);
+        let Some(slot) = self.controllers.get_mut(id) else {
+            panic!("control event for unregistered controller {id}");
+        };
+        if let Some(mut c) = slot.take() {
+            c.on_control(payload, net, self);
+            self.controllers[id] = Some(c);
+        }
+    }
+}
+
+/// Capability handle passed to application callbacks.
+pub struct Ctx<'a> {
+    pub net: &'a mut Net,
+    stack: &'a mut Stack,
+    pub app: AppId,
+    pub host: NodeId,
+}
+
+impl Ctx<'_> {
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// Open a TCP connection to (`dst`, `dport`).
+    pub fn tcp_connect(&mut self, dst: NodeId, dport: u16, cfg: TcpCfg, mode: DataMode) -> SockId {
+        assert_ne!(self.host, dst, "loopback connections are not modeled");
+        let lport = self.stack.alloc_port(self.host);
+        let now = self.net.now();
+        let (conn, outs) = Connection::connect(cfg, now);
+        let sock = SockId(self.stack.socks.len() as u32);
+        self.stack.socks.push(Sock {
+            host: self.host,
+            owner: self.app,
+            kind: SockKind::Tcp(Box::new(conn)),
+            mode,
+            lport,
+            peer: Some((dst, dport)),
+            peer_sock: None,
+            from_listener: None,
+            tx: StreamBuf { start: 1, data: VecDeque::new() },
+            trace: None,
+        });
+        self.stack.conns.insert((self.host, lport, dst, dport), sock);
+        self.stack.apply_outs(self.net, sock, outs);
+        sock
+    }
+
+    /// Listen for TCP connections on `port`.
+    pub fn tcp_listen(&mut self, port: u16, cfg: TcpCfg, mode: DataMode) -> SockId {
+        let sock = SockId(self.stack.socks.len() as u32);
+        self.stack.socks.push(Sock {
+            host: self.host,
+            owner: self.app,
+            kind: SockKind::Listener { cfg, mode },
+            mode,
+            lport: port,
+            peer: None,
+            peer_sock: None,
+            from_listener: None,
+            tx: StreamBuf::default(),
+            trace: None,
+        });
+        let prev = self.stack.listeners.insert((self.host, port), sock);
+        assert!(prev.is_none(), "port {port} already listening on {}", self.host);
+        sock
+    }
+
+    /// Write counted bytes; returns how many were accepted (send buffer).
+    pub fn send(&mut self, sock: SockId, len: u64) -> u64 {
+        let s = &mut self.stack.socks[sock.0 as usize];
+        assert_eq!(s.mode, DataMode::Counted, "send() on a Bytes-mode socket");
+        let now = self.net.now();
+        let (accepted, outs) = match &mut s.kind {
+            SockKind::Tcp(c) => c.write(len, now),
+            _ => panic!("send on non-TCP socket"),
+        };
+        self.stack.apply_outs(self.net, sock, outs);
+        accepted
+    }
+
+    /// Write real bytes; returns how many were accepted.
+    pub fn send_bytes(&mut self, sock: SockId, bytes: &[u8]) -> usize {
+        let s = &mut self.stack.socks[sock.0 as usize];
+        assert_eq!(s.mode, DataMode::Bytes, "send_bytes() on a Counted-mode socket");
+        let now = self.net.now();
+        let (accepted, outs) = match &mut s.kind {
+            SockKind::Tcp(c) => c.write(bytes.len() as u64, now),
+            _ => panic!("send on non-TCP socket"),
+        };
+        s.tx.data.extend(&bytes[..accepted as usize]);
+        self.stack.apply_outs(self.net, sock, outs);
+        accepted as usize
+    }
+
+    /// Read up to `max` counted bytes.
+    pub fn recv(&mut self, sock: SockId, max: u64) -> u64 {
+        let s = &mut self.stack.socks[sock.0 as usize];
+        assert_eq!(s.mode, DataMode::Counted, "recv() on a Bytes-mode socket");
+        let (n, outs) = match &mut s.kind {
+            SockKind::Tcp(c) => c.read(max),
+            _ => panic!("recv on non-TCP socket"),
+        };
+        self.stack.apply_outs(self.net, sock, outs);
+        n
+    }
+
+    /// Read up to `max` real bytes.
+    pub fn recv_bytes(&mut self, sock: SockId, max: u64) -> Vec<u8> {
+        let s = &mut self.stack.socks[sock.0 as usize];
+        assert_eq!(s.mode, DataMode::Bytes, "recv_bytes() on a Counted-mode socket");
+        let (n, outs) = match &mut s.kind {
+            SockKind::Tcp(c) => c.read(max),
+            _ => panic!("recv on non-TCP socket"),
+        };
+        let peer = s.peer_sock.expect("bytes-mode socket without linked peer");
+        let ps = &mut self.stack.socks[peer.0 as usize];
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            out.push(ps.tx.data.pop_front().expect("stream byte store underrun"));
+        }
+        ps.tx.start += n;
+        self.stack.apply_outs(self.net, sock, outs);
+        out
+    }
+
+    /// In-order bytes ready to read.
+    pub fn readable_bytes(&self, sock: SockId) -> u64 {
+        match &self.stack.socks[sock.0 as usize].kind {
+            SockKind::Tcp(c) => c.readable_bytes(),
+            _ => 0,
+        }
+    }
+
+    /// Free space in the socket's send buffer.
+    pub fn send_buffer_free(&self, sock: SockId) -> u64 {
+        match &self.stack.socks[sock.0 as usize].kind {
+            SockKind::Tcp(c) => c.send_buffer_free(),
+            _ => 0,
+        }
+    }
+
+    /// True when the peer has closed and all data has been drained.
+    pub fn at_eof(&self, sock: SockId) -> bool {
+        match &self.stack.socks[sock.0 as usize].kind {
+            SockKind::Tcp(c) => c.at_eof(),
+            _ => false,
+        }
+    }
+
+    /// Close the sending direction.
+    pub fn close(&mut self, sock: SockId) {
+        let now = self.net.now();
+        let outs = match &mut self.stack.socks[sock.0 as usize].kind {
+            SockKind::Tcp(c) => c.close(now),
+            _ => Vec::new(),
+        };
+        self.stack.apply_outs(self.net, sock, outs);
+    }
+
+    /// Record this socket's data-segment sequence numbers into the given
+    /// recorder series (Figure 7 traces).
+    pub fn trace_seq(&mut self, sock: SockId, series: &str) {
+        self.stack.socks[sock.0 as usize].trace = Some(series.to_owned());
+    }
+
+    /// Arm an application timer; `token` comes back in `on_timer`.
+    pub fn set_timer(&mut self, after: SimDelta, token: u32) {
+        let at = self.net.now() + after;
+        self.net
+            .set_host_timer(self.host, at, encode_token(KIND_APP, self.app.0, token));
+    }
+
+    /// Begin `cpu_time` of CPU work; `on_cpu_done` fires when it completes
+    /// under the host's (possibly contended, possibly reserved) schedule.
+    pub fn cpu_work(&mut self, cpu_time: SimDelta) {
+        let proc = self.stack.apps[self.app.0 as usize].proc;
+        self.net.cpu_start_work(self.host, proc, cpu_time);
+    }
+
+    /// This app's CPU process id (for making CPU reservations).
+    pub fn cpu_proc(&self) -> ProcId {
+        self.stack.apps[self.app.0 as usize].proc
+    }
+
+    /// Bind a UDP socket on `port`.
+    pub fn udp_bind(&mut self, port: u16) -> SockId {
+        let sock = SockId(self.stack.socks.len() as u32);
+        self.stack.socks.push(Sock {
+            host: self.host,
+            owner: self.app,
+            kind: SockKind::Udp,
+            mode: DataMode::Counted,
+            lport: port,
+            peer: None,
+            peer_sock: None,
+            from_listener: None,
+            tx: StreamBuf::default(),
+            trace: None,
+        });
+        let prev = self.stack.udp_binds.insert((self.host, port), sock);
+        assert!(prev.is_none(), "udp port {port} already bound on {}", self.host);
+        sock
+    }
+
+    /// Send one UDP datagram (counted payload).
+    pub fn udp_send(&mut self, sock: SockId, dst: NodeId, dport: u16, payload_len: u32) {
+        let s = &self.stack.socks[sock.0 as usize];
+        assert!(matches!(s.kind, SockKind::Udp), "udp_send on non-UDP socket");
+        let pkt = Packet {
+            src: s.host,
+            dst,
+            src_port: s.lport,
+            dst_port: dport,
+            dscp: Default::default(),
+            l4: L4::Udp,
+            payload_len,
+            id: 0,
+        };
+        self.net.send_ip(pkt);
+    }
+
+    /// Connection statistics of a TCP socket.
+    pub fn conn_stats(&self, sock: SockId) -> Option<crate::conn::ConnStats> {
+        self.stack.conn_stats(sock)
+    }
+
+    /// Run `f` with exclusive access to the service `T` and a re-borrowed
+    /// context (take-out pattern: the service is absent from the registry
+    /// for the duration of `f`).
+    pub fn with_service<T: Any, R>(
+        &mut self,
+        f: impl FnOnce(&mut T, &mut Ctx) -> R,
+    ) -> Option<R> {
+        let mut b = self.stack.services.remove(&TypeId::of::<T>())?;
+        let r = f(
+            b.downcast_mut::<T>().expect("service type mismatch"),
+            &mut Ctx { net: self.net, stack: self.stack, app: self.app, host: self.host },
+        );
+        self.stack.services.insert(TypeId::of::<T>(), b);
+        Some(r)
+    }
+
+    /// Local (host, port) of a socket.
+    pub fn sock_name(&self, sock: SockId) -> (NodeId, u16) {
+        self.stack.sock_name(sock)
+    }
+
+    /// Remote (host, port) of a connected socket.
+    pub fn sock_peer(&self, sock: SockId) -> Option<(NodeId, u16)> {
+        self.stack.sock_peer(sock)
+    }
+}
+
+/// Convenience bundle: a network plus its stack, with a run loop.
+pub struct Sim {
+    pub net: Net,
+    pub stack: Stack,
+}
+
+impl Sim {
+    pub fn new(net: Net) -> Sim {
+        Sim { net, stack: Stack::new() }
+    }
+
+    pub fn spawn_app(&mut self, host: NodeId, app: Box<dyn App>) -> AppId {
+        self.stack.spawn_app(&mut self.net, host, app)
+    }
+
+    pub fn run_until(&mut self, t: SimTime) {
+        self.net.run_until(&mut self.stack, t);
+    }
+
+    pub fn run_to_quiescence(&mut self) {
+        self.net.run_to_quiescence(&mut self.stack);
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+}

@@ -1,0 +1,168 @@
+//! Socket-layer behavior: demultiplexing, port allocation, the service
+//! registry, and multi-controller dispatch.
+
+use mpichgq_netsim::{topology::Dumbbell, Net, NodeId};
+use mpichgq_sim::{SimDelta, SimTime};
+use mpichgq_tcp::{App, Controller, Ctx, DataMode, Sim, SockId, Stack, TcpCfg};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+type PortData = Rc<RefCell<Vec<(u16, Vec<u8>)>>>;
+
+fn sim2() -> (Sim, NodeId, NodeId) {
+    let d = Dumbbell::build(10_000_000, SimDelta::from_millis(1), 33);
+    let (a, b) = (d.src, d.dst);
+    (Sim::new(d.net), a, b)
+}
+
+#[test]
+fn concurrent_connections_between_same_hosts_demux_correctly() {
+    // Three sockets between one host pair, each carrying a distinct byte
+    // pattern; the payloads must not cross.
+    let (mut sim, a, b) = sim2();
+    let results: PortData = Rc::new(RefCell::new(Vec::new()));
+
+    struct Server {
+        results: PortData,
+    }
+    impl App for Server {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            for port in [5001, 5002, 5003] {
+                ctx.tcp_listen(port, TcpCfg::default(), DataMode::Bytes);
+            }
+        }
+        fn on_readable(&mut self, sock: SockId, ctx: &mut Ctx) {
+            let data = ctx.recv_bytes(sock, 1024);
+            let (_, port) = ctx.sock_name(sock);
+            self.results.borrow_mut().push((port, data));
+        }
+    }
+    struct Client {
+        dst: NodeId,
+        socks: Vec<SockId>,
+    }
+    impl App for Client {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            for port in [5001, 5002, 5003] {
+                let s = ctx.tcp_connect(self.dst, port, TcpCfg::default(), DataMode::Bytes);
+                self.socks.push(s);
+            }
+        }
+        fn on_connected(&mut self, sock: SockId, ctx: &mut Ctx) {
+            let (_, dport) = ctx.sock_peer(sock).unwrap();
+            let n = ctx.send_bytes(sock, &[dport as u8 - 0x88; 4]); // 5001 -> 0x69...
+            assert_eq!(n, 4);
+        }
+    }
+    sim.spawn_app(b, Box::new(Server { results: results.clone() }));
+    sim.spawn_app(a, Box::new(Client { dst: b, socks: Vec::new() }));
+    sim.run_until(SimTime::from_secs(5));
+    let mut got = results.borrow().clone();
+    got.sort();
+    let expect: Vec<(u16, Vec<u8>)> = [5001u16, 5002, 5003]
+        .iter()
+        .map(|&p| (p, vec![p as u8 - 0x88; 4]))
+        .collect();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn ephemeral_ports_are_unique_per_host() {
+    let (mut sim, a, b) = sim2();
+    struct Server;
+    impl App for Server {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.tcp_listen(7000, TcpCfg::default(), DataMode::Counted);
+        }
+    }
+    struct Client {
+        dst: NodeId,
+        ports: Rc<RefCell<Vec<u16>>>,
+    }
+    impl App for Client {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            for _ in 0..10 {
+                let s = ctx.tcp_connect(self.dst, 7000, TcpCfg::default(), DataMode::Counted);
+                let (_, port) = ctx.sock_name(s);
+                self.ports.borrow_mut().push(port);
+            }
+        }
+    }
+    let ports = Rc::new(RefCell::new(Vec::new()));
+    sim.spawn_app(b, Box::new(Server));
+    sim.spawn_app(a, Box::new(Client { dst: b, ports: ports.clone() }));
+    sim.run_until(SimTime::from_secs(2));
+    let mut p = ports.borrow().clone();
+    assert_eq!(p.len(), 10);
+    p.sort();
+    p.dedup();
+    assert_eq!(p.len(), 10, "ephemeral ports must be unique");
+}
+
+#[test]
+#[should_panic(expected = "already listening")]
+fn double_listen_panics() {
+    let (mut sim, a, _b) = sim2();
+    struct Bad;
+    impl App for Bad {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.tcp_listen(8000, TcpCfg::default(), DataMode::Counted);
+            ctx.tcp_listen(8000, TcpCfg::default(), DataMode::Counted);
+        }
+    }
+    sim.spawn_app(a, Box::new(Bad));
+}
+
+#[test]
+fn service_registry_roundtrip() {
+    struct MyService {
+        hits: u32,
+    }
+    let mut stack = Stack::new();
+    stack.insert_service(MyService { hits: 0 });
+    stack.service_mut::<MyService>().unwrap().hits += 1;
+    let boxed = stack.take_service::<MyService>().unwrap();
+    assert_eq!(boxed.hits, 1);
+    assert!(stack.service_mut::<MyService>().is_none());
+    stack.put_service_box(boxed);
+    assert_eq!(stack.service_mut::<MyService>().unwrap().hits, 1);
+}
+
+#[test]
+fn controllers_receive_only_their_own_events() {
+    let (mut sim, _a, _b) = sim2();
+    struct C(Rc<RefCell<Vec<(u8, u64)>>>, u8);
+    impl Controller for C {
+        fn on_control(&mut self, payload: u64, _net: &mut Net, _stack: &mut Stack) {
+            self.0.borrow_mut().push((self.1, payload));
+        }
+    }
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let c1 = sim.stack.add_controller(Box::new(C(log.clone(), 1)));
+    let c2 = sim.stack.add_controller(Box::new(C(log.clone(), 2)));
+    sim.stack
+        .schedule_control(&mut sim.net, c1, SimTime::from_secs(1), 11);
+    sim.stack
+        .schedule_control(&mut sim.net, c2, SimTime::from_secs(2), 22);
+    sim.stack
+        .schedule_control(&mut sim.net, c1, SimTime::from_secs(3), 33);
+    sim.run_until(SimTime::from_secs(5));
+    assert_eq!(*log.borrow(), vec![(1, 11), (2, 22), (1, 33)]);
+}
+
+#[test]
+fn udp_to_unbound_port_is_dropped_quietly() {
+    let (mut sim, a, b) = sim2();
+    struct Spray {
+        dst: NodeId,
+    }
+    impl App for Spray {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            let s = ctx.udp_bind(1234);
+            ctx.udp_send(s, self.dst, 4321, 100); // nobody listens on 4321
+        }
+    }
+    sim.spawn_app(a, Box::new(Spray { dst: b }));
+    sim.run_until(SimTime::from_secs(1)); // must not panic
+    assert_eq!(sim.net.drops.misrouted, 0);
+}

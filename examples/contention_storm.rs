@@ -1,0 +1,107 @@
+//! Admission control under a reservation storm: several MPI jobs compete
+//! for the premium capacity of one trunk; the bandwidth broker admits what
+//! fits and refuses the rest, and admitted flows are protected while
+//! refused ones share best-effort scraps with the storm.
+//!
+//! Also demonstrates building a custom topology (three site pairs around a
+//! two-router core) rather than using the GARNET preset.
+//!
+//! ```text
+//! cargo run --release --example contention_storm
+//! ```
+
+use mpichgq::apps::{PingPong, UdpBlaster, UdpSink};
+use mpichgq::core::{enable_qos, QosAgentCfg, QosAttribute, QosOutcome};
+use mpichgq::gara::{install, Gara};
+use mpichgq::mpi::JobBuilder;
+use mpichgq::netsim::{LinkCfg, NodeId, QueueCfg, TopoBuilder};
+use mpichgq::sim::{SimDelta, SimTime};
+use mpichgq::tcp::Sim;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn main() {
+    // --- custom topology: 4 source hosts, 4 sink hosts, 2 routers -------
+    let mut b = TopoBuilder::new(0xBEEF);
+    let srcs: Vec<NodeId> = (0..4).map(|i| b.host(&format!("site-a{i}"))).collect();
+    let r1 = b.router("edge-a");
+    let r2 = b.router("edge-b");
+    let dsts: Vec<NodeId> = (0..4).map(|i| b.host(&format!("site-b{i}"))).collect();
+    let access = LinkCfg::fast_ethernet(SimDelta::from_micros(50));
+    for &h in &srcs {
+        b.link(h, r1, access, QueueCfg::priority_default());
+    }
+    for &h in &dsts {
+        b.link(h, r2, access, QueueCfg::priority_default());
+    }
+    // A 30 Mb/s wide-area VC is the contended trunk.
+    let trunk = LinkCfg::atm_vc(30_000_000, SimDelta::from_millis(2));
+    b.link(r1, r2, trunk, QueueCfg::priority_default());
+
+    let mut sim = Sim::new(b.build());
+    let mut gara = Gara::new();
+    gara.manage_core_links(&sim.net, 0.5); // 15 Mb/s reservable premium
+    install(&mut sim.stack, gara);
+
+    // --- the storm: saturate the trunk with best-effort UDP -------------
+    let (sink, _meter) = UdpSink::new(20_000, SimDelta::from_secs(1));
+    sim.spawn_app(dsts[3], Box::new(sink));
+    sim.spawn_app(
+        srcs[3],
+        Box::new(UdpBlaster::with_rate(dsts[3], 20_000, 1472, 35_000_000)),
+    );
+
+    // --- three MPI jobs, each requesting 6 Mb/s premium ------------------
+    let end = SimTime::from_secs(12);
+    let mut results = Vec::new();
+    let mut outcomes = Vec::new();
+    for j in 0..3 {
+        let (builder, env) = enable_qos(JobBuilder::new(), QosAgentCfg::default());
+        let outcome = Rc::new(RefCell::new(None));
+        outcomes.push(outcome.clone());
+        // Wrap rank 0 so we can capture the grant outcome after the put.
+        let qos = Some((env.clone(), QosAttribute::premium(6_000.0, 30_000)));
+        let (p0, p1, result) = PingPong::pair(30_000, SimTime::from_secs(2), end, qos);
+        results.push(result);
+        struct Watch {
+            inner: PingPong,
+            env: mpichgq::core::QosEnv,
+            out: Rc<RefCell<Option<QosOutcome>>>,
+        }
+        impl mpichgq::mpi::MpiProgram for Watch {
+            fn poll(&mut self, mpi: &mut mpichgq::mpi::Mpi) -> mpichgq::mpi::Poll {
+                let r = self.inner.poll(mpi);
+                if self.out.borrow().is_none() {
+                    *self.out.borrow_mut() = Some(self.env.outcome(mpi, mpi.comm_world()));
+                }
+                r
+            }
+        }
+        builder
+            .rank(srcs[j], Box::new(Watch { inner: p0, env, out: outcome }))
+            .rank(dsts[j], Box::new(p1))
+            .base_port((10_000 + 100 * j) as u16)
+            .launch(&mut sim);
+    }
+
+    sim.run_until(end);
+
+    println!("three jobs requested 6 Mb/s premium each; 15 Mb/s was reservable:\n");
+    let mut granted = 0;
+    for (j, (outcome, result)) in outcomes.iter().zip(&results).enumerate() {
+        let out = outcome.borrow().clone().unwrap();
+        let kbps = result.borrow().one_way_kbps();
+        let verdict = match &out {
+            QosOutcome::Granted { network_rate_bps } => {
+                granted += 1;
+                format!("granted ({:.1} Mb/s installed)", *network_rate_bps as f64 / 1e6)
+            }
+            QosOutcome::Denied { reason } => format!("DENIED: {reason}"),
+            QosOutcome::None => "no request".into(),
+        };
+        println!("  job {j}: {verdict:<55} achieved {kbps:>7.0} Kb/s");
+    }
+    assert_eq!(granted, 2, "the broker admits exactly two 6 Mb/s requests");
+    println!("\nadmission control kept the premium class within its budget;");
+    println!("the denied job shares best-effort leftovers with the storm.");
+}

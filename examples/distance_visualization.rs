@@ -1,0 +1,88 @@
+//! The paper's motivating application (§5.3): a distance-visualization
+//! pipeline streaming fixed-size frames at a fixed rate across the wide
+//! area, with QoS supplied through the MPI attribute mechanism.
+//!
+//! Prints the achieved-bandwidth trace with and without a premium
+//! reservation, plus the effect of end-system traffic shaping on a bursty
+//! (1 frame/s) variant — the §5.4 proposal.
+//!
+//! ```text
+//! cargo run --release --example distance_visualization
+//! ```
+
+use mpichgq::apps::{finish_viz, GarnetLab, VizCfg, VizReceiver, VizSender};
+use mpichgq::core::{enable_qos, QosAgentCfg, QosAttribute};
+use mpichgq::mpi::JobBuilder;
+use mpichgq::netsim::GarnetCfg;
+use mpichgq::sim::{SimDelta, SimTime};
+use mpichgq::tcp::TcpCfg;
+
+struct RunCfg {
+    frame_bytes: u32,
+    fps: f64,
+    reservation_kbps: f64,
+    shape: bool,
+}
+
+fn run(cfg: RunCfg) -> (mpichgq::sim::TimeSeries, u64) {
+    let end = SimTime::from_secs(15);
+    let mut lab = GarnetLab::new(GarnetCfg::default(), 0.7);
+    lab.add_contention(150_000_000, SimTime::ZERO, end);
+
+    let agent = QosAgentCfg { shape_at_source: cfg.shape, ..QosAgentCfg::default() };
+    let (builder, env) = enable_qos(JobBuilder::new(), agent);
+    let qos = (cfg.reservation_kbps > 0.0)
+        .then(|| (env, QosAttribute::premium(cfg.reservation_kbps, cfg.frame_bytes)));
+
+    let vcfg = VizCfg {
+        frame_bytes: cfg.frame_bytes,
+        fps: cfg.fps,
+        work_per_frame: SimDelta::ZERO,
+        start: SimTime::from_millis(500),
+        end,
+    };
+    let (tx, _stats, _proc) = VizSender::new(vcfg, qos);
+    let (rx, meter, frames) = VizReceiver::new(SimDelta::from_secs(1), end);
+    // Era-faithful TCP: the paper's Solaris endpoints had ~500 ms minimum
+    // retransmission timeouts, which is what makes bursty flows pay for
+    // shallow token buckets.
+    let tcp = TcpCfg { rto_min: SimDelta::from_millis(500), ..TcpCfg::default() };
+    builder
+        .rank(lab.premium_src, Box::new(tx))
+        .rank(lab.premium_dst, Box::new(rx))
+        .cfg(mpichgq::mpi::MpiCfg { tcp, ..Default::default() })
+        .launch(&mut lab.sim);
+    lab.run_until(end);
+    let run = finish_viz(meter, frames, end, SimTime::from_secs(5), end);
+    (run.series, run.frames_received)
+}
+
+fn main() {
+    println!("distance visualization: 20 KB frames at 10 frames/s (1.6 Mb/s attempted)\n");
+    for (label, resv) in [("best-effort", 0.0), ("premium 1.8 Mb/s", 1_800.0)] {
+        let (series, frames) = run(RunCfg {
+            frame_bytes: 20_000,
+            fps: 10.0,
+            reservation_kbps: resv,
+            shape: false,
+        });
+        println!("{label}: {frames} frames delivered");
+        print!("  bandwidth trace (Kb/s):");
+        for (_, v) in series.points() {
+            print!(" {v:.0}");
+        }
+        println!("\n");
+    }
+
+    println!("bursty variant: 100 KB frames at 1 frame/s (800 Kb/s), tight 1 Mb/s reservation");
+    for (label, shape) in [("policed only", false), ("with end-system shaping", true)] {
+        let (_, frames) = run(RunCfg {
+            frame_bytes: 100_000,
+            fps: 1.0,
+            reservation_kbps: 1_000.0,
+            shape,
+        });
+        println!("  {label}: {frames} frames delivered of ~14 offered");
+    }
+    println!("\nshaping smooths the burst through the normal-depth token bucket (§5.4).");
+}

@@ -1,0 +1,25 @@
+//! # mpichgq — umbrella crate for the MPICH-GQ reproduction
+//!
+//! Re-exports the public API of every subsystem crate so examples, tests,
+//! and downstream users can depend on a single crate:
+//!
+//! * [`sim`] — deterministic discrete-event kernel
+//! * [`netsim`] — packet network with Differentiated Services mechanisms
+//! * [`tcp`] — TCP Reno and the socket/application interface
+//! * [`dsrt`] — soft real-time CPU scheduler model
+//! * [`gara`] — reservation architecture (slot tables, resource managers)
+//! * [`mpi`] — the MPI subset (communicators, attributes, pt2pt, collectives)
+//! * [`core`] — MPICH-GQ itself: the MPI QoS Agent and attribute machinery
+//! * [`apps`] — the paper's workloads (ping-pong, distance visualization)
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+pub use mpichgq_apps as apps;
+pub use mpichgq_core as core;
+pub use mpichgq_dsrt as dsrt;
+pub use mpichgq_gara as gara;
+pub use mpichgq_mpi as mpi;
+pub use mpichgq_netsim as netsim;
+pub use mpichgq_sim as sim;
+pub use mpichgq_tcp as tcp;

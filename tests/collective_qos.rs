@@ -1,0 +1,133 @@
+//! QoS-protected collective operations: the paper names the low-latency
+//! class as "suitable for small message traffic: e.g., certain collective
+//! operations" (§4.1). An allreduce across two flooded sites must complete
+//! orders of magnitude faster once every rank's flows are marked EF.
+
+use mpichgq::apps::{TwoSites, UdpBlaster, UdpSink};
+use mpichgq::core::{enable_qos, QosAgentCfg, QosAttribute};
+use mpichgq::mpi::{Allreduce, CollState, JobBuilder, Mpi, Poll};
+use mpichgq::sim::{SimDelta, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn sum_op(a: &[u8], b: &[u8]) -> Vec<u8> {
+    let x = u64::from_le_bytes(a.try_into().unwrap());
+    let y = u64::from_le_bytes(b.try_into().unwrap());
+    (x + y).to_le_bytes().to_vec()
+}
+
+/// Time for 20 back-to-back allreduces across the two sites, starting after
+/// the flood has filled the WAN queues.
+fn run(low_latency: bool) -> (f64, u64) {
+    // 2×2 ranks around a 10 Mb/s WAN; flood from non-rank hosts.
+    let mut ts = TwoSites::build(3, 10_000_000, SimTime::from_millis(5), 0.7);
+    // The third host at each site is the contention pair.
+    let (sink, _m) = UdpSink::new(20_000, SimDelta::from_secs(1));
+    ts.sim.spawn_app(ts.site_b[2], Box::new(sink));
+    ts.sim.spawn_app(
+        ts.site_a[2],
+        Box::new(UdpBlaster::with_rate(ts.site_b[2], 20_000, 1472, 12_000_000)),
+    );
+    let (sink2, _m2) = UdpSink::new(20_001, SimDelta::from_secs(1));
+    ts.sim.spawn_app(ts.site_a[2], Box::new(sink2));
+    ts.sim.spawn_app(
+        ts.site_b[2],
+        Box::new(UdpBlaster::with_rate(ts.site_a[2], 20_001, 1472, 12_000_000)),
+    );
+
+    let (mut builder, env) = enable_qos(JobBuilder::new(), QosAgentCfg::default());
+    let done_at = Rc::new(RefCell::new(None));
+    let sum_seen = Rc::new(RefCell::new(0u64));
+    let hosts = [ts.site_a[0], ts.site_a[1], ts.site_b[0], ts.site_b[1]];
+    for (r, &host) in hosts.iter().enumerate() {
+        let env = env.clone();
+        let done_at = done_at.clone();
+        let sum_seen = sum_seen.clone();
+        let mut state = 0u8;
+        let mut rounds = 0u32;
+        let mut ar: Option<Allreduce> = None;
+        let mut started = SimTime::ZERO;
+        let prog = move |mpi: &mut Mpi| {
+            loop {
+                match state {
+                    0 => {
+                        if low_latency {
+                            let w = mpi.comm_world();
+                            mpi.attr_put(
+                                w,
+                                env.keyval(),
+                                // Small rate: tiny messages carry a large
+                                // per-byte overhead factor, and every rank
+                                // reserves toward every peer.
+                                Rc::new(QosAttribute::low_latency(200.0, 64)),
+                            );
+                            assert!(env.outcome(mpi, w).is_granted());
+                        }
+                        // Wait for the flood to fill the queues.
+                        mpi.set_timer(SimDelta::from_secs(3), 1);
+                        state = 1;
+                    }
+                    1 => {
+                        if !mpi.take_timer(1) {
+                            return Poll::Pending;
+                        }
+                        started = mpi.now();
+                        state = 2;
+                    }
+                    2 => {
+                        if rounds == 20 {
+                            if r == 0 {
+                                *done_at.borrow_mut() =
+                                    Some(mpi.now().since(started).as_secs_f64());
+                            }
+                            return Poll::Done;
+                        }
+                        let mine = ((r + 1) as u64).to_le_bytes().to_vec();
+                        ar = Some(Allreduce::new(mpi, mpi.comm_world(), mine, sum_op));
+                        state = 3;
+                    }
+                    3 => match ar.as_mut().unwrap().poll(mpi) {
+                        CollState::Ready => {
+                            if r == 0 && std::env::var("QOS_DBG").is_ok() {
+                                eprintln!("rank0 round {} done at {}", rounds + 1, mpi.now());
+                            }
+                            let out = ar.as_mut().unwrap().take_result().unwrap();
+                            *sum_seen.borrow_mut() =
+                                u64::from_le_bytes(out.try_into().unwrap());
+                            rounds += 1;
+                            state = 2;
+                        }
+                        CollState::Pending => return Poll::Pending,
+                    },
+                    _ => unreachable!(),
+                }
+            }
+        };
+        builder = builder.rank(host, Box::new(prog));
+    }
+    builder.launch(&mut ts.sim);
+    ts.sim.run_until(SimTime::from_secs(120));
+    // A run that never finishes within the horizon reports the horizon as a
+    // lower bound (the best-effort case can be starved essentially forever).
+    let elapsed = done_at.borrow().unwrap_or(117.0);
+    let sum = *sum_seen.borrow();
+    (elapsed, sum)
+}
+
+#[test]
+fn low_latency_class_protects_collectives() {
+    let (protected, sum_p) = run(true);
+    let (best_effort, _sum_b) = run(false);
+    // Correctness when protected (the best-effort run may not even finish).
+    assert_eq!(sum_p, 1 + 2 + 3 + 4);
+    // 20 allreduces across a ~10 ms WAN: tens of ms when EF-protected.
+    assert!(
+        protected < 2.0,
+        "protected collectives took {protected:.2} s"
+    );
+    // Under the flood, best-effort collectives crawl through losses.
+    assert!(
+        best_effort > 5.0 * protected,
+        "flood should slow best-effort collectives: {best_effort:.2} vs {protected:.2} s"
+    );
+}

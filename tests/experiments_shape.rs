@@ -1,0 +1,274 @@
+//! Fast-scale qualitative assertions for every table and figure of the
+//! paper's evaluation. These are the reproduction's regression tests: the
+//! *shape* of each result (who wins, where knees fall, which penalties
+//! appear) must hold, not absolute numbers.
+
+use mpichgq_bench::*;
+use mpichgq_netsim::DepthRule;
+use mpichgq_sim::SimTime;
+
+#[test]
+fn fig1_sawtooth_oscillates_below_reservation() {
+    let cfg = Fig1Cfg {
+        app_rate_bps: 50_000_000,
+        reservation_bps: 40_000_000,
+        duration: SimTime::from_secs(30),
+    };
+    let s = fig1_tcp_sawtooth(cfg);
+    // Steady portion (skip slow start).
+    let steady = s.mean_in(SimTime::from_secs(5), SimTime::from_secs(30));
+    // Mean sits well below the 50 Mb/s send rate and below the reservation.
+    assert!(steady < 42_000.0, "mean {steady} should be capped by the reservation");
+    assert!(steady > 15_000.0, "mean {steady} should not collapse entirely");
+    // The sawtooth: substantial oscillation, max near/above reservation,
+    // min far below it ("the bandwidth obtained by this program varies
+    // wildly").
+    let (min, max) = (s.min(), s.max());
+    assert!(max > 35_000.0, "peaks near the reservation, got max {max}");
+    assert!(min < 25_000.0, "deep slow-start troughs, got min {min}");
+}
+
+#[test]
+fn fig5_throughput_rises_with_reservation_and_saturates() {
+    let msgs = [8u32, 120];
+    let reservations = [0.0, 2000.0, 9000.0, 12000.0];
+    let rows = fig5_sweep(&msgs, &reservations, true);
+
+    for (msg, pts) in &rows {
+        // No reservation under heavy contention: (near) starvation.
+        assert!(
+            pts[0].1 < 100.0,
+            "{msg} Kb with no reservation got {:.0} Kb/s",
+            pts[0].1
+        );
+        // Throughput is (weakly) monotone in reservation here.
+        assert!(pts[1].1 <= pts[2].1 + 50.0 && pts[2].1 <= pts[3].1 + 50.0,
+            "{msg} Kb: non-monotone {pts:?}");
+    }
+    // Larger messages saturate at higher throughput (Figure 5's ordering).
+    let sat8 = rows[0].1.last().unwrap().1;
+    let sat120 = rows[1].1.last().unwrap().1;
+    assert!(
+        sat120 > 4.0 * sat8,
+        "120 Kb should far outrun 8 Kb messages: {sat120:.0} vs {sat8:.0}"
+    );
+    // Small messages are latency-bound: more reservation beyond the knee
+    // gives no significant improvement.
+    let knee8 = rows[0].1[1].1; // at 2 Mb/s reservation
+    assert!(
+        (sat8 - knee8).abs() / sat8 < 0.1,
+        "8 Kb messages saturate early: {knee8:.0} then {sat8:.0}"
+    );
+}
+
+#[test]
+fn fig6_undersized_reservation_collapses_throughput() {
+    // 2400 Kb/s attempted (30 KB frames at 10 fps).
+    let mut under = Fig6Cfg::new(30_000, 10.0, 2000.0);
+    under.duration = SimTime::from_secs(10);
+    let mut adequate = Fig6Cfg::new(30_000, 10.0, 2700.0);
+    adequate.duration = SimTime::from_secs(10);
+    let vu = fig6_viz_point(under);
+    let va = fig6_viz_point(adequate);
+    // "making a reservation that is even a little bit too small
+    // dramatically decreases the throughput"
+    assert!(va >= 2300.0, "adequate reservation achieves the target, got {va:.0}");
+    assert!(
+        vu < 0.6 * 2400.0,
+        "16% under-reservation should collapse throughput, got {vu:.0}"
+    );
+    // And no reservation at all is hopeless under contention.
+    let mut none = Fig6Cfg::new(30_000, 10.0, 0.0);
+    none.duration = SimTime::from_secs(10);
+    assert!(fig6_viz_point(none) < 200.0);
+}
+
+#[test]
+fn table1_burstiness_penalty_and_large_bucket_cure() {
+    // One row is enough for shape: target 800 Kb/s.
+    let fps10 = table1_min_reservation(800.0, 10.0, DepthRule::Normal, 0.95, true);
+    let fps1 = table1_min_reservation(800.0, 1.0, DepthRule::Normal, 0.95, true);
+    let fps1_large = table1_min_reservation(800.0, 1.0, DepthRule::Large, 0.95, true);
+    // Smooth traffic needs roughly the sending rate (within ~25%).
+    assert!((780.0..1_100.0).contains(&fps10), "10fps min {fps10:.0}");
+    // Bursty traffic with the normal bucket needs substantially more
+    // (paper: ~50% more; we assert at least 25%).
+    assert!(
+        fps1 > 1.25 * fps10,
+        "burstiness penalty missing: 1fps {fps1:.0} vs 10fps {fps10:.0}"
+    );
+    // The large bucket eliminates the penalty.
+    assert!(
+        fps1_large <= 1.1 * fps10,
+        "large bucket should cure burstiness: {fps1_large:.0} vs {fps10:.0}"
+    );
+}
+
+#[test]
+fn fig7_traces_show_burstiness_difference() {
+    let window = SimTime::from_secs(1);
+    let smooth = fig7_seq_trace(10.0, window);
+    let bursty = fig7_seq_trace(1.0, window);
+    assert!(!smooth.is_empty() && !bursty.is_empty());
+    // Both send ~400 Kb/s of data overall; the bursty one emits its
+    // segments in a far smaller fraction of the time. Measure dispersion:
+    // the count of distinct 100 ms slots containing transmissions.
+    let slots = |ts: &mpichgq_sim::TimeSeries| {
+        let mut s: Vec<u64> = ts
+            .points()
+            .iter()
+            .map(|(t, _)| t.as_nanos() / 100_000_000)
+            .collect();
+        s.dedup();
+        s.len()
+    };
+    let smooth_slots = slots(&smooth);
+    let bursty_slots = slots(&bursty);
+    assert!(
+        smooth_slots >= 2 * bursty_slots,
+        "10 fps should spread transmissions over many more slots: {smooth_slots} vs {bursty_slots}"
+    );
+}
+
+#[test]
+fn fig8_cpu_contention_and_reservation() {
+    let cfg = Fig8Cfg::default();
+    let s = fig8_cpu_reservation(cfg);
+    let clean = phase_mean(&s, 2.0, 10.0);
+    let hog = phase_mean(&s, 11.0, 20.0);
+    let reserved = phase_mean(&s, 22.0, 30.0);
+    assert!(clean > 14_000.0, "clean phase {clean:.0}");
+    assert!(
+        hog < 0.7 * clean,
+        "hog should depress bandwidth: {hog:.0} vs {clean:.0}"
+    );
+    assert!(
+        reserved > 0.85 * clean,
+        "90% CPU reservation should restore bandwidth: {reserved:.0} vs {clean:.0}"
+    );
+}
+
+#[test]
+fn fig9_both_reservations_needed() {
+    let cfg = Fig9Cfg::default();
+    let s = fig9_combined(cfg);
+    let clean = phase_mean(&s, 2.0, 10.0);
+    let congested = phase_mean(&s, 12.0, 21.0);
+    let net_reserved = phase_mean(&s, 23.0, 31.0);
+    let cpu_contended = phase_mean(&s, 33.0, 41.0);
+    let both_reserved = phase_mean(&s, 43.0, 50.0);
+    assert!(clean > 30_000.0, "clean {clean:.0}");
+    assert!(congested < 0.5 * clean, "congestion {congested:.0}");
+    assert!(net_reserved > 0.8 * clean, "net reservation restores {net_reserved:.0}");
+    assert!(
+        cpu_contended < 0.75 * net_reserved,
+        "cpu contention depresses {cpu_contended:.0} vs {net_reserved:.0}"
+    );
+    assert!(
+        both_reserved > 0.85 * clean,
+        "both reservations restore {both_reserved:.0} vs {clean:.0}"
+    );
+}
+
+#[test]
+fn shaping_ablation_tames_burstiness() {
+    // DESIGN.md ablation #3 (the paper's §5.4 proposal): end-system
+    // shaping lets the NORMAL bucket handle the 1 fps burst at a
+    // reservation where unshaped traffic fails.
+    let target = 800.0;
+    let frame_bytes = (target * 1000.0 / 8.0) as u32; // 1 fps
+    let resv = 1_000.0; // enough for smooth traffic, not for bursts
+    let mut unshaped = Fig6Cfg::new(frame_bytes, 1.0, resv);
+    unshaped.duration = SimTime::from_secs(30);
+    let mut shaped = unshaped;
+    shaped.shape_at_source = true;
+    let ru = viz_delivery_ratio(unshaped);
+    let rs = viz_delivery_ratio(shaped);
+    assert!(
+        ru < 0.9,
+        "unshaped bursty flow should miss frames at this reservation: {ru:.2}"
+    );
+    assert!(
+        rs > ru + 0.05,
+        "shaping should improve delivery: {rs:.2} vs {ru:.2}"
+    );
+}
+
+#[test]
+fn demote_ablation_softens_the_cliff() {
+    // DESIGN.md ablation #1: with Demote instead of Drop, out-of-profile
+    // packets ride best-effort. Under *moderate* contention they mostly
+    // survive, so an undersized reservation degrades gracefully.
+    use mpichgq_netsim::PolicingAction;
+    let run = |action: PolicingAction| {
+        let mut cfg = Fig6Cfg::new(30_000, 10.0, 1600.0); // 2400 attempted
+        cfg.duration = SimTime::from_secs(10);
+        cfg.policing_action = action;
+        cfg.contention_bps = 100_000_000; // leaves best-effort headroom
+        fig6_viz_point(cfg)
+    };
+    let dropped = run(PolicingAction::Drop);
+    let demoted = run(PolicingAction::Demote);
+    assert!(
+        demoted > dropped * 1.2,
+        "demotion should outperform dropping at an undersized reservation: {demoted:.0} vs {dropped:.0}"
+    );
+}
+
+#[test]
+fn sec3_average_rate_reservation_is_a_trap() {
+    // The paper's §3 story: the 1 Mb/s "average rate" reservation with the
+    // normal bucket barely helps the bursty stencil; the same rate with a
+    // large bucket restores near-baseline progress.
+    use mpichgq_sim::SimDelta;
+    let base = Sec3Cfg {
+        ranks_per_site: 4, // smaller sites for test speed; same physics
+        iterations: 12,
+        compute: SimDelta::from_millis(800),
+        ..Sec3Cfg::default()
+    };
+    let baseline = sec3_finite_difference(base);
+    let congested = sec3_finite_difference(Sec3Cfg { contention: true, ..base });
+    let trap = sec3_finite_difference(Sec3Cfg {
+        contention: true,
+        qos: Sec3Qos::Premium {
+            kbps: 1_000.0,
+            depth: DepthRule::Normal,
+            shaped: false,
+        },
+        ..base
+    });
+    let large = sec3_finite_difference(Sec3Cfg {
+        contention: true,
+        qos: Sec3Qos::Premium {
+            kbps: 1_000.0,
+            depth: DepthRule::Large,
+            shaped: false,
+        },
+        ..base
+    });
+    assert!(
+        baseline.steady_iters_per_sec > 0.9,
+        "uncontended baseline: {:.2}",
+        baseline.steady_iters_per_sec
+    );
+    assert!(
+        congested.steady_iters_per_sec < 0.4 * baseline.steady_iters_per_sec,
+        "contention collapse: {:.2}",
+        congested.steady_iters_per_sec
+    );
+    assert!(
+        trap.steady_iters_per_sec < 0.6 * baseline.steady_iters_per_sec,
+        "the average-rate reservation must underperform (paper §3): {:.2} vs {:.2}",
+        trap.steady_iters_per_sec,
+        baseline.steady_iters_per_sec
+    );
+    assert!(
+        large.steady_iters_per_sec > 0.85 * baseline.steady_iters_per_sec,
+        "the large bucket must restore progress: {:.2} vs {:.2}",
+        large.steady_iters_per_sec,
+        baseline.steady_iters_per_sec
+    );
+    // And the trap still beats nothing at all.
+    assert!(trap.steady_iters_per_sec > 1.5 * congested.steady_iters_per_sec);
+}
