@@ -19,7 +19,11 @@ struct Script {
 
 impl Controller for Script {
     fn on_control(&mut self, payload: u64, net: &mut Net, stack: &mut Stack) {
-        if let Some(f) = self.actions.get_mut(payload as usize).and_then(Option::take) {
+        if let Some(f) = self
+            .actions
+            .get_mut(payload as usize)
+            .and_then(Option::take)
+        {
             f(net, stack);
         }
     }
@@ -32,7 +36,9 @@ pub struct Scheduler {
 
 impl Scheduler {
     pub fn new() -> Scheduler {
-        Scheduler { entries: Vec::new() }
+        Scheduler {
+            entries: Vec::new(),
+        }
     }
 
     /// Run `f` at simulated time `t`.
@@ -113,8 +119,7 @@ impl GarnetLab {
         let cdst = self.competitive_dst;
         let csrc = self.competitive_src;
         self.sim.spawn_app(cdst, Box::new(sink));
-        let blaster =
-            UdpBlaster::with_rate(cdst, 20_000, 1472, rate_bps).window(start, stop);
+        let blaster = UdpBlaster::with_rate(cdst, 20_000, 1472, rate_bps).window(start, stop);
         self.sim.spawn_app(csrc, Box::new(blaster));
     }
 
@@ -125,8 +130,7 @@ impl GarnetLab {
         let csrc = self.competitive_src;
         let cdst = self.competitive_dst;
         self.sim.spawn_app(csrc, Box::new(sink));
-        let blaster =
-            UdpBlaster::with_rate(csrc, 20_001, 1472, rate_bps).window(start, stop);
+        let blaster = UdpBlaster::with_rate(csrc, 20_001, 1472, rate_bps).window(start, stop);
         self.sim.spawn_app(cdst, Box::new(blaster));
     }
 
@@ -156,12 +160,7 @@ pub struct TwoSites {
 impl TwoSites {
     /// Build two sites of `n` hosts around a WAN VC of `wan_bps` /
     /// `wan_delay`, with GARA managing `reservable_fraction` of the VC.
-    pub fn build(
-        n: usize,
-        wan_bps: u64,
-        wan_delay: SimTime,
-        reservable_fraction: f64,
-    ) -> TwoSites {
+    pub fn build(n: usize, wan_bps: u64, wan_delay: SimTime, reservable_fraction: f64) -> TwoSites {
         use mpichgq_netsim::{LinkCfg, QueueCfg, TopoBuilder};
         let mut b = TopoBuilder::new(0x517E5);
         let site_a: Vec<NodeId> = (0..n).map(|i| b.host(&format!("a{i}"))).collect();
@@ -182,11 +181,21 @@ impl TwoSites {
         let mut gara = Gara::new();
         gara.manage_core_links(&sim.net, reservable_fraction);
         install(&mut sim.stack, gara);
-        TwoSites { sim, site_a, site_b, router_a, router_b }
+        TwoSites {
+            sim,
+            site_a,
+            site_b,
+            router_a,
+            router_b,
+        }
     }
 
     /// Rank-ordered host list for a job spanning both sites.
     pub fn hosts(&self) -> Vec<NodeId> {
-        self.site_a.iter().chain(self.site_b.iter()).copied().collect()
+        self.site_a
+            .iter()
+            .chain(self.site_b.iter())
+            .copied()
+            .collect()
     }
 }

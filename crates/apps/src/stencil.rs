@@ -79,7 +79,10 @@ impl StencilRank {
         cfg: StencilCfg,
         qos: Option<(QosEnv, QosAttribute)>,
     ) -> (Vec<StencilRank>, IterationLog) {
-        assert!(cfg.ranks >= 2 && cfg.ranks.is_multiple_of(2), "even rank count ≥ 2");
+        assert!(
+            cfg.ranks >= 2 && cfg.ranks.is_multiple_of(2),
+            "even rank count ≥ 2"
+        );
         let log: IterationLog = Rc::new(RefCell::new(Vec::new()));
         let ranks = (0..cfg.ranks)
             .map(|rank| StencilRank {

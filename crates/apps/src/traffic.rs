@@ -88,7 +88,13 @@ pub struct UdpSink {
 impl UdpSink {
     pub fn new(port: u16, bucket: SimDelta) -> (UdpSink, Rc<RefCell<ThroughputMeter>>) {
         let meter = Rc::new(RefCell::new(ThroughputMeter::new(bucket)));
-        (UdpSink { port, meter: meter.clone() }, meter)
+        (
+            UdpSink {
+                port,
+                meter: meter.clone(),
+            },
+            meter,
+        )
     }
 }
 
@@ -184,7 +190,14 @@ impl MeteredTcpReceiver {
         bucket: SimDelta,
     ) -> (MeteredTcpReceiver, Rc<RefCell<ThroughputMeter>>) {
         let meter = Rc::new(RefCell::new(ThroughputMeter::new(bucket)));
-        (MeteredTcpReceiver { port, cfg, meter: meter.clone() }, meter)
+        (
+            MeteredTcpReceiver {
+                port,
+                cfg,
+                meter: meter.clone(),
+            },
+            meter,
+        )
     }
 }
 

@@ -202,7 +202,12 @@ impl VizReceiver {
         let meter = Rc::new(RefCell::new(ThroughputMeter::new(bucket)));
         let frames = Rc::new(RefCell::new(0));
         (
-            VizReceiver { meter: meter.clone(), frames: frames.clone(), end, req: None },
+            VizReceiver {
+                meter: meter.clone(),
+                frames: frames.clone(),
+                end,
+                req: None,
+            },
             meter,
             frames,
         )

@@ -70,8 +70,16 @@ fn viz_sender_reports_late_frames_under_backpressure() {
     let st = stats.borrow();
     assert!(st.frames_late > 10, "late frames: {}", st.frames_late);
     // Achieved bandwidth is capped near the bottleneck, not the target.
-    assert!(run.achieved_kbps_steady < 1_100.0, "{}", run.achieved_kbps_steady);
-    assert!(run.achieved_kbps_steady > 700.0, "{}", run.achieved_kbps_steady);
+    assert!(
+        run.achieved_kbps_steady < 1_100.0,
+        "{}",
+        run.achieved_kbps_steady
+    );
+    assert!(
+        run.achieved_kbps_steady > 700.0,
+        "{}",
+        run.achieved_kbps_steady
+    );
 }
 
 #[test]
@@ -87,7 +95,11 @@ fn pingpong_round_time_matches_path_rtt() {
     sim.run_until(end);
     let r = result.borrow();
     assert!(r.rounds > 0);
-    let dur = r.measure_end.unwrap().since(r.measure_start.unwrap()).as_secs_f64();
+    let dur = r
+        .measure_end
+        .unwrap()
+        .since(r.measure_start.unwrap())
+        .as_secs_f64();
     let per_round_ms = dur * 1e3 / r.rounds as f64;
     // One-way propagation is 1.02 ms (10 µs + 1 ms + 10 µs), so RTT is
     // ~2.04 ms; serialization and per-hop store-and-forward add ~0.4 ms.

@@ -12,7 +12,10 @@ use std::hint::black_box;
 fn bench_fig1(c: &mut Criterion) {
     c.bench_function("figures/fig1_sawtooth_10s", |b| {
         b.iter(|| {
-            let cfg = Fig1Cfg { duration: SimTime::from_secs(10), ..Fig1Cfg::default() };
+            let cfg = Fig1Cfg {
+                duration: SimTime::from_secs(10),
+                ..Fig1Cfg::default()
+            };
             black_box(fig1_tcp_sawtooth(cfg).mean())
         })
     });

@@ -30,7 +30,10 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| {
             let mut e: Engine<u32> = Engine::new();
             for i in 0..100_000u32 {
-                e.schedule(SimTime::from_nanos((i as u64 * 2_654_435_761) % 1_000_000_000), i);
+                e.schedule(
+                    SimTime::from_nanos((i as u64 * 2_654_435_761) % 1_000_000_000),
+                    i,
+                );
             }
             let mut acc = 0u64;
             while let Some((_, v)) = e.pop() {
@@ -96,12 +99,15 @@ fn bench_priority_queue(c: &mut Criterion) {
             let mut out = 0u32;
             for i in 0..100_000u32 {
                 let mut p = pkt(1);
-                p.dscp = if i % 4 == 0 { Dscp::Ef } else { Dscp::BestEffort };
+                p.dscp = if i % 4 == 0 {
+                    Dscp::Ef
+                } else {
+                    Dscp::BestEffort
+                };
                 let _ = q.enqueue(p);
-                if i % 2 == 0
-                    && q.pop().is_some() {
-                        out += 1;
-                    }
+                if i % 2 == 0 && q.pop().is_some() {
+                    out += 1;
+                }
             }
             black_box(out)
         })

@@ -60,7 +60,15 @@ fn bench_tcp_bulk(c: &mut Criterion) {
             let mut sim = Sim::new(d.net);
             let got = Rc::new(RefCell::new(0u64));
             sim.spawn_app(dst, Box::new(BulkRx { got: got.clone() }));
-            sim.spawn_app(src, Box::new(BulkTx { dst, total: 4_000_000, sent: 0, sock: None }));
+            sim.spawn_app(
+                src,
+                Box::new(BulkTx {
+                    dst,
+                    total: 4_000_000,
+                    sent: 0,
+                    sock: None,
+                }),
+            );
             sim.run_until(SimTime::from_secs(10));
             let delivered = *got.borrow();
             assert_eq!(delivered, 4_000_000);
@@ -75,8 +83,12 @@ fn bench_mpi_pingpong(c: &mut Criterion) {
             let d = Dumbbell::build(50_000_000, SimDelta::from_millis(1), 2);
             let (h0, h1) = (d.src, d.dst);
             let mut sim = Sim::new(d.net);
-            let (p0, p1, result) =
-                PingPong::pair(10_000, SimTime::from_millis(500), SimTime::from_secs(4), None);
+            let (p0, p1, result) = PingPong::pair(
+                10_000,
+                SimTime::from_millis(500),
+                SimTime::from_secs(4),
+                None,
+            );
             let _job = JobBuilder::new()
                 .rank(h0, Box::new(p0))
                 .rank(h1, Box::new(p1))

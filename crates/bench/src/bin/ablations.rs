@@ -20,7 +20,10 @@ fn main() {
     println!("# ablation 1: policing action at an undersized reservation");
     println!("#   (2400 Kb/s attempted, 1600 Kb/s reserved, moderate contention)");
     println!("action,delivery_ratio");
-    for (label, action) in [("drop", PolicingAction::Drop), ("demote", PolicingAction::Demote)] {
+    for (label, action) in [
+        ("drop", PolicingAction::Drop),
+        ("demote", PolicingAction::Demote),
+    ] {
         let mut cfg = Fig6Cfg::new(30_000, 10.0, 1600.0);
         cfg.policing_action = action;
         cfg.contention_bps = 100_000_000;
@@ -29,7 +32,9 @@ fn main() {
     }
 
     // --- 3. end-system shaping vs policing only -------------------------
-    println!("# ablation 3: end-system shaping of the 1 fps burst (800 Kb/s target, 1000 Kb/s reserved)");
+    println!(
+        "# ablation 3: end-system shaping of the 1 fps burst (800 Kb/s target, 1000 Kb/s reserved)"
+    );
     println!("shaping,delivery_ratio");
     for (label, shape) in [("off", false), ("on", true)] {
         let mut cfg = Fig6Cfg::new(100_000, 1.0, 1000.0);
@@ -69,7 +74,10 @@ fn main() {
         ("ethernet", Framing::Ethernet),
         ("atm_aal5", Framing::AtmAal5),
     ] {
-        println!("{label},{:.3}", wire_overhead_factor(100 * 1024, DEFAULT_MSS, f));
+        println!(
+            "{label},{:.3}",
+            wire_overhead_factor(100 * 1024, DEFAULT_MSS, f)
+        );
     }
     println!("# the paper's \"around 1.06 of the sending rate\" sits between the");
     println!("# ethernet and ATM figures; ATM cell padding dominates the tax.");
@@ -82,7 +90,11 @@ fn table1_min_reservation_with_rto(target_kbps: f64, fps: f64, rto_ms: u64, fast
         let mut cfg = Fig6Cfg::new(frame_bytes, fps, resv);
         cfg.depth_rule = DepthRule::Normal;
         cfg.rto_min = SimDelta::from_millis(rto_ms);
-        cfg.duration = if fast { SimTime::from_secs(30) } else { SimTime::from_secs(60) };
+        cfg.duration = if fast {
+            SimTime::from_secs(30)
+        } else {
+            SimTime::from_secs(60)
+        };
         viz_delivery_ratio(cfg) >= 0.95
     };
     let mut lo = target_kbps * 0.5;

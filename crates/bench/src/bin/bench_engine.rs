@@ -1,0 +1,315 @@
+//! Events-per-second benchmark for the two event-scheduler backends.
+//!
+//! Runs four workloads — a pure engine churn loop, the ping-pong transport
+//! workload (the headline comparison), a many-flow bulk TCP simulation,
+//! and the Figure 1 sawtooth — under both
+//! [`SchedulerKind::Heap`] and [`SchedulerKind::Calendar`], and writes
+//! `BENCH_engine.json` at the repository root (or to the path given as the
+//! first CLI argument).
+//!
+//! For every simulation workload the processed-event counts must match
+//! exactly between backends (the schedulers are observably equivalent);
+//! the binary asserts this, so it doubles as a determinism smoke test.
+//!
+//! Run with: `cargo run --release -p mpichgq-bench --bin bench_engine`
+
+use mpichgq_bench::{fig1_tcp_sawtooth_counted, fig5_pingpong_point_counted, Fig1Cfg, Fig5Cfg};
+use mpichgq_netsim::link::{Framing, LinkCfg};
+use mpichgq_netsim::net::TopoBuilder;
+use mpichgq_netsim::queue::QueueCfg;
+use mpichgq_netsim::NodeId;
+use mpichgq_sim::{Engine, SchedulerKind, SimDelta, SimRng, SimTime};
+use mpichgq_tcp::{App, Ctx, DataMode, Sim, SockId, TcpCfg};
+use std::time::Instant;
+
+/// Wall-clock repeats per (workload, backend); best run is reported so
+/// one-off scheduling hiccups don't skew the ratio.
+const REPEATS: usize = 3;
+
+struct Measurement {
+    events: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+}
+
+struct WorkloadResult {
+    name: &'static str,
+    description: &'static str,
+    heap: Measurement,
+    calendar: Measurement,
+}
+
+impl WorkloadResult {
+    fn speedup(&self) -> f64 {
+        self.calendar.events_per_sec / self.heap.events_per_sec
+    }
+}
+
+/// Run `f` `REPEATS` times and keep the fastest wall-clock run; every
+/// repeat must process the same number of events (determinism check).
+fn measure(f: impl Fn() -> u64) -> Measurement {
+    let mut best_secs = f64::INFINITY;
+    let mut events = 0u64;
+    for rep in 0..REPEATS {
+        let t0 = Instant::now();
+        let n = f();
+        let secs = t0.elapsed().as_secs_f64();
+        if rep == 0 {
+            events = n;
+        } else {
+            assert_eq!(n, events, "event count varied across repeats");
+        }
+        best_secs = best_secs.min(secs);
+    }
+    Measurement {
+        events,
+        wall_secs: best_secs,
+        events_per_sec: events as f64 / best_secs,
+    }
+}
+
+fn run_workload(
+    name: &'static str,
+    description: &'static str,
+    f: impl Fn(SchedulerKind) -> u64,
+) -> WorkloadResult {
+    eprintln!("[bench_engine] {name}: heap ...");
+    let heap = measure(|| f(SchedulerKind::Heap));
+    eprintln!(
+        "[bench_engine] {name}: heap {:.0} ev/s; calendar ...",
+        heap.events_per_sec
+    );
+    let calendar = measure(|| f(SchedulerKind::Calendar));
+    eprintln!(
+        "[bench_engine] {name}: calendar {:.0} ev/s ({:.2}x)",
+        calendar.events_per_sec,
+        calendar.events_per_sec / heap.events_per_sec
+    );
+    assert_eq!(
+        heap.events, calendar.events,
+        "{name}: backends disagreed on processed-event count"
+    );
+    WorkloadResult {
+        name,
+        description,
+        heap,
+        calendar,
+    }
+}
+
+/// Pure scheduler churn: hold a standing population of pending events and
+/// repeatedly pop-then-reschedule with pseudorandom inter-event gaps.
+/// Measures the engine alone, with no per-event simulation work diluting
+/// the comparison.
+fn engine_churn(kind: SchedulerKind) -> u64 {
+    const POPULATION: usize = 100_000;
+    const OPS: usize = 2_000_000;
+    let mut eng: Engine<u64> = Engine::with_scheduler(kind);
+    let mut rng = SimRng::new(0xBEEF);
+    for i in 0..POPULATION {
+        // Gaps from 1 ns to ~1 ms, with frequent exact ties.
+        let gap = rng.next_u64() % 1_000_000 + 1;
+        eng.schedule(SimTime::from_nanos(gap), i as u64);
+    }
+    for _ in 0..OPS {
+        let (at, _payload) = eng.pop().expect("population never drains");
+        let gap = rng.next_u64() % 1_000_000 + 1;
+        eng.schedule(at + SimDelta::from_nanos(gap), 0);
+    }
+    eng.processed()
+}
+
+struct BulkTx {
+    dst: NodeId,
+    total: u64,
+    sent: u64,
+    sock: Option<SockId>,
+}
+impl App for BulkTx {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.sock = Some(ctx.tcp_connect(self.dst, 7000, TcpCfg::default(), DataMode::Counted));
+    }
+    fn on_connected(&mut self, _s: SockId, ctx: &mut Ctx) {
+        self.pump(ctx);
+    }
+    fn on_writable(&mut self, _s: SockId, ctx: &mut Ctx) {
+        self.pump(ctx);
+    }
+}
+impl BulkTx {
+    fn pump(&mut self, ctx: &mut Ctx) {
+        let s = self.sock.unwrap();
+        while self.sent < self.total {
+            let n = ctx.send(s, (self.total - self.sent).min(16 * 1024));
+            self.sent += n;
+            if n == 0 {
+                break;
+            }
+        }
+    }
+}
+struct BulkRx;
+impl App for BulkRx {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.tcp_listen(7000, TcpCfg::default(), DataMode::Counted);
+    }
+    fn on_readable(&mut self, s: SockId, ctx: &mut Ctx) {
+        ctx.recv(s, u64::MAX);
+    }
+}
+
+/// The headline workload: 32 concurrent bulk TCP flows sharing one
+/// high-bandwidth-delay trunk, so the engine carries a deep standing
+/// population of in-flight Deliver events plus per-flow TCP timers.
+fn transport_multiflow(kind: SchedulerKind) -> u64 {
+    const FLOWS: usize = 32;
+    let mut b = TopoBuilder::new(0xF10E5);
+    b.scheduler(kind);
+    let r1 = b.router("r1");
+    let r2 = b.router("r2");
+    let edge = LinkCfg {
+        bandwidth_bps: 10_000_000_000,
+        delay: SimDelta::from_micros(10),
+        framing: Framing::None,
+    };
+    let trunk = LinkCfg {
+        bandwidth_bps: 622_080_000, // OC12
+        delay: SimDelta::from_millis(20),
+        framing: Framing::None,
+    };
+    let q = QueueCfg::priority_default();
+    b.link(r1, r2, trunk, q);
+    let pairs: Vec<(NodeId, NodeId)> = (0..FLOWS)
+        .map(|i| {
+            let src = b.host(&format!("src{i}"));
+            let dst = b.host(&format!("dst{i}"));
+            b.link(src, r1, edge, q);
+            b.link(r2, dst, edge, q);
+            (src, dst)
+        })
+        .collect();
+    let mut sim = Sim::new(b.build());
+    for &(src, dst) in &pairs {
+        sim.spawn_app(dst, Box::new(BulkRx));
+        sim.spawn_app(
+            src,
+            Box::new(BulkTx {
+                dst,
+                total: u64::MAX / 2,
+                sent: 0,
+                sock: None,
+            }),
+        );
+    }
+    sim.run_until(SimTime::from_secs(10));
+    if std::env::var_os("BENCH_ENGINE_STATS").is_some() {
+        if let Some(s) = sim.net.scheduler_stats() {
+            eprintln!(
+                "[stats] transport_multiflow: pending={} processed={} {:?}",
+                sim.net.pending_events(),
+                sim.net.events_processed(),
+                s
+            );
+        }
+    }
+    sim.net.events_processed()
+}
+
+fn fig1_sawtooth(kind: SchedulerKind) -> u64 {
+    let cfg = Fig1Cfg {
+        duration: SimTime::from_secs(20),
+        scheduler: kind,
+        ..Fig1Cfg::default()
+    };
+    fig1_tcp_sawtooth_counted(cfg).1
+}
+
+/// The headline comparison: the paper's ping-pong transport workload (one
+/// Figure 5 point) — MPI ping-pong over TCP across GARNET with contending
+/// traffic on both trunk directions and a premium reservation.
+fn transport_pingpong(kind: SchedulerKind) -> u64 {
+    let mut cfg = Fig5Cfg::new(40 * 1000 / 8, 6000.0);
+    cfg.scheduler = kind;
+    fig5_pingpong_point_counted(cfg).1
+}
+
+fn json_measurement(m: &Measurement) -> String {
+    format!(
+        "{{\"events\": {}, \"wall_secs\": {:.6}, \"events_per_sec\": {:.1}}}",
+        m.events, m.wall_secs, m.events_per_sec
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    let results = [
+        run_workload(
+            "engine_churn",
+            "pure Engine pop+reschedule loop, 100k standing events, 2M ops",
+            engine_churn,
+        ),
+        run_workload(
+            "transport_pingpong",
+            "MPI ping-pong over TCP on GARNET (40 Kb msg, 6 Mb/s reservation) with bidirectional contention — the Figure 5 transport workload",
+            transport_pingpong,
+        ),
+        run_workload(
+            "transport_multiflow_bulk",
+            "32 bulk TCP flows over a shared OC12 trunk (20 ms), 10 s simulated",
+            transport_multiflow,
+        ),
+        run_workload(
+            "fig1_sawtooth",
+            "Figure 1 premium-vs-competitive sawtooth on GARNET, 20 s simulated",
+            fig1_sawtooth,
+        ),
+    ];
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"bench_engine\",\n");
+    json.push_str(
+        "  \"note\": \"events/sec per scheduler backend; best of 3 runs; release build; \
+         event counts asserted identical across backends\",\n",
+    );
+    json.push_str(&format!("  \"repeats\": {REPEATS},\n"));
+    json.push_str("  \"workloads\": [\n");
+    for (i, w) in results.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"name\": \"{}\",\n", w.name));
+        json.push_str(&format!("      \"description\": \"{}\",\n", w.description));
+        json.push_str(&format!("      \"heap\": {},\n", json_measurement(&w.heap)));
+        json.push_str(&format!(
+            "      \"calendar\": {},\n",
+            json_measurement(&w.calendar)
+        ));
+        json.push_str(&format!(
+            "      \"speedup_calendar_over_heap\": {:.3}\n",
+            w.speedup()
+        ));
+        json.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+
+    println!("{json}");
+    let transport = results
+        .iter()
+        .find(|w| w.name == "transport_pingpong")
+        .unwrap();
+    println!(
+        "transport_pingpong speedup (calendar/heap): {:.3}x (gate: >= 1.3x)",
+        transport.speedup()
+    );
+    assert!(
+        transport.speedup() >= 1.3,
+        "ping-pong transport workload below the 1.3x events/sec gate"
+    );
+}

@@ -16,10 +16,17 @@ fn main() {
         );
         // Burstiness summary: fraction of the second during which segments
         // were emitted.
-        let times: Vec<f64> = trace.points().iter().map(|(t, _)| t.as_secs_f64()).collect();
+        let times: Vec<f64> = trace
+            .points()
+            .iter()
+            .map(|(t, _)| t.as_secs_f64())
+            .collect();
         if times.len() > 1 {
             let span = times.last().unwrap() - times.first().unwrap();
-            println!("# {label}: {} segments emitted over {span:.3} s of the window", times.len());
+            println!(
+                "# {label}: {} segments emitted over {span:.3} s of the window",
+                times.len()
+            );
         }
     }
 }

@@ -24,9 +24,16 @@ fn main() {
             ch.cfg.bandwidth_bps / 1_000_000,
             ch.cfg.delay.as_secs_f64() * 1e3,
             ch.cfg.framing,
-            if ch.edge_ingress { " [edge ingress]" } else { "" }
+            if ch.edge_ingress {
+                " [edge ingress]"
+            } else {
+                ""
+            }
         );
     }
     let d = g.net.path_delay(g.premium_src, g.premium_dst).unwrap();
-    println!("# premium path one-way propagation delay: {:.3} ms", d.as_secs_f64() * 1e3);
+    println!(
+        "# premium path one-way propagation delay: {:.3} ms",
+        d.as_secs_f64() * 1e3
+    );
 }

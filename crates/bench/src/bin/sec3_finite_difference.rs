@@ -16,13 +16,20 @@ fn main() {
         ("uncontended best-effort (baseline)", base),
         (
             "contended, no reservation",
-            Sec3Cfg { contention: true, ..base },
+            Sec3Cfg {
+                contention: true,
+                ..base
+            },
         ),
         (
             "premium at the 1 Mb/s average rate, bw/40 bucket (the paper's trap)",
             Sec3Cfg {
                 contention: true,
-                qos: Sec3Qos::Premium { kbps: 1_000.0, depth: DepthRule::Normal, shaped: false },
+                qos: Sec3Qos::Premium {
+                    kbps: 1_000.0,
+                    depth: DepthRule::Normal,
+                    shaped: false,
+                },
                 ..base
             },
         ),
@@ -30,7 +37,11 @@ fn main() {
             "premium 1 Mb/s, LARGE bucket (burst fits)",
             Sec3Cfg {
                 contention: true,
-                qos: Sec3Qos::Premium { kbps: 1_000.0, depth: DepthRule::Large, shaped: false },
+                qos: Sec3Qos::Premium {
+                    kbps: 1_000.0,
+                    depth: DepthRule::Large,
+                    shaped: false,
+                },
                 ..base
             },
         ),
@@ -38,7 +49,11 @@ fn main() {
             "premium 1.3 Mb/s + end-system shaping (§5.4)",
             Sec3Cfg {
                 contention: true,
-                qos: Sec3Qos::Premium { kbps: 1_300.0, depth: DepthRule::Normal, shaped: true },
+                qos: Sec3Qos::Premium {
+                    kbps: 1_300.0,
+                    depth: DepthRule::Normal,
+                    shaped: true,
+                },
                 ..base
             },
         ),
@@ -46,7 +61,11 @@ fn main() {
             "premium 3 Mb/s, bw/40 bucket (over-reserving instead)",
             Sec3Cfg {
                 contention: true,
-                qos: Sec3Qos::Premium { kbps: 3_000.0, depth: DepthRule::Normal, shaped: false },
+                qos: Sec3Qos::Premium {
+                    kbps: 3_000.0,
+                    depth: DepthRule::Normal,
+                    shaped: false,
+                },
                 ..base
             },
         ),

@@ -20,7 +20,12 @@ fn main() {
         .collect();
     output::print_table(
         "Table 1: reservation (Kb/s) required for a target bandwidth",
-        &["bandwidth_desired", "normal_bucket_10fps", "normal_bucket_1fps", "large_bucket_1fps"],
+        &[
+            "bandwidth_desired",
+            "normal_bucket_10fps",
+            "normal_bucket_1fps",
+            "large_bucket_1fps",
+        ],
         &table,
     );
     println!("# paper:           400 -> 500 / 750 / 500");

@@ -8,7 +8,7 @@ use mpichgq_core::{enable_qos, QosAgentCfg, QosAttribute};
 use mpichgq_gara::{CpuRequest, NetworkRequest, Request, StartSpec};
 use mpichgq_mpi::JobBuilder;
 use mpichgq_netsim::{DepthRule, GarnetCfg, PolicingAction, Proto};
-use mpichgq_sim::{SimDelta, SimTime, TimeSeries};
+use mpichgq_sim::{SchedulerKind, SimDelta, SimTime, TimeSeries};
 use mpichgq_tcp::TcpCfg;
 
 /// The offered UDP contention load: enough to keep the best-effort queue
@@ -25,18 +25,27 @@ fn secs(s: f64) -> SimTime {
 /// shallow token buckets: every stall outlives the bucket's 0.2 s fill
 /// time and wastes refill (Table 1's burstiness penalty).
 pub fn era_tcp() -> TcpCfg {
-    TcpCfg { rto_min: SimDelta::from_millis(500), ..TcpCfg::default() }
+    TcpCfg {
+        rto_min: SimDelta::from_millis(500),
+        ..TcpCfg::default()
+    }
 }
 
 /// MPI configuration used by the paper-replica experiments.
 pub fn era_mpi() -> mpichgq_mpi::MpiCfg {
-    mpichgq_mpi::MpiCfg { tcp: era_tcp(), ..Default::default() }
+    mpichgq_mpi::MpiCfg {
+        tcp: era_tcp(),
+        ..Default::default()
+    }
 }
 
 /// Agent configuration for the reservation sweeps: the paper's reservation
 /// axis is the raw network premium bandwidth.
 pub fn sweep_agent_cfg() -> QosAgentCfg {
-    QosAgentCfg { translate_overhead: false, ..QosAgentCfg::default() }
+    QosAgentCfg {
+        translate_overhead: false,
+        ..QosAgentCfg::default()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -50,6 +59,9 @@ pub struct Fig1Cfg {
     /// Premium reservation (paper: 40 Mb/s, "somewhat too low").
     pub reservation_bps: u64,
     pub duration: SimTime,
+    /// Event-scheduler backend (results are identical either way; the
+    /// choice only affects wall-clock speed).
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for Fig1Cfg {
@@ -58,6 +70,7 @@ impl Default for Fig1Cfg {
             app_rate_bps: 50_000_000,
             reservation_bps: 40_000_000,
             duration: SimTime::from_secs(100),
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -66,7 +79,17 @@ impl Default for Fig1Cfg {
 /// contention, with a premium reservation of `reservation_bps`. Returns
 /// the receiver's 1-second bandwidth trace (Kb/s).
 pub fn fig1_tcp_sawtooth(cfg: Fig1Cfg) -> TimeSeries {
-    let mut lab = GarnetLab::new(GarnetCfg::default(), 0.7);
+    fig1_tcp_sawtooth_counted(cfg).0
+}
+
+/// [`fig1_tcp_sawtooth`] plus the engine's processed-event count, for the
+/// events-per-second benchmark and the scheduler determinism test.
+pub fn fig1_tcp_sawtooth_counted(cfg: Fig1Cfg) -> (TimeSeries, u64) {
+    let garnet = GarnetCfg {
+        scheduler: cfg.scheduler,
+        ..GarnetCfg::default()
+    };
+    let mut lab = GarnetLab::new(garnet, 0.7);
     lab.add_contention(CONTENTION_BPS, SimTime::ZERO, cfg.duration);
     let (psrc, pdst) = (lab.premium_src, lab.premium_dst);
 
@@ -92,16 +115,23 @@ pub fn fig1_tcp_sawtooth(cfg: Fig1Cfg) -> TimeSeries {
         .expect("figure-1 reservation admitted");
     });
 
-    let tcp = TcpCfg { send_buf: 512 * 1024, recv_buf: 512 * 1024, ..TcpCfg::default() };
+    let tcp = TcpCfg {
+        send_buf: 512 * 1024,
+        recv_buf: 512 * 1024,
+        ..TcpCfg::default()
+    };
     let (rx, meter) = MeteredTcpReceiver::new(6000, tcp, SimDelta::from_secs(1));
     lab.sim.spawn_app(pdst, Box::new(rx));
-    lab.sim
-        .spawn_app(psrc, Box::new(PacedTcpSender::new(pdst, 6000, cfg.app_rate_bps, tcp)));
+    lab.sim.spawn_app(
+        psrc,
+        Box::new(PacedTcpSender::new(pdst, 6000, cfg.app_rate_bps, tcp)),
+    );
     lab.run_until(cfg.duration);
+    let events = lab.sim.net.events_processed();
     let m = std::rc::Rc::try_unwrap(meter)
         .map(|c| c.into_inner())
         .unwrap_or_else(|rc| rc.borrow().clone());
-    m.finish(cfg.duration)
+    (m.finish(cfg.duration), events)
 }
 
 // ---------------------------------------------------------------------
@@ -114,6 +144,8 @@ pub struct Fig5Cfg {
     pub reservation_kbps: f64,
     pub duration: SimTime,
     pub warmup: SimTime,
+    /// Event-scheduler backend (identical results; wall-clock only).
+    pub scheduler: SchedulerKind,
 }
 
 impl Fig5Cfg {
@@ -123,6 +155,7 @@ impl Fig5Cfg {
             reservation_kbps,
             duration: SimTime::from_secs(20),
             warmup: SimTime::from_secs(5),
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -131,14 +164,26 @@ impl Fig5Cfg {
 /// experiment (round-trip in the paper's ~15 ms regime, putting the
 /// Figure 5 knees in the paper's 0–12 Mb/s reservation range).
 pub fn fig5_garnet() -> GarnetCfg {
-    GarnetCfg { core_delay: SimDelta::from_millis(3), ..GarnetCfg::default() }
+    GarnetCfg {
+        core_delay: SimDelta::from_millis(3),
+        ..GarnetCfg::default()
+    }
 }
 
 /// One Figure 5 point: one-way ping-pong throughput (Kb/s) for a message
 /// size and reservation, with contention on both trunk directions.
 /// `reservation_kbps == 0` means no reservation.
 pub fn fig5_pingpong_point(cfg: Fig5Cfg) -> f64 {
-    let mut lab = GarnetLab::new(fig5_garnet(), 0.7);
+    fig5_pingpong_point_counted(cfg).0
+}
+
+/// [`fig5_pingpong_point`] plus the engine's processed-event count.
+pub fn fig5_pingpong_point_counted(cfg: Fig5Cfg) -> (f64, u64) {
+    let garnet = GarnetCfg {
+        scheduler: cfg.scheduler,
+        ..fig5_garnet()
+    };
+    let mut lab = GarnetLab::new(garnet, 0.7);
     lab.add_contention(CONTENTION_BPS, SimTime::ZERO, cfg.duration);
     lab.add_contention_reverse(CONTENTION_BPS, SimTime::ZERO, cfg.duration);
 
@@ -158,8 +203,9 @@ pub fn fig5_pingpong_point(cfg: Fig5Cfg) -> f64 {
         .cfg(era_mpi())
         .launch(&mut lab.sim);
     lab.run_until(cfg.duration);
+    let events = lab.sim.net.events_processed();
     let r = result.borrow();
-    r.one_way_kbps()
+    (r.one_way_kbps(), events)
 }
 
 /// The full Figure 5 sweep: message sizes in kilobits (paper: 8, 40, 80,
@@ -169,7 +215,7 @@ pub fn fig5_sweep(
     reservations_kbps: &[f64],
     fast: bool,
 ) -> Vec<(u32, Vec<(f64, f64)>)> {
-    sweep_parallel(msg_kbits, reservations_kbps, move |&mk, &resv| {
+    crate::par::par_grid(msg_kbits, reservations_kbps, move |&mk, &resv| {
         let mut cfg = Fig5Cfg::new(mk * 1000 / 8, resv);
         if fast {
             cfg.duration = SimTime::from_secs(8);
@@ -177,39 +223,6 @@ pub fn fig5_sweep(
         }
         fig5_pingpong_point(cfg)
     })
-}
-
-/// Run a two-axis sweep in parallel with scoped threads (each simulation
-/// is independent and single-threaded).
-fn sweep_parallel<A, B>(
-    rows: &[A],
-    cols: &[B],
-    f: impl Fn(&A, &B) -> f64 + Sync,
-) -> Vec<(A, Vec<(f64, f64)>)>
-where
-    A: Sync + Copy + Send,
-    B: Sync + Copy + Into<f64> + Send,
-{
-    let mut out: Vec<(A, Vec<(f64, f64)>)> = Vec::new();
-    let results: Vec<Vec<f64>> = std::thread::scope(|s| {
-        let handles: Vec<_> = rows
-            .iter()
-            .map(|a| {
-                let f = &f;
-                s.spawn(move || cols.iter().map(|b| f(a, b)).collect::<Vec<f64>>())
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep worker")).collect()
-    });
-    for (a, row) in rows.iter().zip(results) {
-        let pts = cols
-            .iter()
-            .zip(row)
-            .map(|(b, v)| ((*b).into(), v))
-            .collect();
-        out.push((*a, pts));
-    }
-    out
 }
 
 // ---------------------------------------------------------------------
@@ -283,7 +296,10 @@ pub fn viz_run_under_contention(cfg: Fig6Cfg) -> mpichgq_apps::VizRun {
     };
     let (builder, env) = enable_qos(JobBuilder::new(), agent_cfg);
     let qos = if cfg.reservation_kbps > 0.0 {
-        Some((env, QosAttribute::premium(cfg.reservation_kbps, cfg.frame_bytes)))
+        Some((
+            env,
+            QosAttribute::premium(cfg.reservation_kbps, cfg.frame_bytes),
+        ))
     } else {
         None
     };
@@ -296,8 +312,14 @@ pub fn viz_run_under_contention(cfg: Fig6Cfg) -> mpichgq_apps::VizRun {
     };
     let (tx, _stats, _proc) = VizSender::new(vcfg, qos);
     let (rx, meter, frames) = VizReceiver::new(SimDelta::from_secs(1), cfg.duration);
-    let tcp = TcpCfg { rto_min: cfg.rto_min, ..TcpCfg::default() };
-    let mpi_cfg = mpichgq_mpi::MpiCfg { tcp, eager_limit: cfg.eager_limit };
+    let tcp = TcpCfg {
+        rto_min: cfg.rto_min,
+        ..TcpCfg::default()
+    };
+    let mpi_cfg = mpichgq_mpi::MpiCfg {
+        tcp,
+        eager_limit: cfg.eager_limit,
+    };
     let _job = builder
         .rank(lab.premium_src, Box::new(tx))
         .rank(lab.premium_dst, Box::new(rx))
@@ -323,7 +345,7 @@ pub fn fig6_sweep(
     reservations_kbps: &[f64],
     fast: bool,
 ) -> Vec<(u32, Vec<(f64, f64)>)> {
-    sweep_parallel(frame_kb, reservations_kbps, move |&fk, &resv| {
+    crate::par::par_grid(frame_kb, reservations_kbps, move |&fk, &resv| {
         let mut cfg = Fig6Cfg::new(fk * 1000, 10.0, resv);
         if fast {
             cfg.duration = SimTime::from_secs(10);
@@ -392,21 +414,32 @@ pub struct Table1Row {
 }
 
 pub fn table1(targets_kbps: &[f64], fraction: f64, fast: bool) -> Vec<Table1Row> {
-    let cells: Vec<Table1Row> = std::thread::scope(|s| {
-        let handles: Vec<_> = targets_kbps
-            .iter()
-            .map(|&t| {
-                s.spawn(move || Table1Row {
-                    target_kbps: t,
-                    fps10_normal: table1_min_reservation(t, 10.0, DepthRule::Normal, fraction, fast),
-                    fps1_normal: table1_min_reservation(t, 1.0, DepthRule::Normal, fraction, fast),
-                    fps1_large: table1_min_reservation(t, 1.0, DepthRule::Large, fraction, fast),
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("table1 worker")).collect()
+    // Each (target, fps, depth) bisection is independent; flatten the three
+    // columns into the cell list so the pool stays busy even when rows
+    // finish at very different speeds.
+    let cells: Vec<(f64, f64, DepthRule)> = targets_kbps
+        .iter()
+        .flat_map(|&t| {
+            [
+                (t, 10.0, DepthRule::Normal),
+                (t, 1.0, DepthRule::Normal),
+                (t, 1.0, DepthRule::Large),
+            ]
+        })
+        .collect();
+    let resv = crate::par::par_map(&cells, |&(t, fps, depth)| {
+        table1_min_reservation(t, fps, depth, fraction, fast)
     });
-    cells
+    targets_kbps
+        .iter()
+        .zip(resv.chunks_exact(3))
+        .map(|(&t, r)| Table1Row {
+            target_kbps: t,
+            fps10_normal: r[0],
+            fps1_normal: r[1],
+            fps1_large: r[2],
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -448,7 +481,13 @@ pub fn fig7_seq_trace(fps: f64, window: SimTime) -> TimeSeries {
         }
     }
     let _job = builder
-        .rank(lab.premium_src, Box::new(Traced { inner: tx, traced: false }))
+        .rank(
+            lab.premium_src,
+            Box::new(Traced {
+                inner: tx,
+                traced: false,
+            }),
+        )
         .rank(lab.premium_dst, Box::new(rx))
         .cfg(era_mpi())
         .launch(&mut lab.sim);
@@ -536,7 +575,11 @@ pub fn fig8_cpu_reservation(cfg: Fig8Cfg) -> TimeSeries {
         let mut gara = stack.take_service::<mpichgq_gara::Gara>().unwrap();
         gara.reserve(
             net,
-            Request::Cpu(CpuRequest { host: psrc, proc, fraction: cpu_frac }),
+            Request::Cpu(CpuRequest {
+                host: psrc,
+                proc,
+                fraction: cpu_frac,
+            }),
             StartSpec::Now,
             None,
         )
@@ -600,8 +643,15 @@ pub fn fig9_combined(cfg: Fig9Cfg) -> TimeSeries {
     };
     // 35 Mb/s with blocking frame sends needs era-appropriately tuned
     // socket buffers (the paper's §5.5 lesson about buffer sizing).
-    let tcp = TcpCfg { send_buf: 512 * 1024, recv_buf: 512 * 1024, ..TcpCfg::default() };
-    let mpi_cfg = mpichgq_mpi::MpiCfg { tcp, ..Default::default() };
+    let tcp = TcpCfg {
+        send_buf: 512 * 1024,
+        recv_buf: 512 * 1024,
+        ..TcpCfg::default()
+    };
+    let mpi_cfg = mpichgq_mpi::MpiCfg {
+        tcp,
+        ..Default::default()
+    };
     let (builder, _env) = enable_qos(JobBuilder::new(), QosAgentCfg::default());
     let (tx, _stats, proc_out) = VizSender::new(vcfg, None);
     let (rx, meter, frames) = VizReceiver::new(SimDelta::from_secs(1), cfg.duration);
@@ -646,7 +696,11 @@ pub fn fig9_combined(cfg: Fig9Cfg) -> TimeSeries {
         let mut gara = stack.take_service::<mpichgq_gara::Gara>().unwrap();
         gara.reserve(
             net,
-            Request::Cpu(CpuRequest { host: psrc, proc, fraction: cpu_frac }),
+            Request::Cpu(CpuRequest {
+                host: psrc,
+                proc,
+                fraction: cpu_frac,
+            }),
             StartSpec::Now,
             None,
         )
@@ -675,7 +729,11 @@ pub fn phase_mean(series: &TimeSeries, from: f64, to: f64) -> f64 {
 pub enum Sec3Qos {
     None,
     /// Premium at the given app rate (Kb/s), with the given bucket rule.
-    Premium { kbps: f64, depth: DepthRule, shaped: bool },
+    Premium {
+        kbps: f64,
+        depth: DepthRule,
+        shaped: bool,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -715,7 +773,9 @@ pub struct Sec3Out {
 }
 
 pub fn sec3_finite_difference(cfg: Sec3Cfg) -> Sec3Out {
-    use mpichgq_apps::{steady_iteration_rate, StencilCfg, StencilRank, TwoSites, UdpBlaster, UdpSink};
+    use mpichgq_apps::{
+        steady_iteration_rate, StencilCfg, StencilRank, TwoSites, UdpBlaster, UdpSink,
+    };
 
     let mut ts = TwoSites::build(
         cfg.ranks_per_site,
@@ -723,9 +783,8 @@ pub fn sec3_finite_difference(cfg: Sec3Cfg) -> Sec3Out {
         SimTime::from_millis(5),
         0.7,
     );
-    let horizon = SimTime::from_secs_f64(
-        cfg.iterations as f64 * cfg.compute.as_secs_f64() * 8.0 + 20.0,
-    );
+    let horizon =
+        SimTime::from_secs_f64(cfg.iterations as f64 * cfg.compute.as_secs_f64() * 8.0 + 20.0);
     if cfg.contention {
         let (sink, _m) = UdpSink::new(20_000, SimDelta::from_secs(1));
         let sink_host = ts.site_b[cfg.ranks_per_site - 1];
@@ -733,7 +792,12 @@ pub fn sec3_finite_difference(cfg: Sec3Cfg) -> Sec3Out {
         ts.sim.spawn_app(sink_host, Box::new(sink));
         ts.sim.spawn_app(
             src_host,
-            Box::new(UdpBlaster::with_rate(sink_host, 20_000, 1472, cfg.wan_bps * 12 / 10)),
+            Box::new(UdpBlaster::with_rate(
+                sink_host,
+                20_000,
+                1472,
+                cfg.wan_bps * 12 / 10,
+            )),
         );
     }
 
@@ -747,9 +811,7 @@ pub fn sec3_finite_difference(cfg: Sec3Cfg) -> Sec3Out {
     };
     let (mut builder, env) = enable_qos(JobBuilder::new(), agent_cfg);
     let qos = match cfg.qos {
-        Sec3Qos::Premium { kbps, .. } => {
-            Some((env, QosAttribute::premium(kbps, cfg.halo_bytes)))
-        }
+        Sec3Qos::Premium { kbps, .. } => Some((env, QosAttribute::premium(kbps, cfg.halo_bytes))),
         Sec3Qos::None => None,
     };
     let scfg = StencilCfg {

@@ -10,5 +10,7 @@
 
 pub mod experiments;
 pub mod output;
+pub mod par;
 
 pub use experiments::*;
+pub use par::{par_grid, par_map};

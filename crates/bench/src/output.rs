@@ -12,8 +12,13 @@ pub fn print_series(title: &str, value_label: &str, s: &TimeSeries) {
 }
 
 /// Print a sweep family: one CSV block per row key.
-pub fn print_sweep(title: &str, row_label: &str, col_label: &str, value_label: &str,
-                   rows: &[(u32, Vec<(f64, f64)>)]) {
+pub fn print_sweep(
+    title: &str,
+    row_label: &str,
+    col_label: &str,
+    value_label: &str,
+    rows: &[(u32, Vec<(f64, f64)>)],
+) {
     println!("# {title}");
     println!("{row_label},{col_label},{value_label}");
     for (key, pts) in rows {
@@ -40,7 +45,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

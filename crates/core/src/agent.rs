@@ -81,7 +81,9 @@ impl QosEnv {
 
     /// The `MPICH_QOS_STATUS` keyval.
     pub fn status_keyval(&self) -> Keyval {
-        self.status.borrow().expect("QoS status keyval not yet registered")
+        self.status
+            .borrow()
+            .expect("QoS status keyval not yet registered")
     }
 
     /// Convenience: read the grant stored on `comm` (after a put).
@@ -147,7 +149,10 @@ fn on_qos_put(
     }
 
     let outcome = match attr.class {
-        QosClass::BestEffort => QosGrant { outcome: QosOutcome::None, resvs: Vec::new() },
+        QosClass::BestEffort => QosGrant {
+            outcome: QosOutcome::None,
+            resvs: Vec::new(),
+        },
         QosClass::Premium | QosClass::LowLatency => request_reservations(mpi, comm, &attr, cfg),
     };
     mpi.attr_put(comm, status_kv, Rc::new(outcome));
@@ -171,7 +176,9 @@ fn request_reservations(
         .collect();
     if peers.is_empty() {
         return QosGrant {
-            outcome: QosOutcome::Denied { reason: "communicator has no remote endpoints".into() },
+            outcome: QosOutcome::Denied {
+                reason: "communicator has no remote endpoints".into(),
+            },
             resvs: Vec::new(),
         };
     }
@@ -202,7 +209,9 @@ fn request_reservations(
                             .path_delay(my_host, peer)
                             .unwrap_or(mpichgq_sim::SimDelta::from_millis(2));
                         let bw_delay = mpichgq_netsim::depth_for(
-                            DepthRule::BandwidthDelay { delay_ns: delay.as_nanos().max(1_000_000) },
+                            DepthRule::BandwidthDelay {
+                                delay_ns: delay.as_nanos().max(1_000_000),
+                            },
                             rate,
                         );
                         let msg_floor = 4 * crate::overhead::ip_bytes_for_message(
@@ -236,15 +245,21 @@ fn request_reservations(
 
     match result {
         Some(Ok((ids, rate))) => QosGrant {
-            outcome: QosOutcome::Granted { network_rate_bps: rate },
+            outcome: QosOutcome::Granted {
+                network_rate_bps: rate,
+            },
             resvs: ids,
         },
         Some(Err(e)) => QosGrant {
-            outcome: QosOutcome::Denied { reason: e.to_string() },
+            outcome: QosOutcome::Denied {
+                reason: e.to_string(),
+            },
             resvs: Vec::new(),
         },
         None => QosGrant {
-            outcome: QosOutcome::Denied { reason: "GARA service not installed".into() },
+            outcome: QosOutcome::Denied {
+                reason: "GARA service not installed".into(),
+            },
             resvs: Vec::new(),
         },
     }

@@ -9,8 +9,8 @@
 //! counts) and on the wire. The reservation is the application rate
 //! multiplied by this factor.
 
-use mpichgq_netsim::{Framing, Net, NodeId};
 use mpichgq_mpi::HEADER_BYTES;
+use mpichgq_netsim::{Framing, Net, NodeId};
 
 pub const DEFAULT_MSS: u32 = 1460;
 pub const TCP_IP_HEADERS: u32 = 40;
@@ -118,7 +118,13 @@ mod path_tests {
     #[test]
     fn garnet_path_factor_dominated_by_atm() {
         let g = Garnet::build(GarnetCfg::default());
-        let f = path_overhead_factor(&g.net, g.premium_src, g.premium_dst, 100 * 1024, DEFAULT_MSS);
+        let f = path_overhead_factor(
+            &g.net,
+            g.premium_src,
+            g.premium_dst,
+            100 * 1024,
+            DEFAULT_MSS,
+        );
         // The path is ATM end to end: the wire factor applies.
         let atm = wire_overhead_factor(100 * 1024, DEFAULT_MSS, Framing::AtmAal5);
         assert!((f - atm).abs() < 1e-9, "path factor {f} vs atm {atm}");

@@ -102,7 +102,10 @@ mod tests {
 
     #[test]
     fn outcome_predicates() {
-        assert!(QosOutcome::Granted { network_rate_bps: 1 }.is_granted());
+        assert!(QosOutcome::Granted {
+            network_rate_bps: 1
+        }
+        .is_granted());
         assert!(!QosOutcome::None.is_granted());
         assert!(!QosOutcome::Denied { reason: "x".into() }.is_granted());
     }

@@ -112,7 +112,11 @@ fn best_effort_reput_cancels_reservation() {
         if !done {
             done = true;
             let w = mpi.comm_world();
-            mpi.attr_put(w, env2.keyval(), Rc::new(QosAttribute::premium(8_000.0, 15_000)));
+            mpi.attr_put(
+                w,
+                env2.keyval(),
+                Rc::new(QosAttribute::premium(8_000.0, 15_000)),
+            );
             seen2.borrow_mut().push(env2.outcome(mpi, w));
             // Downgrade to best-effort: the reservation must be released.
             mpi.attr_put(w, env2.keyval(), Rc::new(QosAttribute::best_effort()));
@@ -148,9 +152,17 @@ fn reput_replaces_rather_than_leaks() {
             let w = mpi.comm_world();
             // Two consecutive puts; capacity (70% of OC3 ≈ 108 Mb/s) only
             // fits each alone if the first is released on re-put.
-            mpi.attr_put(w, env2.keyval(), Rc::new(QosAttribute::premium(80_000.0, 15_000)));
+            mpi.attr_put(
+                w,
+                env2.keyval(),
+                Rc::new(QosAttribute::premium(80_000.0, 15_000)),
+            );
             assert!(env2.outcome(mpi, w).is_granted());
-            mpi.attr_put(w, env2.keyval(), Rc::new(QosAttribute::premium(90_000.0, 15_000)));
+            mpi.attr_put(
+                w,
+                env2.keyval(),
+                Rc::new(QosAttribute::premium(90_000.0, 15_000)),
+            );
             assert!(
                 env2.outcome(mpi, w).is_granted(),
                 "second put should replace the first, not stack"
@@ -170,7 +182,10 @@ fn reput_replaces_rather_than_leaks() {
 #[test]
 fn shaping_config_installs_host_shaper() {
     let (mut sim, g) = setup();
-    let cfg = QosAgentCfg { shape_at_source: true, ..QosAgentCfg::default() };
+    let cfg = QosAgentCfg {
+        shape_at_source: true,
+        ..QosAgentCfg::default()
+    };
     let outcome = Rc::new(RefCell::new(None));
     let (builder, env) = enable_qos(JobBuilder::new(), cfg);
     let job = builder
@@ -282,7 +297,13 @@ fn premium_mpi_stream_survives_contention() {
             }
         }
         sim.spawn_app(g.competitive_dst, Box::new(Sink));
-        sim.spawn_app(g.competitive_src, Box::new(Blaster { dst: g.competitive_dst, sock: None }));
+        sim.spawn_app(
+            g.competitive_src,
+            Box::new(Blaster {
+                dst: g.competitive_dst,
+                sock: None,
+            }),
+        );
 
         sim.run_until(SimTime::from_secs(20));
         let delivered = *received.borrow();
@@ -290,7 +311,10 @@ fn premium_mpi_stream_survives_contention() {
     };
     let with = run(true);
     let without = run(false);
-    assert!(with > 0.99, "premium stream delivered only {with:.2} of offered");
+    assert!(
+        with > 0.99,
+        "premium stream delivered only {with:.2} of offered"
+    );
     assert!(
         without < 0.7,
         "best-effort stream should collapse under contention, got {without:.2}"
@@ -305,7 +329,11 @@ fn low_latency_class_uses_shallow_bucket() {
     let job = builder
         .rank(
             g.premium_src,
-            putter(QosAttribute::low_latency(640.0, 1_000), env, outcome.clone()),
+            putter(
+                QosAttribute::low_latency(640.0, 1_000),
+                env,
+                outcome.clone(),
+            ),
         )
         .rank(g.premium_dst, idle())
         .launch(&mut sim);
@@ -321,7 +349,10 @@ fn demote_policy_marks_excess_best_effort() {
     // best-effort instead of vanishing (checked at the classifier level in
     // netsim; here we check the agent threads the policy through).
     let (mut sim, g) = setup();
-    let cfg = QosAgentCfg { action: PolicingAction::Demote, ..QosAgentCfg::default() };
+    let cfg = QosAgentCfg {
+        action: PolicingAction::Demote,
+        ..QosAgentCfg::default()
+    };
     let outcome = Rc::new(RefCell::new(None));
     let (builder, env) = enable_qos(JobBuilder::new(), cfg);
     let job = builder
@@ -349,10 +380,18 @@ fn availability_query_reflects_broker_state() {
             done = true;
             let w = mpi.comm_world();
             // 70% of OC3 ≈ 108.8 Mb/s reservable.
-            avail2.borrow_mut().push(env2.available_bandwidth(mpi, w).unwrap());
-            mpi.attr_put(w, env2.keyval(), Rc::new(QosAttribute::premium(50_000.0, 15_000)));
+            avail2
+                .borrow_mut()
+                .push(env2.available_bandwidth(mpi, w).unwrap());
+            mpi.attr_put(
+                w,
+                env2.keyval(),
+                Rc::new(QosAttribute::premium(50_000.0, 15_000)),
+            );
             assert!(env2.outcome(mpi, w).is_granted());
-            avail2.borrow_mut().push(env2.available_bandwidth(mpi, w).unwrap());
+            avail2
+                .borrow_mut()
+                .push(env2.available_bandwidth(mpi, w).unwrap());
         }
         Poll::Done
     };

@@ -1,0 +1,208 @@
+//! A minimal, fully offline stand-in for the `criterion` crate.
+//!
+//! The bench sources under `crates/bench/benches/` were written against the
+//! real criterion API. The build environment has no registry access, so this
+//! crate reimplements the subset they use — `Criterion::default()`,
+//! `sample_size`, `bench_function`, `Bencher::iter` / `iter_batched`,
+//! `criterion_group!`, `criterion_main!` — and the workspace renames it to
+//! `criterion` so bench sources stay untouched.
+//!
+//! Reporting is deliberately simple: each benchmark runs `sample_size`
+//! timed samples after a short warm-up and prints min/median/mean time per
+//! iteration. There is no statistical regression machinery.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. All variants behave the same
+/// here: setup runs outside the timed region, once per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+        };
+        f(&mut b);
+        report(name, &b.samples);
+        self
+    }
+}
+
+/// Collects per-iteration timings for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warm_up: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly; one sample = one call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let warm_until = Instant::now() + self.warm_up;
+        while Instant::now() < warm_until {
+            std::hint::black_box(routine());
+        }
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Time `routine` over fresh inputs built by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_until = Instant::now() + self.warm_up;
+        while Instant::now() < warm_until {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{name:<40} min {:>12} | median {:>12} | mean {:>12} ({} samples)",
+        fmt(min),
+        fmt(median),
+        fmt(mean),
+        sorted.len()
+    );
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// `criterion_group!` — both the plain and `name/config/targets` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// `criterion_main!` — runs each group from `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::ZERO);
+        let mut calls = 0u32;
+        c.bench_function("smoke/iter", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls >= 3);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default()
+            .sample_size(4)
+            .warm_up_time(Duration::ZERO);
+        let mut setups = 0u32;
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 4);
+    }
+}

@@ -70,10 +70,7 @@ pub enum CompleteOutcome {
     Stale,
     /// The work item finished. `updates` re-times the remaining work items
     /// (their shares grew now that this one is gone).
-    Done {
-        proc: ProcId,
-        updates: Vec<Update>,
-    },
+    Done { proc: ProcId, updates: Vec<Update> },
 }
 
 /// One host CPU with fair-share scheduling plus DSRT-style reservations.
@@ -148,7 +145,10 @@ impl Cpu {
         fraction: Option<f64>,
     ) -> Result<Vec<Update>, AdmissionError> {
         if let Some(f) = fraction {
-            assert!(f > 0.0 && f <= 1.0, "reservation fraction out of range: {f}");
+            assert!(
+                f > 0.0 && f <= 1.0,
+                "reservation fraction out of range: {f}"
+            );
             let reserved_by_others: f64 = self
                 .procs
                 .iter()
@@ -279,9 +279,7 @@ impl Cpu {
             .iter()
             .enumerate()
             .map(|(i, p)| (ProcId(i as u32), p))
-            .filter(|&(id, p)| {
-                p.alive && (p.hog || p.active_works > 0 || extra == Some(id))
-            })
+            .filter(|&(id, p)| p.alive && (p.hog || p.active_works > 0 || extra == Some(id)))
             .collect();
         if runnable.is_empty() {
             return Vec::new();
@@ -292,7 +290,10 @@ impl Cpu {
             .sum::<f64>()
             .min(1.0);
         let leftover = (1.0 - reserved).max(0.0);
-        let be_count = runnable.iter().filter(|(_, p)| p.reservation.is_none()).count();
+        let be_count = runnable
+            .iter()
+            .filter(|(_, p)| p.reservation.is_none())
+            .count();
         let reserved_count = runnable.len() - be_count;
         runnable
             .iter()
@@ -447,7 +448,10 @@ mod tests {
         let old_gen = ups.last().unwrap().gen;
         let (_hog, ups2) = cpu.spawn_hog(t(1.0));
         // Old wake-up at t=2 fires but the schedule moved to t=3.
-        assert!(matches!(cpu.complete(t(2.0), w, old_gen), CompleteOutcome::Stale));
+        assert!(matches!(
+            cpu.complete(t(2.0), w, old_gen),
+            CompleteOutcome::Stale
+        ));
         let g2 = eta_gen(&ups2, w);
         assert!(matches!(
             cpu.complete(t(3.0), w, g2),

@@ -306,7 +306,9 @@ impl Gara {
 
     /// Cancel a reservation, releasing admission state and enforcement.
     pub fn cancel(&mut self, net: &mut Net, id: ResvId) {
-        let Some(r) = self.resvs.get(&id.0) else { return };
+        let Some(r) = self.resvs.get(&id.0) else {
+            return;
+        };
         match r.status {
             Status::Active => self.deactivate(net, id, Status::Cancelled),
             Status::Pending => {
@@ -658,7 +660,11 @@ impl Gara {
                 } else {
                     None
                 };
-                Enforcement::Net { router, rule, shaper }
+                Enforcement::Net {
+                    router,
+                    rule,
+                    shaper,
+                }
             }
             Request::Cpu(c) => {
                 match net.cpu_set_reservation(c.host, c.proc, Some(c.fraction)) {
@@ -686,7 +692,11 @@ impl Gara {
             _ => None,
         };
         match enforcement {
-            Enforcement::Net { router, rule, shaper } => {
+            Enforcement::Net {
+                router,
+                rule,
+                shaper,
+            } => {
                 net.node_mut(router).classifier.remove(rule);
                 if let Some(sid) = shaper {
                     let src = match &self.resvs[&id.0].req {
@@ -731,7 +741,9 @@ struct GaraDriver;
 
 impl Controller for GaraDriver {
     fn on_control(&mut self, _payload: u64, net: &mut Net, stack: &mut Stack) {
-        let Some(mut g) = stack.take_service::<Gara>() else { return };
+        let Some(mut g) = stack.take_service::<Gara>() else {
+            return;
+        };
         g.advance(net);
         stack.put_service_box(g);
     }

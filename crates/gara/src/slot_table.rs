@@ -51,7 +51,11 @@ pub struct SlotTable {
 
 impl SlotTable {
     pub fn new(capacity: u64) -> Self {
-        SlotTable { capacity, slots: HashMap::new(), next_id: 0 }
+        SlotTable {
+            capacity,
+            slots: HashMap::new(),
+            next_id: 0,
+        }
     }
 
     pub fn capacity(&self) -> u64 {
@@ -113,7 +117,10 @@ impl SlotTable {
         assert!(start < end, "empty reservation interval");
         let peak = self.peak_in(start, end, None);
         if peak + amount > self.capacity {
-            return Err(Rejected { requested: amount, available: self.capacity - peak });
+            return Err(Rejected {
+                requested: amount,
+                available: self.capacity - peak,
+            });
         }
         let id = self.next_id;
         self.next_id += 1;
@@ -130,7 +137,10 @@ impl SlotTable {
     /// On rejection the original allocation is kept unchanged.
     pub fn try_resize(&mut self, id: SlotId, new_amount: u64) -> Result<(), Rejected> {
         let Some(&slot) = self.slots.get(&id.0) else {
-            return Err(Rejected { requested: new_amount, available: 0 });
+            return Err(Rejected {
+                requested: new_amount,
+                available: 0,
+            });
         };
         let peak_others = self.peak_in(slot.start, slot.end, Some(id));
         if peak_others + new_amount > self.capacity {

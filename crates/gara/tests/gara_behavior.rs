@@ -143,7 +143,13 @@ fn reservation_protects_flow_from_congestion() {
             });
         }
         let got = Rc::new(RefCell::new(0u64));
-        sim.spawn_app(dst, Box::new(UdpSink { port: 7000, got: got.clone() }));
+        sim.spawn_app(
+            dst,
+            Box::new(UdpSink {
+                port: 7000,
+                got: got.clone(),
+            }),
+        );
         // Premium flow: 1000-byte payloads every 4 ms = 2 Mb/s.
         sim.spawn_app(
             src,
@@ -158,7 +164,13 @@ fn reservation_protects_flow_from_congestion() {
         // Contention: a second sink port and a ~30 Mb/s blaster that keeps
         // the best-effort queue persistently full.
         let waste = Rc::new(RefCell::new(0u64));
-        sim.spawn_app(dst, Box::new(UdpSink { port: 7001, got: waste.clone() }));
+        sim.spawn_app(
+            dst,
+            Box::new(UdpSink {
+                port: 7001,
+                got: waste.clone(),
+            }),
+        );
         let mut blaster = UdpCbr {
             dst,
             dport: 7001,
@@ -174,7 +186,12 @@ fn reservation_protects_flow_from_congestion() {
                 ctx.set_timer(self.0.interval, 0);
             }
             fn on_timer(&mut self, _t: u32, ctx: &mut Ctx) {
-                ctx.udp_send(self.0.sock.unwrap(), self.0.dst, self.0.dport, self.0.payload);
+                ctx.udp_send(
+                    self.0.sock.unwrap(),
+                    self.0.dst,
+                    self.0.dport,
+                    self.0.payload,
+                );
                 ctx.set_timer(self.0.interval, 0);
             }
         }
@@ -220,14 +237,22 @@ fn advance_reservation_activates_and_expires_on_schedule() {
         with_gara(&mut sim, |g, _| g.status(id)),
         Some(Status::Active)
     );
-    assert_eq!(sim.net.node(r1).classifier.len(), 1, "policer installed at start");
+    assert_eq!(
+        sim.net.node(r1).classifier.len(),
+        1,
+        "policer installed at start"
+    );
 
     sim.run_until(SimTime::from_secs(9));
     assert_eq!(
         with_gara(&mut sim, |g, _| g.status(id)),
         Some(Status::Expired)
     );
-    assert_eq!(sim.net.node(r1).classifier.len(), 0, "policer removed at end");
+    assert_eq!(
+        sim.net.node(r1).classifier.len(),
+        0,
+        "policer removed at end"
+    );
 }
 
 #[test]
@@ -267,7 +292,11 @@ fn co_reservation_is_atomic() {
             net,
             vec![
                 (
-                    Request::Cpu(CpuRequest { host: src, proc, fraction: 0.9 }),
+                    Request::Cpu(CpuRequest {
+                        host: src,
+                        proc,
+                        fraction: 0.9,
+                    }),
                     StartSpec::Now,
                     None,
                 ),
@@ -280,7 +309,11 @@ fn co_reservation_is_atomic() {
             net,
             vec![
                 (
-                    Request::Cpu(CpuRequest { host: src, proc, fraction: 0.9 }),
+                    Request::Cpu(CpuRequest {
+                        host: src,
+                        proc,
+                        fraction: 0.9,
+                    }),
                     StartSpec::Now,
                     None,
                 ),
@@ -301,7 +334,11 @@ fn cpu_reservation_is_enforced_end_to_end() {
     with_gara(&mut sim, |g, net| {
         g.reserve(
             net,
-            Request::Cpu(CpuRequest { host: src, proc, fraction: 0.8 }),
+            Request::Cpu(CpuRequest {
+                host: src,
+                proc,
+                fraction: 0.8,
+            }),
             StartSpec::Now,
             Some(SimDelta::from_secs(5)),
         )
@@ -362,7 +399,10 @@ fn storage_reservations_account_bandwidth() {
         assert!(matches!(
             g.reserve(
                 net,
-                Request::Storage(StorageRequest { server: "nope".into(), bytes_per_sec: 1 }),
+                Request::Storage(StorageRequest {
+                    server: "nope".into(),
+                    bytes_per_sec: 1
+                }),
                 StartSpec::Now,
                 None,
             ),
@@ -409,7 +449,11 @@ fn status_events_and_callbacks_fire() {
     let log = log.borrow();
     assert_eq!(
         *log,
-        vec![(id, Status::Pending), (id, Status::Active), (id, Status::Expired)]
+        vec![
+            (id, Status::Pending),
+            (id, Status::Active),
+            (id, Status::Expired)
+        ]
     );
     let events = with_gara(&mut sim, |g, _| g.take_events());
     assert_eq!(events.len(), 3);
@@ -425,7 +469,11 @@ fn cpu_reservation_can_be_modified_live() {
         let id = g
             .reserve(
                 net,
-                Request::Cpu(CpuRequest { host: src, proc, fraction: 0.5 }),
+                Request::Cpu(CpuRequest {
+                    host: src,
+                    proc,
+                    fraction: 0.5,
+                }),
                 StartSpec::Now,
                 None,
             )
@@ -442,7 +490,11 @@ fn cpu_reservation_can_be_modified_live() {
         let p2 = net.cpu_add_process(src);
         g.reserve(
             net,
-            Request::Cpu(CpuRequest { host: src, proc: p2, fraction: 0.7 }),
+            Request::Cpu(CpuRequest {
+                host: src,
+                proc: p2,
+                fraction: 0.7,
+            }),
             StartSpec::Now,
             None,
         )

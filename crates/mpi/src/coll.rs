@@ -126,10 +126,28 @@ enum BcastPhase {
 impl Bcast {
     /// On the root, `data` is `Some(payload)` (use `Some(None)` for counted
     /// messages of length `len`); on other ranks pass `None`.
-    pub fn new(mpi: &Mpi, comm: CommId, root: usize, len: u32, data: Option<Option<Vec<u8>>>) -> Bcast {
+    pub fn new(
+        mpi: &Mpi,
+        comm: CommId,
+        root: usize,
+        len: u32,
+        data: Option<Option<Vec<u8>>>,
+    ) -> Bcast {
         let me = mpi.comm(comm).my_rank;
-        let phase = if me == root { BcastPhase::Sending } else { BcastPhase::WaitData };
-        Bcast { comm, root, len, data, recv: None, sends: Vec::new(), phase }
+        let phase = if me == root {
+            BcastPhase::Sending
+        } else {
+            BcastPhase::WaitData
+        };
+        Bcast {
+            comm,
+            root,
+            len,
+            data,
+            recv: None,
+            sends: Vec::new(),
+            phase,
+        }
     }
 
     /// Virtual rank: rotate so the root is 0.
@@ -172,12 +190,15 @@ impl Bcast {
                     let child = vme | mask;
                     if child < n {
                         let dest = self.real_rank(mpi, child);
-                        let payload = self
-                            .data
-                            .as_ref()
-                            .and_then(|d| d.clone());
+                        let payload = self.data.as_ref().and_then(|d| d.clone());
                         let req = match payload {
-                            Some(bytes) => mpi.isend_coll(self.comm, dest, TAG_BCAST, bytes.len() as u32, Some(bytes)),
+                            Some(bytes) => mpi.isend_coll(
+                                self.comm,
+                                dest,
+                                TAG_BCAST,
+                                bytes.len() as u32,
+                                Some(bytes),
+                            ),
                             None => mpi.isend_coll(self.comm, dest, TAG_BCAST, self.len, None),
                         };
                         self.sends.push(req);
@@ -262,8 +283,13 @@ impl Gather {
                 }
             } else {
                 let data = self.my_data.take().unwrap();
-                self.send =
-                    Some(mpi.isend_coll(self.comm, self.root, TAG_GATHER, data.len() as u32, Some(data)));
+                self.send = Some(mpi.isend_coll(
+                    self.comm,
+                    self.root,
+                    TAG_GATHER,
+                    data.len() as u32,
+                    Some(data),
+                ));
             }
         }
         if me == self.root {
@@ -451,7 +477,9 @@ impl Allgather {
                 // Round k: pass along the block that originated k hops
                 // upstream of us.
                 let send_block = (me + n - self.round) % n;
-                let data = self.slots[send_block].clone().expect("block not yet received");
+                let data = self.slots[send_block]
+                    .clone()
+                    .expect("block not yet received");
                 self.send = Some(mpi.isend_coll(
                     self.comm,
                     right,

@@ -126,7 +126,9 @@ mod tests {
 
     #[test]
     fn inter_addressing_uses_remote_group() {
-        let c = comm(CommKind::Inter { remote: Group::from_members(vec![9]) });
+        let c = comm(CommKind::Inter {
+            remote: Group::from_members(vec![9]),
+        });
         assert_eq!(c.remote_size(), 1);
         assert_eq!(c.peer_world_rank(0), 9);
         assert_eq!(c.rank_of_world(9), Some(0));

@@ -36,7 +36,10 @@ pub struct MpiCfg {
 
 impl Default for MpiCfg {
     fn default() -> Self {
-        MpiCfg { eager_limit: 64 * 1024, tcp: TcpCfg::default() }
+        MpiCfg {
+            eager_limit: 64 * 1024,
+            tcp: TcpCfg::default(),
+        }
     }
 }
 
@@ -58,7 +61,11 @@ pub struct MsgInfo {
 enum ReqSlot {
     Free,
     /// Send whose bytes are being accepted by the socket.
-    SendActive { comm: CommId, tag: u32, len: u32 },
+    SendActive {
+        comm: CommId,
+        tag: u32,
+        len: u32,
+    },
     /// Rendezvous send waiting for the receiver's CTS.
     SendRndvWaitCts {
         comm: CommId,
@@ -75,7 +82,9 @@ enum ReqSlot {
         tag: Option<u32>,
     },
     /// Receive matched an RTS; CTS sent; awaiting DATA.
-    RecvRndvInflight { comm: CommId },
+    RecvRndvInflight {
+        comm: CommId,
+    },
     Done(MsgInfo),
 }
 
@@ -179,7 +188,11 @@ impl RankEngine {
             cfg,
             shared,
             peers: (0..size)
-                .map(|_| Peer { sock: None, txq: VecDeque::new(), rx_avail: 0 })
+                .map(|_| Peer {
+                    sock: None,
+                    txq: VecDeque::new(),
+                    rx_avail: 0,
+                })
                 .collect(),
             comms: vec![world],
             next_ctx: 2,
@@ -230,7 +243,9 @@ impl RankEngine {
         if !self.started || self.done {
             return;
         }
-        let Some(mut p) = self.program.take() else { return };
+        let Some(mut p) = self.program.take() else {
+            return;
+        };
         let result = {
             let mut mpi = Mpi { eng: self, ctx };
             p.poll(&mut mpi)
@@ -261,7 +276,10 @@ impl RankEngine {
             return self.handle_record(msg, ctx) || progressed;
         }
         let wire_len = self.shared.borrow_mut().push_record(self.rank, to, msg);
-        self.peers[to].txq.push_back(TxEntry { req, remaining: wire_len });
+        self.peers[to].txq.push_back(TxEntry {
+            req,
+            remaining: wire_len,
+        });
         self.pump_tx(to, ctx)
     }
 
@@ -272,7 +290,9 @@ impl RankEngine {
         loop {
             let peer = &mut self.peers[to];
             let Some(sock) = peer.sock else { break };
-            let Some(front) = peer.txq.front_mut() else { break };
+            let Some(front) = peer.txq.front_mut() else {
+                break;
+            };
             let n = ctx.send(sock, front.remaining);
             front.remaining -= n;
             if front.remaining > 0 {
@@ -292,7 +312,12 @@ impl RankEngine {
         let info = match slot {
             ReqSlot::SendActive { comm, tag, len } => {
                 let c = &self.comms[comm.0 as usize];
-                MsgInfo { src: c.my_rank, tag, len, payload: None }
+                MsgInfo {
+                    src: c.my_rank,
+                    tag,
+                    len,
+                    payload: None,
+                }
             }
             other => panic!("completing a non-send request: {}", slot_name(&other)),
         };
@@ -304,7 +329,9 @@ impl RankEngine {
     // ------------------------------------------------------------------
 
     fn drain_rx(&mut self, from: usize, ctx: &mut Ctx) -> bool {
-        let Some(sock) = self.peers[from].sock else { return false };
+        let Some(sock) = self.peers[from].sock else {
+            return false;
+        };
         let n = ctx.recv(sock, u64::MAX);
         self.peers[from].rx_avail += n;
         let mut progressed = false;
@@ -333,7 +360,10 @@ impl RankEngine {
                         ctx: msg.ctx,
                         src_world: msg.src_world,
                         tag: msg.tag,
-                        body: UnexBody::Eager { len: msg.len, payload: msg.payload },
+                        body: UnexBody::Eager {
+                            len: msg.len,
+                            payload: msg.payload,
+                        },
                     });
                     false
                 }
@@ -347,7 +377,10 @@ impl RankEngine {
                         ctx: msg.ctx,
                         src_world: msg.src_world,
                         tag: msg.tag,
-                        body: UnexBody::Rts { sender_req: msg.sender_req, len: msg.len },
+                        body: UnexBody::Rts {
+                            sender_req: msg.sender_req,
+                            len: msg.len,
+                        },
                     });
                     false
                 }
@@ -355,7 +388,13 @@ impl RankEngine {
             WireKind::RndvCts => {
                 let rid = ReqId(msg.sender_req);
                 let slot = std::mem::replace(&mut self.reqs[rid.0 as usize], ReqSlot::Free);
-                let ReqSlot::SendRndvWaitCts { comm, dest_world, tag, len, payload } = slot
+                let ReqSlot::SendRndvWaitCts {
+                    comm,
+                    dest_world,
+                    tag,
+                    len,
+                    payload,
+                } = slot
                 else {
                     panic!("CTS for request not awaiting it");
                 };
@@ -389,16 +428,22 @@ impl RankEngine {
 
     /// Find (and unpost) the first matching posted receive.
     fn match_posted(&mut self, ctx: u32, src_world: usize, tag: u32) -> Option<ReqId> {
-        let pos = self.posted.iter().position(|&rid| {
-            match &self.reqs[rid.0 as usize] {
-                ReqSlot::RecvPosted { ctx: pctx, src_world: psrc, tag: ptag, .. } => {
+        let pos = self
+            .posted
+            .iter()
+            .position(|&rid| match &self.reqs[rid.0 as usize] {
+                ReqSlot::RecvPosted {
+                    ctx: pctx,
+                    src_world: psrc,
+                    tag: ptag,
+                    ..
+                } => {
                     *pctx == ctx
                         && psrc.is_none_or(|s| s == src_world)
                         && ptag.is_none_or(|t| t == tag)
                 }
                 _ => false,
-            }
-        })?;
+            })?;
         Some(self.posted.remove(pos))
     }
 
@@ -417,7 +462,12 @@ impl RankEngine {
         let src = self.comms[comm.0 as usize]
             .rank_of_world(src_world)
             .expect("message from a rank outside the communicator");
-        self.reqs[rid.0 as usize] = ReqSlot::Done(MsgInfo { src, tag, len, payload });
+        self.reqs[rid.0 as usize] = ReqSlot::Done(MsgInfo {
+            src,
+            tag,
+            len,
+            payload,
+        });
     }
 
     fn send_cts(&mut self, rid: ReqId, rts: &WireMsg, ctx: &mut Ctx) {
@@ -497,14 +547,18 @@ impl App for RankEngine {
     }
 
     fn on_readable(&mut self, sock: SockId, ctx: &mut Ctx) {
-        let Some(from) = self.rank_of_sock(sock) else { return };
+        let Some(from) = self.rank_of_sock(sock) else {
+            return;
+        };
         if self.drain_rx(from, ctx) {
             self.poll_program(ctx);
         }
     }
 
     fn on_writable(&mut self, sock: SockId, ctx: &mut Ctx) {
-        let Some(to) = self.rank_of_sock(sock) else { return };
+        let Some(to) = self.rank_of_sock(sock) else {
+            return;
+        };
         if self.pump_tx(to, ctx) {
             self.poll_program(ctx);
         }
@@ -623,7 +677,12 @@ impl Mpi<'_, '_> {
         self.irecv_inner(comm, src, tag, false)
     }
 
-    pub(crate) fn irecv_coll(&mut self, comm: CommId, src: Option<usize>, tag: Option<u32>) -> ReqId {
+    pub(crate) fn irecv_coll(
+        &mut self,
+        comm: CommId,
+        src: Option<usize>,
+        tag: Option<u32>,
+    ) -> ReqId {
         self.irecv_inner(comm, src, tag, true)
     }
 
@@ -653,7 +712,8 @@ impl Mpi<'_, '_> {
                         src_world,
                         tag,
                     });
-                    self.eng.complete_recv(rid, u.src_world, u.tag, len, payload);
+                    self.eng
+                        .complete_recv(rid, u.src_world, u.tag, len, payload);
                     return rid;
                 }
                 UnexBody::Rts { sender_req, len } => {
@@ -678,7 +738,12 @@ impl Mpi<'_, '_> {
                 }
             }
         }
-        let rid = self.eng.alloc_req(ReqSlot::RecvPosted { comm, ctx: wire_ctx, src_world, tag });
+        let rid = self.eng.alloc_req(ReqSlot::RecvPosted {
+            comm,
+            ctx: wire_ctx,
+            src_world,
+            tag,
+        });
         self.eng.posted.push(rid);
         rid
     }
@@ -756,7 +821,9 @@ impl Mpi<'_, '_> {
             ctx_coll: self.eng.next_ctx + 1,
             group: Group::from_members(vec![self.eng.rank]),
             my_rank: 0,
-            kind: CommKind::Inter { remote: Group::from_members(vec![peer_world]) },
+            kind: CommKind::Inter {
+                remote: Group::from_members(vec![peer_world]),
+            },
             attrs: Default::default(),
         };
         self.eng.next_ctx += 2;
@@ -831,9 +898,7 @@ impl Mpi<'_, '_> {
             local: c.group.members().iter().map(|&w| info(w)).collect(),
             remote: match &c.kind {
                 CommKind::Intra => Vec::new(),
-                CommKind::Inter { remote } => {
-                    remote.members().iter().map(|&w| info(w)).collect()
-                }
+                CommKind::Inter { remote } => remote.members().iter().map(|&w| info(w)).collect(),
             },
         }
     }

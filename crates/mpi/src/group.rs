@@ -18,7 +18,9 @@ pub struct Group {
 impl Group {
     /// The group of all `n` world ranks, in rank order.
     pub fn world(n: usize) -> Group {
-        Group { members: (0..n).collect() }
+        Group {
+            members: (0..n).collect(),
+        }
     }
 
     /// Build from an explicit member list. Panics on duplicates.

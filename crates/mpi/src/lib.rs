@@ -20,7 +20,9 @@ pub mod group;
 pub mod job;
 pub mod wire;
 
-pub use coll::{Allgather, Allreduce, Barrier, Bcast, CollState, CommSplit, Gather, Reduce, ReduceOp};
+pub use coll::{
+    Allgather, Allreduce, Barrier, Bcast, CollState, CommSplit, Gather, Reduce, ReduceOp,
+};
 pub use comm::{AttrValue, Comm, CommEndpoints, CommId, CommKind, Keyval, COMM_WORLD};
 pub use engine::{InitHook, Mpi, MpiCfg, MpiProgram, MsgInfo, Poll, PutHook, RankEngine, ReqId};
 pub use group::Group;

@@ -12,28 +12,51 @@ fn large_socket_buffers_transfer() {
     let h0 = b.host("h0");
     let h1 = b.host("h1");
     let r = b.router("r");
-    let cfg = LinkCfg { bandwidth_bps: 100_000_000, delay: SimDelta::from_micros(100), framing: Framing::Ethernet };
+    let cfg = LinkCfg {
+        bandwidth_bps: 100_000_000,
+        delay: SimDelta::from_micros(100),
+        framing: Framing::Ethernet,
+    };
     b.link(h0, r, cfg, QueueCfg::priority_default());
     b.link(h1, r, cfg, QueueCfg::priority_default());
     let mut sim = Sim::new(b.build());
-    let tcp = TcpCfg { send_buf: 512 * 1024, recv_buf: 512 * 1024, ..TcpCfg::default() };
-    let mcfg = MpiCfg { tcp, ..MpiCfg::default() };
+    let tcp = TcpCfg {
+        send_buf: 512 * 1024,
+        recv_buf: 512 * 1024,
+        ..TcpCfg::default()
+    };
+    let mcfg = MpiCfg {
+        tcp,
+        ..MpiCfg::default()
+    };
     let got = Rc::new(RefCell::new(0u64));
     let got2 = got.clone();
     let mut sent = false;
     let tx = move |mpi: &mut Mpi| {
-        if !sent { sent = true; mpi.isend(mpi.comm_world(), 1, 1, 200_000); }
+        if !sent {
+            sent = true;
+            mpi.isend(mpi.comm_world(), 1, 1, 200_000);
+        }
         Poll::Done
     };
     let mut req = None;
     let rx = move |mpi: &mut Mpi| {
-        if req.is_none() { req = Some(mpi.irecv(mpi.comm_world(), Some(0), Some(1))); }
+        if req.is_none() {
+            req = Some(mpi.irecv(mpi.comm_world(), Some(0), Some(1)));
+        }
         match mpi.test(req.unwrap()) {
-            Some(info) => { *got2.borrow_mut() += info.len as u64; Poll::Done }
+            Some(info) => {
+                *got2.borrow_mut() += info.len as u64;
+                Poll::Done
+            }
             None => Poll::Pending,
         }
     };
-    let job = JobBuilder::new().rank(h0, Box::new(tx)).rank(h1, Box::new(rx)).cfg(mcfg).launch(&mut sim);
+    let job = JobBuilder::new()
+        .rank(h0, Box::new(tx))
+        .rank(h1, Box::new(rx))
+        .cfg(mcfg)
+        .launch(&mut sim);
     sim.run_until(SimTime::from_secs(20));
     assert!(job.finished(), "job did not finish");
     assert_eq!(*got.borrow(), 200_000);

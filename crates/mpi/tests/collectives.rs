@@ -33,10 +33,7 @@ fn sum_op(a: &[u8], b: &[u8]) -> Vec<u8> {
 }
 
 /// Run one collective program on every rank; panics if it does not finish.
-fn run_all(
-    n: usize,
-    mk: impl Fn(usize) -> Box<dyn mpichgq_mpi::MpiProgram>,
-) {
+fn run_all(n: usize, mk: impl Fn(usize) -> Box<dyn mpichgq_mpi::MpiProgram>) {
     let (mut sim, hosts) = star(n);
     let mut job = JobBuilder::new();
     for (r, &h) in hosts.iter().enumerate() {
@@ -126,8 +123,7 @@ fn reduce_non_power_of_two() {
                     CollState::Ready => {
                         if mpi.rank() == 1 {
                             let v = red.as_mut().unwrap().take_result().unwrap();
-                            *out.borrow_mut() =
-                                Some(u64::from_le_bytes(v.try_into().unwrap()));
+                            *out.borrow_mut() = Some(u64::from_le_bytes(v.try_into().unwrap()));
                         }
                         Poll::Done
                     }
@@ -192,11 +188,9 @@ fn comm_split_partitions_and_isolates() {
                         let c = split.as_mut().unwrap().take_comm();
                         sub = Some(c);
                         let comm = mpi.comm(c);
-                        reports.borrow_mut().push((
-                            r,
-                            comm.my_rank,
-                            comm.group.members().to_vec(),
-                        ));
+                        reports
+                            .borrow_mut()
+                            .push((r, comm.my_rank, comm.group.members().to_vec()));
                         // A barrier on the sub-communicator proves the new
                         // context works end to end.
                         bar = Some(Barrier::new(mpi, c));

@@ -5,7 +5,7 @@
 use mpichgq_mpi::{
     Barrier, Bcast, CollState, CommId, Gather, JobBuilder, Mpi, MpiCfg, Poll, Reduce,
 };
-use mpichgq_netsim::{LinkCfg, Framing, NodeId, QueueCfg, TopoBuilder};
+use mpichgq_netsim::{Framing, LinkCfg, NodeId, QueueCfg, TopoBuilder};
 use mpichgq_sim::{SimDelta, SimTime};
 use mpichgq_tcp::Sim;
 use std::cell::RefCell;
@@ -114,11 +114,22 @@ fn two_rank_counted_ping_pong() {
     let job = JobBuilder::new()
         .rank(
             hosts[0],
-            Box::new(Ping { rounds, round: 0, state: 0, req: None, done_flag: finished.clone() }),
+            Box::new(Ping {
+                rounds,
+                round: 0,
+                state: 0,
+                req: None,
+                done_flag: finished.clone(),
+            }),
         )
         .rank(
             hosts[1],
-            Box::new(Pong { rounds, round: 0, req: None, done_flag: finished.clone() }),
+            Box::new(Pong {
+                rounds,
+                round: 0,
+                req: None,
+                done_flag: finished.clone(),
+            }),
         )
         .launch(&mut sim);
     run(&mut sim, 30);
@@ -221,14 +232,22 @@ fn message_ordering_and_tag_matching() {
         .rank(hosts[0], Box::new(sender))
         .rank(
             hosts[1],
-            Box::new(Recv { reqs: Vec::new(), posted: false, seen: seen2 }),
+            Box::new(Recv {
+                reqs: Vec::new(),
+                posted: false,
+                seen: seen2,
+            }),
         )
         .launch(&mut sim);
     run(&mut sim, 30);
     assert!(job.finished());
     let seen = seen.borrow();
     // Tag-1 messages arrive in order 1 then 3; tag 2 delivers payload 2.
-    let tag1: Vec<u8> = seen.iter().filter(|(t, _)| *t == 1).map(|(_, v)| *v).collect();
+    let tag1: Vec<u8> = seen
+        .iter()
+        .filter(|(t, _)| *t == 1)
+        .map(|(_, v)| *v)
+        .collect();
     assert_eq!(tag1, vec![1, 3], "non-overtaking violated: {seen:?}");
     assert!(seen.contains(&(2, 2)));
 }
@@ -463,8 +482,7 @@ fn bcast_gather_reduce_roundtrip() {
                             let data = bcast.as_mut().unwrap().take_data().unwrap();
                             assert_eq!(data, vec![10, 20, 30]);
                             // Gather rank-stamped data to root 1.
-                            gather =
-                                Some(Gather::new(mpi, w, 1, vec![mpi.rank() as u8]));
+                            gather = Some(Gather::new(mpi, w, 1, vec![mpi.rank() as u8]));
                             phase = 2;
                         }
                         CollState::Pending => return Poll::Pending,
@@ -658,7 +676,10 @@ fn eager_limit_boundary_uses_both_protocols() {
     // intact (one eager, one rendezvous).
     let (mut sim, hosts) = star(2);
     let limit = 8 * 1024u32;
-    let cfg = MpiCfg { eager_limit: limit, ..MpiCfg::default() };
+    let cfg = MpiCfg {
+        eager_limit: limit,
+        ..MpiCfg::default()
+    };
     let got = Rc::new(RefCell::new(Vec::new()));
     let got2 = got.clone();
 

@@ -51,7 +51,10 @@ impl FlowSpec {
 
     /// Match every packet already marked EF (the premium aggregate).
     pub fn ef_aggregate() -> FlowSpec {
-        FlowSpec { dscp: Some(Dscp::Ef), ..FlowSpec::default() }
+        FlowSpec {
+            dscp: Some(Dscp::Ef),
+            ..FlowSpec::default()
+        }
     }
 
     /// Match all traffic between a host pair (both ports wild) — how the
@@ -67,6 +70,7 @@ impl FlowSpec {
         }
     }
 
+    #[inline]
     pub fn matches(&self, p: &Packet) -> bool {
         self.src.is_none_or(|v| v == p.src)
             && self.dst.is_none_or(|v| v == p.dst)
@@ -181,6 +185,7 @@ impl Classifier {
 
     /// Classify (and possibly mark/police) `pkt`. First match wins; packets
     /// matching no rule pass through as-is (already best-effort).
+    #[inline]
     pub fn classify(&mut self, now: SimTime, pkt: &mut Packet) -> Verdict {
         for r in &mut self.rules {
             if !r.spec.matches(pkt) {
@@ -296,7 +301,12 @@ mod tests {
             None,
             PolicingAction::Drop,
         );
-        c.install(FlowSpec::any(), Dscp::BestEffort, None, PolicingAction::Drop);
+        c.install(
+            FlowSpec::any(),
+            Dscp::BestEffort,
+            None,
+            PolicingAction::Drop,
+        );
         let mut p = pkt(1, 2, 5, 5);
         c.classify(SimTime::ZERO, &mut p);
         assert_eq!(p.dscp, Dscp::Ef);

@@ -28,7 +28,7 @@ pub mod topology;
 pub use classifier::{Classifier, FlowSpec, PolicingAction, Verdict};
 pub use link::{Chan, ChanId, Framing, LinkCfg};
 pub use net::{DropStats, Net, NetHandler, Node, NodeKind, TopoBuilder};
-pub use packet::{Dscp, FlowKey, L4, NodeId, Packet, Proto, TcpFlags, TcpHeader};
+pub use packet::{Dscp, FlowKey, NodeId, Packet, Proto, TcpFlags, TcpHeader, L4};
 pub use queue::{Enqueue, Queue, QueueCfg, QueueStats};
 pub use shaper::{ShapeOutcome, Shaper, ShaperStats};
 pub use tokenbucket::{depth_for, DepthRule, TokenBucket};

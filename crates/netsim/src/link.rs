@@ -27,6 +27,7 @@ pub enum Framing {
 
 impl Framing {
     /// Bytes actually occupying the wire for an `ip_len`-byte datagram.
+    #[inline]
     pub fn wire_bytes(self, ip_len: u32) -> u32 {
         match self {
             Framing::None => ip_len,
@@ -55,15 +56,27 @@ pub struct LinkCfg {
 impl LinkCfg {
     /// Switched Fast Ethernet host attachment.
     pub fn fast_ethernet(delay: SimDelta) -> LinkCfg {
-        LinkCfg { bandwidth_bps: 100_000_000, delay, framing: Framing::Ethernet }
+        LinkCfg {
+            bandwidth_bps: 100_000_000,
+            delay,
+            framing: Framing::Ethernet,
+        }
     }
     /// OC3 ATM (155.52 Mb/s line rate) attachment or trunk.
     pub fn oc3(delay: SimDelta) -> LinkCfg {
-        LinkCfg { bandwidth_bps: 155_520_000, delay, framing: Framing::AtmAal5 }
+        LinkCfg {
+            bandwidth_bps: 155_520_000,
+            delay,
+            framing: Framing::AtmAal5,
+        }
     }
     /// A wide-area VC of the given capacity over ATM.
     pub fn atm_vc(bandwidth_bps: u64, delay: SimDelta) -> LinkCfg {
-        LinkCfg { bandwidth_bps, delay, framing: Framing::AtmAal5 }
+        LinkCfg {
+            bandwidth_bps,
+            delay,
+            framing: Framing::AtmAal5,
+        }
     }
 }
 
@@ -83,6 +96,7 @@ pub struct Chan {
 }
 
 impl Chan {
+    #[inline]
     pub fn serialization(&self, ip_len: u32) -> SimDelta {
         SimDelta::transmission(
             self.cfg.framing.wire_bytes(ip_len) as u64,
@@ -126,7 +140,11 @@ mod tests {
         let chan = Chan {
             from: NodeId(0),
             to: NodeId(1),
-            cfg: LinkCfg { bandwidth_bps: 8_000_000, delay: SimDelta::ZERO, framing: Framing::None },
+            cfg: LinkCfg {
+                bandwidth_bps: 8_000_000,
+                delay: SimDelta::ZERO,
+                framing: Framing::None,
+            },
             edge_ingress: false,
             busy: false,
             tx_packets: 0,
@@ -150,7 +168,7 @@ mod tests {
 mod utilization_tests {
     use super::*;
     use crate::net::TopoBuilder;
-    use crate::packet::{Dscp, L4, Packet};
+    use crate::packet::{Dscp, Packet, L4};
     use crate::queue::QueueCfg;
     use mpichgq_dsrt::ProcId;
 
@@ -167,7 +185,11 @@ mod utilization_tests {
         let mut b = TopoBuilder::new(1);
         let h1 = b.host("h1");
         let h2 = b.host("h2");
-        let cfg = LinkCfg { bandwidth_bps: 8_000_000, delay: SimDelta::from_millis(1), framing: Framing::None };
+        let cfg = LinkCfg {
+            bandwidth_bps: 8_000_000,
+            delay: SimDelta::from_millis(1),
+            framing: Framing::None,
+        };
         let (ab, _) = b.link(h1, h2, cfg, QueueCfg::droptail_default());
         let mut net = b.build();
         // Ten 1000-byte datagrams = 80_000 bits over the first 10 ms of tx.

@@ -8,15 +8,15 @@
 //! the handler and never calls into itself re-entrantly, which keeps the
 //! borrow structure simple and the event order deterministic.
 
+use crate::classifier::FlowSpec;
 use crate::classifier::{Classifier, Verdict};
 use crate::link::{Chan, ChanId, LinkCfg};
 use crate::packet::{NodeId, Packet};
 use crate::queue::{Enqueue, Queue, QueueCfg, QueueStats};
 use crate::shaper::{ShapeOutcome, Shaper};
 use crate::tokenbucket::TokenBucket;
-use crate::classifier::FlowSpec;
 use mpichgq_dsrt::{AdmissionError, CompleteOutcome, Cpu, ProcId, Update, WorkId};
-use mpichgq_sim::{Engine, Recorder, SimRng, SimTime};
+use mpichgq_sim::{Engine, Recorder, SchedulerKind, SimRng, SimTime};
 
 /// What kind of node this is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,7 +65,11 @@ pub enum Ev {
     /// A transport/application timer on a host.
     HostTimer { host: NodeId, token: u64 },
     /// A CPU work item may have completed.
-    CpuDone { host: NodeId, work: WorkId, gen: u64 },
+    CpuDone {
+        host: NodeId,
+        work: WorkId,
+        gen: u64,
+    },
     /// A host egress shaper can release queued packets.
     ShaperRelease { host: NodeId, shaper: u64, gen: u64 },
     /// Scenario-script control point.
@@ -95,14 +99,51 @@ pub struct DropStats {
     pub misrouted: u64,
 }
 
+/// Hop-count shortest-path next hops, flattened to one contiguous
+/// row-major table: `next_hop[from * n + to]` is the outgoing channel
+/// index, or [`RouteTable::NONE`]. One multiply-add and one load per
+/// per-packet route lookup, no pointer chasing, no `Option` overhead in
+/// the stored representation.
+pub(crate) struct RouteTable {
+    n: usize,
+    next_hop: Vec<u32>,
+}
+
+impl RouteTable {
+    const NONE: u32 = u32::MAX;
+
+    pub(crate) fn new(n: usize) -> Self {
+        RouteTable {
+            n,
+            next_hop: vec![Self::NONE; n * n],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, from: usize, to: usize, chan: ChanId) {
+        self.next_hop[from * self.n + to] = chan.0;
+    }
+
+    #[inline]
+    fn get(&self, from: NodeId, to: NodeId) -> Option<ChanId> {
+        let raw = self.next_hop[from.0 as usize * self.n + to.0 as usize];
+        if raw == Self::NONE {
+            None
+        } else {
+            Some(ChanId(raw))
+        }
+    }
+}
+
 /// The simulated network.
 pub struct Net {
     engine: Engine<Ev>,
     nodes: Vec<Node>,
     chans: Vec<Chan>,
     queues: Vec<Queue>,
-    /// `routes[node][dst] = outgoing channel` (hop-count shortest paths).
-    routes: Vec<Vec<Option<ChanId>>>,
+    routes: RouteTable,
+    /// Reusable buffer for shaper releases (no per-event allocation).
+    shaper_scratch: Vec<Packet>,
     pub recorder: Recorder,
     pub rng: SimRng,
     pub drops: DropStats,
@@ -114,15 +155,17 @@ impl Net {
         nodes: Vec<Node>,
         chans: Vec<Chan>,
         queues: Vec<Queue>,
-        routes: Vec<Vec<Option<ChanId>>>,
+        routes: RouteTable,
         seed: u64,
+        scheduler: SchedulerKind,
     ) -> Self {
         Net {
-            engine: Engine::new(),
+            engine: Engine::with_scheduler(scheduler),
             nodes,
             chans,
             queues,
             routes,
+            shaper_scratch: Vec::new(),
             recorder: Recorder::new(),
             rng: SimRng::new(seed),
             drops: DropStats::default(),
@@ -137,6 +180,17 @@ impl Net {
 
     pub fn events_processed(&self) -> u64 {
         self.engine.processed()
+    }
+
+    /// Calendar-scheduler operation counters, for benchmark diagnostics.
+    #[doc(hidden)]
+    pub fn scheduler_stats(&self) -> Option<mpichgq_sim::CalendarStats> {
+        self.engine.calendar_stats()
+    }
+
+    /// Number of events currently pending in the engine.
+    pub fn pending_events(&self) -> usize {
+        self.engine.len()
     }
 
     pub fn node(&self, id: NodeId) -> &Node {
@@ -160,8 +214,14 @@ impl Net {
     }
 
     /// The outgoing channel `from` uses to reach `to`, if any.
+    #[inline]
     pub fn route(&self, from: NodeId, to: NodeId) -> Option<ChanId> {
-        self.routes[from.0 as usize][to.0 as usize]
+        self.routes.get(from, to)
+    }
+
+    /// Which scheduler backend drives this network's event engine.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.engine.scheduler_kind()
     }
 
     /// The sum of per-hop propagation delays from `a` to `b` (no queueing or
@@ -230,21 +290,12 @@ impl Net {
         debug_assert_eq!(self.nodes[src.0 as usize].kind, NodeKind::Host);
         pkt.id = self.alloc_pkt_id();
         let now = self.now();
-        // Egress shaping (first matching shaper wins).
+        // Egress shaping (first matching shaper wins). Single scan: the
+        // match position doubles as the index for the mutable borrow.
         let node = &mut self.nodes[src.0 as usize];
-        let mut shaped = None;
-        for s in &mut node.shapers {
-            if s.spec.matches(&pkt) {
-                shaped = Some(s.id);
-                break;
-            }
-        }
-        if let Some(sid) = shaped {
-            let s = node
-                .shapers
-                .iter_mut()
-                .find(|s| s.id == sid)
-                .expect("shaper vanished");
+        if let Some(pos) = node.shapers.iter().position(|s| s.spec.matches(&pkt)) {
+            let s = &mut node.shapers[pos];
+            let sid = s.id;
             match s.offer(now, pkt) {
                 ShapeOutcome::PassThrough(p) => self.forward_from(src, p),
                 ShapeOutcome::Queued { arm_at } => {
@@ -252,7 +303,11 @@ impl Net {
                         let gen = s.gen;
                         self.engine.schedule(
                             at,
-                            Ev::ShaperRelease { host: src, shaper: sid, gen },
+                            Ev::ShaperRelease {
+                                host: src,
+                                shaper: sid,
+                                gen,
+                            },
                         );
                     }
                 }
@@ -314,7 +369,9 @@ impl Net {
         cpu_time: mpichgq_sim::SimDelta,
     ) -> WorkId {
         let now = self.now();
-        let (wid, ups) = self.nodes[host.0 as usize].cpu.start_work(now, pid, cpu_time);
+        let (wid, ups) = self.nodes[host.0 as usize]
+            .cpu
+            .start_work(now, pid, cpu_time);
         self.apply_cpu_updates(host, ups);
         wid
     }
@@ -325,8 +382,14 @@ impl Net {
 
     fn apply_cpu_updates(&mut self, host: NodeId, updates: Vec<Update>) {
         for u in updates {
-            self.engine
-                .schedule(u.eta, Ev::CpuDone { host, work: u.work, gen: u.gen });
+            self.engine.schedule(
+                u.eta,
+                Ev::CpuDone {
+                    host,
+                    work: u.work,
+                    gen: u.gen,
+                },
+            );
         }
     }
 
@@ -399,15 +462,26 @@ impl Net {
                 let Some(s) = node.shapers.iter_mut().find(|s| s.id == shaper) else {
                     return;
                 };
-                let (pkts, next) = s.release(now, gen);
+                // Drain into the reusable scratch buffer; `forward_from`
+                // never touches it, so taking it out of `self` is safe.
+                let mut pkts = std::mem::take(&mut self.shaper_scratch);
+                pkts.clear();
+                let next = s.release_into(now, gen, &mut pkts);
                 if let Some(at) = next {
                     let g = s.gen;
-                    self.engine
-                        .schedule(at, Ev::ShaperRelease { host, shaper, gen: g });
+                    self.engine.schedule(
+                        at,
+                        Ev::ShaperRelease {
+                            host,
+                            shaper,
+                            gen: g,
+                        },
+                    );
                 }
-                for p in pkts {
+                for p in pkts.drain(..) {
                     self.forward_from(host, p);
                 }
+                self.shaper_scratch = pkts;
             }
             Ev::Control { token } => h.control(self, token),
         }
@@ -444,6 +518,7 @@ impl Net {
         }
     }
 
+    #[inline]
     fn forward_from(&mut self, node: NodeId, pkt: Packet) {
         let Some(chan) = self.route(node, pkt.dst) else {
             self.drops.misrouted += 1;
@@ -482,6 +557,7 @@ pub struct TopoBuilder {
     chans: Vec<Chan>,
     queues: Vec<Queue>,
     seed: u64,
+    scheduler: SchedulerKind,
 }
 
 impl TopoBuilder {
@@ -491,7 +567,14 @@ impl TopoBuilder {
             chans: Vec::new(),
             queues: Vec::new(),
             seed,
+            scheduler: SchedulerKind::default(),
         }
+    }
+
+    /// Choose the event-scheduler backend for the built network.
+    pub fn scheduler(&mut self, kind: SchedulerKind) -> &mut Self {
+        self.scheduler = kind;
+        self
     }
 
     pub fn host(&mut self, name: &str) -> NodeId {
@@ -502,14 +585,21 @@ impl TopoBuilder {
 
     pub fn router(&mut self, name: &str) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node::new(NodeKind::Router, name.to_owned()));
+        self.nodes
+            .push(Node::new(NodeKind::Router, name.to_owned()));
         id
     }
 
     /// Connect `a` and `b` with a symmetric full-duplex link. Host-to-router
     /// links are flagged as edge ingress on the router side. Returns the two
     /// directed channels `(a→b, b→a)`.
-    pub fn link(&mut self, a: NodeId, b: NodeId, cfg: LinkCfg, queue: QueueCfg) -> (ChanId, ChanId) {
+    pub fn link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        cfg: LinkCfg,
+        queue: QueueCfg,
+    ) -> (ChanId, ChanId) {
         let ab = self.add_chan(a, b, cfg, queue);
         let ba = self.add_chan(b, a, cfg, queue);
         (ab, ba)
@@ -551,7 +641,7 @@ impl TopoBuilder {
     /// Compute hop-count shortest-path routes and freeze the topology.
     pub fn build(self) -> Net {
         let n = self.nodes.len();
-        let mut routes = vec![vec![None; n]; n];
+        let mut routes = RouteTable::new(n);
         // BFS from every destination, walking reverse edges.
         for dst in 0..n {
             let mut dist = vec![u32::MAX; n];
@@ -567,13 +657,20 @@ impl TopoBuilder {
                     let pred = c.from.0 as usize;
                     if dist[pred] == u32::MAX {
                         dist[pred] = dist[cur] + 1;
-                        routes[pred][dst] = Some(ChanId(ci as u32));
+                        routes.set(pred, dst, ChanId(ci as u32));
                         frontier.push_back(pred);
                     }
                 }
             }
         }
-        Net::from_parts(self.nodes, self.chans, self.queues, routes, self.seed)
+        Net::from_parts(
+            self.nodes,
+            self.chans,
+            self.queues,
+            routes,
+            self.seed,
+            self.scheduler,
+        )
     }
 }
 
@@ -590,7 +687,10 @@ mod tests {
     }
     impl Collect {
         fn new() -> Self {
-            Collect { got: Vec::new(), timers: Vec::new() }
+            Collect {
+                got: Vec::new(),
+                timers: Vec::new(),
+            }
         }
     }
     impl NetHandler for Collect {
@@ -610,7 +710,11 @@ mod tests {
         let h1 = b.host("h1");
         let r = b.router("r");
         let h2 = b.host("h2");
-        let cfg = LinkCfg { bandwidth_bps: 8_000_000, delay: SimDelta::from_millis(1), framing: Framing::None };
+        let cfg = LinkCfg {
+            bandwidth_bps: 8_000_000,
+            delay: SimDelta::from_millis(1),
+            framing: Framing::None,
+        };
         b.link(h1, r, cfg, QueueCfg::droptail_default());
         b.link(r, h2, cfg, QueueCfg::droptail_default());
         (b.build(), h1, h2)

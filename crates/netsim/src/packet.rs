@@ -46,11 +46,36 @@ pub struct TcpFlags {
 }
 
 impl TcpFlags {
-    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, fin: false, rst: false };
-    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, fin: false, rst: false };
-    pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, rst: false };
-    pub const FIN_ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: true, rst: false };
-    pub const RST: TcpFlags = TcpFlags { syn: false, ack: false, fin: false, rst: true };
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+    };
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+    };
+    pub const ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+    };
+    pub const FIN_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: true,
+        rst: false,
+    };
+    pub const RST: TcpFlags = TcpFlags {
+        syn: false,
+        ack: false,
+        fin: false,
+        rst: true,
+    };
 }
 
 /// TCP header fields carried through the network.
@@ -90,6 +115,7 @@ pub struct Packet {
 }
 
 impl Packet {
+    #[inline]
     pub fn proto(&self) -> Proto {
         match self.l4 {
             L4::Tcp(_) => Proto::Tcp,
@@ -98,6 +124,7 @@ impl Packet {
     }
 
     /// Total IP datagram length (what routers queue and police on).
+    #[inline]
     pub fn ip_len(&self) -> u32 {
         let l4h = match self.l4 {
             L4::Tcp(_) => TCP_HEADER_BYTES,
@@ -106,6 +133,7 @@ impl Packet {
         IP_HEADER_BYTES + l4h + self.payload_len
     }
 
+    #[inline]
     pub fn tcp(&self) -> Option<&TcpHeader> {
         match &self.l4 {
             L4::Tcp(h) => Some(h),
@@ -126,6 +154,7 @@ pub struct FlowKey {
 }
 
 impl FlowKey {
+    #[inline]
     pub fn of(pkt: &Packet) -> FlowKey {
         FlowKey {
             src: pkt.src,
@@ -137,6 +166,7 @@ impl FlowKey {
     }
 
     /// The same flow viewed from the other direction (for ACK channels).
+    #[inline]
     pub fn reversed(&self) -> FlowKey {
         FlowKey {
             src: self.dst,
@@ -168,7 +198,12 @@ mod tests {
     #[test]
     fn ip_len_includes_headers() {
         let t = pkt(
-            L4::Tcp(TcpHeader { seq: 0, ack: 0, flags: TcpFlags::ACK, wnd: 0 }),
+            L4::Tcp(TcpHeader {
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::ACK,
+                wnd: 0,
+            }),
             1460,
         );
         assert_eq!(t.ip_len(), 1500);

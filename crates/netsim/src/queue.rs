@@ -39,7 +39,11 @@ struct Fifo {
 
 impl Fifo {
     fn new(cap_bytes: u64) -> Self {
-        Fifo { q: VecDeque::new(), cap_bytes, cur_bytes: 0 }
+        Fifo {
+            q: VecDeque::new(),
+            cap_bytes,
+            cur_bytes: 0,
+        }
     }
     fn try_push(&mut self, pkt: Packet) -> Result<(), Packet> {
         let len = pkt.ip_len() as u64;
@@ -77,8 +81,13 @@ pub struct Fifo2(Fifo);
 /// Configuration for an interface queue.
 #[derive(Debug, Clone, Copy)]
 pub enum QueueCfg {
-    DropTail { cap_bytes: u64 },
-    Priority { ef_cap_bytes: u64, be_cap_bytes: u64 },
+    DropTail {
+        cap_bytes: u64,
+    },
+    Priority {
+        ef_cap_bytes: u64,
+        be_cap_bytes: u64,
+    },
 }
 
 impl QueueCfg {
@@ -86,7 +95,10 @@ impl QueueCfg {
     /// router default — and a deeper EF queue (EF load is admission-limited,
     /// so its queue is sized to absorb policed bursts, not to police).
     pub fn priority_default() -> QueueCfg {
-        QueueCfg::Priority { ef_cap_bytes: 1_000_000, be_cap_bytes: 150_000 }
+        QueueCfg::Priority {
+            ef_cap_bytes: 1_000_000,
+            be_cap_bytes: 150_000,
+        }
     }
     pub fn droptail_default() -> QueueCfg {
         QueueCfg::DropTail { cap_bytes: 150_000 }
@@ -100,7 +112,10 @@ impl Queue {
                 fifo: Fifo2(Fifo::new(cap_bytes)),
                 stats: QueueStats::default(),
             },
-            QueueCfg::Priority { ef_cap_bytes, be_cap_bytes } => Queue::Priority {
+            QueueCfg::Priority {
+                ef_cap_bytes,
+                be_cap_bytes,
+            } => Queue::Priority {
                 ef: Fifo2(Fifo::new(ef_cap_bytes)),
                 be: Fifo2(Fifo::new(be_cap_bytes)),
                 stats: QueueStats::default(),
@@ -108,16 +123,25 @@ impl Queue {
         }
     }
 
+    #[inline]
     pub fn enqueue(&mut self, pkt: Packet) -> Enqueue {
         let is_ef = pkt.dscp == Dscp::Ef;
         match self {
             Queue::DropTail { fifo, stats } => match fifo.0.try_push(pkt) {
                 Ok(()) => {
-                    if is_ef { stats.enq_ef += 1 } else { stats.enq_be += 1 }
+                    if is_ef {
+                        stats.enq_ef += 1
+                    } else {
+                        stats.enq_be += 1
+                    }
                     Enqueue::Queued
                 }
                 Err(_) => {
-                    if is_ef { stats.drop_ef += 1 } else { stats.drop_be += 1 }
+                    if is_ef {
+                        stats.drop_ef += 1
+                    } else {
+                        stats.drop_be += 1
+                    }
                     Enqueue::DroppedFull
                 }
             },
@@ -125,11 +149,19 @@ impl Queue {
                 let target = if is_ef { ef } else { be };
                 match target.0.try_push(pkt) {
                     Ok(()) => {
-                        if is_ef { stats.enq_ef += 1 } else { stats.enq_be += 1 }
+                        if is_ef {
+                            stats.enq_ef += 1
+                        } else {
+                            stats.enq_be += 1
+                        }
                         Enqueue::Queued
                     }
                     Err(_) => {
-                        if is_ef { stats.drop_ef += 1 } else { stats.drop_be += 1 }
+                        if is_ef {
+                            stats.drop_ef += 1
+                        } else {
+                            stats.drop_be += 1
+                        }
                         Enqueue::DroppedFull
                     }
                 }
@@ -138,6 +170,7 @@ impl Queue {
     }
 
     /// Dequeue the next packet to transmit: EF strictly before best-effort.
+    #[inline]
     pub fn pop(&mut self) -> Option<Packet> {
         let (pkt, stats) = match self {
             Queue::DropTail { fifo, stats } => (fifo.0.pop(), stats),
@@ -150,6 +183,7 @@ impl Queue {
         pkt
     }
 
+    #[inline]
     pub fn is_empty(&self) -> bool {
         match self {
             Queue::DropTail { fifo, .. } => fifo.0.q.is_empty(),
@@ -158,6 +192,7 @@ impl Queue {
     }
 
     /// Bytes currently queued (all classes).
+    #[inline]
     pub fn backlog_bytes(&self) -> u64 {
         match self {
             Queue::DropTail { fifo, .. } => fifo.0.cur_bytes,
@@ -175,7 +210,7 @@ impl Queue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{L4, NodeId};
+    use crate::packet::{NodeId, L4};
 
     fn pkt(dscp: Dscp, payload: u32) -> Packet {
         Packet {
@@ -231,7 +266,10 @@ mod tests {
 
     #[test]
     fn be_flood_does_not_displace_ef() {
-        let mut q = Queue::new(QueueCfg::Priority { ef_cap_bytes: 10_000, be_cap_bytes: 2_000 });
+        let mut q = Queue::new(QueueCfg::Priority {
+            ef_cap_bytes: 10_000,
+            be_cap_bytes: 2_000,
+        });
         for _ in 0..10 {
             q.enqueue(pkt(Dscp::BestEffort, 972));
         }
@@ -243,7 +281,10 @@ mod tests {
 
     #[test]
     fn ef_queue_has_its_own_capacity() {
-        let mut q = Queue::new(QueueCfg::Priority { ef_cap_bytes: 1_000, be_cap_bytes: 1_000 });
+        let mut q = Queue::new(QueueCfg::Priority {
+            ef_cap_bytes: 1_000,
+            be_cap_bytes: 1_000,
+        });
         assert_eq!(q.enqueue(pkt(Dscp::Ef, 972)), Enqueue::Queued);
         assert_eq!(q.enqueue(pkt(Dscp::Ef, 972)), Enqueue::DroppedFull);
         assert_eq!(q.stats().drop_ef, 1);

@@ -90,17 +90,27 @@ impl Shaper {
     }
 
     fn next_release(&mut self, now: SimTime) -> SimTime {
-        let len = self.queue.front().expect("release with empty queue").ip_len();
+        let len = self
+            .queue
+            .front()
+            .expect("release with empty queue")
+            .ip_len();
         self.bucket.time_until_conformant(now, len)
     }
 
-    /// A release event fired: drain all now-conformant packets, and return
-    /// them plus the time of the next release event, if more remain.
-    pub fn release(&mut self, now: SimTime, gen: u64) -> (Vec<Packet>, Option<SimTime>) {
+    /// A release event fired: drain all now-conformant packets into `out`
+    /// (a caller-owned scratch buffer, so the per-release path allocates
+    /// nothing), returning the time of the next release event if more
+    /// packets remain queued.
+    pub fn release_into(
+        &mut self,
+        now: SimTime,
+        gen: u64,
+        out: &mut Vec<Packet>,
+    ) -> Option<SimTime> {
         if gen != self.gen || !self.armed {
-            return (Vec::new(), None);
+            return None;
         }
-        let mut out = Vec::new();
         while let Some(front) = self.queue.front() {
             let len = front.ip_len();
             if self.bucket.try_consume(now, len) {
@@ -112,19 +122,25 @@ impl Shaper {
         }
         if self.queue.is_empty() {
             self.armed = false;
-            (out, None)
+            None
         } else {
             self.gen += 1;
-            let at = self.next_release(now);
-            (out, Some(at))
+            Some(self.next_release(now))
         }
+    }
+
+    /// Allocating convenience wrapper around [`Shaper::release_into`].
+    pub fn release(&mut self, now: SimTime, gen: u64) -> (Vec<Packet>, Option<SimTime>) {
+        let mut out = Vec::new();
+        let next = self.release_into(now, gen, &mut out);
+        (out, next)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{Dscp, L4, NodeId};
+    use crate::packet::{Dscp, NodeId, L4};
 
     fn pkt(payload: u32) -> Packet {
         Packet {
@@ -158,13 +174,16 @@ mod tests {
     fn burst_is_delayed_not_dropped() {
         let mut s = Shaper::new(0, FlowSpec::any(), TokenBucket::new(8_000, 1_000));
         // First 1000-byte packet passes; second queues with a release time.
-        assert!(matches!(s.offer(t(0), pkt(972)), ShapeOutcome::PassThrough(_)));
+        assert!(matches!(
+            s.offer(t(0), pkt(972)),
+            ShapeOutcome::PassThrough(_)
+        ));
         let arm = match s.offer(t(0), pkt(972)) {
             ShapeOutcome::Queued { arm_at } => arm_at.unwrap(),
             other => panic!("{other:?}"),
         };
         assert_eq!(arm, t(1_000)); // 1000 bytes at 1000 B/s
-        // Third packet queues behind without re-arming.
+                                   // Third packet queues behind without re-arming.
         assert!(matches!(
             s.offer(t(0), pkt(972)),
             ShapeOutcome::Queued { arm_at: None }

@@ -80,6 +80,7 @@ impl TokenBucket {
     }
 
     /// Current token count in bytes (after refilling to `now`).
+    #[inline]
     pub fn available(&mut self, now: SimTime) -> f64 {
         self.refill(now);
         self.tokens
@@ -88,6 +89,7 @@ impl TokenBucket {
     /// Try to consume `bytes` tokens; returns whether the packet conforms.
     /// Non-conforming packets leave the bucket untouched (RFC 2697-style
     /// strict policing: no partial consumption).
+    #[inline]
     pub fn try_consume(&mut self, now: SimTime, bytes: u32) -> bool {
         self.refill(now);
         if self.tokens >= bytes as f64 {
@@ -100,6 +102,7 @@ impl TokenBucket {
 
     /// The earliest time at which `bytes` tokens will be available (used by
     /// the end-system shaper to *delay* rather than drop).
+    #[inline]
     pub fn time_until_conformant(&mut self, now: SimTime, bytes: u32) -> SimTime {
         self.refill(now);
         let deficit = bytes as f64 - self.tokens;
@@ -186,7 +189,12 @@ mod tests {
     #[test]
     fn depth_rules_match_paper() {
         // depth = bandwidth * delay: 40 Mb/s * 2 ms = 80_000 (= bw/500).
-        let d = depth_for(DepthRule::BandwidthDelay { delay_ns: 2_000_000 }, 40_000_000);
+        let d = depth_for(
+            DepthRule::BandwidthDelay {
+                delay_ns: 2_000_000,
+            },
+            40_000_000,
+        );
         assert_eq!(d, 80_000);
         assert_eq!(depth_for(DepthRule::Normal, 40_000_000), 1_000_000);
         assert_eq!(depth_for(DepthRule::Large, 40_000_000), 10_000_000);

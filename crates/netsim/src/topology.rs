@@ -4,7 +4,7 @@ use crate::link::{Framing, LinkCfg};
 use crate::net::{Net, TopoBuilder};
 use crate::packet::NodeId;
 use crate::queue::QueueCfg;
-use mpichgq_sim::SimDelta;
+use mpichgq_sim::{SchedulerKind, SimDelta};
 
 /// Configuration for the GARNET testbed model.
 ///
@@ -28,6 +28,8 @@ pub struct GarnetCfg {
     /// Queue configuration on core-trunk egress ports.
     pub core_queue: QueueCfg,
     pub seed: u64,
+    /// Event-scheduler backend for the simulation engine.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for GarnetCfg {
@@ -39,6 +41,7 @@ impl Default for GarnetCfg {
             core_framing: Framing::AtmAal5,
             core_queue: QueueCfg::priority_default(),
             seed: 0xC15C0,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -58,6 +61,7 @@ pub struct Garnet {
 impl Garnet {
     pub fn build(cfg: GarnetCfg) -> Garnet {
         let mut b = TopoBuilder::new(cfg.seed);
+        b.scheduler(cfg.scheduler);
         let premium_src = b.host("premium-src");
         let competitive_src = b.host("competitive-src");
         let r1 = b.router("cisco-7507-1");
@@ -68,11 +72,41 @@ impl Garnet {
 
         // Host attachments. Hosts get generous drop-tail egress queues (the
         // OS can buffer); router-to-host egress uses priority queuing too.
-        let host_q = QueueCfg::DropTail { cap_bytes: 512 * 1024 };
-        b.link_asym(premium_src, r1, cfg.host_link, host_q, cfg.host_link, cfg.core_queue);
-        b.link_asym(competitive_src, r1, cfg.host_link, host_q, cfg.host_link, cfg.core_queue);
-        b.link_asym(premium_dst, r3, cfg.host_link, host_q, cfg.host_link, cfg.core_queue);
-        b.link_asym(competitive_dst, r3, cfg.host_link, host_q, cfg.host_link, cfg.core_queue);
+        let host_q = QueueCfg::DropTail {
+            cap_bytes: 512 * 1024,
+        };
+        b.link_asym(
+            premium_src,
+            r1,
+            cfg.host_link,
+            host_q,
+            cfg.host_link,
+            cfg.core_queue,
+        );
+        b.link_asym(
+            competitive_src,
+            r1,
+            cfg.host_link,
+            host_q,
+            cfg.host_link,
+            cfg.core_queue,
+        );
+        b.link_asym(
+            premium_dst,
+            r3,
+            cfg.host_link,
+            host_q,
+            cfg.host_link,
+            cfg.core_queue,
+        );
+        b.link_asym(
+            competitive_dst,
+            r3,
+            cfg.host_link,
+            host_q,
+            cfg.host_link,
+            cfg.core_queue,
+        );
 
         // Core trunks: the contended path.
         let core = LinkCfg {
@@ -114,7 +148,17 @@ pub struct Dumbbell {
 
 impl Dumbbell {
     pub fn build(bottleneck_bps: u64, delay: SimDelta, seed: u64) -> Dumbbell {
+        Self::build_with_scheduler(bottleneck_bps, delay, seed, SchedulerKind::default())
+    }
+
+    pub fn build_with_scheduler(
+        bottleneck_bps: u64,
+        delay: SimDelta,
+        seed: u64,
+        scheduler: SchedulerKind,
+    ) -> Dumbbell {
         let mut b = TopoBuilder::new(seed);
+        b.scheduler(scheduler);
         let src = b.host("src");
         let r1 = b.router("r1");
         let r2 = b.router("r2");
@@ -124,11 +168,21 @@ impl Dumbbell {
             delay: SimDelta::from_micros(10),
             framing: Framing::None,
         };
-        let core = LinkCfg { bandwidth_bps: bottleneck_bps, delay, framing: Framing::None };
+        let core = LinkCfg {
+            bandwidth_bps: bottleneck_bps,
+            delay,
+            framing: Framing::None,
+        };
         b.link(src, r1, fast, QueueCfg::priority_default());
         b.link(r1, r2, core, QueueCfg::priority_default());
         b.link(r2, dst, fast, QueueCfg::priority_default());
-        Dumbbell { net: b.build(), src, dst, r1, r2 }
+        Dumbbell {
+            net: b.build(),
+            src,
+            dst,
+            r1,
+            r2,
+        }
     }
 }
 
@@ -165,6 +219,9 @@ mod tests {
     fn dumbbell_wires_up() {
         let d = Dumbbell::build(10_000_000, SimDelta::from_millis(2), 7);
         assert!(d.net.route(d.src, d.dst).is_some());
-        assert_eq!(d.net.path_delay(d.src, d.dst).unwrap(), SimDelta::from_micros(10 + 2000 + 10));
+        assert_eq!(
+            d.net.path_delay(d.src, d.dst).unwrap(),
+            SimDelta::from_micros(10 + 2000 + 10)
+        );
     }
 }

@@ -3,8 +3,8 @@
 //! priority isolation on a live network.
 
 use mpichgq_netsim::{
-    topology::Dumbbell, Dscp, FlowSpec, Framing, NetHandler, NodeId, Packet, PolicingAction,
-    Proto, TokenBucket, L4,
+    topology::Dumbbell, Dscp, FlowSpec, Framing, NetHandler, NodeId, Packet, PolicingAction, Proto,
+    TokenBucket, L4,
 };
 use mpichgq_sim::{SimDelta, SimTime};
 use proptest::prelude::*;

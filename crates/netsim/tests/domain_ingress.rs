@@ -47,7 +47,11 @@ fn domain_ingress_polices_the_premium_aggregate() {
     let ra = b.router("domain-a-edge");
     let rb = b.router("domain-b-ingress");
     let dst = b.host("sink");
-    let l = LinkCfg { bandwidth_bps: 100_000_000, delay: SimDelta::from_millis(1), framing: Framing::None };
+    let l = LinkCfg {
+        bandwidth_bps: 100_000_000,
+        delay: SimDelta::from_millis(1),
+        framing: Framing::None,
+    };
     b.link(h1, ra, l, QueueCfg::priority_default());
     b.link(h2, ra, l, QueueCfg::priority_default());
     let (ab, _ba) = b.link(ra, rb, l, QueueCfg::priority_default());
@@ -93,7 +97,11 @@ fn demoting_domain_ingress_keeps_excess_as_best_effort() {
     let ra = b.router("a");
     let rb = b.router("b");
     let dst = b.host("sink");
-    let l = LinkCfg { bandwidth_bps: 100_000_000, delay: SimDelta::from_millis(1), framing: Framing::None };
+    let l = LinkCfg {
+        bandwidth_bps: 100_000_000,
+        delay: SimDelta::from_millis(1),
+        framing: Framing::None,
+    };
     b.link(h1, ra, l, QueueCfg::priority_default());
     let (ab, _) = b.link(ra, rb, l, QueueCfg::priority_default());
     b.link(rb, dst, l, QueueCfg::priority_default());

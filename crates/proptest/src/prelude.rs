@@ -1,0 +1,5 @@
+//! `use proptest::prelude::*;` — everything the repo's property tests name.
+
+pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+pub use crate::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};

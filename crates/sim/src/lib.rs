@@ -10,11 +10,13 @@
 //! networks.
 
 pub mod engine;
+pub mod fxhash;
 pub mod rng;
 pub mod series;
 pub mod time;
 
-pub use engine::Engine;
+pub use engine::{CalendarStats, Engine, SchedulerKind};
+pub use fxhash::{FxBuildHasher, FxHashMap};
 pub use rng::SimRng;
 pub use series::{Recorder, ThroughputMeter, TimeSeries};
 pub use time::{SimDelta, SimTime};

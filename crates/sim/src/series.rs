@@ -57,7 +57,10 @@ impl TimeSeries {
     }
 
     pub fn min(&self) -> f64 {
-        self.points.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min)
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::INFINITY, f64::min)
     }
 
     pub fn max(&self) -> f64 {
@@ -215,8 +218,14 @@ mod tests {
         for s in 0..10 {
             ts.push(SimTime::from_secs(s), s as f64);
         }
-        assert_eq!(ts.mean_in(SimTime::from_secs(2), SimTime::from_secs(5)), 3.0);
-        assert_eq!(ts.mean_in(SimTime::from_secs(50), SimTime::from_secs(60)), 0.0);
+        assert_eq!(
+            ts.mean_in(SimTime::from_secs(2), SimTime::from_secs(5)),
+            3.0
+        );
+        assert_eq!(
+            ts.mean_in(SimTime::from_secs(50), SimTime::from_secs(60)),
+            0.0
+        );
     }
 
     #[test]

@@ -224,10 +224,7 @@ mod tests {
     #[test]
     fn transmission_time_exact() {
         // 1500 bytes at 12000 bits/s = 1 second.
-        assert_eq!(
-            SimDelta::transmission(1500, 12_000),
-            SimDelta::from_secs(1)
-        );
+        assert_eq!(SimDelta::transmission(1500, 12_000), SimDelta::from_secs(1));
         // Rounds up: 1 byte at 1 Gb/s = 8 ns exactly.
         assert_eq!(SimDelta::transmission(1, 1_000_000_000).as_nanos(), 8);
         // 1 byte at 3 Gb/s = 2.67 ns -> 3 ns.

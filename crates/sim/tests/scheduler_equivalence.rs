@@ -1,0 +1,109 @@
+//! Property: the calendar queue and the binary heap are observably
+//! identical schedulers. Any interleaving of `schedule` / `pop` /
+//! `pop_until` — including same-timestamp bursts, far-future timers, and
+//! horizons that land between events — produces byte-identical pop
+//! sequences, clocks, and processed counts. This equivalence is what lets
+//! the calendar queue be the default backend.
+
+use mpichgq_sim::{Engine, SchedulerKind, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule a burst of events `delta` ns after the current clock.
+    /// `burst` > 1 exercises FIFO tie-breaking at one timestamp.
+    Schedule { delta: u64, burst: u8 },
+    /// Pop one event.
+    Pop,
+    /// Pop with a horizon `delta` ns past the current clock.
+    PopUntil { delta: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..2_000, 1u8..6).prop_map(|(delta, burst)| Op::Schedule { delta, burst }),
+        // Occasional far-future timers stress the calendar's fallback scan.
+        (1_000_000_000u64..30_000_000_000, 1u8..2)
+            .prop_map(|(delta, burst)| Op::Schedule { delta, burst }),
+        (0u64..1).prop_map(|_| Op::Pop),
+        (0u64..3_000).prop_map(|delta| Op::PopUntil { delta }),
+    ]
+}
+
+/// Run one op against an engine, returning an observation string capturing
+/// everything externally visible about the step.
+fn step(e: &mut Engine<u64>, op: &Op, payload: &mut u64) -> String {
+    match op {
+        Op::Schedule { delta, burst } => {
+            for _ in 0..*burst {
+                let at = SimTime::from_nanos(e.now().as_nanos().saturating_add(*delta));
+                e.schedule(at, *payload);
+                *payload += 1;
+            }
+            format!("sched len={}", e.len())
+        }
+        Op::Pop => format!("pop {:?} now={} peek={:?}", e.pop(), e.now(), e.peek_time()),
+        Op::PopUntil { delta } => {
+            let limit = SimTime::from_nanos(e.now().as_nanos().saturating_add(*delta));
+            format!(
+                "pop_until {:?} now={} peek={:?}",
+                e.pop_until(limit),
+                e.now(),
+                e.peek_time()
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn calendar_matches_heap_observably(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut heap: Engine<u64> = Engine::with_scheduler(SchedulerKind::Heap);
+        let mut cal: Engine<u64> = Engine::with_scheduler(SchedulerKind::Calendar);
+        let (mut ph, mut pc) = (0u64, 0u64);
+        for (i, op) in ops.iter().enumerate() {
+            let oh = step(&mut heap, op, &mut ph);
+            let oc = step(&mut cal, op, &mut pc);
+            prop_assert_eq!(&oh, &oc, "divergence at op {}: {:?}", i, op);
+        }
+        // Drain both to the end: full pop sequences must match too.
+        loop {
+            let h = heap.pop();
+            let c = cal.pop();
+            prop_assert_eq!(h, c);
+            if h.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(heap.processed(), cal.processed());
+        prop_assert_eq!(heap.now(), cal.now());
+    }
+}
+
+/// A dense deterministic workload with adversarial structure: interleaved
+/// bursts, identical timestamps across bursts, and a resize-forcing ramp.
+#[test]
+fn calendar_matches_heap_on_dense_ramp() {
+    let mut heap: Engine<u64> = Engine::with_scheduler(SchedulerKind::Heap);
+    let mut cal: Engine<u64> = Engine::with_scheduler(SchedulerKind::Calendar);
+    for e in [&mut heap, &mut cal] {
+        // Multiplicative-hash timestamps: scattered, with collisions.
+        for i in 0..50_000u64 {
+            let t = (i.wrapping_mul(2_654_435_761)) % 1_000_000;
+            e.schedule(SimTime::from_nanos(t), i);
+        }
+    }
+    loop {
+        let h = heap.pop();
+        assert_eq!(h, cal.pop());
+        if h.is_none() {
+            break;
+        }
+    }
+    assert_eq!(heap.processed(), 50_000);
+    assert_eq!(cal.processed(), 50_000);
+}

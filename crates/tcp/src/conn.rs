@@ -144,7 +144,10 @@ pub struct SegOut {
 pub enum Out {
     Seg(SegOut),
     /// (Re-)arm the retransmission timer at `at`; earlier arms are stale.
-    ArmTimer { at: SimTime, gen: u64 },
+    ArmTimer {
+        at: SimTime,
+        gen: u64,
+    },
     /// The three-way handshake completed (client side).
     Connected,
     /// The passive open completed (server side).
@@ -235,7 +238,10 @@ impl Connection {
             ack: 0,
             wnd: c.recv_window(),
             len: 0,
-            flags: SegFlags { syn: true, ..Default::default() },
+            flags: SegFlags {
+                syn: true,
+                ..Default::default()
+            },
             rtx: false,
         }));
         c.snd_nxt = 1; // SYN occupies sequence 0
@@ -257,7 +263,11 @@ impl Connection {
             ack: c.rcv_nxt,
             wnd: c.recv_window(),
             len: 0,
-            flags: SegFlags { syn: true, ack: true, ..Default::default() },
+            flags: SegFlags {
+                syn: true,
+                ack: true,
+                ..Default::default()
+            },
             rtx: false,
         }));
         c.snd_nxt = 1;
@@ -382,9 +392,7 @@ impl Connection {
         let mut outs = Vec::new();
         // Send a window update if the window was closed (or nearly) and has
         // now opened by at least one MSS — otherwise the sender could stall.
-        if n > 0
-            && (old_wnd as u64) < self.cfg.mss as u64
-            && new_wnd as u64 >= self.cfg.mss as u64
+        if n > 0 && (old_wnd as u64) < self.cfg.mss as u64 && new_wnd as u64 >= self.cfg.mss as u64
         {
             self.emit_ack(&mut outs);
         }
@@ -498,8 +506,8 @@ impl Connection {
                     // NewReno partial ACK: retransmit the next hole and
                     // deflate by the amount acked.
                     self.retransmit_head(now, outs);
-                    self.cwnd = (self.cwnd - acked as f64 + self.cfg.mss as f64)
-                        .max(self.cfg.mss as f64);
+                    self.cwnd =
+                        (self.cwnd - acked as f64 + self.cfg.mss as f64).max(self.cfg.mss as f64);
                 }
             } else {
                 self.dupacks = 0;
@@ -565,9 +573,8 @@ impl Connection {
             }
             Some(srtt) => {
                 let diff = if srtt > r { srtt - r } else { r - srtt };
-                self.rttvar = SimDelta::from_nanos(
-                    (3 * self.rttvar.as_nanos() + diff.as_nanos()) / 4,
-                );
+                self.rttvar =
+                    SimDelta::from_nanos((3 * self.rttvar.as_nanos() + diff.as_nanos()) / 4);
                 self.srtt = Some(SimDelta::from_nanos(
                     (7 * srtt.as_nanos() + r.as_nanos()) / 8,
                 ));
@@ -583,8 +590,15 @@ impl Connection {
         if self.snd_una == 0 {
             // Retransmit SYN (or SYN/ACK).
             let flags = match self.state {
-                State::SynSent => SegFlags { syn: true, ..Default::default() },
-                _ => SegFlags { syn: true, ack: true, ..Default::default() },
+                State::SynSent => SegFlags {
+                    syn: true,
+                    ..Default::default()
+                },
+                _ => SegFlags {
+                    syn: true,
+                    ack: true,
+                    ..Default::default()
+                },
             };
             outs.push(Out::Seg(SegOut {
                 seq: 0,
@@ -603,7 +617,11 @@ impl Connection {
                 ack: self.rcv_nxt,
                 wnd: self.recv_window(),
                 len: 0,
-                flags: SegFlags { fin: true, ack: true, ..Default::default() },
+                flags: SegFlags {
+                    fin: true,
+                    ack: true,
+                    ..Default::default()
+                },
                 rtx: true,
             }));
             self.stats.rtx_segs += 1;
@@ -618,7 +636,10 @@ impl Connection {
                 ack: self.rcv_nxt,
                 wnd: self.recv_window(),
                 len,
-                flags: SegFlags { ack: true, ..Default::default() },
+                flags: SegFlags {
+                    ack: true,
+                    ..Default::default()
+                },
                 rtx: true,
             }));
             self.stats.rtx_segs += 1;
@@ -715,7 +736,10 @@ impl Connection {
             ack: self.rcv_nxt,
             wnd,
             len: 0,
-            flags: SegFlags { ack: true, ..Default::default() },
+            flags: SegFlags {
+                ack: true,
+                ..Default::default()
+            },
             rtx: false,
         }));
     }
@@ -761,7 +785,10 @@ impl Connection {
                 ack: self.rcv_nxt,
                 wnd: self.recv_window(),
                 len: len as u32,
-                flags: SegFlags { ack: true, ..Default::default() },
+                flags: SegFlags {
+                    ack: true,
+                    ..Default::default()
+                },
                 rtx: false,
             }));
             self.snd_nxt += len;
@@ -782,7 +809,11 @@ impl Connection {
                     ack: self.rcv_nxt,
                     wnd: self.recv_window(),
                     len: 0,
-                    flags: SegFlags { fin: true, ack: true, ..Default::default() },
+                    flags: SegFlags {
+                        fin: true,
+                        ack: true,
+                        ..Default::default()
+                    },
                     rtx: false,
                 }));
                 self.fin_seq = Some(self.snd_nxt);
@@ -803,7 +834,9 @@ impl Connection {
         }
         // Zero-window deadlock guard: data waiting, nothing in flight, peer
         // window closed — keep the timer running to probe.
-        if self.snd_wnd == 0 && self.flight() == 0 && self.written > self.snd_nxt
+        if self.snd_wnd == 0
+            && self.flight() == 0
+            && self.written > self.snd_nxt
             && !self.timer_armed
         {
             self.arm_timer(now, outs);
@@ -817,7 +850,10 @@ impl Connection {
     fn arm_timer(&mut self, now: SimTime, outs: &mut Vec<Out>) {
         self.timer_gen += 2;
         self.timer_armed = true;
-        outs.push(Out::ArmTimer { at: now + self.rto, gen: self.timer_gen });
+        outs.push(Out::ArmTimer {
+            at: now + self.rto,
+            gen: self.timer_gen,
+        });
     }
 
     fn cancel_timer(&mut self) {
@@ -888,7 +924,10 @@ impl Connection {
                 ack: self.rcv_nxt,
                 wnd: self.recv_window(),
                 len: 1,
-                flags: SegFlags { ack: true, ..Default::default() },
+                flags: SegFlags {
+                    ack: true,
+                    ..Default::default()
+                },
                 rtx: false,
             }));
             self.snd_nxt += 1;

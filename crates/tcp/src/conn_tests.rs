@@ -23,7 +23,16 @@ fn data_segs(outs: &[Out]) -> Vec<SegOut> {
 
 fn ack_of(c: &Connection, ack: u64, wnd: u32) -> SegIn {
     let _ = c;
-    SegIn { seq: 0, ack, wnd, len: 0, flags: SegFlags { ack: true, ..Default::default() } }
+    SegIn {
+        seq: 0,
+        ack,
+        wnd,
+        len: 0,
+        flags: SegFlags {
+            ack: true,
+            ..Default::default()
+        },
+    }
 }
 
 /// Drive a full client handshake; returns the established connection.
@@ -38,7 +47,11 @@ fn established(cfg: TcpCfg) -> Connection {
             ack: 1,
             wnd: 65535,
             len: 0,
-            flags: SegFlags { syn: true, ack: true, ..Default::default() },
+            flags: SegFlags {
+                syn: true,
+                ack: true,
+                ..Default::default()
+            },
         },
         t(1),
     );
@@ -54,7 +67,16 @@ fn handshake_client_and_server() {
     assert_eq!(c.flight(), 0);
 
     // Server side.
-    let syn = SegIn { seq: 0, ack: 0, wnd: 65535, len: 0, flags: SegFlags { syn: true, ..Default::default() } };
+    let syn = SegIn {
+        seq: 0,
+        ack: 0,
+        wnd: 65535,
+        len: 0,
+        flags: SegFlags {
+            syn: true,
+            ..Default::default()
+        },
+    };
     let (mut s, outs) = Connection::accept(cfg, &syn, t(0));
     let synack = segs(&outs);
     assert!(synack[0].flags.syn && synack[0].flags.ack && synack[0].ack == 1);
@@ -91,7 +113,10 @@ fn syn_retransmits_on_timeout_with_backoff() {
 
 #[test]
 fn write_segments_respect_mss_and_cwnd() {
-    let cfg = TcpCfg { init_cwnd_segs: 2, ..TcpCfg::default() };
+    let cfg = TcpCfg {
+        init_cwnd_segs: 2,
+        ..TcpCfg::default()
+    };
     let mut c = established(cfg);
     let (accepted, outs) = c.write(10_000, t(2));
     assert_eq!(accepted, 10_000);
@@ -123,7 +148,10 @@ fn slow_start_grows_one_mss_per_ack() {
 
 #[test]
 fn send_buffer_limits_writes_and_signals_writable() {
-    let cfg = TcpCfg { send_buf: 4096, ..TcpCfg::default() };
+    let cfg = TcpCfg {
+        send_buf: 4096,
+        ..TcpCfg::default()
+    };
     let mut c = established(cfg);
     let (accepted, _) = c.write(10_000, t(2));
     assert_eq!(accepted, 4096);
@@ -154,7 +182,10 @@ fn zero_window_probe_after_stall() {
     let _ = c.on_segment(&ack_of(&c, 1, 0), t(2));
     let (accepted, outs) = c.write(5_000, t(2));
     assert_eq!(accepted, 5_000);
-    assert!(data_segs(&outs).is_empty(), "nothing sent into a zero window");
+    assert!(
+        data_segs(&outs).is_empty(),
+        "nothing sent into a zero window"
+    );
     // The probe timer fires: exactly one 1-byte probe.
     let gen = outs
         .iter()
@@ -175,7 +206,16 @@ fn in_order_data_is_readable_and_acked() {
     let cfg = TcpCfg::default();
     let mut c = established(cfg);
     let outs = c.on_segment(
-        &SegIn { seq: 1, ack: 1, wnd: 65535, len: 1000, flags: SegFlags { ack: true, ..Default::default() } },
+        &SegIn {
+            seq: 1,
+            ack: 1,
+            wnd: 65535,
+            len: 1000,
+            flags: SegFlags {
+                ack: true,
+                ..Default::default()
+            },
+        },
         t(2),
     );
     assert!(outs.contains(&Out::Readable));
@@ -193,14 +233,32 @@ fn out_of_order_data_dupacks_then_merges() {
     let mut c = established(cfg);
     // Hole: segment at 1461 arrives before 1.
     let outs = c.on_segment(
-        &SegIn { seq: 1461, ack: 1, wnd: 65535, len: 1000, flags: SegFlags { ack: true, ..Default::default() } },
+        &SegIn {
+            seq: 1461,
+            ack: 1,
+            wnd: 65535,
+            len: 1000,
+            flags: SegFlags {
+                ack: true,
+                ..Default::default()
+            },
+        },
         t(2),
     );
     assert!(!outs.contains(&Out::Readable));
     assert_eq!(segs(&outs).last().unwrap().ack, 1, "dup ack for the hole");
     // Fill the hole: cumulative ack jumps over the cached block.
     let outs = c.on_segment(
-        &SegIn { seq: 1, ack: 1, wnd: 65535, len: 1460, flags: SegFlags { ack: true, ..Default::default() } },
+        &SegIn {
+            seq: 1,
+            ack: 1,
+            wnd: 65535,
+            len: 1460,
+            flags: SegFlags {
+                ack: true,
+                ..Default::default()
+            },
+        },
         t(3),
     );
     assert!(outs.contains(&Out::Readable));
@@ -210,7 +268,10 @@ fn out_of_order_data_dupacks_then_merges() {
 
 #[test]
 fn three_dupacks_trigger_fast_retransmit() {
-    let cfg = TcpCfg { init_cwnd_segs: 8, ..TcpCfg::default() };
+    let cfg = TcpCfg {
+        init_cwnd_segs: 8,
+        ..TcpCfg::default()
+    };
     let mut c = established(cfg);
     let (_, outs) = c.write(10 * 1460, t(2));
     assert_eq!(data_segs(&outs).len(), 8);
@@ -232,7 +293,10 @@ fn three_dupacks_trigger_fast_retransmit() {
 
 #[test]
 fn newreno_partial_ack_retransmits_next_hole() {
-    let cfg = TcpCfg { init_cwnd_segs: 8, ..TcpCfg::default() };
+    let cfg = TcpCfg {
+        init_cwnd_segs: 8,
+        ..TcpCfg::default()
+    };
     let mut c = established(cfg);
     let _ = c.write(8 * 1460, t(2));
     for i in 0..3 {
@@ -250,7 +314,10 @@ fn newreno_partial_ack_retransmits_next_hole() {
 
 #[test]
 fn rto_goes_back_n_and_backs_off() {
-    let cfg = TcpCfg { init_cwnd_segs: 4, ..TcpCfg::default() };
+    let cfg = TcpCfg {
+        init_cwnd_segs: 4,
+        ..TcpCfg::default()
+    };
     let mut c = established(cfg);
     let (_, outs) = c.write(4 * 1460, t(2));
     let gen = outs
@@ -290,7 +357,10 @@ fn rtt_estimation_tracks_samples_and_karn() {
 
 #[test]
 fn idle_restart_collapses_cwnd() {
-    let cfg = TcpCfg { idle_restart: true, ..TcpCfg::default() };
+    let cfg = TcpCfg {
+        idle_restart: true,
+        ..TcpCfg::default()
+    };
     let mut c = established(cfg);
     // Grow cwnd well past initial.
     let _ = c.write(8 * 1460, t(2));
@@ -306,7 +376,10 @@ fn idle_restart_collapses_cwnd() {
 
 #[test]
 fn no_idle_restart_when_disabled() {
-    let cfg = TcpCfg { idle_restart: false, ..TcpCfg::default() };
+    let cfg = TcpCfg {
+        idle_restart: false,
+        ..TcpCfg::default()
+    };
     let mut c = established(cfg);
     let _ = c.write(8 * 1460, t(2));
     for i in 1..=8u64 {
@@ -315,7 +388,10 @@ fn no_idle_restart_when_disabled() {
     let grown = c.cwnd_bytes();
     let (_, outs) = c.write(20 * 1460, t(2500));
     let d = data_segs(&outs);
-    assert!(d.len() * 1460 >= grown as usize - 1460, "window kept after idle");
+    assert!(
+        d.len() * 1460 >= grown as usize - 1460,
+        "window kept after idle"
+    );
 }
 
 #[test]
@@ -330,7 +406,17 @@ fn graceful_close_both_directions() {
     // Peer ACKs the FIN and sends its own.
     let _ = a.on_segment(&ack_of(&a, 2, 65535), t(3));
     let outs = a.on_segment(
-        &SegIn { seq: 1, ack: 2, wnd: 65535, len: 0, flags: SegFlags { fin: true, ack: true, ..Default::default() } },
+        &SegIn {
+            seq: 1,
+            ack: 2,
+            wnd: 65535,
+            len: 0,
+            flags: SegFlags {
+                fin: true,
+                ack: true,
+                ..Default::default()
+            },
+        },
         t(4),
     );
     assert!(outs.contains(&Out::RemoteClosed));
@@ -341,7 +427,10 @@ fn graceful_close_both_directions() {
 
 #[test]
 fn fin_waits_for_queued_data() {
-    let cfg = TcpCfg { init_cwnd_segs: 1, ..TcpCfg::default() };
+    let cfg = TcpCfg {
+        init_cwnd_segs: 1,
+        ..TcpCfg::default()
+    };
     let mut c = established(cfg);
     let _ = c.write(3 * 1460, t(2));
     let outs = c.close(t(2));
@@ -359,7 +448,16 @@ fn rst_closes_immediately() {
     let cfg = TcpCfg::default();
     let mut c = established(cfg);
     let outs = c.on_segment(
-        &SegIn { seq: 1, ack: 1, wnd: 0, len: 0, flags: SegFlags { rst: true, ..Default::default() } },
+        &SegIn {
+            seq: 1,
+            ack: 1,
+            wnd: 0,
+            len: 0,
+            flags: SegFlags {
+                rst: true,
+                ..Default::default()
+            },
+        },
         t(2),
     );
     assert!(outs.contains(&Out::Closed));
@@ -368,11 +466,23 @@ fn rst_closes_immediately() {
 
 #[test]
 fn window_update_sent_when_reader_drains_full_buffer() {
-    let cfg = TcpCfg { recv_buf: 4096, ..TcpCfg::default() };
+    let cfg = TcpCfg {
+        recv_buf: 4096,
+        ..TcpCfg::default()
+    };
     let mut c = established(cfg);
     // Fill the receive buffer completely.
     let outs = c.on_segment(
-        &SegIn { seq: 1, ack: 1, wnd: 65535, len: 4096, flags: SegFlags { ack: true, ..Default::default() } },
+        &SegIn {
+            seq: 1,
+            ack: 1,
+            wnd: 65535,
+            len: 4096,
+            flags: SegFlags {
+                ack: true,
+                ..Default::default()
+            },
+        },
         t(2),
     );
     let last = segs(&outs).last().cloned().unwrap();
@@ -389,7 +499,16 @@ fn window_update_sent_when_reader_drains_full_buffer() {
 fn duplicate_data_reacked_not_redelivered() {
     let cfg = TcpCfg::default();
     let mut c = established(cfg);
-    let seg = SegIn { seq: 1, ack: 1, wnd: 65535, len: 1000, flags: SegFlags { ack: true, ..Default::default() } };
+    let seg = SegIn {
+        seq: 1,
+        ack: 1,
+        wnd: 65535,
+        len: 1000,
+        flags: SegFlags {
+            ack: true,
+            ..Default::default()
+        },
+    };
     let _ = c.on_segment(&seg, t(2));
     let (n, _) = c.read(10_000);
     assert_eq!(n, 1000);
@@ -405,11 +524,23 @@ fn duplicate_data_reacked_not_redelivered() {
 // ----------------------------------------------------------------------
 
 fn delack_cfg() -> TcpCfg {
-    TcpCfg { delayed_ack: true, ..TcpCfg::default() }
+    TcpCfg {
+        delayed_ack: true,
+        ..TcpCfg::default()
+    }
 }
 
 fn data_at(seq: u64, len: u32) -> SegIn {
-    SegIn { seq, ack: 1, wnd: 65535, len, flags: SegFlags { ack: true, ..Default::default() } }
+    SegIn {
+        seq,
+        ack: 1,
+        wnd: 65535,
+        len,
+        flags: SegFlags {
+            ack: true,
+            ..Default::default()
+        },
+    }
 }
 
 #[test]
@@ -417,7 +548,10 @@ fn delack_holds_first_segment_acks_second() {
     let mut c = established(delack_cfg());
     // First in-order segment: no ACK, a delack timer instead.
     let outs = c.on_segment(&data_at(1, 1000), t(2));
-    assert!(segs(&outs).is_empty(), "first segment must not be acked yet");
+    assert!(
+        segs(&outs).is_empty(),
+        "first segment must not be acked yet"
+    );
     assert!(outs
         .iter()
         .any(|o| matches!(o, Out::ArmTimer { at, .. } if *at == t(202))));
@@ -462,8 +596,8 @@ fn delack_out_of_order_acks_immediately() {
 fn delack_piggybacks_on_data() {
     let mut c = established(delack_cfg());
     let _ = c.on_segment(&data_at(1, 1000), t(2)); // delack pending
-    // We now send data: the segment carries the ack; the pending delack is
-    // satisfied and its timer generation invalidated.
+                                                   // We now send data: the segment carries the ack; the pending delack is
+                                                   // satisfied and its timer generation invalidated.
     let (_, outs) = c.write(500, t(3));
     let d = data_segs(&outs);
     assert_eq!(d.len(), 1);

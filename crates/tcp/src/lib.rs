@@ -18,4 +18,6 @@ mod conn_tests;
 pub mod stack;
 
 pub use conn::{ConnStats, Connection, Out, SegFlags, SegIn, SegOut, State, TcpCfg};
-pub use stack::{control_token, App, AppId, Controller, ControllerId, Ctx, DataMode, Sim, SockId, Stack};
+pub use stack::{
+    control_token, App, AppId, Controller, ControllerId, Ctx, DataMode, Sim, SockId, Stack,
+};

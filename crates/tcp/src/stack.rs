@@ -10,7 +10,8 @@
 
 use crate::conn::{Connection, Out, SegFlags, SegIn, SegOut, State, TcpCfg};
 use mpichgq_dsrt::ProcId;
-use mpichgq_netsim::{L4, Net, NetHandler, NodeId, Packet, TcpFlags, TcpHeader};
+use mpichgq_netsim::{Net, NetHandler, NodeId, Packet, TcpFlags, TcpHeader, L4};
+use mpichgq_sim::FxHashMap;
 use mpichgq_sim::{SimDelta, SimTime};
 use std::any::{Any, TypeId};
 use std::collections::{HashMap, VecDeque};
@@ -111,17 +112,23 @@ fn encode_token(kind: u64, index: u32, payload: u32) -> u64 {
 }
 
 fn decode_token(token: u64) -> (u64, u32, u32) {
-    ((token >> 56) & 0xFF, ((token >> 32) & 0xFF_FFFF) as u32, token as u32)
+    (
+        (token >> 56) & 0xFF,
+        ((token >> 32) & 0xFF_FFFF) as u32,
+        token as u32,
+    )
 }
 
 /// The transport + application layer for the whole simulation.
 pub struct Stack {
     socks: Vec<Sock>,
     apps: Vec<AppSlot>,
-    listeners: HashMap<(NodeId, u16), SockId>,
-    conns: HashMap<(NodeId, u16, NodeId, u16), SockId>,
-    udp_binds: HashMap<(NodeId, u16), SockId>,
-    next_port: HashMap<NodeId, u16>,
+    // Demux maps are consulted per segment; the deterministic FxHash build
+    // keeps those lookups off SipHash. `services` is cold and stays std.
+    listeners: FxHashMap<(NodeId, u16), SockId>,
+    conns: FxHashMap<(NodeId, u16, NodeId, u16), SockId>,
+    udp_binds: FxHashMap<(NodeId, u16), SockId>,
+    next_port: FxHashMap<NodeId, u16>,
     services: HashMap<TypeId, Box<dyn Any>>,
     controllers: Vec<Option<Box<dyn Controller>>>,
 }
@@ -137,10 +144,10 @@ impl Stack {
         Stack {
             socks: Vec::new(),
             apps: Vec::new(),
-            listeners: HashMap::new(),
-            conns: HashMap::new(),
-            udp_binds: HashMap::new(),
-            next_port: HashMap::new(),
+            listeners: FxHashMap::default(),
+            conns: FxHashMap::default(),
+            udp_binds: FxHashMap::default(),
+            next_port: FxHashMap::default(),
             services: HashMap::new(),
             controllers: Vec::new(),
         }
@@ -151,7 +158,11 @@ impl Stack {
     pub fn spawn_app(&mut self, net: &mut Net, host: NodeId, app: Box<dyn App>) -> AppId {
         let proc = net.cpu_add_process(host);
         let id = AppId(self.apps.len() as u32);
-        self.apps.push(AppSlot { app: Some(app), host, proc });
+        self.apps.push(AppSlot {
+            app: Some(app),
+            host,
+            proc,
+        });
         self.wake(net, id, |a, ctx| a.on_start(ctx));
         id
     }
@@ -173,13 +184,7 @@ impl Stack {
     }
 
     /// Arm a control point at `at` for controller `id` with `payload`.
-    pub fn schedule_control(
-        &mut self,
-        net: &mut Net,
-        id: ControllerId,
-        at: SimTime,
-        payload: u64,
-    ) {
+    pub fn schedule_control(&mut self, net: &mut Net, id: ControllerId, at: SimTime, payload: u64) {
         net.schedule_control(at, control_token(id, payload));
     }
 
@@ -239,12 +244,7 @@ impl Stack {
     }
 
     /// Wake `app` with a freshly built context.
-    fn wake(
-        &mut self,
-        net: &mut Net,
-        app: AppId,
-        f: impl FnOnce(&mut dyn App, &mut Ctx),
-    ) {
+    fn wake(&mut self, net: &mut Net, app: AppId, f: impl FnOnce(&mut dyn App, &mut Ctx)) {
         let slot = &mut self.apps[app.0 as usize];
         let host = slot.host;
         let Some(mut a) = slot.app.take() else {
@@ -253,7 +253,12 @@ impl Stack {
             // apps, so this indicates a bug.
             panic!("re-entrant application wake (app {})", app.0);
         };
-        let mut ctx = Ctx { net, stack: self, app, host };
+        let mut ctx = Ctx {
+            net,
+            stack: self,
+            app,
+            host,
+        };
         f(a.as_mut(), &mut ctx);
         self.apps[app.0 as usize].app = Some(a);
     }
@@ -379,7 +384,10 @@ impl Stack {
                     peer: Some((pkt.src, pkt.src_port)),
                     peer_sock: None,
                     from_listener: Some(listener),
-                    tx: StreamBuf { start: 1, data: VecDeque::new() },
+                    tx: StreamBuf {
+                        start: 1,
+                        data: VecDeque::new(),
+                    },
                     trace: None,
                 });
                 self.conns.insert(key, sock);
@@ -489,10 +497,15 @@ impl Ctx<'_> {
             peer: Some((dst, dport)),
             peer_sock: None,
             from_listener: None,
-            tx: StreamBuf { start: 1, data: VecDeque::new() },
+            tx: StreamBuf {
+                start: 1,
+                data: VecDeque::new(),
+            },
             trace: None,
         });
-        self.stack.conns.insert((self.host, lport, dst, dport), sock);
+        self.stack
+            .conns
+            .insert((self.host, lport, dst, dport), sock);
         self.stack.apply_outs(self.net, sock, outs);
         sock
     }
@@ -513,7 +526,11 @@ impl Ctx<'_> {
             trace: None,
         });
         let prev = self.stack.listeners.insert((self.host, port), sock);
-        assert!(prev.is_none(), "port {port} already listening on {}", self.host);
+        assert!(
+            prev.is_none(),
+            "port {port} already listening on {}",
+            self.host
+        );
         sock
     }
 
@@ -533,7 +550,11 @@ impl Ctx<'_> {
     /// Write real bytes; returns how many were accepted.
     pub fn send_bytes(&mut self, sock: SockId, bytes: &[u8]) -> usize {
         let s = &mut self.stack.socks[sock.0 as usize];
-        assert_eq!(s.mode, DataMode::Bytes, "send_bytes() on a Counted-mode socket");
+        assert_eq!(
+            s.mode,
+            DataMode::Bytes,
+            "send_bytes() on a Counted-mode socket"
+        );
         let now = self.net.now();
         let (accepted, outs) = match &mut s.kind {
             SockKind::Tcp(c) => c.write(bytes.len() as u64, now),
@@ -559,7 +580,11 @@ impl Ctx<'_> {
     /// Read up to `max` real bytes.
     pub fn recv_bytes(&mut self, sock: SockId, max: u64) -> Vec<u8> {
         let s = &mut self.stack.socks[sock.0 as usize];
-        assert_eq!(s.mode, DataMode::Bytes, "recv_bytes() on a Counted-mode socket");
+        assert_eq!(
+            s.mode,
+            DataMode::Bytes,
+            "recv_bytes() on a Counted-mode socket"
+        );
         let (n, outs) = match &mut s.kind {
             SockKind::Tcp(c) => c.read(max),
             _ => panic!("recv on non-TCP socket"),
@@ -650,14 +675,21 @@ impl Ctx<'_> {
             trace: None,
         });
         let prev = self.stack.udp_binds.insert((self.host, port), sock);
-        assert!(prev.is_none(), "udp port {port} already bound on {}", self.host);
+        assert!(
+            prev.is_none(),
+            "udp port {port} already bound on {}",
+            self.host
+        );
         sock
     }
 
     /// Send one UDP datagram (counted payload).
     pub fn udp_send(&mut self, sock: SockId, dst: NodeId, dport: u16, payload_len: u32) {
         let s = &self.stack.socks[sock.0 as usize];
-        assert!(matches!(s.kind, SockKind::Udp), "udp_send on non-UDP socket");
+        assert!(
+            matches!(s.kind, SockKind::Udp),
+            "udp_send on non-UDP socket"
+        );
         let pkt = Packet {
             src: s.host,
             dst,
@@ -679,14 +711,16 @@ impl Ctx<'_> {
     /// Run `f` with exclusive access to the service `T` and a re-borrowed
     /// context (take-out pattern: the service is absent from the registry
     /// for the duration of `f`).
-    pub fn with_service<T: Any, R>(
-        &mut self,
-        f: impl FnOnce(&mut T, &mut Ctx) -> R,
-    ) -> Option<R> {
+    pub fn with_service<T: Any, R>(&mut self, f: impl FnOnce(&mut T, &mut Ctx) -> R) -> Option<R> {
         let mut b = self.stack.services.remove(&TypeId::of::<T>())?;
         let r = f(
             b.downcast_mut::<T>().expect("service type mismatch"),
-            &mut Ctx { net: self.net, stack: self.stack, app: self.app, host: self.host },
+            &mut Ctx {
+                net: self.net,
+                stack: self.stack,
+                app: self.app,
+                host: self.host,
+            },
         );
         self.stack.services.insert(TypeId::of::<T>(), b);
         Some(r)
@@ -711,7 +745,10 @@ pub struct Sim {
 
 impl Sim {
     pub fn new(net: Net) -> Sim {
-        Sim { net, stack: Stack::new() }
+        Sim {
+            net,
+            stack: Stack::new(),
+        }
     }
 
     pub fn spawn_app(&mut self, host: NodeId, app: Box<dyn App>) -> AppId {

@@ -54,8 +54,19 @@ fn concurrent_connections_between_same_hosts_demux_correctly() {
             assert_eq!(n, 4);
         }
     }
-    sim.spawn_app(b, Box::new(Server { results: results.clone() }));
-    sim.spawn_app(a, Box::new(Client { dst: b, socks: Vec::new() }));
+    sim.spawn_app(
+        b,
+        Box::new(Server {
+            results: results.clone(),
+        }),
+    );
+    sim.spawn_app(
+        a,
+        Box::new(Client {
+            dst: b,
+            socks: Vec::new(),
+        }),
+    );
     sim.run_until(SimTime::from_secs(5));
     let mut got = results.borrow().clone();
     got.sort();
@@ -90,7 +101,13 @@ fn ephemeral_ports_are_unique_per_host() {
     }
     let ports = Rc::new(RefCell::new(Vec::new()));
     sim.spawn_app(b, Box::new(Server));
-    sim.spawn_app(a, Box::new(Client { dst: b, ports: ports.clone() }));
+    sim.spawn_app(
+        a,
+        Box::new(Client {
+            dst: b,
+            ports: ports.clone(),
+        }),
+    );
     sim.run_until(SimTime::from_secs(2));
     let mut p = ports.borrow().clone();
     assert_eq!(p.len(), 10);

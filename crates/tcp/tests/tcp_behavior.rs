@@ -2,7 +2,7 @@
 //! simulated network: handshake, reliable delivery, congestion response,
 //! flow control, and teardown.
 
-use mpichgq_netsim::{Dscp, FlowSpec, PolicingAction, Proto, TokenBucket, topology::Dumbbell};
+use mpichgq_netsim::{topology::Dumbbell, Dscp, FlowSpec, PolicingAction, Proto, TokenBucket};
 use mpichgq_sim::{SimDelta, SimTime};
 use mpichgq_tcp::{App, Ctx, DataMode, Sim, SockId, TcpCfg};
 use std::cell::RefCell;
@@ -212,7 +212,14 @@ fn transfer_setup(
 #[test]
 fn counted_transfer_delivers_everything_and_closes() {
     let total = 300_000;
-    let mut s = transfer_setup(10_000_000, 2, total, DataMode::Counted, TcpCfg::default(), None);
+    let mut s = transfer_setup(
+        10_000_000,
+        2,
+        total,
+        DataMode::Counted,
+        TcpCfg::default(),
+        None,
+    );
     s.sim.run_until(SimTime::from_secs(30));
     let sh = s.shared.borrow();
     assert_eq!(sh.received, total);
@@ -223,7 +230,14 @@ fn counted_transfer_delivers_everything_and_closes() {
 #[test]
 fn bytes_transfer_preserves_content() {
     let total = 100_000u64;
-    let mut s = transfer_setup(10_000_000, 2, total, DataMode::Bytes, TcpCfg::default(), None);
+    let mut s = transfer_setup(
+        10_000_000,
+        2,
+        total,
+        DataMode::Bytes,
+        TcpCfg::default(),
+        None,
+    );
     s.sim.run_until(SimTime::from_secs(30));
     let sh = s.shared.borrow();
     assert_eq!(sh.received, total);
@@ -238,7 +252,14 @@ fn clean_link_throughput_approaches_bottleneck() {
     // default 64 KB windows stay below the 150 KB bottleneck queue, so the
     // flow is genuinely lossless.
     let total = 4_000_000u64;
-    let mut s = transfer_setup(10_000_000, 2, total, DataMode::Counted, TcpCfg::default(), None);
+    let mut s = transfer_setup(
+        10_000_000,
+        2,
+        total,
+        DataMode::Counted,
+        TcpCfg::default(),
+        None,
+    );
     s.sim.run_until(SimTime::from_secs(60));
     let sh = s.shared.borrow();
     assert_eq!(sh.received, total);
@@ -259,7 +280,11 @@ fn small_socket_buffers_limit_throughput() {
     // The paper's §5.5 story: 8 KB socket buffers cap throughput at
     // window/RTT regardless of link capacity.
     let total = 400_000u64;
-    let cfg = TcpCfg { send_buf: 8 * 1024, recv_buf: 8 * 1024, ..TcpCfg::default() };
+    let cfg = TcpCfg {
+        send_buf: 8 * 1024,
+        recv_buf: 8 * 1024,
+        ..TcpCfg::default()
+    };
     let mut s = transfer_setup(100_000_000, 10, total, DataMode::Counted, cfg, None);
     s.sim.run_until(SimTime::from_secs(60));
     let sh = s.shared.borrow();
@@ -279,7 +304,11 @@ fn congestion_losses_recover_via_fast_retransmit() {
     // Slow start overshoots a small bottleneck queue: drops are inevitable,
     // but the transfer must complete and mostly recover without RTOs.
     let total = 2_000_000u64;
-    let cfg = TcpCfg { send_buf: 512 * 1024, recv_buf: 512 * 1024, ..TcpCfg::default() };
+    let cfg = TcpCfg {
+        send_buf: 512 * 1024,
+        recv_buf: 512 * 1024,
+        ..TcpCfg::default()
+    };
     let mut s = transfer_setup(5_000_000, 5, total, DataMode::Counted, cfg, None);
     s.sim.run_until(SimTime::from_secs(120));
     let sh = s.shared.borrow();
@@ -346,7 +375,10 @@ fn policed_flow_collapses_but_remains_reliable() {
         goodput < 400_000.0,
         "goodput {goodput:.0} should be below the policed rate"
     );
-    assert!(sim.net.drops.policed > 0, "policer must have dropped packets");
+    assert!(
+        sim.net.drops.policed > 0,
+        "policer must have dropped packets"
+    );
 }
 
 #[test]

@@ -31,7 +31,11 @@ fn main() {
         if !done_a {
             done_a = true;
             let w = mpi.comm_world();
-            mpi.attr_put(w, env_a2.keyval(), Rc::new(QosAttribute::premium(80_000.0, 64_000)));
+            mpi.attr_put(
+                w,
+                env_a2.keyval(),
+                Rc::new(QosAttribute::premium(80_000.0, 64_000)),
+            );
             println!("job A: requested 80 Mb/s -> {:?}", env_a2.outcome(mpi, w));
         }
         Poll::Done
@@ -54,7 +58,10 @@ fn main() {
             done_b = true;
             let w = mpi.comm_world();
             let avail = env_b2.available_bandwidth(mpi, w).unwrap();
-            println!("job B: broker reports {:.1} Mb/s premium available", avail as f64 / 1e6);
+            println!(
+                "job B: broker reports {:.1} Mb/s premium available",
+                avail as f64 / 1e6
+            );
             // Preference list: 30 fps, 15 fps, 5 fps variants of the pipeline.
             let alternatives = [
                 QosAttribute::premium(48_000.0, 200_000), // 30 fps
@@ -85,6 +92,10 @@ fn main() {
 
     // With ~108 reservable and ~82 (80 Mb/s + overhead) taken, the 48 and
     // 24 Mb/s requests (plus overhead) do not fit; 8 Mb/s does.
-    assert_eq!(*picked.borrow(), Some(2), "job B should land on the 5 fps variant");
+    assert_eq!(
+        *picked.borrow(),
+        Some(2),
+        "job B should land on the 5 fps variant"
+    );
     println!("\nthe program adapted its execution strategy to the reservation it could get.");
 }

@@ -6,11 +6,9 @@
 //! cargo run --release --example advance_coreservation
 //! ```
 
-use mpichgq::gara::{
-    CpuRequest, NetworkRequest, Request, StartSpec, Status, StorageRequest,
-};
-use mpichgq::netsim::{DepthRule, GarnetCfg, PolicingAction, Proto};
 use mpichgq::apps::GarnetLab;
+use mpichgq::gara::{CpuRequest, NetworkRequest, Request, StartSpec, Status, StorageRequest};
+use mpichgq::netsim::{DepthRule, GarnetCfg, PolicingAction, Proto};
 use mpichgq::sim::{SimDelta, SimTime};
 
 fn main() {
@@ -51,7 +49,11 @@ fn main() {
                     Some(SimDelta::from_secs(7)),
                 ),
                 (
-                    Request::Cpu(CpuRequest { host: src, proc, fraction: 0.8 }),
+                    Request::Cpu(CpuRequest {
+                        host: src,
+                        proc,
+                        fraction: 0.8,
+                    }),
                     StartSpec::At(SimTime::from_secs(5)),
                     Some(SimDelta::from_secs(7)),
                 ),
@@ -88,13 +90,18 @@ fn main() {
             Some(SimDelta::from_secs(1)),
         )
     });
-    assert!(err.is_err(), "bandwidth broker must refuse oversubscription");
+    assert!(
+        err.is_err(),
+        "bandwidth broker must refuse oversubscription"
+    );
     println!("a competing 100 Mb/s request overlapping the window is refused.");
 
     // A competing CPU hog is present the whole time, and our process is
     // busy rendering throughout (so its CPU share is observable).
     lab.sim.net.cpu_spawn_hog(src);
-    lab.sim.net.cpu_start_work(src, proc, SimDelta::from_secs(60));
+    lab.sim
+        .net
+        .cpu_start_work(src, proc, SimDelta::from_secs(60));
 
     // Observe the CPU share and edge-router state as time passes.
     for t in [1u64, 6, 13] {

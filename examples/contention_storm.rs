@@ -78,7 +78,14 @@ fn main() {
             }
         }
         builder
-            .rank(srcs[j], Box::new(Watch { inner: p0, env, out: outcome }))
+            .rank(
+                srcs[j],
+                Box::new(Watch {
+                    inner: p0,
+                    env,
+                    out: outcome,
+                }),
+            )
             .rank(dsts[j], Box::new(p1))
             .base_port((10_000 + 100 * j) as u16)
             .launch(&mut sim);
@@ -94,7 +101,10 @@ fn main() {
         let verdict = match &out {
             QosOutcome::Granted { network_rate_bps } => {
                 granted += 1;
-                format!("granted ({:.1} Mb/s installed)", *network_rate_bps as f64 / 1e6)
+                format!(
+                    "granted ({:.1} Mb/s installed)",
+                    *network_rate_bps as f64 / 1e6
+                )
             }
             QosOutcome::Denied { reason } => format!("DENIED: {reason}"),
             QosOutcome::None => "no request".into(),

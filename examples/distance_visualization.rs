@@ -29,10 +29,17 @@ fn run(cfg: RunCfg) -> (mpichgq::sim::TimeSeries, u64) {
     let mut lab = GarnetLab::new(GarnetCfg::default(), 0.7);
     lab.add_contention(150_000_000, SimTime::ZERO, end);
 
-    let agent = QosAgentCfg { shape_at_source: cfg.shape, ..QosAgentCfg::default() };
+    let agent = QosAgentCfg {
+        shape_at_source: cfg.shape,
+        ..QosAgentCfg::default()
+    };
     let (builder, env) = enable_qos(JobBuilder::new(), agent);
-    let qos = (cfg.reservation_kbps > 0.0)
-        .then(|| (env, QosAttribute::premium(cfg.reservation_kbps, cfg.frame_bytes)));
+    let qos = (cfg.reservation_kbps > 0.0).then(|| {
+        (
+            env,
+            QosAttribute::premium(cfg.reservation_kbps, cfg.frame_bytes),
+        )
+    });
 
     let vcfg = VizCfg {
         frame_bytes: cfg.frame_bytes,
@@ -46,11 +53,17 @@ fn run(cfg: RunCfg) -> (mpichgq::sim::TimeSeries, u64) {
     // Era-faithful TCP: the paper's Solaris endpoints had ~500 ms minimum
     // retransmission timeouts, which is what makes bursty flows pay for
     // shallow token buckets.
-    let tcp = TcpCfg { rto_min: SimDelta::from_millis(500), ..TcpCfg::default() };
+    let tcp = TcpCfg {
+        rto_min: SimDelta::from_millis(500),
+        ..TcpCfg::default()
+    };
     builder
         .rank(lab.premium_src, Box::new(tx))
         .rank(lab.premium_dst, Box::new(rx))
-        .cfg(mpichgq::mpi::MpiCfg { tcp, ..Default::default() })
+        .cfg(mpichgq::mpi::MpiCfg {
+            tcp,
+            ..Default::default()
+        })
         .launch(&mut lab.sim);
     lab.run_until(end);
     let run = finish_viz(meter, frames, end, SimTime::from_secs(5), end);

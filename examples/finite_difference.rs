@@ -6,7 +6,9 @@
 //! cargo run --release --example finite_difference
 //! ```
 
-use mpichgq::apps::{steady_iteration_rate, StencilCfg, StencilRank, TwoSites, UdpBlaster, UdpSink};
+use mpichgq::apps::{
+    steady_iteration_rate, StencilCfg, StencilRank, TwoSites, UdpBlaster, UdpSink,
+};
 use mpichgq::core::{enable_qos, QosAgentCfg, QosAttribute};
 use mpichgq::mpi::JobBuilder;
 use mpichgq::netsim::DepthRule;
@@ -54,9 +56,15 @@ fn run(case: &Case) -> f64 {
         builder = builder.rank(host, Box::new(rank));
     }
     // Era TCP (coarse timers), as in the reproduction's experiments.
-    let tcp = TcpCfg { rto_min: SimDelta::from_millis(500), ..TcpCfg::default() };
+    let tcp = TcpCfg {
+        rto_min: SimDelta::from_millis(500),
+        ..TcpCfg::default()
+    };
     builder
-        .cfg(mpichgq::mpi::MpiCfg { tcp, ..Default::default() })
+        .cfg(mpichgq::mpi::MpiCfg {
+            tcp,
+            ..Default::default()
+        })
         .launch(&mut ts.sim);
     ts.sim.run_until(SimTime::from_secs(120));
     steady_iteration_rate(&log)
@@ -66,10 +74,30 @@ fn main() {
     println!("finite-difference stencil, 2 sites x 8 ranks, 100 KB halos, 1 Mb/s average WAN rate");
     println!("(compute-bound ideal: 1.25 iterations/s)\n");
     let cases = [
-        Case { label: "baseline (no contention)", contention: false, qos_kbps: None, depth: DepthRule::Normal },
-        Case { label: "WAN contention, best-effort", contention: true, qos_kbps: None, depth: DepthRule::Normal },
-        Case { label: "premium 1 Mb/s, bw/40 bucket", contention: true, qos_kbps: Some(1_000.0), depth: DepthRule::Normal },
-        Case { label: "premium 1 Mb/s, bw/4 bucket", contention: true, qos_kbps: Some(1_000.0), depth: DepthRule::Large },
+        Case {
+            label: "baseline (no contention)",
+            contention: false,
+            qos_kbps: None,
+            depth: DepthRule::Normal,
+        },
+        Case {
+            label: "WAN contention, best-effort",
+            contention: true,
+            qos_kbps: None,
+            depth: DepthRule::Normal,
+        },
+        Case {
+            label: "premium 1 Mb/s, bw/40 bucket",
+            contention: true,
+            qos_kbps: Some(1_000.0),
+            depth: DepthRule::Normal,
+        },
+        Case {
+            label: "premium 1 Mb/s, bw/4 bucket",
+            contention: true,
+            qos_kbps: Some(1_000.0),
+            depth: DepthRule::Large,
+        },
     ];
     for case in &cases {
         let rate = run(case);

@@ -26,13 +26,23 @@ fn run(low_latency: bool) -> (f64, u64) {
     ts.sim.spawn_app(ts.site_b[2], Box::new(sink));
     ts.sim.spawn_app(
         ts.site_a[2],
-        Box::new(UdpBlaster::with_rate(ts.site_b[2], 20_000, 1472, 12_000_000)),
+        Box::new(UdpBlaster::with_rate(
+            ts.site_b[2],
+            20_000,
+            1472,
+            12_000_000,
+        )),
     );
     let (sink2, _m2) = UdpSink::new(20_001, SimDelta::from_secs(1));
     ts.sim.spawn_app(ts.site_a[2], Box::new(sink2));
     ts.sim.spawn_app(
         ts.site_b[2],
-        Box::new(UdpBlaster::with_rate(ts.site_a[2], 20_001, 1472, 12_000_000)),
+        Box::new(UdpBlaster::with_rate(
+            ts.site_a[2],
+            20_001,
+            1472,
+            12_000_000,
+        )),
     );
 
     let (mut builder, env) = enable_qos(JobBuilder::new(), QosAgentCfg::default());
@@ -92,8 +102,7 @@ fn run(low_latency: bool) -> (f64, u64) {
                                 eprintln!("rank0 round {} done at {}", rounds + 1, mpi.now());
                             }
                             let out = ar.as_mut().unwrap().take_result().unwrap();
-                            *sum_seen.borrow_mut() =
-                                u64::from_le_bytes(out.try_into().unwrap());
+                            *sum_seen.borrow_mut() = u64::from_le_bytes(out.try_into().unwrap());
                             rounds += 1;
                             state = 2;
                         }

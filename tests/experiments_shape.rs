@@ -13,13 +13,20 @@ fn fig1_sawtooth_oscillates_below_reservation() {
         app_rate_bps: 50_000_000,
         reservation_bps: 40_000_000,
         duration: SimTime::from_secs(30),
+        ..Fig1Cfg::default()
     };
     let s = fig1_tcp_sawtooth(cfg);
     // Steady portion (skip slow start).
     let steady = s.mean_in(SimTime::from_secs(5), SimTime::from_secs(30));
     // Mean sits well below the 50 Mb/s send rate and below the reservation.
-    assert!(steady < 42_000.0, "mean {steady} should be capped by the reservation");
-    assert!(steady > 15_000.0, "mean {steady} should not collapse entirely");
+    assert!(
+        steady < 42_000.0,
+        "mean {steady} should be capped by the reservation"
+    );
+    assert!(
+        steady > 15_000.0,
+        "mean {steady} should not collapse entirely"
+    );
     // The sawtooth: substantial oscillation, max near/above reservation,
     // min far below it ("the bandwidth obtained by this program varies
     // wildly").
@@ -42,8 +49,10 @@ fn fig5_throughput_rises_with_reservation_and_saturates() {
             pts[0].1
         );
         // Throughput is (weakly) monotone in reservation here.
-        assert!(pts[1].1 <= pts[2].1 + 50.0 && pts[2].1 <= pts[3].1 + 50.0,
-            "{msg} Kb: non-monotone {pts:?}");
+        assert!(
+            pts[1].1 <= pts[2].1 + 50.0 && pts[2].1 <= pts[3].1 + 50.0,
+            "{msg} Kb: non-monotone {pts:?}"
+        );
     }
     // Larger messages saturate at higher throughput (Figure 5's ordering).
     let sat8 = rows[0].1.last().unwrap().1;
@@ -72,7 +81,10 @@ fn fig6_undersized_reservation_collapses_throughput() {
     let va = fig6_viz_point(adequate);
     // "making a reservation that is even a little bit too small
     // dramatically decreases the throughput"
-    assert!(va >= 2300.0, "adequate reservation achieves the target, got {va:.0}");
+    assert!(
+        va >= 2300.0,
+        "adequate reservation achieves the target, got {va:.0}"
+    );
     assert!(
         vu < 0.6 * 2400.0,
         "16% under-reservation should collapse throughput, got {vu:.0}"
@@ -159,7 +171,10 @@ fn fig9_both_reservations_needed() {
     let both_reserved = phase_mean(&s, 43.0, 50.0);
     assert!(clean > 30_000.0, "clean {clean:.0}");
     assert!(congested < 0.5 * clean, "congestion {congested:.0}");
-    assert!(net_reserved > 0.8 * clean, "net reservation restores {net_reserved:.0}");
+    assert!(
+        net_reserved > 0.8 * clean,
+        "net reservation restores {net_reserved:.0}"
+    );
     assert!(
         cpu_contended < 0.75 * net_reserved,
         "cpu contention depresses {cpu_contended:.0} vs {net_reserved:.0}"
@@ -228,7 +243,10 @@ fn sec3_average_rate_reservation_is_a_trap() {
         ..Sec3Cfg::default()
     };
     let baseline = sec3_finite_difference(base);
-    let congested = sec3_finite_difference(Sec3Cfg { contention: true, ..base });
+    let congested = sec3_finite_difference(Sec3Cfg {
+        contention: true,
+        ..base
+    });
     let trap = sec3_finite_difference(Sec3Cfg {
         contention: true,
         qos: Sec3Qos::Premium {

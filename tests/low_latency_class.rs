@@ -132,7 +132,13 @@ fn run(low_latency: bool) -> (f64, f64) {
     };
     let job = builder
         .rank(lab.premium_src, Box::new(probe))
-        .rank(lab.premium_dst, Box::new(Echo { req: None, qos: qos_echo }))
+        .rank(
+            lab.premium_dst,
+            Box::new(Echo {
+                req: None,
+                qos: qos_echo,
+            }),
+        )
         .launch(&mut lab.sim);
     lab.run_until(SimTime::from_secs(30));
     let _ = job;

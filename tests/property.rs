@@ -1,13 +1,13 @@
 //! Cross-crate property-based tests: invariants that must hold for
 //! arbitrary parameters, not just the calibrated experiment points.
 
+use mpichgq::gara::{Gara, NetworkRequest, Request, StartSpec};
+use mpichgq::mpi::{JobBuilder, Mpi, Poll};
 use mpichgq::netsim::{
     topology::Dumbbell, DepthRule, Dscp, FlowSpec, PolicingAction, Proto, TokenBucket,
 };
 use mpichgq::sim::{SimDelta, SimTime};
 use mpichgq::tcp::{App, Ctx, DataMode, Sim, SockId, TcpCfg};
-use mpichgq::gara::{Gara, NetworkRequest, Request, StartSpec};
-use mpichgq::mpi::{JobBuilder, Mpi, Poll};
 use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;

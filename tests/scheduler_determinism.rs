@@ -1,0 +1,41 @@
+//! The scheduler backend must never change simulation results, only
+//! wall-clock speed: a full paper experiment (the Figure 1 sawtooth) run
+//! under the binary-heap and calendar-queue schedulers must produce
+//! bit-identical time series and identical processed-event counts.
+
+use mpichgq_bench::{fig1_tcp_sawtooth_counted, Fig1Cfg};
+use mpichgq_sim::{SchedulerKind, SimTime};
+
+#[test]
+fn fig1_is_bit_identical_across_schedulers() {
+    let run = |scheduler| {
+        fig1_tcp_sawtooth_counted(Fig1Cfg {
+            duration: SimTime::from_secs(15),
+            scheduler,
+            ..Fig1Cfg::default()
+        })
+    };
+    let (heap_series, heap_events) = run(SchedulerKind::Heap);
+    let (cal_series, cal_events) = run(SchedulerKind::Calendar);
+
+    assert_eq!(heap_events, cal_events, "processed-event counts diverged");
+    assert_eq!(
+        heap_series.points().len(),
+        cal_series.points().len(),
+        "series lengths diverged"
+    );
+    for (i, (h, c)) in heap_series
+        .points()
+        .iter()
+        .zip(cal_series.points())
+        .enumerate()
+    {
+        assert_eq!(h.0, c.0, "timestamp of point {i} diverged");
+        assert!(
+            h.1.to_bits() == c.1.to_bits(),
+            "value of point {i} diverged: heap={} calendar={}",
+            h.1,
+            c.1
+        );
+    }
+}
