@@ -3,7 +3,7 @@
 //! as TCP repeatedly overruns the policer, loses packets, backs off, and
 //! climbs again.
 
-use mpichgq_bench::{fig1_tcp_sawtooth, output, Fig1Cfg};
+use mpichgq_bench::{fig1_tcp_sawtooth_run, output, Fig1Cfg, TRACE_CAPACITY};
 use mpichgq_sim::SimTime;
 
 fn main() {
@@ -11,7 +11,7 @@ fn main() {
     if output::fast_mode() {
         cfg.duration = SimTime::from_secs(30);
     }
-    let series = fig1_tcp_sawtooth(cfg);
+    let (series, metrics) = fig1_tcp_sawtooth_run(cfg, TRACE_CAPACITY);
     output::print_series(
         "Figure 1: TCP at 50 Mb/s with a 40 Mb/s reservation (bandwidth vs time)",
         "bandwidth_kbps",
@@ -23,4 +23,5 @@ fn main() {
         series.max(),
         series.mean()
     );
+    output::write_metrics("fig1", &metrics.metrics_json);
 }

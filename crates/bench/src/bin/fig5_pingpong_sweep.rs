@@ -2,7 +2,8 @@
 //! MPICH-GQ program. Each line represents the throughput achieved for a
 //! particular message size at different reservation sizes."
 
-use mpichgq_bench::{fig5_sweep, output};
+use mpichgq_bench::{fig5_pingpong_point_run, fig5_sweep, output, Fig5Cfg, TRACE_CAPACITY};
+use mpichgq_sim::SimTime;
 
 fn main() {
     let fast = output::fast_mode();
@@ -24,4 +25,15 @@ fn main() {
         let max = pts.iter().map(|&(_, v)| v).fold(0.0, f64::max);
         println!("# {msg} Kb messages saturate at {max:.0} Kb/s");
     }
+    // Metrics for one representative point (80 Kb messages, 6 Mb/s
+    // reservation — mid-sweep, reservation active): the sweep itself runs
+    // across threads, so a single instrumented rerun keeps the snapshot
+    // attributable to one simulation.
+    let mut cfg = Fig5Cfg::new(80 * 1000 / 8, 6000.0);
+    if fast {
+        cfg.duration = SimTime::from_secs(8);
+        cfg.warmup = SimTime::from_secs(3);
+    }
+    let (_, metrics) = fig5_pingpong_point_run(cfg, TRACE_CAPACITY);
+    output::write_metrics("fig5", &metrics.metrics_json);
 }

@@ -3,7 +3,8 @@
 //! reservation that is even a little bit too small dramatically decreases
 //! the throughput that is achieved."
 
-use mpichgq_bench::{fig6_sweep, output};
+use mpichgq_bench::{fig6_sweep, output, viz_run_under_contention_run, Fig6Cfg, TRACE_CAPACITY};
+use mpichgq_sim::SimTime;
 
 fn main() {
     let fast = output::fast_mode();
@@ -35,4 +36,12 @@ fn main() {
             None => println!("# {target} Kb/s attempted: not achieved in the sweep range"),
         }
     }
+    // Representative instrumented rerun (20 KB frames, 1600 Kb/s
+    // reservation — at the knee) for the metrics snapshot.
+    let mut cfg = Fig6Cfg::new(20 * 1000, 10.0, 1600.0);
+    if fast {
+        cfg.duration = SimTime::from_secs(10);
+    }
+    let (_, metrics) = viz_run_under_contention_run(cfg, TRACE_CAPACITY);
+    output::write_metrics("fig6", &metrics.metrics_json);
 }

@@ -2,13 +2,13 @@
 //! with very different burstiness characteristics" — sequence number vs
 //! time for 10 frames/s (40 Kb frames) and 1 frame/s (400 Kb frame).
 
-use mpichgq_bench::{fig7_seq_trace, output};
+use mpichgq_bench::{fig7_seq_trace_run, output, TRACE_CAPACITY};
 use mpichgq_sim::SimTime;
 
 fn main() {
     let window = SimTime::from_secs(1);
     for (label, fps) in [("10fps_40kb_frames", 10.0), ("1fps_400kb_frame", 1.0)] {
-        let trace = fig7_seq_trace(fps, window);
+        let (trace, metrics) = fig7_seq_trace_run(fps, window, TRACE_CAPACITY);
         output::print_series(
             &format!("Figure 7 ({label}): TCP data-segment sequence numbers over 1 s"),
             "sequence_number",
@@ -28,5 +28,6 @@ fn main() {
                 times.len()
             );
         }
+        output::write_metrics(&format!("fig7_{label}"), &metrics.metrics_json);
     }
 }

@@ -2,11 +2,11 @@
 //! Contention for the CPU on the sending side begins at 10 seconds, and a
 //! reservation is made at 20 seconds."
 
-use mpichgq_bench::{fig8_cpu_reservation, output, phase_mean, Fig8Cfg};
+use mpichgq_bench::{fig8_cpu_reservation_run, output, phase_mean, Fig8Cfg, TRACE_CAPACITY};
 
 fn main() {
     let cfg = Fig8Cfg::default();
-    let series = fig8_cpu_reservation(cfg);
+    let (series, metrics) = fig8_cpu_reservation_run(cfg, TRACE_CAPACITY);
     output::print_series(
         "Figure 8: visualization bandwidth with CPU contention at 10 s, DSRT reservation at 20 s",
         "bandwidth_kbps",
@@ -18,4 +18,5 @@ fn main() {
         phase_mean(&series, 11.0, 20.0),
         phase_mean(&series, 22.0, 30.0),
     );
+    output::write_metrics("fig8", &metrics.metrics_json);
 }

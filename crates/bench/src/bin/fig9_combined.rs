@@ -4,23 +4,47 @@
 //! there is CPU contention at the sender (31-40 seconds) until there is a
 //! CPU reservation (41-50 seconds)."
 
-use mpichgq_bench::{fig9_combined, output, phase_mean, Fig9Cfg};
+use mpichgq_bench::{fig9_combined_run, output, phase_mean, Fig9Cfg, TRACE_CAPACITY};
+use mpichgq_sim::SimTime;
 
 fn main() {
-    let cfg = Fig9Cfg::default();
-    let series = fig9_combined(cfg);
+    let fast = output::fast_mode();
+    let cfg = if fast {
+        // Same staged phases on a compressed clock: enough of each phase to
+        // see the level shifts, quick enough for the CI figures job.
+        Fig9Cfg {
+            congestion_at: SimTime::from_secs(4),
+            net_reservation_at: SimTime::from_secs(9),
+            hog_at: SimTime::from_secs(13),
+            cpu_reservation_at: SimTime::from_secs(17),
+            duration: SimTime::from_secs(21),
+            ..Fig9Cfg::default()
+        }
+    } else {
+        Fig9Cfg::default()
+    };
+    let (series, metrics) = fig9_combined_run(cfg, TRACE_CAPACITY);
     output::print_series(
         "Figure 9: 35 Mb/s visualization under staged network + CPU contention and reservations",
         "bandwidth_kbps",
         &series,
     );
+    let phase_ends = [
+        cfg.congestion_at,
+        cfg.net_reservation_at,
+        cfg.hog_at,
+        cfg.cpu_reservation_at,
+        cfg.duration,
+    ]
+    .map(|t| t.as_secs_f64());
     println!(
         "# phases: clean {:.0} | congestion {:.0} | net reservation {:.0} | cpu contention {:.0} | cpu reservation {:.0} Kb/s",
-        phase_mean(&series, 2.0, 10.0),
-        phase_mean(&series, 11.0, 21.0),
-        phase_mean(&series, 22.0, 31.0),
-        phase_mean(&series, 32.0, 41.0),
-        phase_mean(&series, 42.0, 50.0),
+        phase_mean(&series, 2.0, phase_ends[0]),
+        phase_mean(&series, phase_ends[0] + 1.0, phase_ends[1]),
+        phase_mean(&series, phase_ends[1] + 1.0, phase_ends[2]),
+        phase_mean(&series, phase_ends[2] + 1.0, phase_ends[3]),
+        phase_mean(&series, phase_ends[3] + 1.0, phase_ends[4]),
     );
     println!("# paper shape: full | depressed | restored | depressed | restored — both reservations are needed");
+    output::write_metrics("fig9", &metrics.metrics_json);
 }

@@ -19,6 +19,34 @@ fn secs(s: f64) -> SimTime {
     SimTime::from_secs_f64(s)
 }
 
+/// Observability bundle every instrumented experiment returns alongside its
+/// series: the engine's processed-event count (for the events/sec benchmark
+/// and determinism tests) and the full registry + flight-recorder snapshot
+/// (what the binaries write to `results/<experiment>/metrics.json`).
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    pub events: u64,
+    pub metrics_json: String,
+}
+
+/// Flight-recorder ring size the figure binaries use; the interesting
+/// events (drops, CC transitions, reservation changes) are sparse, so a
+/// few thousand entries cover a whole figure run.
+pub const TRACE_CAPACITY: usize = 4096;
+
+fn arm_trace(lab: &mut GarnetLab, trace_capacity: usize) {
+    if trace_capacity > 0 {
+        lab.sim.net.obs.enable_trace(trace_capacity);
+    }
+}
+
+fn collect_metrics(lab: &mut GarnetLab) -> RunMetrics {
+    RunMetrics {
+        events: lab.sim.net.events_processed(),
+        metrics_json: lab.sim.net.metrics_json(),
+    }
+}
+
 /// TCP tuning of the paper's era: the premium end systems were Solaris
 /// Ultras with coarse retransmission timers (minimum RTO around half a
 /// second). The coarse minimum RTO is what makes bursty flows pay for
@@ -85,11 +113,20 @@ pub fn fig1_tcp_sawtooth(cfg: Fig1Cfg) -> TimeSeries {
 /// [`fig1_tcp_sawtooth`] plus the engine's processed-event count, for the
 /// events-per-second benchmark and the scheduler determinism test.
 pub fn fig1_tcp_sawtooth_counted(cfg: Fig1Cfg) -> (TimeSeries, u64) {
+    let (series, m) = fig1_tcp_sawtooth_run(cfg, 0);
+    (series, m.events)
+}
+
+/// [`fig1_tcp_sawtooth`] with full observability: a non-zero
+/// `trace_capacity` arms the flight recorder, and the returned
+/// [`RunMetrics`] carries the registry + trace snapshot.
+pub fn fig1_tcp_sawtooth_run(cfg: Fig1Cfg, trace_capacity: usize) -> (TimeSeries, RunMetrics) {
     let garnet = GarnetCfg {
         scheduler: cfg.scheduler,
         ..GarnetCfg::default()
     };
     let mut lab = GarnetLab::new(garnet, 0.7);
+    arm_trace(&mut lab, trace_capacity);
     lab.add_contention(CONTENTION_BPS, SimTime::ZERO, cfg.duration);
     let (psrc, pdst) = (lab.premium_src, lab.premium_dst);
 
@@ -127,11 +164,11 @@ pub fn fig1_tcp_sawtooth_counted(cfg: Fig1Cfg) -> (TimeSeries, u64) {
         Box::new(PacedTcpSender::new(pdst, 6000, cfg.app_rate_bps, tcp)),
     );
     lab.run_until(cfg.duration);
-    let events = lab.sim.net.events_processed();
+    let metrics = collect_metrics(&mut lab);
     let m = std::rc::Rc::try_unwrap(meter)
         .map(|c| c.into_inner())
         .unwrap_or_else(|rc| rc.borrow().clone());
-    (m.finish(cfg.duration), events)
+    (m.finish(cfg.duration), metrics)
 }
 
 // ---------------------------------------------------------------------
@@ -179,11 +216,19 @@ pub fn fig5_pingpong_point(cfg: Fig5Cfg) -> f64 {
 
 /// [`fig5_pingpong_point`] plus the engine's processed-event count.
 pub fn fig5_pingpong_point_counted(cfg: Fig5Cfg) -> (f64, u64) {
+    let (kbps, m) = fig5_pingpong_point_run(cfg, 0);
+    (kbps, m.events)
+}
+
+/// [`fig5_pingpong_point`] with full observability (see
+/// [`fig1_tcp_sawtooth_run`]).
+pub fn fig5_pingpong_point_run(cfg: Fig5Cfg, trace_capacity: usize) -> (f64, RunMetrics) {
     let garnet = GarnetCfg {
         scheduler: cfg.scheduler,
         ..fig5_garnet()
     };
     let mut lab = GarnetLab::new(garnet, 0.7);
+    arm_trace(&mut lab, trace_capacity);
     lab.add_contention(CONTENTION_BPS, SimTime::ZERO, cfg.duration);
     lab.add_contention_reverse(CONTENTION_BPS, SimTime::ZERO, cfg.duration);
 
@@ -203,9 +248,9 @@ pub fn fig5_pingpong_point_counted(cfg: Fig5Cfg) -> (f64, u64) {
         .cfg(era_mpi())
         .launch(&mut lab.sim);
     lab.run_until(cfg.duration);
-    let events = lab.sim.net.events_processed();
+    let metrics = collect_metrics(&mut lab);
     let r = result.borrow();
-    (r.one_way_kbps(), events)
+    (r.one_way_kbps(), metrics)
 }
 
 /// The full Figure 5 sweep: message sizes in kilobits (paper: 8, 40, 80,
@@ -285,7 +330,17 @@ pub fn viz_delivery_ratio(cfg: Fig6Cfg) -> f64 {
 
 /// Full visualization run; returns the whole bandwidth series too.
 pub fn viz_run_under_contention(cfg: Fig6Cfg) -> mpichgq_apps::VizRun {
+    viz_run_under_contention_run(cfg, 0).0
+}
+
+/// [`viz_run_under_contention`] with full observability (see
+/// [`fig1_tcp_sawtooth_run`]).
+pub fn viz_run_under_contention_run(
+    cfg: Fig6Cfg,
+    trace_capacity: usize,
+) -> (mpichgq_apps::VizRun, RunMetrics) {
     let mut lab = GarnetLab::new(GarnetCfg::default(), 0.7);
+    arm_trace(&mut lab, trace_capacity);
     lab.add_contention(cfg.contention_bps, SimTime::ZERO, cfg.duration);
 
     let agent_cfg = QosAgentCfg {
@@ -334,8 +389,12 @@ pub fn viz_run_under_contention(cfg: Fig6Cfg) -> mpichgq_apps::VizRun {
             lab.sim.net.node(lab.routers[0]).classifier.len()
         );
     }
+    let metrics = collect_metrics(&mut lab);
     let half = SimTime::from_nanos(cfg.duration.as_nanos() / 2);
-    finish_viz(meter, frames, cfg.duration, half, cfg.duration)
+    (
+        finish_viz(meter, frames, cfg.duration, half, cfg.duration),
+        metrics,
+    )
 }
 
 /// The Figure 6 sweep: attempted rates via (frame size, 10 fps) as in the
@@ -450,9 +509,20 @@ pub fn table1(targets_kbps: &[f64], fraction: f64, fast: bool) -> Vec<Table1Row>
 /// for the given frame rate at a fixed 400 Kb/s application rate with an
 /// adequate reservation (no contention; the paper isolates burstiness).
 pub fn fig7_seq_trace(fps: f64, window: SimTime) -> TimeSeries {
+    fig7_seq_trace_run(fps, window, 0).0
+}
+
+/// [`fig7_seq_trace`] with full observability (see
+/// [`fig1_tcp_sawtooth_run`]).
+pub fn fig7_seq_trace_run(
+    fps: f64,
+    window: SimTime,
+    trace_capacity: usize,
+) -> (TimeSeries, RunMetrics) {
     let target_kbps = 400.0;
     let frame_bytes = (target_kbps * 1000.0 / 8.0 / fps).round() as u32;
     let mut lab = GarnetLab::new(GarnetCfg::default(), 0.7);
+    arm_trace(&mut lab, trace_capacity);
     let (builder, env) = enable_qos(JobBuilder::new(), QosAgentCfg::default());
     let qos = Some((env, QosAttribute::premium(800.0, frame_bytes)));
     let end = window + SimDelta::from_secs(1);
@@ -492,6 +562,7 @@ pub fn fig7_seq_trace(fps: f64, window: SimTime) -> TimeSeries {
         .cfg(era_mpi())
         .launch(&mut lab.sim);
     lab.run_until(end);
+    let metrics = collect_metrics(&mut lab);
     // The paper's Figure 7 shows exactly one second of steady state, with
     // sequence numbers rebased to the window: trim and rebase the raw trace.
     let raw = lab.sim.net.recorder.series("fig7.seq");
@@ -509,7 +580,7 @@ pub fn fig7_seq_trace(fps: f64, window: SimTime) -> TimeSeries {
             out.push(t - SimDelta::from_nanos(w_start.as_nanos()), v - base);
         }
     }
-    out
+    (out, metrics)
 }
 
 // ---------------------------------------------------------------------
@@ -545,7 +616,14 @@ impl Default for Fig8Cfg {
 /// Figure 8: visualization bandwidth trace with CPU contention starting at
 /// `hog_at` and a DSRT reservation at `cpu_reservation_at`.
 pub fn fig8_cpu_reservation(cfg: Fig8Cfg) -> TimeSeries {
+    fig8_cpu_reservation_run(cfg, 0).0
+}
+
+/// [`fig8_cpu_reservation`] with full observability (see
+/// [`fig1_tcp_sawtooth_run`]).
+pub fn fig8_cpu_reservation_run(cfg: Fig8Cfg, trace_capacity: usize) -> (TimeSeries, RunMetrics) {
     let mut lab = GarnetLab::new(GarnetCfg::default(), 0.7);
+    arm_trace(&mut lab, trace_capacity);
     let frame_bytes = (cfg.target_mbps * 1e6 / 8.0 / cfg.fps).round() as u32;
     let interval = 1.0 / cfg.fps;
     let vcfg = VizCfg {
@@ -589,7 +667,11 @@ pub fn fig8_cpu_reservation(cfg: Fig8Cfg) -> TimeSeries {
     sched.install(&mut lab.sim);
 
     lab.run_until(cfg.duration);
-    finish_viz(meter, frames, cfg.duration, SimTime::ZERO, cfg.duration).series
+    let metrics = collect_metrics(&mut lab);
+    (
+        finish_viz(meter, frames, cfg.duration, SimTime::ZERO, cfg.duration).series,
+        metrics,
+    )
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -630,7 +712,14 @@ impl Default for Fig9Cfg {
 /// Figure 9: the combined scenario — network congestion, then a network
 /// reservation, then CPU contention, then a CPU reservation.
 pub fn fig9_combined(cfg: Fig9Cfg) -> TimeSeries {
+    fig9_combined_run(cfg, 0).0
+}
+
+/// [`fig9_combined`] with full observability (see
+/// [`fig1_tcp_sawtooth_run`]).
+pub fn fig9_combined_run(cfg: Fig9Cfg, trace_capacity: usize) -> (TimeSeries, RunMetrics) {
     let mut lab = GarnetLab::new(GarnetCfg::default(), 0.7);
+    arm_trace(&mut lab, trace_capacity);
     lab.add_contention(cfg.contention_bps, cfg.congestion_at, cfg.duration);
     let frame_bytes = (cfg.target_mbps * 1e6 / 8.0 / cfg.fps).round() as u32;
     let interval = 1.0 / cfg.fps;
@@ -710,7 +799,11 @@ pub fn fig9_combined(cfg: Fig9Cfg) -> TimeSeries {
     sched.install(&mut lab.sim);
 
     lab.run_until(cfg.duration);
-    finish_viz(meter, frames, cfg.duration, SimTime::ZERO, cfg.duration).series
+    let metrics = collect_metrics(&mut lab);
+    (
+        finish_viz(meter, frames, cfg.duration, SimTime::ZERO, cfg.duration).series,
+        metrics,
+    )
 }
 
 /// Mean of a series over `[from, to)` seconds — phase summaries for the

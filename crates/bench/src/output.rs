@@ -58,3 +58,20 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 pub fn fast_mode() -> bool {
     std::env::args().any(|a| a == "--fast")
 }
+
+/// Write an experiment's registry snapshot to
+/// `results/<experiment>/metrics.json` (relative to the invocation
+/// directory, like the `results/*.txt` series the binaries print). The
+/// path is echoed on stderr so figure logs stay clean CSV.
+pub fn write_metrics(experiment: &str, metrics_json: &str) {
+    let dir = std::path::Path::new("results").join(experiment);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join("metrics.json");
+    match std::fs::write(&path, metrics_json) {
+        Ok(()) => eprintln!("# metrics: {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}

@@ -256,8 +256,18 @@ impl Gara {
             Some(d) => start_t + d,
             None => SimTime::MAX,
         };
-        self.validate(&req)?;
-        let slots = self.admit(net, &req, start_t, end_t)?;
+        if let Err(e) = self.validate(&req) {
+            net.obs.metrics.add("gara.reservations_rejected", 1);
+            return Err(e);
+        }
+        let slots = match self.admit(net, &req, start_t, end_t) {
+            Ok(s) => s,
+            Err(e) => {
+                net.obs.metrics.add("gara.reservations_rejected", 1);
+                net.obs.trace.record(now, "gara.reject", self.next_id, 0);
+                return Err(e);
+            }
+        };
         let id = self.next_id;
         self.next_id += 1;
         self.resvs.insert(
@@ -272,6 +282,13 @@ impl Gara {
             },
         );
         let rid = ResvId(id);
+        net.obs.metrics.add("gara.reservations_granted", 1);
+        let granted_amount = match &self.resvs[&id].req {
+            Request::Network(n) => n.rate_bps as i64,
+            Request::Cpu(c) => (c.fraction * 1000.0) as i64,
+            Request::Storage(_) => 0,
+        };
+        net.obs.trace.record(now, "gara.grant", id, granted_amount);
         if start_t <= now {
             self.activate(net, rid);
         } else {
@@ -310,8 +327,12 @@ impl Gara {
             return;
         };
         match r.status {
-            Status::Active => self.deactivate(net, id, Status::Cancelled),
+            Status::Active => {
+                net.obs.metrics.add("gara.cancels", 1);
+                self.deactivate(net, id, Status::Cancelled);
+            }
             Status::Pending => {
+                net.obs.metrics.add("gara.cancels", 1);
                 self.release_slots(id);
                 self.set_status(id, Status::Cancelled);
             }
@@ -373,6 +394,11 @@ impl Gara {
             tb.reconfigure(now, new_rate_bps, depth);
             net.node_mut(router).classifier.set_policer(rule, Some(tb));
         }
+        net.obs.metrics.add("gara.modifies", 1);
+        let now = net.now();
+        net.obs
+            .trace
+            .record(now, "gara.modify_rate", id.0, new_rate_bps as i64);
         Ok(())
     }
 
@@ -417,6 +443,11 @@ impl Gara {
             net.cpu_set_reservation(creq.host, creq.proc, Some(new_fraction))
                 .map_err(|_| ReserveError::Invalid("DSRT refused the new fraction"))?;
         }
+        net.obs.metrics.add("gara.modifies", 1);
+        let now = net.now();
+        net.obs
+            .trace
+            .record(now, "gara.modify_cpu", id.0, (new_fraction * 1000.0) as i64);
         Ok(())
     }
 
@@ -681,6 +712,8 @@ impl Gara {
         };
         let r = self.resvs.get_mut(&id.0).unwrap();
         r.enforcement = enforcement;
+        let now = net.now();
+        net.obs.trace.record(now, "gara.active", id.0, 0);
         self.set_status(id, Status::Active);
     }
 
@@ -713,6 +746,8 @@ impl Gara {
             Enforcement::None => {}
         }
         self.release_slots(id);
+        let now = net.now();
+        net.obs.trace.record(now, "gara.deactivate", id.0, 0);
         self.set_status(id, final_status);
     }
 

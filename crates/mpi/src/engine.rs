@@ -347,6 +347,15 @@ impl RankEngine {
         progressed
     }
 
+    /// Track the unexpected-queue depth as a gauge; its high-water mark is
+    /// the figure of merit (a deep queue means receives were posted late).
+    fn note_unexpected_depth(&mut self, ctx: &mut Ctx) {
+        ctx.net
+            .obs
+            .metrics
+            .set_gauge("mpi.unexpected_depth", self.unexpected.len() as f64);
+    }
+
     /// Process one complete inbound record; returns whether a request
     /// completed (program should be polled).
     fn handle_record(&mut self, msg: WireMsg, ctx: &mut Ctx) -> bool {
@@ -365,6 +374,7 @@ impl RankEngine {
                             payload: msg.payload,
                         },
                     });
+                    self.note_unexpected_depth(ctx);
                     false
                 }
             }
@@ -382,6 +392,7 @@ impl RankEngine {
                             len: msg.len,
                         },
                     });
+                    self.note_unexpected_depth(ctx);
                     false
                 }
             }
@@ -635,6 +646,8 @@ impl Mpi<'_, '_> {
         let dest_world = c.peer_world_rank(dest);
         let wire_ctx = if coll { c.ctx_coll } else { c.ctx_pt2pt };
         if len <= self.eng.cfg.eager_limit {
+            self.ctx.net.obs.metrics.add("mpi.eager_sends", 1);
+            self.ctx.net.obs.metrics.add("mpi.sent_bytes", len as u64);
             let rid = self.eng.alloc_req(ReqSlot::SendActive { comm, tag, len });
             let msg = WireMsg {
                 kind: WireKind::Eager,
@@ -649,6 +662,8 @@ impl Mpi<'_, '_> {
             self.eng.enqueue_wire(dest_world, msg, Some(rid), self.ctx);
             rid
         } else {
+            self.ctx.net.obs.metrics.add("mpi.rndv_sends", 1);
+            self.ctx.net.obs.metrics.add("mpi.sent_bytes", len as u64);
             let rid = self.eng.alloc_req(ReqSlot::SendRndvWaitCts {
                 comm,
                 dest_world,

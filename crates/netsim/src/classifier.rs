@@ -121,11 +121,21 @@ pub enum Verdict {
     Drop,
 }
 
+/// Aggregate marking/policing counters across all of a classifier's rules.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassifierStats {
+    /// Packets whose DS field was newly set to EF by a rule.
+    pub marked_ef: u64,
+    /// Out-of-profile packets demoted to best-effort (Demote action).
+    pub demoted: u64,
+}
+
 /// An ordered list of rules applied at a router's edge ingress.
 #[derive(Debug, Default)]
 pub struct Classifier {
     rules: Vec<Rule>,
     next_id: u64,
+    stats: ClassifierStats,
 }
 
 impl Classifier {
@@ -175,6 +185,21 @@ impl Classifier {
         self.rules.iter().find(|r| r.id == id).map(|r| r.stats)
     }
 
+    /// Aggregate mark/demote counters (observability snapshots).
+    pub fn stats(&self) -> ClassifierStats {
+        self.stats
+    }
+
+    /// Installed rules, in match order (observability snapshots).
+    pub fn rules(&self) -> impl Iterator<Item = &Rule> {
+        self.rules.iter()
+    }
+
+    /// Mutable rule access for snapshot-time token-bucket level reads.
+    pub(crate) fn rules_mut(&mut self) -> impl Iterator<Item = &mut Rule> {
+        self.rules.iter_mut()
+    }
+
     pub fn len(&self) -> usize {
         self.rules.len()
     }
@@ -197,6 +222,9 @@ impl Classifier {
                 None => true,
             };
             if conforms {
+                if r.mark == Dscp::Ef && pkt.dscp != Dscp::Ef {
+                    self.stats.marked_ef += 1;
+                }
                 pkt.dscp = r.mark;
                 r.stats.conformant_pkts += 1;
                 r.stats.conformant_bytes += len as u64;
@@ -207,6 +235,7 @@ impl Classifier {
             return match r.action {
                 PolicingAction::Drop => Verdict::Drop,
                 PolicingAction::Demote => {
+                    self.stats.demoted += 1;
                     pkt.dscp = Dscp::BestEffort;
                     Verdict::Forward
                 }

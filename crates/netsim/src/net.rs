@@ -16,6 +16,7 @@ use crate::queue::{Enqueue, Queue, QueueCfg, QueueStats};
 use crate::shaper::{ShapeOutcome, Shaper};
 use crate::tokenbucket::TokenBucket;
 use mpichgq_dsrt::{AdmissionError, CompleteOutcome, Cpu, ProcId, Update, WorkId};
+use mpichgq_obs::{CounterId, Obs};
 use mpichgq_sim::{Engine, Recorder, SchedulerKind, SimRng, SimTime};
 
 /// What kind of node this is.
@@ -135,6 +136,22 @@ impl RouteTable {
     }
 }
 
+/// Pre-resolved registry ids for the per-packet counters, so the hot path
+/// pays one vector add per increment (no name lookups).
+struct NetCounters {
+    pkts_sent: CounterId,
+    pkts_delivered: CounterId,
+}
+
+impl NetCounters {
+    fn register(obs: &mut Obs) -> NetCounters {
+        NetCounters {
+            pkts_sent: obs.metrics.counter("net.pkts.sent"),
+            pkts_delivered: obs.metrics.counter("net.pkts.delivered"),
+        }
+    }
+}
+
 /// The simulated network.
 pub struct Net {
     engine: Engine<Ev>,
@@ -147,6 +164,10 @@ pub struct Net {
     pub recorder: Recorder,
     pub rng: SimRng,
     pub drops: DropStats,
+    /// Shared observability bundle: live counters, the flight recorder,
+    /// and the registry that [`Net::publish_metrics`] snapshots into.
+    pub obs: Obs,
+    ctrs: NetCounters,
     next_pkt_id: u64,
 }
 
@@ -159,6 +180,8 @@ impl Net {
         seed: u64,
         scheduler: SchedulerKind,
     ) -> Self {
+        let mut obs = Obs::new();
+        let ctrs = NetCounters::register(&mut obs);
         Net {
             engine: Engine::with_scheduler(scheduler),
             nodes,
@@ -169,6 +192,8 @@ impl Net {
             recorder: Recorder::new(),
             rng: SimRng::new(seed),
             drops: DropStats::default(),
+            obs,
+            ctrs,
             next_pkt_id: 0,
         }
     }
@@ -280,6 +305,88 @@ impl Net {
     }
 
     // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// Publish every component-local statistic into the shared registry:
+    /// engine totals, drop causes, per-interface queue counters and
+    /// high-water marks, per-rule policer counters and token-bucket levels,
+    /// and per-shaper pacing state. Live counters (packets sent/delivered,
+    /// anything other layers incremented) are already there; this makes the
+    /// registry a complete picture of the run at the moment of the call.
+    pub fn publish_metrics(&mut self) {
+        let now = self.now();
+        let m = &mut self.obs.metrics;
+        m.record_total("engine.events_processed", self.engine.processed());
+        m.set_gauge("engine.pending_events", self.engine.len() as f64);
+        if let Some(cs) = self.engine.calendar_stats() {
+            m.record_total("engine.calendar.rebuilds", cs.rebuilds);
+            m.record_total("engine.calendar.fallbacks", cs.fallbacks);
+            m.record_total("engine.calendar.scan_steps", cs.scan_steps);
+            m.record_total("engine.calendar.slow_pushes", cs.slow_pushes);
+        }
+        m.record_total("net.drops.policed", self.drops.policed);
+        m.record_total("net.drops.queue_full", self.drops.queue_full);
+        m.record_total("net.drops.misrouted", self.drops.misrouted);
+
+        for (i, q) in self.queues.iter().enumerate() {
+            let st = q.stats();
+            if st.enq_be + st.enq_ef + st.drop_be + st.drop_ef == 0 {
+                continue; // idle interface: keep snapshots readable
+            }
+            let c = &self.chans[i];
+            let p = format!("iface{i:03}");
+            m.record_total(&format!("{p}.enq_ef"), st.enq_ef);
+            m.record_total(&format!("{p}.enq_be"), st.enq_be);
+            m.record_total(&format!("{p}.drop_ef"), st.drop_ef);
+            m.record_total(&format!("{p}.drop_be"), st.drop_be);
+            m.record_total(&format!("{p}.dequeued"), st.dequeued);
+            m.record_total(&format!("{p}.bytes_dequeued"), st.bytes_dequeued);
+            m.record_total(&format!("{p}.tx_packets"), c.tx_packets);
+            m.record_total(&format!("{p}.tx_bytes_wire"), c.tx_bytes_wire);
+            m.set_gauge(&format!("{p}.hw_ef_bytes"), st.hw_ef_bytes as f64);
+            m.set_gauge(&format!("{p}.hw_be_bytes"), st.hw_be_bytes as f64);
+            m.set_gauge(&format!("{p}.backlog_bytes"), q.backlog_bytes() as f64);
+        }
+
+        for (n, node) in self.nodes.iter_mut().enumerate() {
+            let cs = node.classifier.stats();
+            if cs.marked_ef + cs.demoted > 0 {
+                m.record_total(&format!("node{n:03}.marked_ef"), cs.marked_ef);
+                m.record_total(&format!("node{n:03}.demoted"), cs.demoted);
+            }
+            for r in node.classifier.rules_mut() {
+                let p = format!("node{n:03}.rule{:03}", r.id);
+                m.record_total(&format!("{p}.conformant_pkts"), r.stats.conformant_pkts);
+                m.record_total(&format!("{p}.conformant_bytes"), r.stats.conformant_bytes);
+                m.record_total(&format!("{p}.policed_pkts"), r.stats.policed_pkts);
+                m.record_total(&format!("{p}.policed_bytes"), r.stats.policed_bytes);
+                if let Some(tb) = &mut r.policer {
+                    m.set_gauge(&format!("{p}.bucket_level_bytes"), tb.available(now));
+                }
+            }
+            for s in &mut node.shapers {
+                let p = format!("node{n:03}.shaper{:03}", s.id);
+                m.record_total(&format!("{p}.passed"), s.stats.passed);
+                m.record_total(&format!("{p}.delayed"), s.stats.delayed);
+                m.set_gauge(&format!("{p}.backlog_bytes"), s.backlog_bytes() as f64);
+                m.set_gauge(
+                    &format!("{p}.max_backlog_bytes"),
+                    s.stats.max_backlog_bytes as f64,
+                );
+                m.set_gauge(&format!("{p}.bucket_level_bytes"), s.bucket.available(now));
+            }
+        }
+    }
+
+    /// [`Net::publish_metrics`] followed by a full JSON snapshot — what the
+    /// experiment binaries write to `results/<experiment>/metrics.json`.
+    pub fn metrics_json(&mut self) -> String {
+        self.publish_metrics();
+        self.obs.snapshot_json()
+    }
+
+    // ------------------------------------------------------------------
     // Transport-facing API
     // ------------------------------------------------------------------
 
@@ -289,6 +396,7 @@ impl Net {
         let src = pkt.src;
         debug_assert_eq!(self.nodes[src.0 as usize].kind, NodeKind::Host);
         pkt.id = self.alloc_pkt_id();
+        self.obs.metrics.inc(self.ctrs.pkts_sent, 1);
         let now = self.now();
         // Egress shaping (first matching shaper wins). Single scan: the
         // match position doubles as the index for the mutable borrow.
@@ -502,6 +610,12 @@ impl Net {
                         Verdict::Forward => {}
                         Verdict::Drop => {
                             self.drops.policed += 1;
+                            self.obs.trace.record(
+                                now,
+                                "drop.policed",
+                                node_id.0 as u64,
+                                pkt.ip_len() as i64,
+                            );
                             return;
                         }
                     }
@@ -510,6 +624,7 @@ impl Net {
             }
             NodeKind::Host => {
                 if pkt.dst == node_id {
+                    self.obs.metrics.inc(self.ctrs.pkts_delivered, 1);
                     h.deliver(self, node_id, pkt);
                 } else {
                     self.drops.misrouted += 1;
@@ -524,9 +639,16 @@ impl Net {
             self.drops.misrouted += 1;
             return;
         };
+        let len = pkt.ip_len();
         match self.queues[chan.0 as usize].enqueue(pkt) {
             Enqueue::Queued => self.try_start_tx(chan),
-            Enqueue::DroppedFull => self.drops.queue_full += 1,
+            Enqueue::DroppedFull => {
+                self.drops.queue_full += 1;
+                let now = self.now();
+                self.obs
+                    .trace
+                    .record(now, "drop.queue_full", chan.0 as u64, len as i64);
+            }
         }
     }
 

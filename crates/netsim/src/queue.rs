@@ -27,6 +27,10 @@ pub struct QueueStats {
     pub drop_ef: u64,
     pub dequeued: u64,
     pub bytes_dequeued: u64,
+    /// High-water marks of the per-class backlogs, in bytes. A drop-tail
+    /// queue is single-class; its mark is reported as best-effort.
+    pub hw_be_bytes: u64,
+    pub hw_ef_bytes: u64,
 }
 
 /// A byte-capacity-bounded FIFO.
@@ -134,6 +138,7 @@ impl Queue {
                     } else {
                         stats.enq_be += 1
                     }
+                    stats.hw_be_bytes = stats.hw_be_bytes.max(fifo.0.cur_bytes);
                     Enqueue::Queued
                 }
                 Err(_) => {
@@ -146,13 +151,15 @@ impl Queue {
                 }
             },
             Queue::Priority { ef, be, stats } => {
-                let target = if is_ef { ef } else { be };
+                let target = if is_ef { &mut *ef } else { &mut *be };
                 match target.0.try_push(pkt) {
                     Ok(()) => {
                         if is_ef {
-                            stats.enq_ef += 1
+                            stats.enq_ef += 1;
+                            stats.hw_ef_bytes = stats.hw_ef_bytes.max(ef.0.cur_bytes);
                         } else {
-                            stats.enq_be += 1
+                            stats.enq_be += 1;
+                            stats.hw_be_bytes = stats.hw_be_bytes.max(be.0.cur_bytes);
                         }
                         Enqueue::Queued
                     }

@@ -1,0 +1,112 @@
+//! A minimal streaming JSON writer (the workspace builds offline, so no
+//! serde). Comma placement is handled by tracking whether the current
+//! container already has a member; number formatting uses Rust's shortest
+//! round-trip `Display`, which is deterministic for identical values.
+
+/// Streaming JSON writer over an owned `String`.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: true once it has at least one member.
+    stack: Vec<bool>,
+}
+
+impl JsonWriter {
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(has) = self.stack.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+        }
+    }
+
+    pub fn begin_object(&mut self) {
+        self.pre_value();
+        self.out.push('{');
+        self.stack.push(false);
+    }
+
+    pub fn end_object(&mut self) {
+        self.stack.pop();
+        self.out.push('}');
+    }
+
+    pub fn begin_array(&mut self) {
+        self.pre_value();
+        self.out.push('[');
+        self.stack.push(false);
+    }
+
+    pub fn end_array(&mut self) {
+        self.stack.pop();
+        self.out.push(']');
+    }
+
+    /// Write an object key; the next write is its value.
+    pub fn key(&mut self, k: &str) {
+        self.pre_value();
+        self.write_escaped(k);
+        self.out.push(':');
+        // The comma for this member was just emitted; clear the flag so the
+        // value's own pre_value doesn't add one between ':' and the value
+        // (it re-sets the flag for the member that follows).
+        if let Some(has) = self.stack.last_mut() {
+            *has = false;
+        }
+    }
+
+    pub fn string(&mut self, s: &str) {
+        self.pre_value();
+        self.write_escaped(s);
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+    }
+
+    pub fn i64(&mut self, v: i64) {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Floats print via shortest-round-trip `Display`; non-finite values
+    /// (not representable in JSON) become null.
+    pub fn f64(&mut self, v: f64) {
+        self.pre_value();
+        if v.is_finite() {
+            // Ensure a numeric token that still parses as f64 ("1" is fine).
+            self.out.push_str(&format!("{v}"));
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    pub fn finish(self) -> String {
+        debug_assert!(self.stack.is_empty(), "unclosed JSON container");
+        self.out
+    }
+
+    fn write_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}

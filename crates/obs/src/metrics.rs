@@ -1,0 +1,164 @@
+//! The metrics registry: named monotonic counters and last-value gauges
+//! with high-water tracking.
+//!
+//! Names resolve to dense indices once, at registration; hot-path updates
+//! are plain vector writes. Snapshots are name-sorted so JSON output is
+//! deterministic regardless of registration order.
+
+use crate::json::JsonWriter;
+use mpichgq_sim::FxHashMap;
+
+/// Handle to a registered counter (a dense index; `Copy`, cheap to store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(u32);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(u32);
+
+#[derive(Debug)]
+struct Gauge {
+    value: f64,
+    high_water: f64,
+    touched: bool,
+}
+
+/// Named counters and gauges for one simulation run.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counter_names: Vec<String>,
+    counter_values: Vec<u64>,
+    counter_ids: FxHashMap<String, u32>,
+    gauge_names: Vec<String>,
+    gauges: Vec<Gauge>,
+    gauge_ids: FxHashMap<String, u32>,
+}
+
+impl Registry {
+    /// Register (or look up) a counter; increments via the returned id are
+    /// one vector add.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(&i) = self.counter_ids.get(name) {
+            return CounterId(i);
+        }
+        let i = self.counter_values.len() as u32;
+        self.counter_names.push(name.to_owned());
+        self.counter_values.push(0);
+        self.counter_ids.insert(name.to_owned(), i);
+        CounterId(i)
+    }
+
+    /// Increment a counter by `n`.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, n: u64) {
+        self.counter_values[id.0 as usize] += n;
+    }
+
+    /// Increment a counter by name (registration on first use). For cold
+    /// paths — reservation grants, MPI message starts — where holding an id
+    /// is not worth the plumbing.
+    pub fn add(&mut self, name: &str, n: u64) {
+        let id = self.counter(name);
+        self.inc(id, n);
+    }
+
+    /// Publish an externally maintained monotonic total (queue stats, drop
+    /// stats) into the registry. Panics if the published value regresses —
+    /// that would mean the source counter is not actually monotonic.
+    pub fn record_total(&mut self, name: &str, total: u64) {
+        let id = self.counter(name);
+        let cur = &mut self.counter_values[id.0 as usize];
+        assert!(
+            total >= *cur,
+            "counter {name} is not monotonic: {total} < {cur}"
+        );
+        *cur = total;
+    }
+
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counter_ids
+            .get(name)
+            .map(|&i| self.counter_values[i as usize])
+    }
+
+    /// Register (or look up) a gauge.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(&i) = self.gauge_ids.get(name) {
+            return GaugeId(i);
+        }
+        let i = self.gauges.len() as u32;
+        self.gauge_names.push(name.to_owned());
+        self.gauges.push(Gauge {
+            value: 0.0,
+            high_water: f64::NEG_INFINITY,
+            touched: false,
+        });
+        self.gauge_ids.insert(name.to_owned(), i);
+        GaugeId(i)
+    }
+
+    /// Set a gauge's current value, updating its high-water mark.
+    #[inline]
+    pub fn gauge_set(&mut self, id: GaugeId, v: f64) {
+        let g = &mut self.gauges[id.0 as usize];
+        g.value = v;
+        g.touched = true;
+        if v > g.high_water {
+            g.high_water = v;
+        }
+    }
+
+    /// Set a gauge by name (registration on first use).
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        let id = self.gauge(name);
+        self.gauge_set(id, v);
+    }
+
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauge_ids
+            .get(name)
+            .filter(|&&i| self.gauges[i as usize].touched)
+            .map(|&i| self.gauges[i as usize].value)
+    }
+
+    pub fn gauge_high_water(&self, name: &str) -> Option<f64> {
+        self.gauge_ids
+            .get(name)
+            .filter(|&&i| self.gauges[i as usize].touched)
+            .map(|&i| self.gauges[i as usize].high_water)
+    }
+
+    /// Write `{"name": value, ...}` for all counters, name-sorted.
+    pub fn write_counters(&self, w: &mut JsonWriter) {
+        let mut order: Vec<usize> = (0..self.counter_names.len()).collect();
+        order.sort_by(|&a, &b| self.counter_names[a].cmp(&self.counter_names[b]));
+        w.begin_object();
+        for i in order {
+            w.key(&self.counter_names[i]);
+            w.u64(self.counter_values[i]);
+        }
+        w.end_object();
+    }
+
+    /// Write `{"name": {"value": v, "high_water": h}, ...}`, name-sorted.
+    /// Gauges that were registered but never set are omitted.
+    pub fn write_gauges(&self, w: &mut JsonWriter) {
+        let mut order: Vec<usize> = (0..self.gauge_names.len()).collect();
+        order.sort_by(|&a, &b| self.gauge_names[a].cmp(&self.gauge_names[b]));
+        w.begin_object();
+        for i in order {
+            let g = &self.gauges[i];
+            if !g.touched {
+                continue;
+            }
+            w.key(&self.gauge_names[i]);
+            w.begin_object();
+            w.key("value");
+            w.f64(g.value);
+            w.key("high_water");
+            w.f64(g.high_water);
+            w.end_object();
+        }
+        w.end_object();
+    }
+}

@@ -1,0 +1,132 @@
+//! The flight recorder: a bounded ring buffer of sim-timestamped events.
+//!
+//! Disabled by default; a `record` call then costs one predictable branch.
+//! When enabled, the ring keeps the newest `capacity` events and counts
+//! what it had to overwrite, so a snapshot always says how much history it
+//! is missing.
+
+use crate::json::JsonWriter;
+use mpichgq_sim::SimTime;
+
+/// One recorded event. `kind` is a static label (`"tcp.rto"`,
+/// `"drop.policed"`, ...); `key` and `value` are event-specific numbers
+/// (a channel index and a queue depth, a socket id and a cwnd, ...).
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEvent {
+    pub at: SimTime,
+    pub kind: &'static str,
+    pub key: u64,
+    pub value: i64,
+}
+
+/// Bounded ring buffer of [`TraceEvent`]s.
+#[derive(Debug, Default)]
+pub struct FlightRecorder {
+    ring: Vec<TraceEvent>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    /// Total events offered while enabled (recorded + overwritten).
+    total: u64,
+    capacity: usize,
+    enabled: bool,
+}
+
+impl FlightRecorder {
+    /// Enable recording with a ring of `capacity` events. Re-enabling
+    /// clears previous history.
+    pub fn enable(&mut self, capacity: usize) {
+        assert!(capacity > 0, "flight recorder with zero capacity");
+        self.ring = Vec::with_capacity(capacity);
+        self.head = 0;
+        self.total = 0;
+        self.capacity = capacity;
+        self.enabled = true;
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total events offered while enabled.
+    pub fn recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.ring.len() as u64
+    }
+
+    /// Record an event. The disabled path is a single branch — callers on
+    /// hot paths invoke this unconditionally.
+    #[inline]
+    pub fn record(&mut self, at: SimTime, kind: &'static str, key: u64, value: i64) {
+        if !self.enabled {
+            return;
+        }
+        self.push(TraceEvent {
+            at,
+            kind,
+            key,
+            value,
+        });
+    }
+
+    #[cold]
+    fn push(&mut self, ev: TraceEvent) {
+        self.total += 1;
+        if self.ring.len() < self.capacity {
+            self.ring.push(ev);
+        } else {
+            self.ring[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Held events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (newer, older) = self.ring.split_at(self.head);
+        older.iter().chain(newer.iter())
+    }
+
+    /// Write `{"capacity": .., "recorded": .., "dropped": .., "events":
+    /// [{"t_ns": .., "kind": .., "key": .., "value": ..}, ...]}`.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("capacity");
+        w.u64(self.capacity as u64);
+        w.key("recorded");
+        w.u64(self.total);
+        w.key("dropped");
+        w.u64(self.dropped());
+        w.key("events");
+        w.begin_array();
+        for ev in self.events() {
+            w.begin_object();
+            w.key("t_ns");
+            w.u64(ev.at.as_nanos());
+            w.key("kind");
+            w.string(ev.kind);
+            w.key("key");
+            w.u64(ev.key);
+            w.key("value");
+            w.i64(ev.value);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+}

@@ -10,7 +10,9 @@
 //! Differences from real proptest, by design:
 //! - Generation is deterministic: each `(test name, case index)` pair seeds a
 //!   SplitMix64 stream, so failures reproduce exactly with no persistence
-//!   files (`*.proptest-regressions` files are ignored).
+//!   files (`*.proptest-regressions` files are ignored — don't commit them;
+//!   pin a historical failure as an explicit `#[test]` that replays the
+//!   shrunk inputs, as `tests/property.rs` does).
 //! - No shrinking. A failing case panics with the case index; rerunning the
 //!   test replays it.
 

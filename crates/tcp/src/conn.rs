@@ -160,6 +160,27 @@ pub enum Out {
     RemoteClosed,
     /// Both directions closed.
     Closed,
+    /// A congestion-control state change worth recording: the stack forwards
+    /// these to the network's observability layer (counters + flight
+    /// recorder) so experiments can correlate cwnd collapses with QoS events.
+    Cc {
+        kind: CcKind,
+        /// Congestion window after the transition, in bytes.
+        cwnd_bytes: u64,
+        /// Retransmission timeout after the transition (post back-off).
+        rto: SimDelta,
+    },
+}
+
+/// Which congestion-control transition an [`Out::Cc`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcKind {
+    /// Retransmission timeout fired: window collapsed to one MSS, go-back-N.
+    Rto,
+    /// Three duplicate ACKs: fast retransmit + window halving.
+    FastRetransmit,
+    /// RFC 2861 slow-start restart after a send-idle period.
+    SlowStartRestart,
 }
 
 /// Congestion-control counters for experiments and assertions.
@@ -171,6 +192,8 @@ pub struct ConnStats {
     pub rtos: u64,
     pub fast_retransmits: u64,
     pub dup_acks_received: u64,
+    /// RFC 2861 idle-restart window collapses.
+    pub slow_start_restarts: u64,
 }
 
 /// A TCP connection endpoint.
@@ -550,6 +573,11 @@ impl Connection {
         self.cwnd = self.ssthresh + (self.cfg.dupack_thresh * self.cfg.mss) as f64;
         self.in_recovery = true;
         self.recover = self.snd_nxt;
+        outs.push(Out::Cc {
+            kind: CcKind::FastRetransmit,
+            cwnd_bytes: self.cwnd as u64,
+            rto: self.rto,
+        });
     }
 
     fn grow_cwnd(&mut self, acked_bytes: u64) {
@@ -762,9 +790,16 @@ impl Connection {
             && self.written > self.snd_nxt
             && now.since(self.last_send) > self.rto
         {
-            self.cwnd = self
-                .cwnd
-                .min((self.cfg.init_cwnd_segs * self.cfg.mss) as f64);
+            let restart = (self.cfg.init_cwnd_segs * self.cfg.mss) as f64;
+            if self.cwnd > restart {
+                self.cwnd = restart;
+                self.stats.slow_start_restarts += 1;
+                outs.push(Out::Cc {
+                    kind: CcKind::SlowStartRestart,
+                    cwnd_bytes: self.cwnd as u64,
+                    rto: self.rto,
+                });
+            }
         }
         let mut sent_any = false;
         loop {
@@ -915,6 +950,11 @@ impl Connection {
             self.stats.rtx_segs += 1;
             self.send_data(now, &mut outs);
             self.rto = (self.rto * 2).min(self.cfg.rto_max);
+            outs.push(Out::Cc {
+                kind: CcKind::Rto,
+                cwnd_bytes: self.cwnd as u64,
+                rto: self.rto,
+            });
             self.arm_timer(now, &mut outs);
         } else if self.snd_wnd == 0 && self.written > self.snd_nxt {
             // Persist: probe the zero window with one byte.

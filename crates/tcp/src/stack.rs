@@ -8,7 +8,7 @@
 //! (sockets, timers, CPU work, services). This mirrors the role of the
 //! hosts' kernels plus the globus-io library in the paper's architecture.
 
-use crate::conn::{Connection, Out, SegFlags, SegIn, SegOut, State, TcpCfg};
+use crate::conn::{CcKind, Connection, Out, SegFlags, SegIn, SegOut, State, TcpCfg};
 use mpichgq_dsrt::ProcId;
 use mpichgq_netsim::{Net, NetHandler, NodeId, Packet, TcpFlags, TcpHeader, L4};
 use mpichgq_sim::FxHashMap;
@@ -303,6 +303,25 @@ impl Stack {
                         self.conns.remove(&(s.host, s.lport, ph, pp));
                     }
                     self.wake(net, owner, |a, ctx| a.on_closed(sock, ctx));
+                }
+                Out::Cc {
+                    kind,
+                    cwnd_bytes,
+                    rto,
+                } => {
+                    let (counter, trace_kind) = match kind {
+                        CcKind::Rto => ("tcp.rtos", "tcp.rto"),
+                        CcKind::FastRetransmit => ("tcp.fast_retransmits", "tcp.fast_rtx"),
+                        CcKind::SlowStartRestart => ("tcp.slow_start_restarts", "tcp.ss_restart"),
+                    };
+                    net.obs.metrics.add(counter, 1);
+                    net.obs
+                        .metrics
+                        .set_gauge("tcp.last_rto_us", rto.as_nanos() as f64 / 1_000.0);
+                    let now = net.now();
+                    net.obs
+                        .trace
+                        .record(now, trace_kind, sock.0 as u64, cwnd_bytes as i64);
                 }
             }
         }

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Validate results/<experiment>/metrics.json files against the schema
+documented in DESIGN.md §9.
+
+Usage: check_metrics.py results/fig1/metrics.json [more.json ...]
+
+Checks, per file:
+- parses as JSON with top-level "counters", "gauges", "trace" objects;
+- counters are non-negative integers;
+- gauges are {"value": number, "high_water": number} objects;
+- the trace carries capacity/recorded/dropped and a list of events with
+  monotonically non-decreasing "t_ns" timestamps;
+- the core engine/net counters every simulation run must emit exist.
+"""
+
+import json
+import sys
+
+REQUIRED_COUNTERS = [
+    "engine.events_processed",
+    "net.pkts.sent",
+    "net.pkts.delivered",
+    "net.drops.policed",
+    "net.drops.queue_full",
+]
+
+
+def check(path):
+    errors = []
+    with open(path) as f:
+        doc = json.load(f)
+
+    for section in ("counters", "gauges", "trace"):
+        if not isinstance(doc.get(section), dict):
+            errors.append(f"missing or non-object section {section!r}")
+    if errors:
+        return errors
+
+    for name, v in doc["counters"].items():
+        if not isinstance(v, int) or v < 0:
+            errors.append(f"counter {name!r} is not a non-negative integer: {v!r}")
+    for name in REQUIRED_COUNTERS:
+        if name not in doc["counters"]:
+            errors.append(f"required counter {name!r} missing")
+
+    for name, g in doc["gauges"].items():
+        if not isinstance(g, dict) or set(g) != {"value", "high_water"}:
+            errors.append(f"gauge {name!r} is not {{value, high_water}}: {g!r}")
+            continue
+        if not all(isinstance(g[k], (int, float)) for k in g):
+            errors.append(f"gauge {name!r} has non-numeric fields: {g!r}")
+
+    trace = doc["trace"]
+    for field in ("capacity", "recorded", "dropped", "events"):
+        if field not in trace:
+            errors.append(f"trace missing field {field!r}")
+    events = trace.get("events", [])
+    if len(events) > trace.get("capacity", 0):
+        errors.append("trace holds more events than its capacity")
+    last_t = -1
+    for e in events:
+        if set(e) != {"t_ns", "kind", "key", "value"}:
+            errors.append(f"malformed trace event: {e!r}")
+            break
+        if e["t_ns"] < last_t:
+            errors.append(f"trace timestamps not monotonic at {e!r}")
+            break
+        last_t = e["t_ns"]
+    return errors
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in sys.argv[1:]:
+        errors = check(path)
+        if errors:
+            failed = True
+            for e in errors:
+                print(f"{path}: {e}", file=sys.stderr)
+        else:
+            with open(path) as f:
+                doc = json.load(f)
+            print(f"{path}: ok ({len(doc['counters'])} counters, "
+                  f"{len(doc['gauges'])} gauges, "
+                  f"{len(doc['trace'].get('events', []))} trace events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

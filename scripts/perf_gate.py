@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_engine run against the committed baseline.
+
+Usage: perf_gate.py BASELINE.json FRESH.json [--tolerance 0.25]
+
+Fails (exit 1) if any workload present in both files regressed by more
+than the tolerance in calendar-backend events/sec. Workloads present in
+only one file (e.g. a --quick run emits a subset) are compared only on
+the intersection. The heap backend is reported but not gated: the
+calendar scheduler is the default, so it is the number that matters.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {w["name"]: w for w in doc["workloads"]}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional regression (default 0.25)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    common = sorted(set(base) & set(fresh))
+    if not common:
+        print("perf_gate: no common workloads between baseline and fresh run",
+              file=sys.stderr)
+        return 1
+
+    failed = []
+    for name in common:
+        b = base[name]["calendar"]["events_per_sec"]
+        f = fresh[name]["calendar"]["events_per_sec"]
+        ratio = f / b
+        status = "ok"
+        if ratio < 1.0 - args.tolerance:
+            status = "REGRESSED"
+            failed.append(name)
+        print(f"{name:28s} baseline {b:14,.0f} ev/s   fresh {f:14,.0f} ev/s "
+              f"  ({ratio:5.2f}x)  {status}")
+
+    skipped = sorted((set(base) | set(fresh)) - set(common))
+    if skipped:
+        print(f"perf_gate: not in both files, skipped: {', '.join(skipped)}")
+
+    if failed:
+        print(f"perf_gate: FAIL — {', '.join(failed)} regressed more than "
+              f"{args.tolerance:.0%} vs baseline", file=sys.stderr)
+        return 1
+    print(f"perf_gate: PASS — {len(common)} workload(s) within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

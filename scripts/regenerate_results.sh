@@ -22,3 +22,6 @@ $BIN/ablations           $FAST  > results/ablations.txt &
 wait
 echo "results/ refreshed:"
 grep -H "^#" results/*.txt | grep -iE "summary|phases|adequate|penalty|saturate" || true
+if command -v python3 >/dev/null; then
+  python3 scripts/check_metrics.py results/*/metrics.json
+fi

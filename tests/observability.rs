@@ -1,0 +1,69 @@
+//! End-to-end checks for the observability layer: the registry snapshot a
+//! figure run emits must be byte-for-byte deterministic, must carry the
+//! sections the `metrics.json` schema promises (DESIGN.md §9), and
+//! arming the flight recorder must not perturb the simulation itself.
+
+use mpichgq_bench::{fig1_tcp_sawtooth_run, Fig1Cfg};
+use mpichgq_sim::SimTime;
+
+fn short_cfg() -> Fig1Cfg {
+    Fig1Cfg {
+        duration: SimTime::from_secs(5),
+        ..Fig1Cfg::default()
+    }
+}
+
+#[test]
+fn fig1_metrics_snapshot_is_deterministic() {
+    let (series_a, a) = fig1_tcp_sawtooth_run(short_cfg(), 256);
+    let (series_b, b) = fig1_tcp_sawtooth_run(short_cfg(), 256);
+    assert_eq!(a.events, b.events, "event counts diverged between runs");
+    assert_eq!(
+        a.metrics_json, b.metrics_json,
+        "metrics snapshot is not deterministic"
+    );
+    assert_eq!(series_a.points(), series_b.points());
+}
+
+#[test]
+fn fig1_metrics_carry_the_documented_schema() {
+    let (_, m) = fig1_tcp_sawtooth_run(short_cfg(), 256);
+    let j = &m.metrics_json;
+    for key in [
+        "\"counters\"",
+        "\"gauges\"",
+        "\"trace\"",
+        "\"net.pkts.sent\"",
+        "\"net.pkts.delivered\"",
+        "\"net.drops.policed\"",
+        "\"engine.events_processed\"",
+        "\"engine.pending_events\"",
+        "\"gara.reservations_granted\"",
+        "\"capacity\":256",
+        "\"events\":[",
+        "\"high_water\"",
+    ] {
+        assert!(j.contains(key), "snapshot missing {key}: {j}");
+    }
+    // Figure 1 deliberately overruns its 40 Mb/s reservation, so the run
+    // must observe policer drops, both as a counter and as trace events.
+    assert!(
+        j.contains("\"drop.policed\""),
+        "expected policed-drop trace events in: {j}"
+    );
+}
+
+#[test]
+fn arming_the_flight_recorder_does_not_perturb_the_simulation() {
+    let (series_off, off) = fig1_tcp_sawtooth_run(short_cfg(), 0);
+    let (series_on, on) = fig1_tcp_sawtooth_run(short_cfg(), 1024);
+    assert_eq!(
+        off.events, on.events,
+        "tracing changed the number of simulated events"
+    );
+    assert_eq!(series_off.points(), series_on.points());
+    // The disabled run still publishes counters (they are always live) but
+    // records no trace events.
+    assert!(off.metrics_json.contains("\"recorded\":0"));
+    assert!(!on.metrics_json.contains("\"recorded\":0"));
+}

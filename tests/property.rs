@@ -180,66 +180,7 @@ proptest! {
         sizes in proptest::collection::vec(1u32..120_000, 1..12),
         seed in 0u64..1000,
     ) {
-        let d = Dumbbell::build(50_000_000, SimDelta::from_millis(1), seed);
-        let (h0, h1) = (d.src, d.dst);
-        let mut sim = Sim::new(d.net);
-        let expect: Vec<u32> = sizes.clone();
-        let seen = Rc::new(RefCell::new(Vec::new()));
-        let seen2 = seen.clone();
-        let n = sizes.len();
-
-        let mut sent = false;
-        let sender = move |mpi: &mut Mpi| {
-            if !sent {
-                sent = true;
-                for (i, &len) in sizes.iter().enumerate() {
-                    mpi.isend(mpi.comm_world(), 1, (i % 3) as u32, len);
-                }
-            }
-            Poll::Done
-        };
-        // MPI guarantees *matching* order (the i-th posted wildcard recv
-        // matches the i-th matchable message), not completion order; with
-        // mixed eager/rendezvous protocols completions may reorder. Record
-        // results by posted-request index.
-        let mut reqs: Vec<Option<mpichgq::mpi::ReqId>> = Vec::new();
-        let mut posted = false;
-        let receiver = move |mpi: &mut Mpi| {
-            if !posted {
-                posted = true;
-                seen2.borrow_mut().resize(n, (u32::MAX, 0));
-                for _ in 0..n {
-                    reqs.push(Some(mpi.irecv(mpi.comm_world(), Some(0), None)));
-                }
-            }
-            let mut open = false;
-            for (i, slot) in reqs.iter_mut().enumerate() {
-                if let Some(r) = *slot {
-                    if let Some(info) = mpi.test(r) {
-                        seen2.borrow_mut()[i] = (info.tag, info.len);
-                        *slot = None;
-                    } else {
-                        open = true;
-                    }
-                }
-            }
-            if open { Poll::Pending } else { Poll::Done }
-        };
-        let job = JobBuilder::new()
-            .rank(h0, Box::new(sender))
-            .rank(h1, Box::new(receiver))
-            .launch(&mut sim);
-        sim.run_until(SimTime::from_secs(60));
-        prop_assert!(job.finished(), "job stalled");
-        let seen = seen.borrow();
-        // Wildcard receives match messages in send order: the i-th posted
-        // receive holds exactly the i-th sent message.
-        let sent: Vec<(u32, u32)> = expect
-            .iter()
-            .enumerate()
-            .map(|(i, &l)| ((i % 3) as u32, l))
-            .collect();
-        prop_assert_eq!(&sent, &*seen, "matching order/sizes");
+        check_mpi_ordering_and_sizes(sizes, seed);
     }
 
     /// Determinism: identical parameters and seeds give identical event
@@ -263,4 +204,83 @@ proptest! {
         };
         prop_assert_eq!(run(), run());
     }
+}
+
+/// Shared body for the MPI matching-order property: runnable from the
+/// proptest case above and from pinned regression inputs below.
+fn check_mpi_ordering_and_sizes(sizes: Vec<u32>, seed: u64) {
+    let d = Dumbbell::build(50_000_000, SimDelta::from_millis(1), seed);
+    let (h0, h1) = (d.src, d.dst);
+    let mut sim = Sim::new(d.net);
+    let expect: Vec<u32> = sizes.clone();
+    let seen = Rc::new(RefCell::new(Vec::new()));
+    let seen2 = seen.clone();
+    let n = sizes.len();
+
+    let mut sent = false;
+    let sender = move |mpi: &mut Mpi| {
+        if !sent {
+            sent = true;
+            for (i, &len) in sizes.iter().enumerate() {
+                mpi.isend(mpi.comm_world(), 1, (i % 3) as u32, len);
+            }
+        }
+        Poll::Done
+    };
+    // MPI guarantees *matching* order (the i-th posted wildcard recv
+    // matches the i-th matchable message), not completion order; with
+    // mixed eager/rendezvous protocols completions may reorder. Record
+    // results by posted-request index.
+    let mut reqs: Vec<Option<mpichgq::mpi::ReqId>> = Vec::new();
+    let mut posted = false;
+    let receiver = move |mpi: &mut Mpi| {
+        if !posted {
+            posted = true;
+            seen2.borrow_mut().resize(n, (u32::MAX, 0));
+            for _ in 0..n {
+                reqs.push(Some(mpi.irecv(mpi.comm_world(), Some(0), None)));
+            }
+        }
+        let mut open = false;
+        for (i, slot) in reqs.iter_mut().enumerate() {
+            if let Some(r) = *slot {
+                if let Some(info) = mpi.test(r) {
+                    seen2.borrow_mut()[i] = (info.tag, info.len);
+                    *slot = None;
+                } else {
+                    open = true;
+                }
+            }
+        }
+        if open {
+            Poll::Pending
+        } else {
+            Poll::Done
+        }
+    };
+    let job = JobBuilder::new()
+        .rank(h0, Box::new(sender))
+        .rank(h1, Box::new(receiver))
+        .launch(&mut sim);
+    sim.run_until(SimTime::from_secs(60));
+    assert!(job.finished(), "job stalled");
+    let seen = seen.borrow();
+    // Wildcard receives match messages in send order: the i-th posted
+    // receive holds exactly the i-th sent message.
+    let sent: Vec<(u32, u32)> = expect
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| ((i % 3) as u32, l))
+        .collect();
+    assert_eq!(&sent, &*seen, "matching order/sizes");
+}
+
+/// Replay of the one case proptest ever shrank for this suite
+/// (`sizes = [65537, 1, 193, 56191], seed = 998`, formerly recorded in
+/// `tests/property.proptest-regressions`). The in-repo proptest shim
+/// deliberately never reads regression files, so historical failures are
+/// pinned as explicit deterministic tests like this one instead.
+#[test]
+fn mpi_ordering_regression_mixed_rendezvous_sizes() {
+    check_mpi_ordering_and_sizes(vec![65_537, 1, 193, 56_191], 998);
 }
