@@ -1,0 +1,57 @@
+//! Chaos experiment: the Figure-9 combined workload under a scripted
+//! fault plan — injected GARA rejections, a trunk outage with a loss
+//! burst on recovery, two reservation revocations, and a CPU-throttle
+//! window — with the QoS agent's adaptation loop doing the recovering.
+//!
+//! The printed series shows the staircase: premium grant after backoff
+//! retries, a dip at the outage, a smaller premium step after
+//! renegotiation, a best-effort trough while degraded, and full recovery
+//! once capacity clears.
+
+use mpichgq_bench::{chaos_run, output, phase_mean, ChaosCfg, TRACE_CAPACITY};
+
+fn main() {
+    let cfg = if output::fast_mode() {
+        ChaosCfg::fast()
+    } else {
+        ChaosCfg::default()
+    };
+    let (series, metrics, outcome) = chaos_run(cfg, TRACE_CAPACITY);
+    output::print_series(
+        "Chaos: 35 Mb/s visualization under fault injection with an adaptive QoS agent",
+        "bandwidth_kbps",
+        &series,
+    );
+    let (pre_lo, pre_hi) = cfg.pre_fault_window();
+    let (deg_lo, deg_hi) = cfg.degraded_window();
+    let (rec_lo, rec_hi) = cfg.recovery_window();
+    println!(
+        "# phases: pre-fault {:.0} | degraded {:.0} | recovered {:.0} Kb/s",
+        phase_mean(&series, pre_lo, pre_hi),
+        phase_mean(&series, deg_lo, deg_hi),
+        phase_mean(&series, rec_lo, rec_hi),
+    );
+    println!(
+        "# adaptation: {} requests, {} rejects, {} retries, {} grants, \
+         {} revocations seen, {} renegotiations, {} degrades, {} probes, {} recoveries",
+        outcome.requests,
+        outcome.rejects,
+        outcome.retries,
+        outcome.grants,
+        outcome.revocations_seen,
+        outcome.renegotiations,
+        outcome.degrades,
+        outcome.probes,
+        outcome.recoveries,
+    );
+    println!(
+        "# faults: {} link-down drops, {} loss drops, {} corrupt drops, {} downs, {} ups; final state {:?}",
+        outcome.faults.drops_link_down,
+        outcome.faults.drops_loss,
+        outcome.faults.drops_corrupt,
+        outcome.faults.link_downs,
+        outcome.faults.link_ups,
+        outcome.final_state,
+    );
+    output::write_metrics("chaos", &metrics.metrics_json);
+}

@@ -4,10 +4,12 @@ use mpichgq_apps::{
     finish_viz, GarnetLab, MeteredTcpReceiver, PacedTcpSender, PingPong, Scheduler, VizCfg,
     VizReceiver, VizSender,
 };
-use mpichgq_core::{enable_qos, QosAgentCfg, QosAttribute};
+use mpichgq_core::{enable_qos, AdaptPolicy, AdaptState, AdaptiveFlow, QosAgentCfg, QosAttribute};
 use mpichgq_gara::{CpuRequest, NetworkRequest, Request, StartSpec};
 use mpichgq_mpi::JobBuilder;
-use mpichgq_netsim::{DepthRule, GarnetCfg, PolicingAction, Proto};
+use mpichgq_netsim::{
+    DepthRule, FaultAction, FaultPlan, FaultStats, GarnetCfg, NodeId, PolicingAction, Proto,
+};
 use mpichgq_sim::{SchedulerKind, SimDelta, SimTime, TimeSeries};
 use mpichgq_tcp::TcpCfg;
 
@@ -810,6 +812,344 @@ pub fn fig9_combined_run(cfg: Fig9Cfg, trace_capacity: usize) -> (TimeSeries, Ru
 /// Figure 8/9 timelines.
 pub fn phase_mean(series: &TimeSeries, from: f64, to: f64) -> f64 {
     series.mean_in(secs(from), secs(to))
+}
+
+// ---------------------------------------------------------------------
+// Chaos — the Figure-9 workload under a scripted fault plan, with the
+// QoS agent's adaptation loop doing the recovering
+// ---------------------------------------------------------------------
+
+/// Configuration of the chaos experiment: the combined visualization
+/// workload (Figure 9) with a canonical fault schedule layered on top.
+///
+/// The staged story:
+/// 1. contention starts ([`ChaosCfg::contention_at`]);
+/// 2. the agent's first premium request hits
+///    [`ChaosCfg::injected_rejections`] fault-injected rejections and
+///    retries with backoff until granted;
+/// 3. the premium trunk goes down for [`ChaosCfg::link_outage`], comes
+///    back with a loss burst, and TCP recovers;
+/// 4. the broker revokes the grant while a squatter holds most (not all)
+///    capacity → the agent renegotiates to a smaller premium rate;
+/// 5. a second revocation with *no* spare capacity → graceful
+///    degradation to best-effort, plus a CPU-throttle window at the
+///    sender for good measure;
+/// 6. the squatters clear and a probe restores the full reservation —
+///    the recovery the shape tests assert.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosCfg {
+    pub target_mbps: f64,
+    pub fps: f64,
+    pub work_fraction: f64,
+    pub contention_bps: u64,
+    pub contention_at: SimTime,
+    /// When the adaptive flow makes its first reservation attempt.
+    pub first_request_at: SimTime,
+    /// Fault-injected GARA rejections before the first grant.
+    pub injected_rejections: u32,
+    pub link_down_at: SimTime,
+    pub link_outage: SimDelta,
+    /// Loss-burst probability (per mille) on the trunk right after link-up.
+    pub loss_per_mille: u16,
+    pub loss_duration: SimDelta,
+    /// First revocation: a squatter takes *most* capacity → renegotiation.
+    pub revoke_at: SimTime,
+    /// Second revocation: a squatter takes *all* capacity → degradation.
+    pub second_revoke_at: SimTime,
+    pub cpu_throttle_at: SimTime,
+    pub cpu_throttle_per_mille: u16,
+    pub cpu_throttle_duration: SimDelta,
+    /// When the squatters release their capacity (probing then recovers).
+    pub clear_at: SimTime,
+    pub duration: SimTime,
+    /// Seed of the fault layer's private RNG (loss/corruption draws).
+    pub seed: u64,
+    pub scheduler: SchedulerKind,
+}
+
+impl Default for ChaosCfg {
+    fn default() -> Self {
+        ChaosCfg {
+            target_mbps: 35.0,
+            fps: 10.0,
+            work_fraction: 0.5,
+            contention_bps: 130_000_000,
+            contention_at: SimTime::from_secs(1),
+            first_request_at: SimTime::from_secs(2),
+            injected_rejections: 2,
+            link_down_at: SimTime::from_secs(9),
+            link_outage: SimDelta::from_millis(700),
+            loss_per_mille: 50,
+            loss_duration: SimDelta::from_secs(1),
+            revoke_at: SimTime::from_secs(13),
+            second_revoke_at: SimTime::from_secs(17),
+            cpu_throttle_at: SimTime::from_secs(19),
+            cpu_throttle_per_mille: 300,
+            cpu_throttle_duration: SimDelta::from_millis(1_500),
+            clear_at: SimTime::from_secs(21),
+            duration: SimTime::from_secs(28),
+            seed: 7,
+            scheduler: SchedulerKind::default(),
+        }
+    }
+}
+
+impl ChaosCfg {
+    /// The compressed schedule the `--fast` CI job and the tier-1 shape
+    /// tests share (same stages, shorter phases).
+    pub fn fast() -> ChaosCfg {
+        ChaosCfg {
+            first_request_at: SimTime::from_millis(1_500),
+            link_down_at: SimTime::from_secs(6),
+            link_outage: SimDelta::from_millis(400),
+            loss_duration: SimDelta::from_millis(800),
+            revoke_at: SimTime::from_secs(9),
+            second_revoke_at: SimTime::from_secs(11),
+            cpu_throttle_at: SimTime::from_secs(12),
+            cpu_throttle_duration: SimDelta::from_secs(1),
+            clear_at: SimTime::from_millis(13_500),
+            duration: SimTime::from_secs(18),
+            ..ChaosCfg::default()
+        }
+    }
+
+    /// The clean premium window before the first physical fault:
+    /// `[grant + ramp, link_down_at)` in seconds.
+    pub fn pre_fault_window(&self) -> (f64, f64) {
+        (
+            self.first_request_at.as_secs_f64() + 1.5,
+            self.link_down_at.as_secs_f64(),
+        )
+    }
+
+    /// The post-clearance recovery window `[clear + ramp, duration)`.
+    pub fn recovery_window(&self) -> (f64, f64) {
+        (
+            self.clear_at.as_secs_f64() + 2.0,
+            self.duration.as_secs_f64(),
+        )
+    }
+
+    /// The degraded (best-effort) window between the second revocation
+    /// and the capacity clearance.
+    pub fn degraded_window(&self) -> (f64, f64) {
+        (
+            self.second_revoke_at.as_secs_f64() + 1.0,
+            self.clear_at.as_secs_f64(),
+        )
+    }
+}
+
+/// What the adaptation loop did during a chaos run, read back from the
+/// `agent.*`/`gara.*` counters plus the fault layer's own accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosOutcome {
+    pub final_state: AdaptState,
+    pub requests: u64,
+    pub rejects: u64,
+    pub retries: u64,
+    pub grants: u64,
+    pub revocations_seen: u64,
+    pub renegotiations: u64,
+    pub degrades: u64,
+    pub probes: u64,
+    pub recoveries: u64,
+    pub faults: FaultStats,
+}
+
+/// A capacity-squatting reservation: debits the EF slot tables on the
+/// competitive pair's path (shared trunks) without touching any real
+/// traffic — the flow spec is pinned to the discard port, which nothing
+/// sends to, so the installed classifier rule never matches a packet.
+fn squat_request(src: NodeId, dst: NodeId, rate_bps: u64) -> Request {
+    Request::Network(NetworkRequest {
+        src,
+        dst,
+        proto: Proto::Udp,
+        src_port: None,
+        dst_port: Some(9),
+        rate_bps,
+        depth: DepthRule::Normal,
+        action: PolicingAction::Drop,
+        shape_at_source: false,
+    })
+}
+
+/// Run the chaos experiment; returns the receiver's 1-second bandwidth
+/// series (Kb/s), the observability snapshot, and the adaptation summary.
+pub fn chaos_run(cfg: ChaosCfg, trace_capacity: usize) -> (TimeSeries, RunMetrics, ChaosOutcome) {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let garnet = GarnetCfg {
+        scheduler: cfg.scheduler,
+        ..GarnetCfg::default()
+    };
+    let mut lab = GarnetLab::new(garnet, 0.7);
+    arm_trace(&mut lab, trace_capacity);
+    lab.add_contention(cfg.contention_bps, cfg.contention_at, cfg.duration);
+    let (psrc, pdst) = (lab.premium_src, lab.premium_dst);
+    let (csrc, cdst) = (lab.competitive_src, lab.competitive_dst);
+
+    // The Figure-9 visualization workload (no QoS attribute: the adaptive
+    // flow below owns the premium reservation for the host pair).
+    let frame_bytes = (cfg.target_mbps * 1e6 / 8.0 / cfg.fps).round() as u32;
+    let interval = 1.0 / cfg.fps;
+    let vcfg = VizCfg {
+        frame_bytes,
+        fps: cfg.fps,
+        work_per_frame: SimDelta::from_secs_f64(interval * cfg.work_fraction),
+        start: SimTime::from_millis(200),
+        end: cfg.duration,
+    };
+    let tcp = TcpCfg {
+        send_buf: 512 * 1024,
+        recv_buf: 512 * 1024,
+        ..TcpCfg::default()
+    };
+    let mpi_cfg = mpichgq_mpi::MpiCfg {
+        tcp,
+        ..Default::default()
+    };
+    let (builder, _env) = enable_qos(JobBuilder::new(), QosAgentCfg::default());
+    let (tx, _stats, _proc) = VizSender::new(vcfg, None);
+    let (rx, meter, frames) = VizReceiver::new(SimDelta::from_secs(1), cfg.duration);
+    let _job = builder
+        .rank(psrc, Box::new(tx))
+        .rank(pdst, Box::new(rx))
+        .cfg(mpi_cfg)
+        .launch(&mut lab.sim);
+
+    // The physical fault schedule: trunk outage + loss burst on link-up,
+    // and a CPU-throttle window at the sender.
+    let trunk = lab.sim.net.path_chans(psrc, pdst).expect("premium path")[1];
+    let plan = FaultPlan::new(cfg.seed)
+        .link_outage(trunk, cfg.link_down_at, cfg.link_outage)
+        .at(
+            cfg.link_down_at + cfg.link_outage,
+            FaultAction::LossBurst {
+                chan: trunk,
+                per_mille: cfg.loss_per_mille,
+                duration: cfg.loss_duration,
+            },
+        )
+        .at(
+            cfg.cpu_throttle_at,
+            FaultAction::CpuThrottle {
+                host: psrc,
+                per_mille: cfg.cpu_throttle_per_mille,
+            },
+        )
+        .at(
+            cfg.cpu_throttle_at + cfg.cpu_throttle_duration,
+            FaultAction::CpuThrottle {
+                host: psrc,
+                per_mille: 1000,
+            },
+        );
+    lab.sim.net.install_fault_plan(plan);
+
+    // The control-plane faults: injected rejections before the first
+    // grant, then two revocation + capacity-squatting events.
+    lab.with_gara(|g, _| g.inject_rejections(cfg.injected_rejections));
+    let full_rate = (cfg.target_mbps * 1e6 * 1.1) as u64;
+    let flow = AdaptiveFlow::install(
+        &mut lab.sim,
+        NetworkRequest {
+            src: psrc,
+            dst: pdst,
+            proto: Proto::Tcp,
+            src_port: None,
+            dst_port: None,
+            rate_bps: full_rate,
+            depth: DepthRule::Normal,
+            action: PolicingAction::Drop,
+            shape_at_source: false,
+        },
+        cfg.first_request_at,
+        AdaptPolicy {
+            min_rate_bps: full_rate / 5,
+            ..AdaptPolicy::default()
+        },
+    );
+
+    let squatters: Rc<RefCell<Vec<mpichgq_gara::ResvId>>> = Rc::new(RefCell::new(Vec::new()));
+    let mut sched = Scheduler::new();
+    // First revocation: free the grant, then squat on everything except
+    // ~65% of the full rate — the renegotiation ladder's first rung
+    // (50%) fits, the full rate does not.
+    let flow2 = flow.clone();
+    let sq = squatters.clone();
+    sched.at(cfg.revoke_at, move |net, stack| {
+        let mut gara = stack.take_service::<mpichgq_gara::Gara>().unwrap();
+        if let Some(id) = flow2.current_resv() {
+            gara.revoke(net, id);
+        }
+        let avail = gara
+            .available_on_path(net, csrc, cdst, net.now(), SimTime::MAX)
+            .unwrap_or(0);
+        let leave = full_rate * 65 / 100;
+        let take = avail.saturating_sub(leave);
+        if take > 0 {
+            let id = gara
+                .reserve(net, squat_request(csrc, cdst, take), StartSpec::Now, None)
+                .expect("first squatter admitted");
+            sq.borrow_mut().push(id);
+        }
+        stack.put_service_box(gara);
+    });
+    // Second revocation: free the renegotiated grant, then squat on all
+    // remaining capacity — the whole ladder fails and the flow degrades.
+    let flow3 = flow.clone();
+    let sq = squatters.clone();
+    sched.at(cfg.second_revoke_at, move |net, stack| {
+        let mut gara = stack.take_service::<mpichgq_gara::Gara>().unwrap();
+        if let Some(id) = flow3.current_resv() {
+            gara.revoke(net, id);
+        }
+        let avail = gara
+            .available_on_path(net, csrc, cdst, net.now(), SimTime::MAX)
+            .unwrap_or(0);
+        if avail > 0 {
+            let id = gara
+                .reserve(net, squat_request(csrc, cdst, avail), StartSpec::Now, None)
+                .expect("second squatter admitted");
+            sq.borrow_mut().push(id);
+        }
+        stack.put_service_box(gara);
+    });
+    // Clearance: the squatters leave; the agent's next probe recovers.
+    let sq = squatters.clone();
+    sched.at(cfg.clear_at, move |net, stack| {
+        let mut gara = stack.take_service::<mpichgq_gara::Gara>().unwrap();
+        for id in sq.borrow_mut().drain(..) {
+            gara.cancel(net, id);
+        }
+        stack.put_service_box(gara);
+    });
+    sched.install(&mut lab.sim);
+
+    lab.run_until(cfg.duration);
+    let metrics = collect_metrics(&mut lab);
+    let counter = |name: &str| lab.sim.net.obs.metrics.counter_value(name).unwrap_or(0);
+    let outcome = ChaosOutcome {
+        final_state: flow.state(),
+        requests: counter("agent.requests"),
+        rejects: counter("agent.rejects"),
+        retries: counter("agent.retries"),
+        grants: counter("agent.grants"),
+        revocations_seen: counter("agent.revocations_seen"),
+        renegotiations: counter("agent.renegotiations"),
+        degrades: counter("agent.degrades"),
+        probes: counter("agent.probes"),
+        recoveries: counter("agent.recoveries"),
+        faults: lab.sim.net.fault_stats().unwrap_or_default(),
+    };
+    (
+        finish_viz(meter, frames, cfg.duration, SimTime::ZERO, cfg.duration).series,
+        metrics,
+        outcome,
+    )
 }
 
 // ---------------------------------------------------------------------

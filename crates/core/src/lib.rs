@@ -13,6 +13,9 @@
 //! * [`agent`] — the MPI QoS Agent: hooked `MPICH_QOS` keyval, endpoint
 //!   extraction, token-bucket sizing (§4.3), co-reservation via GARA, and
 //!   the `MPICH_QOS_STATUS` result attribute.
+//! * [`adapt`] — the agent's adaptation loop: retry-with-backoff on
+//!   rejection, renegotiation to a smaller rate on revocation, graceful
+//!   degradation to best-effort, and probing recovery.
 //!
 //! Quick start: build a job, attach the agent, put an attribute:
 //!
@@ -24,10 +27,12 @@
 //! assert!(qos_env.outcome(&mpi, comm).is_granted());
 //! ```
 
+pub mod adapt;
 pub mod agent;
 pub mod overhead;
 pub mod qos;
 
+pub use adapt::{AdaptPolicy, AdaptState, AdaptiveFlow};
 pub use agent::{enable_qos, QosAgentCfg, QosEnv, QosGrant};
 pub use overhead::{ip_overhead_factor, path_overhead_factor, wire_overhead_factor, DEFAULT_MSS};
 pub use qos::{QosAttribute, QosClass, QosOutcome};

@@ -76,13 +76,26 @@ pub enum QosOutcome {
     /// Reservations granted; the network reservation rate actually
     /// installed (bits/s, after protocol-overhead translation).
     Granted { network_rate_bps: u64 },
+    /// A reservation holds, but at less than the requested rate — the
+    /// adaptation loop renegotiated downward after a revocation.
+    Degraded { network_rate_bps: u64 },
     /// The request was denied (admission control or no route).
     Denied { reason: String },
 }
 
 impl QosOutcome {
+    /// Whether the *full requested* rate is installed.
     pub fn is_granted(&self) -> bool {
         matches!(self, QosOutcome::Granted { .. })
+    }
+
+    /// The premium rate currently installed, if any (full or degraded).
+    pub fn installed_rate_bps(&self) -> Option<u64> {
+        match self {
+            QosOutcome::Granted { network_rate_bps }
+            | QosOutcome::Degraded { network_rate_bps } => Some(*network_rate_bps),
+            _ => None,
+        }
     }
 }
 
@@ -108,5 +121,11 @@ mod tests {
         .is_granted());
         assert!(!QosOutcome::None.is_granted());
         assert!(!QosOutcome::Denied { reason: "x".into() }.is_granted());
+        let d = QosOutcome::Degraded {
+            network_rate_bps: 5,
+        };
+        assert!(!d.is_granted());
+        assert_eq!(d.installed_rate_bps(), Some(5));
+        assert_eq!(QosOutcome::None.installed_rate_bps(), None);
     }
 }

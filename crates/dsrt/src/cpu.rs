@@ -80,6 +80,10 @@ pub struct Cpu {
     works: Vec<Work>,
     last_advance: SimTime,
     next_gen: u64,
+    /// Whole-CPU capacity factor in `(0, 1]` (thermal/power throttling —
+    /// a fault-injection knob). Scales every share uniformly, so relative
+    /// fairness and reservation ratios are preserved.
+    throttle: f64,
 }
 
 impl Cpu {
@@ -89,7 +93,28 @@ impl Cpu {
             works: Vec::new(),
             last_advance: SimTime::ZERO,
             next_gen: 1,
+            throttle: 1.0,
         }
+    }
+
+    /// Throttle the whole CPU to `factor` of its capacity (`1.0` restores
+    /// full speed). Reservation *admission* is unaffected — DSRT admitted
+    /// those fractions of the nominal CPU; a throttled host simply runs
+    /// everything proportionally slower, which is exactly the failure the
+    /// adaptation layer must notice from the outside.
+    pub fn set_throttle(&mut self, now: SimTime, factor: f64) -> Vec<Update> {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "throttle factor out of (0, 1]: {factor}"
+        );
+        self.advance(now);
+        self.throttle = factor;
+        self.reschedule(now)
+    }
+
+    /// The current whole-CPU throttle factor.
+    pub fn throttle(&self) -> f64 {
+        self.throttle
     }
 
     /// Register a best-effort process.
@@ -310,7 +335,7 @@ impl Cpu {
                     }
                     None => leftover / be_count as f64,
                 };
-                (id, s)
+                (id, s * self.throttle)
             })
             .collect()
     }
@@ -461,6 +486,34 @@ mod tests {
 
     fn eta_gen(updates: &[Update], w: WorkId) -> u64 {
         updates.iter().rev().find(|u| u.work == w).unwrap().gen
+    }
+
+    #[test]
+    fn throttle_scales_all_shares_uniformly() {
+        let mut cpu = Cpu::new();
+        let p = cpu.add_process();
+        let (w, ups) = cpu.start_work(t(0.0), p, d(2.0));
+        assert_eq!(eta_of(&ups, w), t(2.0));
+        // Throttle to 25% at t=1: 1 cpu-s left now takes 4 s.
+        let ups = cpu.set_throttle(t(1.0), 0.25);
+        assert_eq!(eta_of(&ups, w), t(5.0));
+        assert!((cpu.share_of(p) - 0.25).abs() < 1e-9);
+        // Restoring full speed re-times the remainder.
+        let ups = cpu.set_throttle(t(2.0), 1.0);
+        // 0.25 cpu-s progressed during the throttled second; 0.75 left.
+        let eta = eta_of(&ups, w).as_secs_f64();
+        assert!((eta - 2.75).abs() < 1e-9, "eta {eta}");
+    }
+
+    #[test]
+    fn throttle_preserves_reservation_ratios() {
+        let mut cpu = Cpu::new();
+        let p = cpu.add_process();
+        cpu.set_reservation(t(0.0), p, Some(0.8)).unwrap();
+        cpu.spawn_hog(t(0.0));
+        cpu.set_throttle(t(0.0), 0.5);
+        let (_w, _ups) = cpu.start_work(t(0.0), p, d(1.0));
+        assert!((cpu.share_of(p) - 0.4).abs() < 1e-9);
     }
 
     #[test]

@@ -41,6 +41,10 @@ pub enum Status {
     Expired,
     /// Cancelled by the holder.
     Cancelled,
+    /// Revoked by the broker (preemption, policy change, fault injection)
+    /// — the one teardown the holder did not ask for, and the signal the
+    /// QoS agent's adaptation loop reacts to.
+    Revoked,
     /// Enforcement failed at activation time.
     Failed,
 }
@@ -122,6 +126,9 @@ pub enum ReserveError {
     UnknownServer(String),
     /// Invalid parameters (zero rate, fraction out of range, ...).
     Invalid(&'static str),
+    /// Rejected by an injected fault ([`Gara::inject_rejections`]); the
+    /// request itself was well-formed and might succeed on retry.
+    Injected,
 }
 
 impl std::fmt::Display for ReserveError {
@@ -131,6 +138,7 @@ impl std::fmt::Display for ReserveError {
             ReserveError::NoRoute => write!(f, "no route between endpoints"),
             ReserveError::UnknownServer(s) => write!(f, "unknown storage server {s}"),
             ReserveError::Invalid(m) => write!(f, "invalid request: {m}"),
+            ReserveError::Injected => write!(f, "reservation rejected (injected fault)"),
         }
     }
 }
@@ -182,6 +190,12 @@ pub struct Gara {
     events: Vec<(ResvId, Status)>,
     listeners: Vec<Box<dyn FnMut(ResvId, Status)>>,
     ctl: Option<ControllerId>,
+    /// Pending fault-injected rejections: while nonzero, each `reserve`
+    /// call fails with [`ReserveError::Injected`] and decrements it.
+    inject_rejections: u32,
+    /// Controller to ping (same sim-time) whenever a reservation is
+    /// revoked, so an adaptation loop can react in event order.
+    adapt_ctl: Option<ControllerId>,
 }
 
 impl Gara {
@@ -195,6 +209,8 @@ impl Gara {
             events: Vec::new(),
             listeners: Vec::new(),
             ctl: None,
+            inject_rejections: 0,
+            adapt_ctl: None,
         }
     }
 
@@ -259,6 +275,13 @@ impl Gara {
         if let Err(e) = self.validate(&req) {
             net.obs.metrics.add("gara.reservations_rejected", 1);
             return Err(e);
+        }
+        if self.inject_rejections > 0 {
+            self.inject_rejections -= 1;
+            net.obs.metrics.add("gara.reservations_rejected", 1);
+            net.obs.metrics.add("gara.injected_rejections", 1);
+            net.obs.trace.record(now, "gara.reject", self.next_id, -1);
+            return Err(ReserveError::Injected);
         }
         let slots = match self.admit(net, &req, start_t, end_t) {
             Ok(s) => s,
@@ -338,6 +361,46 @@ impl Gara {
             }
             _ => {}
         }
+    }
+
+    /// Revoke a reservation from the broker side: the same teardown as
+    /// [`Gara::cancel`] but with final status [`Status::Revoked`], and the
+    /// adaptation listener (if any) is scheduled to run at the current sim
+    /// time so the holder can renegotiate. Fault plans and policy
+    /// preemption both funnel through here.
+    pub fn revoke(&mut self, net: &mut Net, id: ResvId) {
+        let Some(r) = self.resvs.get(&id.0) else {
+            return;
+        };
+        match r.status {
+            Status::Active => {
+                self.deactivate(net, id, Status::Revoked);
+            }
+            Status::Pending => {
+                self.release_slots(id);
+                self.set_status(id, Status::Revoked);
+            }
+            _ => return,
+        }
+        net.obs.metrics.add("gara.revocations", 1);
+        let now = net.now();
+        net.obs.trace.record(now, "gara.revoke", id.0, 0);
+        if let Some(ctl) = self.adapt_ctl {
+            net.schedule_control(now, control_token(ctl, 0));
+        }
+    }
+
+    /// Arm `n` fault-injected rejections: the next `n` calls to
+    /// [`Gara::reserve`] fail with [`ReserveError::Injected`] regardless
+    /// of capacity (exercises the agent's retry/backoff path).
+    pub fn inject_rejections(&mut self, n: u32) {
+        self.inject_rejections += n;
+    }
+
+    /// Register the controller to wake (at the same sim time, in event
+    /// order) whenever a reservation is revoked.
+    pub fn set_adaptation_listener(&mut self, ctl: ControllerId) {
+        self.adapt_ctl = Some(ctl);
     }
 
     /// Modify the rate of an active/pending network reservation in place.

@@ -460,6 +460,50 @@ fn status_events_and_callbacks_fire() {
 }
 
 #[test]
+fn revoke_tears_down_and_frees_capacity() {
+    let (mut sim, src, dst) = dumbbell_sim();
+    with_gara(&mut sim, |g, net| {
+        let id = g
+            .reserve(net, net_request(src, dst, 5_000_000), StartSpec::Now, None)
+            .unwrap();
+        assert_eq!(g.status(id), Some(Status::Active));
+        g.take_events();
+        g.revoke(net, id);
+        assert_eq!(g.status(id), Some(Status::Revoked));
+        assert_eq!(g.take_events(), vec![(id, Status::Revoked)]);
+        // Enforcement gone, capacity back.
+        assert_eq!(net.node(NodeId(1)).classifier.len(), 0);
+        g.reserve(net, net_request(src, dst, 5_000_000), StartSpec::Now, None)
+            .unwrap();
+        // Revoking a non-live reservation is a no-op.
+        g.revoke(net, id);
+        assert_eq!(g.status(id), Some(Status::Revoked));
+        assert_eq!(net.obs.metrics.counter_value("gara.revocations"), Some(1));
+    });
+}
+
+#[test]
+fn injected_rejections_fail_then_clear() {
+    let (mut sim, src, dst) = dumbbell_sim();
+    with_gara(&mut sim, |g, net| {
+        g.inject_rejections(2);
+        for _ in 0..2 {
+            assert!(matches!(
+                g.reserve(net, net_request(src, dst, 1_000_000), StartSpec::Now, None),
+                Err(ReserveError::Injected)
+            ));
+        }
+        // Third attempt succeeds; the injections consumed no capacity.
+        g.reserve(net, net_request(src, dst, 5_000_000), StartSpec::Now, None)
+            .unwrap();
+        assert_eq!(
+            net.obs.metrics.counter_value("gara.injected_rejections"),
+            Some(2)
+        );
+    });
+}
+
+#[test]
 fn cpu_reservation_can_be_modified_live() {
     let (mut sim, src, _dst) = dumbbell_sim();
     let proc = sim.net.cpu_add_process(src);

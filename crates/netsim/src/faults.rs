@@ -1,0 +1,331 @@
+//! Deterministic fault injection: scripted link failures, loss and
+//! corruption bursts, and CPU throttling.
+//!
+//! The figures only ever exercise the happy path — links stay up and
+//! reservations, once granted, stay granted. Real deployments of the
+//! paper's architecture had to survive the opposite: GARA treats
+//! rejection and renegotiation as first-class, and the DiffServ model
+//! degrades premium traffic to best-effort when EF capacity disappears.
+//! This module supplies the *causes*: a [`FaultPlan`] lists `(time,
+//! action)` pairs that [`crate::Net::install_fault_plan`] schedules
+//! through the simulation engine, so faults fire in event order exactly
+//! like every other occurrence in the run.
+//!
+//! Determinism: the plan is data, the schedule rides the engine, and the
+//! per-packet loss/corruption draws come from a *private* [`SimRng`]
+//! seeded from [`FaultPlan::new`]'s seed. The fault layer never touches
+//! `Net`'s own RNG, so installing a plan perturbs nothing outside the
+//! faults it injects, and two runs of the same seeded plan are
+//! bit-identical.
+
+use crate::link::ChanId;
+use crate::packet::NodeId;
+use mpichgq_sim::{SimDelta, SimRng, SimTime};
+
+/// One scripted fault, applied at a scheduled simulation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Cut a directed channel: in-flight packets are lost, queued packets
+    /// wait, nothing new starts transmitting.
+    LinkDown(ChanId),
+    /// Restore a cut channel and resume draining its queue.
+    LinkUp(ChanId),
+    /// For `duration`, drop each packet delivered over `chan` with
+    /// probability `per_mille`/1000 (a congestion-loss or microwave-fade
+    /// window).
+    LossBurst {
+        chan: ChanId,
+        per_mille: u16,
+        duration: SimDelta,
+    },
+    /// For `duration`, corrupt each packet delivered over `chan` with
+    /// probability `per_mille`/1000; the receiver's checksum rejects it,
+    /// so the packet is dropped (and accounted separately from loss).
+    CorruptBurst {
+        chan: ChanId,
+        per_mille: u16,
+        duration: SimDelta,
+    },
+    /// Throttle `host`'s CPU to `per_mille`/1000 of its capacity
+    /// (thermal/power capping of the DSRT host). `per_mille = 1000`
+    /// restores full speed.
+    CpuThrottle { host: NodeId, per_mille: u16 },
+}
+
+/// A seeded, scripted fault schedule — built once, replayable forever.
+///
+/// ```
+/// use mpichgq_netsim::{ChanId, FaultAction, FaultPlan};
+/// use mpichgq_sim::SimTime;
+/// let plan = FaultPlan::new(7)
+///     .at(SimTime::from_secs(5), FaultAction::LinkDown(ChanId(8)))
+///     .at(SimTime::from_secs(6), FaultAction::LinkUp(ChanId(8)));
+/// assert_eq!(plan.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    actions: Vec<(SimTime, FaultAction)>,
+}
+
+impl FaultPlan {
+    /// An empty plan whose loss/corruption draws derive from `seed`.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            actions: Vec::new(),
+        }
+    }
+
+    /// Append `action` at time `at` (builder style).
+    pub fn at(mut self, at: SimTime, action: FaultAction) -> FaultPlan {
+        self.actions.push((at, action));
+        self
+    }
+
+    /// Convenience: a down/up pair covering `[from, from + outage)`.
+    pub fn link_outage(self, chan: ChanId, from: SimTime, outage: SimDelta) -> FaultPlan {
+        self.at(from, FaultAction::LinkDown(chan))
+            .at(from + outage, FaultAction::LinkUp(chan))
+    }
+
+    /// The seed for the fault layer's private RNG.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scripted `(time, action)` pairs, in insertion order.
+    pub fn actions(&self) -> &[(SimTime, FaultAction)] {
+        &self.actions
+    }
+
+    /// Number of scripted actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the plan scripts no actions at all.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+/// Drop accounting for the fault layer, by cause (mirrors
+/// [`crate::DropStats`]; published as `faults.*` counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// In-flight packets lost because their channel was down on arrival.
+    pub drops_link_down: u64,
+    /// Packets dropped by an active loss burst.
+    pub drops_loss: u64,
+    /// Packets rejected by the receiver's checksum during a corruption
+    /// burst.
+    pub drops_corrupt: u64,
+    /// `LinkDown` actions applied.
+    pub link_downs: u64,
+    /// `LinkUp` actions applied.
+    pub link_ups: u64,
+}
+
+/// Per-channel fault state. `*_until` of [`SimTime::ZERO`] means "window
+/// inactive" (the clock can never move before zero).
+#[derive(Debug, Clone, Copy)]
+struct ChanFaults {
+    down: bool,
+    loss_per_mille: u16,
+    loss_until: SimTime,
+    corrupt_per_mille: u16,
+    corrupt_until: SimTime,
+}
+
+impl ChanFaults {
+    const CLEAR: ChanFaults = ChanFaults {
+        down: false,
+        loss_per_mille: 0,
+        loss_until: SimTime::ZERO,
+        corrupt_per_mille: 0,
+        corrupt_until: SimTime::ZERO,
+    };
+}
+
+/// What the fault layer decided about one delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultVerdict {
+    Deliver,
+    DropLinkDown,
+    DropLoss,
+    DropCorrupt,
+}
+
+impl FaultVerdict {
+    /// Trace-event label for the drop verdicts.
+    pub(crate) fn trace_kind(self) -> &'static str {
+        match self {
+            FaultVerdict::Deliver => "fault.deliver",
+            FaultVerdict::DropLinkDown => "fault.drop.link_down",
+            FaultVerdict::DropLoss => "fault.drop.loss",
+            FaultVerdict::DropCorrupt => "fault.drop.corrupt",
+        }
+    }
+}
+
+/// The runtime state behind an installed [`FaultPlan`]: per-channel fault
+/// flags, the private RNG, and drop accounting. Owned by `Net`; absent
+/// (and costing one branch per event) until a plan is installed.
+#[derive(Debug)]
+pub(crate) struct FaultLayer {
+    rng: SimRng,
+    chans: Vec<ChanFaults>,
+    pub(crate) stats: FaultStats,
+}
+
+impl FaultLayer {
+    pub(crate) fn new(seed: u64, n_chans: usize) -> FaultLayer {
+        FaultLayer {
+            rng: SimRng::new(seed ^ 0x000F_A017_5EED),
+            chans: vec![ChanFaults::CLEAR; n_chans],
+            stats: FaultStats::default(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_down(&self, chan: ChanId) -> bool {
+        self.chans[chan.0 as usize].down
+    }
+
+    pub(crate) fn set_down(&mut self, chan: ChanId, down: bool) {
+        self.chans[chan.0 as usize].down = down;
+        if down {
+            self.stats.link_downs += 1;
+        } else {
+            self.stats.link_ups += 1;
+        }
+    }
+
+    pub(crate) fn set_loss(&mut self, chan: ChanId, per_mille: u16, until: SimTime) {
+        let c = &mut self.chans[chan.0 as usize];
+        c.loss_per_mille = per_mille.min(1000);
+        c.loss_until = until;
+    }
+
+    pub(crate) fn set_corrupt(&mut self, chan: ChanId, per_mille: u16, until: SimTime) {
+        let c = &mut self.chans[chan.0 as usize];
+        c.corrupt_per_mille = per_mille.min(1000);
+        c.corrupt_until = until;
+    }
+
+    /// Decide the fate of a packet arriving over `chan` at `now`, drawing
+    /// from the private RNG only while a probabilistic window is active
+    /// (so idle channels consume no randomness). Updates [`FaultStats`].
+    pub(crate) fn deliver_verdict(&mut self, now: SimTime, chan: ChanId) -> FaultVerdict {
+        let c = self.chans[chan.0 as usize];
+        if c.down {
+            self.stats.drops_link_down += 1;
+            return FaultVerdict::DropLinkDown;
+        }
+        if now < c.loss_until && self.rng.below(1000) < c.loss_per_mille as u64 {
+            self.stats.drops_loss += 1;
+            return FaultVerdict::DropLoss;
+        }
+        if now < c.corrupt_until && self.rng.below(1000) < c.corrupt_per_mille as u64 {
+            self.stats.drops_corrupt += 1;
+            return FaultVerdict::DropCorrupt;
+        }
+        FaultVerdict::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builder_accumulates_in_order() {
+        let c = ChanId(3);
+        let plan = FaultPlan::new(1)
+            .link_outage(c, SimTime::from_secs(2), SimDelta::from_millis(500))
+            .at(
+                SimTime::from_secs(4),
+                FaultAction::CpuThrottle {
+                    host: NodeId(0),
+                    per_mille: 300,
+                },
+            );
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        assert_eq!(
+            plan.actions()[0],
+            (SimTime::from_secs(2), FaultAction::LinkDown(c))
+        );
+        assert_eq!(
+            plan.actions()[1],
+            (
+                SimTime::from_secs(2) + SimDelta::from_millis(500),
+                FaultAction::LinkUp(c)
+            )
+        );
+    }
+
+    #[test]
+    fn down_channel_drops_everything() {
+        let mut layer = FaultLayer::new(9, 2);
+        layer.set_down(ChanId(1), true);
+        for _ in 0..10 {
+            assert_eq!(
+                layer.deliver_verdict(SimTime::from_secs(1), ChanId(1)),
+                FaultVerdict::DropLinkDown
+            );
+        }
+        assert_eq!(
+            layer.deliver_verdict(SimTime::from_secs(1), ChanId(0)),
+            FaultVerdict::Deliver
+        );
+        layer.set_down(ChanId(1), false);
+        assert_eq!(
+            layer.deliver_verdict(SimTime::from_secs(1), ChanId(1)),
+            FaultVerdict::Deliver
+        );
+        assert_eq!(layer.stats.drops_link_down, 10);
+        assert_eq!(layer.stats.link_downs, 1);
+        assert_eq!(layer.stats.link_ups, 1);
+    }
+
+    #[test]
+    fn loss_window_expires_and_draws_deterministically() {
+        let run = || {
+            let mut layer = FaultLayer::new(42, 1);
+            layer.set_loss(ChanId(0), 500, SimTime::from_secs(10));
+            let mut verdicts = Vec::new();
+            for i in 0..200u64 {
+                verdicts.push(layer.deliver_verdict(SimTime::from_millis(i), ChanId(0)));
+            }
+            (verdicts, layer.stats)
+        };
+        let (va, sa) = run();
+        let (vb, sb) = run();
+        assert_eq!(va, vb, "same seed must replay the same drop pattern");
+        assert_eq!(sa, sb);
+        // ~50% loss: both outcomes must occur in 200 draws.
+        assert!(sa.drops_loss > 50 && sa.drops_loss < 150, "{sa:?}");
+        // Outside the window the channel is clean and draws nothing.
+        let mut layer = FaultLayer::new(42, 1);
+        layer.set_loss(ChanId(0), 1000, SimTime::from_secs(1));
+        assert_eq!(
+            layer.deliver_verdict(SimTime::from_secs(2), ChanId(0)),
+            FaultVerdict::Deliver
+        );
+        assert_eq!(layer.stats.drops_loss, 0);
+    }
+
+    #[test]
+    fn corruption_is_accounted_separately() {
+        let mut layer = FaultLayer::new(3, 1);
+        layer.set_corrupt(ChanId(0), 1000, SimTime::from_secs(1));
+        assert_eq!(
+            layer.deliver_verdict(SimTime::ZERO, ChanId(0)),
+            FaultVerdict::DropCorrupt
+        );
+        assert_eq!(layer.stats.drops_corrupt, 1);
+        assert_eq!(layer.stats.drops_loss, 0);
+    }
+}

@@ -11,12 +11,16 @@
 //! * optional **end-system traffic shaping** ([`shaper`]) — the paper's
 //!   proposed remedy for bursty MPI traffic (§5.4);
 //! * a per-host **CPU model** (via `mpichgq-dsrt`) so CPU contention and
-//!   reservations (Figures 8–9) live in the same event timeline.
+//!   reservations (Figures 8–9) live in the same event timeline;
+//! * deterministic **fault injection** ([`faults`]) — scripted link
+//!   outages, loss/corruption bursts, and CPU throttling, replayable
+//!   bit-identically from a seed (the chaos experiments).
 //!
 //! Transport protocols (TCP/UDP state machines) and applications sit above
 //! this crate behind the [`net::NetHandler`] trait.
 
 pub mod classifier;
+pub mod faults;
 pub mod link;
 pub mod net;
 pub mod packet;
@@ -26,6 +30,7 @@ pub mod tokenbucket;
 pub mod topology;
 
 pub use classifier::{Classifier, FlowSpec, PolicingAction, Verdict};
+pub use faults::{FaultAction, FaultPlan, FaultStats};
 pub use link::{Chan, ChanId, Framing, LinkCfg};
 pub use net::{DropStats, Net, NetHandler, Node, NodeKind, TopoBuilder};
 pub use packet::{Dscp, FlowKey, NodeId, Packet, Proto, TcpFlags, TcpHeader, L4};

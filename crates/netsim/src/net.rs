@@ -10,6 +10,7 @@
 
 use crate::classifier::FlowSpec;
 use crate::classifier::{Classifier, Verdict};
+use crate::faults::{FaultAction, FaultLayer, FaultPlan, FaultStats, FaultVerdict};
 use crate::link::{Chan, ChanId, LinkCfg};
 use crate::packet::{NodeId, Packet};
 use crate::queue::{Enqueue, Queue, QueueCfg, QueueStats};
@@ -75,6 +76,8 @@ pub enum Ev {
     ShaperRelease { host: NodeId, shaper: u64, gen: u64 },
     /// Scenario-script control point.
     Control { token: u64 },
+    /// A scripted fault from an installed [`FaultPlan`] fires.
+    Fault { action: FaultAction },
 }
 
 /// Upper layers (transport stacks, scenario controllers) implement this.
@@ -169,6 +172,9 @@ pub struct Net {
     pub obs: Obs,
     ctrs: NetCounters,
     next_pkt_id: u64,
+    /// Fault-injection state; `None` (one branch per delivery) until
+    /// [`Net::install_fault_plan`] is called.
+    faults: Option<Box<FaultLayer>>,
 }
 
 impl Net {
@@ -195,6 +201,7 @@ impl Net {
             obs,
             ctrs,
             next_pkt_id: 0,
+            faults: None,
         }
     }
 
@@ -305,6 +312,82 @@ impl Net {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Install a [`FaultPlan`]: every scripted action is scheduled through
+    /// the engine and fires in event order at its scripted time. The first
+    /// installed plan's seed initializes the fault layer's private RNG;
+    /// further plans add actions to the same layer.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        if self.faults.is_none() {
+            self.faults = Some(Box::new(FaultLayer::new(plan.seed(), self.chans.len())));
+        }
+        for &(at, action) in plan.actions() {
+            self.engine.schedule(at, Ev::Fault { action });
+        }
+    }
+
+    /// Drop accounting of the fault layer, if a plan is installed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|f| f.stats)
+    }
+
+    /// Whether `chan` is currently cut by a fault.
+    pub fn link_is_down(&self, chan: ChanId) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.is_down(chan))
+    }
+
+    fn apply_fault(&mut self, action: FaultAction) {
+        let now = self.now();
+        let Some(f) = self.faults.as_mut() else {
+            return; // plan-scheduled events always find the layer installed
+        };
+        match action {
+            FaultAction::LinkDown(chan) => {
+                f.set_down(chan, true);
+                self.obs
+                    .trace
+                    .record(now, "fault.link_down", chan.0 as u64, 0);
+            }
+            FaultAction::LinkUp(chan) => {
+                f.set_down(chan, false);
+                self.obs
+                    .trace
+                    .record(now, "fault.link_up", chan.0 as u64, 0);
+                // Resume draining whatever queued up during the outage.
+                self.try_start_tx(chan);
+            }
+            FaultAction::LossBurst {
+                chan,
+                per_mille,
+                duration,
+            } => {
+                f.set_loss(chan, per_mille, now + duration);
+                self.obs
+                    .trace
+                    .record(now, "fault.loss_burst", chan.0 as u64, per_mille as i64);
+            }
+            FaultAction::CorruptBurst {
+                chan,
+                per_mille,
+                duration,
+            } => {
+                f.set_corrupt(chan, per_mille, now + duration);
+                self.obs
+                    .trace
+                    .record(now, "fault.corrupt_burst", chan.0 as u64, per_mille as i64);
+            }
+            FaultAction::CpuThrottle { host, per_mille } => {
+                self.obs
+                    .trace
+                    .record(now, "fault.cpu_throttle", host.0 as u64, per_mille as i64);
+                self.cpu_set_throttle(host, per_mille.min(1000) as f64 / 1000.0);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Observability
     // ------------------------------------------------------------------
 
@@ -328,6 +411,13 @@ impl Net {
         m.record_total("net.drops.policed", self.drops.policed);
         m.record_total("net.drops.queue_full", self.drops.queue_full);
         m.record_total("net.drops.misrouted", self.drops.misrouted);
+        if let Some(f) = &self.faults {
+            m.record_total("faults.drops.link_down", f.stats.drops_link_down);
+            m.record_total("faults.drops.loss", f.stats.drops_loss);
+            m.record_total("faults.drops.corrupt", f.stats.drops_corrupt);
+            m.record_total("faults.link_downs", f.stats.link_downs);
+            m.record_total("faults.link_ups", f.stats.link_ups);
+        }
 
         for (i, q) in self.queues.iter().enumerate() {
             let st = q.stats();
@@ -488,6 +578,14 @@ impl Net {
         self.nodes[host.0 as usize].cpu.share_of(pid)
     }
 
+    /// Throttle `host`'s whole CPU to `factor` of its capacity (`1.0`
+    /// restores full speed) — see [`mpichgq_dsrt::Cpu::set_throttle`].
+    pub fn cpu_set_throttle(&mut self, host: NodeId, factor: f64) {
+        let now = self.now();
+        let ups = self.nodes[host.0 as usize].cpu.set_throttle(now, factor);
+        self.apply_cpu_updates(host, ups);
+    }
+
     fn apply_cpu_updates(&mut self, host: NodeId, updates: Vec<Update>) {
         for u in updates {
             self.engine.schedule(
@@ -552,7 +650,22 @@ impl Net {
                 self.chans[chan.0 as usize].busy = false;
                 self.try_start_tx(chan);
             }
-            Ev::Deliver { chan, pkt } => self.on_deliver(chan, pkt, h),
+            Ev::Deliver { chan, pkt } => {
+                if let Some(f) = self.faults.as_mut() {
+                    let now = self.engine.now();
+                    let verdict = f.deliver_verdict(now, chan);
+                    if verdict != FaultVerdict::Deliver {
+                        self.obs.trace.record(
+                            now,
+                            verdict.trace_kind(),
+                            chan.0 as u64,
+                            pkt.ip_len() as i64,
+                        );
+                        return;
+                    }
+                }
+                self.on_deliver(chan, pkt, h)
+            }
             Ev::HostTimer { host, token } => h.host_timer(self, host, token),
             Ev::CpuDone { host, work, gen } => {
                 let now = self.now();
@@ -592,6 +705,7 @@ impl Net {
                 self.shaper_scratch = pkts;
             }
             Ev::Control { token } => h.control(self, token),
+            Ev::Fault { action } => self.apply_fault(action),
         }
     }
 
@@ -656,6 +770,12 @@ impl Net {
         let c = &mut self.chans[chan.0 as usize];
         if c.busy {
             return;
+        }
+        // A cut channel transmits nothing; queued packets wait for LinkUp.
+        if let Some(f) = &self.faults {
+            if f.is_down(chan) {
+                return;
+            }
         }
         let Some(pkt) = self.queues[chan.0 as usize].pop() else {
             return;
@@ -981,6 +1101,123 @@ mod tests {
         net.run_to_quiescence(&mut h);
         // 1 cpu-second at 50% share = 2 seconds.
         assert_eq!(h.done_at, Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn link_outage_queues_survivors_and_drops_in_flight() {
+        let (mut net, h1, h2) = line_topology();
+        let mut h = Collect::new();
+        let trunk = net.route(NodeId(1), h2).unwrap(); // r -> h2
+                                                       // Three packets at t=0; packet 1 starts serializing on r->h2 at
+                                                       // 2 ms with its delivery due at 4 ms. Cutting the channel over
+                                                       // [2.5 ms, 20 ms) catches that packet in flight while packets 2
+                                                       // and 3 are still queued behind the cut.
+        net.install_fault_plan(FaultPlan::new(5).link_outage(
+            trunk,
+            SimTime::from_micros(2_500),
+            mpichgq_sim::SimDelta::from_micros(17_500),
+        ));
+        for _ in 0..3 {
+            net.send_ip(udp(h1, h2, 972));
+        }
+        net.run_to_quiescence(&mut h);
+        let st = net.fault_stats().unwrap();
+        // Packet 1 was transmitting on r->h2 when the cut hit (Deliver at
+        // 4 ms): lost in flight. Packets 2 and 3 waited in the queue and
+        // arrived after the link came back.
+        assert_eq!(st.drops_link_down, 1, "{st:?}");
+        assert_eq!(h.got.len(), 2);
+        assert!(h.got[0].0 >= SimTime::from_millis(20));
+        assert_eq!(st.link_downs, 1);
+        assert_eq!(st.link_ups, 1);
+    }
+
+    #[test]
+    fn loss_burst_drops_some_corruption_accounted_separately() {
+        let run = |seed: u64| {
+            let (mut net, h1, h2) = line_topology();
+            let mut h = Collect::new();
+            let chan = net.route(NodeId(1), h2).unwrap();
+            net.install_fault_plan(
+                FaultPlan::new(seed)
+                    .at(
+                        SimTime::ZERO,
+                        FaultAction::LossBurst {
+                            chan,
+                            per_mille: 400,
+                            duration: mpichgq_sim::SimDelta::from_secs(1),
+                        },
+                    )
+                    .at(
+                        SimTime::from_secs(2),
+                        FaultAction::CorruptBurst {
+                            chan,
+                            per_mille: 1000,
+                            duration: mpichgq_sim::SimDelta::from_secs(1),
+                        },
+                    ),
+            );
+            for _ in 0..50 {
+                net.send_ip(udp(h1, h2, 972));
+            }
+            // One packet inside the corruption window.
+            net.run_until(&mut h, SimTime::from_millis(2_400));
+            net.send_ip(udp(h1, h2, 972));
+            net.run_to_quiescence(&mut h);
+            let st = net.fault_stats().unwrap();
+            (h.got.len(), st)
+        };
+        let (delivered, st) = run(11);
+        assert!(st.drops_loss > 5 && st.drops_loss < 45, "{st:?}");
+        assert_eq!(st.drops_corrupt, 1);
+        assert_eq!(delivered, 50 - st.drops_loss as usize);
+        // Same seed, same plan: bit-identical outcome.
+        assert_eq!(run(11), (delivered, st));
+        // Different seed: same accounting structure, different draws are
+        // permitted (no assertion on equality).
+        let (_, st2) = run(12);
+        assert_eq!(st2.drops_corrupt, 1);
+    }
+
+    #[test]
+    fn cpu_throttle_fault_slows_and_restores_work() {
+        struct CpuH {
+            done_at: Option<SimTime>,
+        }
+        impl NetHandler for CpuH {
+            fn deliver(&mut self, _n: &mut Net, _h: NodeId, _p: Packet) {}
+            fn host_timer(&mut self, _n: &mut Net, _h: NodeId, _t: u64) {}
+            fn cpu_done(&mut self, net: &mut Net, _host: NodeId, _proc: ProcId) {
+                self.done_at = Some(net.now());
+            }
+            fn control(&mut self, _n: &mut Net, _t: u64) {}
+        }
+        let (mut net, h1, _h2) = line_topology();
+        let pid = net.cpu_add_process(h1);
+        // 2.5 cpu-s solo. Throttled to 50% over [1s, 3s): 1 cpu-s by t=1,
+        // 1 more over the throttle window, and the last 0.5 cpu-s at full
+        // speed after restore = done at 3.5 s.
+        net.install_fault_plan(
+            FaultPlan::new(1)
+                .at(
+                    SimTime::from_secs(1),
+                    FaultAction::CpuThrottle {
+                        host: h1,
+                        per_mille: 500,
+                    },
+                )
+                .at(
+                    SimTime::from_secs(3),
+                    FaultAction::CpuThrottle {
+                        host: h1,
+                        per_mille: 1000,
+                    },
+                ),
+        );
+        net.cpu_start_work(h1, pid, SimDelta::from_millis(2_500));
+        let mut h = CpuH { done_at: None };
+        net.run_to_quiescence(&mut h);
+        assert_eq!(h.done_at, Some(SimTime::from_millis(3_500)));
     }
 
     #[test]

@@ -74,7 +74,7 @@ impl TokenBucket {
     fn refill(&mut self, now: SimTime) {
         let dt = now.since(self.last).as_secs_f64();
         self.last = self.last.max(now);
-        if dt > 0.0 {
+        if dt > 0.0 && self.rate_bps > 0.0 {
             self.tokens = (self.tokens + dt * self.rate_bps / 8.0).min(self.depth_bytes);
         }
     }
@@ -101,7 +101,9 @@ impl TokenBucket {
     }
 
     /// The earliest time at which `bytes` tokens will be available (used by
-    /// the end-system shaper to *delay* rather than drop).
+    /// the end-system shaper to *delay* rather than drop). A frozen
+    /// (zero-rate) bucket that cannot cover `bytes` reports
+    /// [`SimTime::MAX`]: the deficit never clears.
     #[inline]
     pub fn time_until_conformant(&mut self, now: SimTime, bytes: u32) -> SimTime {
         self.refill(now);
@@ -109,12 +111,20 @@ impl TokenBucket {
         if deficit <= 0.0 {
             return now;
         }
+        if self.rate_bps <= 0.0 {
+            return SimTime::MAX;
+        }
         let secs = deficit * 8.0 / self.rate_bps;
         now + mpichgq_sim::SimDelta::from_nanos((secs * 1e9).ceil() as u64)
     }
 
     /// Reconfigure rate/depth in place (reservation modification); keeps the
     /// current fill level clamped to the new depth.
+    ///
+    /// Unlike [`TokenBucket::new`], `rate_bps = 0` is legal here: it
+    /// *freezes* the bucket, admitting only whatever tokens remain — the
+    /// state a policer enters when its backing reservation is revoked but
+    /// the rule has not yet been torn down.
     pub fn reconfigure(&mut self, now: SimTime, rate_bps: u64, depth_bytes: u64) {
         self.refill(now);
         self.rate_bps = rate_bps as f64;
@@ -209,5 +219,66 @@ mod tests {
         tb.reconfigure(t(0), 16_000, 200);
         assert!(tb.available(t(0)) <= 200.0);
         assert_eq!(tb.rate_bps(), 16_000);
+    }
+
+    // -----------------------------------------------------------------
+    // Edge cases the fault-injection layer stresses.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn zero_rate_bucket_freezes_after_revocation() {
+        // Revocation reconfigures the policer to rate 0: residual tokens
+        // may still be spent, but nothing ever refills.
+        let mut tb = TokenBucket::new(8_000, 500);
+        assert!(tb.try_consume(t(0), 200));
+        tb.reconfigure(t(100), 0, 500);
+        let residual = tb.available(t(100));
+        assert!(tb.try_consume(t(100), residual as u32));
+        // Hours later, still empty.
+        assert!((tb.available(t(10_000_000))).abs() < 1e-6);
+        assert!(!tb.try_consume(t(10_000_000), 1));
+        assert_eq!(tb.rate_bps(), 0);
+    }
+
+    #[test]
+    fn zero_rate_deficit_is_never_conformant() {
+        let mut tb = TokenBucket::new(8_000, 500);
+        assert!(tb.try_consume(t(0), 500));
+        tb.reconfigure(t(0), 0, 500);
+        assert_eq!(tb.time_until_conformant(t(0), 1), SimTime::MAX);
+        // But a request the residual tokens can cover conforms now.
+        let mut tb2 = TokenBucket::new(8_000, 500);
+        tb2.reconfigure(t(0), 0, 500);
+        assert_eq!(tb2.time_until_conformant(t(0), 500), t(0));
+    }
+
+    #[test]
+    fn refill_across_link_down_gap_caps_at_depth() {
+        // A link outage stops traffic entirely; the bucket idles with
+        // lazy refill. When traffic resumes after the gap, exactly one
+        // full burst is available — the dead time does not bank extra.
+        let mut tb = TokenBucket::new(8_000, 500); // 1000 B/s
+        assert!(tb.try_consume(t(0), 500));
+        // 60 s outage would nominally refill 60_000 bytes.
+        let gap_end = t(60_000);
+        assert!((tb.available(gap_end) - 500.0).abs() < 1e-6);
+        assert!(tb.try_consume(gap_end, 500));
+        assert!(!tb.try_consume(gap_end, 1));
+        // And the refill clock restarts from the gap's end, not its start.
+        assert!(tb.try_consume(t(60_100), 100));
+        assert!(!tb.try_consume(t(60_100), 1));
+    }
+
+    #[test]
+    fn burst_exactly_at_capacity_conforms_once() {
+        let mut tb = TokenBucket::new(8_000, 1_500);
+        // A burst of exactly the bucket depth conforms in one consume...
+        assert!(tb.try_consume(t(0), 1_500));
+        // ...but one byte more would not have, and strict policing means
+        // the failed attempt leaves the level untouched.
+        let mut tb2 = TokenBucket::new(8_000, 1_500);
+        assert!(!tb2.try_consume(t(0), 1_501));
+        assert!((tb2.available(t(0)) - 1_500.0).abs() < 1e-6);
+        assert!(tb2.try_consume(t(0), 1_500));
     }
 }

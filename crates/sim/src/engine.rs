@@ -101,7 +101,7 @@ struct CalendarQueue<E> {
     stats: CalendarStats,
 }
 
-/// Lifetime operation counters for a [`CalendarQueue`], for benchmark
+/// Lifetime operation counters for a `CalendarQueue`, for benchmark
 /// diagnostics (see `bench_engine`); not part of the public API.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CalendarStats {

@@ -106,6 +106,12 @@ fn main() {
                     *network_rate_bps as f64 / 1e6
                 )
             }
+            QosOutcome::Degraded { network_rate_bps } => {
+                format!(
+                    "degraded ({:.1} Mb/s installed)",
+                    *network_rate_bps as f64 / 1e6
+                )
+            }
             QosOutcome::Denied { reason } => format!("DENIED: {reason}"),
             QosOutcome::None => "no request".into(),
         };

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Validate results/<experiment>/metrics.json files against the schema
-documented in DESIGN.md §9.
+documented in DESIGN.md §9 (and §10 for the chaos experiment).
 
 Usage: check_metrics.py results/fig1/metrics.json [more.json ...]
 
@@ -10,10 +10,17 @@ Checks, per file:
 - gauges are {"value": number, "high_water": number} objects;
 - the trace carries capacity/recorded/dropped and a list of events with
   monotonically non-decreasing "t_ns" timestamps;
-- the core engine/net counters every simulation run must emit exist.
+- the core engine/net counters every simulation run must emit exist;
+- experiment-specific keys exist (e.g. the chaos run's adaptation
+  counters and fault counters).
+
+All problems in a file are collected and reported together — a missing
+section or key never aborts the remaining checks, so one run lists
+every violation at once.
 """
 
 import json
+import os
 import sys
 
 REQUIRED_COUNTERS = [
@@ -24,36 +31,86 @@ REQUIRED_COUNTERS = [
     "net.drops.queue_full",
 ]
 
+# Extra keys required when validating a specific experiment's snapshot,
+# selected by the name of the directory holding metrics.json
+# (results/<experiment>/metrics.json).
+REQUIRED_BY_EXPERIMENT = {
+    "chaos": {
+        "counters": [
+            "agent.requests",
+            "agent.rejects",
+            "agent.retries",
+            "agent.grants",
+            "agent.revocations_seen",
+            "agent.renegotiations",
+            "agent.degrades",
+            "agent.probes",
+            "agent.recoveries",
+            "gara.reservations_granted",
+            "gara.reservations_rejected",
+            "gara.injected_rejections",
+            "gara.revocations",
+            "faults.drops.link_down",
+            "faults.drops.loss",
+            "faults.drops.corrupt",
+            "faults.link_downs",
+            "faults.link_ups",
+        ],
+        "gauges": [
+            "agent.granted_rate_bps",
+            "agent.dscp",
+        ],
+    },
+}
 
-def check(path):
-    errors = []
-    with open(path) as f:
-        doc = json.load(f)
 
-    for section in ("counters", "gauges", "trace"):
-        if not isinstance(doc.get(section), dict):
-            errors.append(f"missing or non-object section {section!r}")
-    if errors:
-        return errors
+def experiment_name(path):
+    """results/chaos/metrics.json -> "chaos" (or None if unrecognized)."""
+    parent = os.path.basename(os.path.dirname(os.path.abspath(path)))
+    return parent if parent in REQUIRED_BY_EXPERIMENT else None
 
-    for name, v in doc["counters"].items():
+
+def check_counters(doc, errors, extra_required):
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        errors.append("missing or non-object section 'counters'")
+        counters = {}
+    for name, v in counters.items():
         if not isinstance(v, int) or v < 0:
             errors.append(f"counter {name!r} is not a non-negative integer: {v!r}")
-    for name in REQUIRED_COUNTERS:
-        if name not in doc["counters"]:
-            errors.append(f"required counter {name!r} missing")
+    missing = [n for n in REQUIRED_COUNTERS + extra_required if n not in counters]
+    if missing:
+        errors.append(
+            f"{len(missing)} required counter(s) missing: " + ", ".join(missing)
+        )
 
-    for name, g in doc["gauges"].items():
+
+def check_gauges(doc, errors, extra_required):
+    gauges = doc.get("gauges")
+    if not isinstance(gauges, dict):
+        errors.append("missing or non-object section 'gauges'")
+        gauges = {}
+    for name, g in gauges.items():
         if not isinstance(g, dict) or set(g) != {"value", "high_water"}:
             errors.append(f"gauge {name!r} is not {{value, high_water}}: {g!r}")
             continue
         if not all(isinstance(g[k], (int, float)) for k in g):
             errors.append(f"gauge {name!r} has non-numeric fields: {g!r}")
+    missing = [n for n in extra_required if n not in gauges]
+    if missing:
+        errors.append(
+            f"{len(missing)} required gauge(s) missing: " + ", ".join(missing)
+        )
 
-    trace = doc["trace"]
-    for field in ("capacity", "recorded", "dropped", "events"):
-        if field not in trace:
-            errors.append(f"trace missing field {field!r}")
+
+def check_trace(doc, errors):
+    trace = doc.get("trace")
+    if not isinstance(trace, dict):
+        errors.append("missing or non-object section 'trace'")
+        return
+    missing = [f for f in ("capacity", "recorded", "dropped", "events") if f not in trace]
+    if missing:
+        errors.append("trace missing field(s): " + ", ".join(missing))
     events = trace.get("events", [])
     if len(events) > trace.get("capacity", 0):
         errors.append("trace holds more events than its capacity")
@@ -66,7 +123,23 @@ def check(path):
             errors.append(f"trace timestamps not monotonic at {e!r}")
             break
         last_t = e["t_ns"]
-    return errors
+
+
+def check(path):
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable or invalid JSON: {exc}"], None
+    if not isinstance(doc, dict):
+        return ["top level is not a JSON object"], None
+
+    extra = REQUIRED_BY_EXPERIMENT.get(experiment_name(path), {})
+    check_counters(doc, errors, extra.get("counters", []))
+    check_gauges(doc, errors, extra.get("gauges", []))
+    check_trace(doc, errors)
+    return errors, doc
 
 
 def main():
@@ -75,15 +148,15 @@ def main():
         return 2
     failed = False
     for path in sys.argv[1:]:
-        errors = check(path)
+        errors, doc = check(path)
         if errors:
             failed = True
             for e in errors:
                 print(f"{path}: {e}", file=sys.stderr)
         else:
-            with open(path) as f:
-                doc = json.load(f)
-            print(f"{path}: ok ({len(doc['counters'])} counters, "
+            schema = experiment_name(path) or "generic"
+            print(f"{path}: ok [{schema} schema] "
+                  f"({len(doc['counters'])} counters, "
                   f"{len(doc['gauges'])} gauges, "
                   f"{len(doc['trace'].get('events', []))} trace events)")
     return 1 if failed else 0

@@ -19,6 +19,7 @@ $BIN/table1_burstiness   $FAST  > results/table1.txt &
 wait
 $BIN/sec3_finite_difference $FAST > results/sec3.txt &
 $BIN/ablations           $FAST  > results/ablations.txt &
+$BIN/fig_chaos           $FAST  > results/chaos.txt &
 wait
 echo "results/ refreshed:"
 grep -H "^#" results/*.txt | grep -iE "summary|phases|adequate|penalty|saturate" || true
