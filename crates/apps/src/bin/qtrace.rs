@@ -1,0 +1,74 @@
+//! Summarize or validate a packet-lifecycle Chrome trace.
+//!
+//! ```text
+//! qtrace <trace.json>            print the latency/SLO report
+//! qtrace --check <trace.json>    validate trace shape (CI gate)
+//! qtrace --top N <trace.json>    bound the flow table to N rows
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut top = 10usize;
+    let mut path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--top" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("qtrace: --top needs a number");
+                    return ExitCode::from(2);
+                };
+                top = n;
+            }
+            "-h" | "--help" => {
+                println!("usage: qtrace [--check] [--top N] <trace.json>");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(a),
+            other => {
+                eprintln!("qtrace: unexpected argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: qtrace [--check] [--top N] <trace.json>");
+        return ExitCode::from(2);
+    };
+    let json = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("qtrace: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if check {
+        match mpichgq_apps::qtrace::check(&json) {
+            Ok(()) => {
+                println!("{path}: trace shape OK");
+                ExitCode::SUCCESS
+            }
+            Err(errs) => {
+                eprintln!("{path}: {} problem(s):", errs.len());
+                for e in &errs {
+                    eprintln!("  {e}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        match mpichgq_apps::qtrace::summarize(&json, top) {
+            Ok(report) => {
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("qtrace: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -8,9 +8,13 @@
 //! * [`scenario`] — GARNET lab assembly and mid-run action scripting (the
 //!   reservation timelines of Figures 8–9);
 //! * [`stencil`] — the §3 motivating finite-difference application: halo
-//!   exchange across two sites through a two-party intercommunicator.
+//!   exchange across two sites through a two-party intercommunicator;
+//! * [`qtrace`] — offline analysis of packet-lifecycle Chrome traces (the
+//!   `qtrace` binary: flow latency tables, per-hop delay decomposition,
+//!   SLO reports).
 
 pub mod pingpong;
+pub mod qtrace;
 pub mod scenario;
 pub mod stencil;
 pub mod traffic;

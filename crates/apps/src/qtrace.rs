@@ -1,0 +1,408 @@
+//! Offline analysis of packet-lifecycle traces.
+//!
+//! `Net::chrome_trace_json` exports a Chrome trace-event document (loadable
+//! in Perfetto) whose `otherData` block carries per-flow delay/jitter
+//! histogram snapshots and the SLO conformance table. This module turns
+//! that document into a human-readable report:
+//!
+//! * top flows ranked by p99 one-way delay,
+//! * per-hop delay decomposition (queue / serialization / wire per channel),
+//! * the SLO report (deadlines, misses, worst streaks).
+//!
+//! [`summarize`] produces the report; [`check`] validates the document's
+//! shape for CI. Both are deterministic: identical input bytes produce
+//! identical output bytes (integer-only formatting, stable sort keys), so
+//! the report can be snapshot-tested.
+
+use mpichgq_obs::{parse, JsonValue};
+use std::collections::BTreeMap;
+
+/// Per-channel accumulated hop timing (from complete spans).
+#[derive(Debug, Default, Clone, Copy)]
+struct HopAgg {
+    queue_ns: u64,
+    queue_n: u64,
+    tx_ns: u64,
+    tx_n: u64,
+    wire_ns: u64,
+    wire_n: u64,
+}
+
+/// Validate a trace document's structure. Returns every problem found
+/// (empty vector = conformant). This is the `qtrace --check` CI gate.
+pub fn check(json: &str) -> Result<(), Vec<String>> {
+    let mut errs = Vec::new();
+    let doc = match parse(json) {
+        Ok(d) => d,
+        Err(e) => return Err(vec![format!("not valid JSON: {e}")]),
+    };
+    let Some(events) = doc.get("traceEvents").and_then(|v| v.as_array()) else {
+        return Err(vec!["missing traceEvents array".into()]);
+    };
+    let mut named_pids: Vec<u64> = Vec::new();
+    let mut used_pids: Vec<u64> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev.get("ph").and_then(|v| v.as_str()).unwrap_or("");
+        let pid = ev.get("pid").and_then(|v| v.as_u64());
+        if ev.get("name").and_then(|v| v.as_str()).is_none() {
+            errs.push(format!("event {i}: missing name"));
+        }
+        let Some(pid) = pid else {
+            errs.push(format!("event {i}: missing pid"));
+            continue;
+        };
+        match ph {
+            "M" => named_pids.push(pid),
+            "X" => {
+                used_pids.push(pid);
+                if ev.get("ts").is_none() || ev.get("dur").is_none() {
+                    errs.push(format!("event {i}: complete span without ts/dur"));
+                }
+                check_args(ev, i, &mut errs);
+            }
+            "i" => {
+                used_pids.push(pid);
+                if ev.get("s").and_then(|v| v.as_str()) != Some("p") {
+                    errs.push(format!("event {i}: instant without process scope"));
+                }
+                check_args(ev, i, &mut errs);
+            }
+            other => errs.push(format!("event {i}: unexpected ph {other:?}")),
+        }
+    }
+    named_pids.sort_unstable();
+    for pid in used_pids {
+        if named_pids.binary_search(&pid).is_err() {
+            errs.push(format!("pid {pid} has events but no process_name metadata"));
+        }
+    }
+    if doc.get("displayTimeUnit").and_then(|v| v.as_str()) != Some("ms") {
+        errs.push("displayTimeUnit is not \"ms\"".into());
+    }
+    match doc.get("otherData") {
+        None => errs.push("missing otherData summary block".into()),
+        Some(od) => {
+            if od.get("spans_dropped").and_then(|v| v.as_u64()).is_none() {
+                errs.push("otherData.spans_dropped missing".into());
+            }
+            let mut misses_sum = 0u64;
+            match od.get("flows").and_then(|v| v.as_array()) {
+                None => errs.push("otherData.flows missing".into()),
+                Some(flows) => {
+                    for f in flows {
+                        let name = f.get("flow").and_then(|v| v.as_str()).unwrap_or("?");
+                        let delivered = f.get("delivered").and_then(|v| v.as_u64());
+                        match delivered {
+                            None => errs.push(format!("flow {name}: missing delivered")),
+                            Some(d) => {
+                                let hist_count = f
+                                    .get("delay_ns")
+                                    .and_then(|h| h.get("count"))
+                                    .and_then(|v| v.as_u64());
+                                if hist_count != Some(d) {
+                                    errs.push(format!(
+                                        "flow {name}: delay histogram count {hist_count:?} != delivered {d}"
+                                    ));
+                                }
+                            }
+                        }
+                        misses_sum += f.get("misses").and_then(|v| v.as_u64()).unwrap_or(0);
+                        if f.get("jitter_ns").is_none() {
+                            errs.push(format!("flow {name}: missing jitter histogram"));
+                        }
+                    }
+                }
+            }
+            match od.get("slo") {
+                None => errs.push("otherData.slo missing".into()),
+                Some(slo) => {
+                    let total = slo.get("total_misses").and_then(|v| v.as_u64());
+                    if total != Some(misses_sum) {
+                        errs.push(format!(
+                            "slo.total_misses {total:?} != sum of per-flow misses {misses_sum}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+fn check_args(ev: &JsonValue, i: usize, errs: &mut Vec<String>) {
+    let Some(args) = ev.get("args") else {
+        errs.push(format!("event {i}: missing args"));
+        return;
+    };
+    for k in ["pkt", "ts_ns", "dur_ns"] {
+        if args.get(k).and_then(|v| v.as_u64()).is_none() {
+            errs.push(format!("event {i}: args.{k} missing"));
+        }
+    }
+    if args.get("flow").and_then(|v| v.as_str()).is_none() {
+        errs.push(format!("event {i}: args.flow missing"));
+    }
+}
+
+/// Render the trace report. `top` bounds the flow table (0 = all flows).
+pub fn summarize(json: &str, top: usize) -> Result<String, String> {
+    let doc = parse(json)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or("missing traceEvents array")?;
+
+    // pid -> process name, from metadata events.
+    let mut pid_names: BTreeMap<u64, &str> = BTreeMap::new();
+    for ev in events {
+        if ev.get("ph").and_then(|v| v.as_str()) == Some("M") {
+            if let (Some(pid), Some(name)) = (
+                ev.get("pid").and_then(|v| v.as_u64()),
+                ev.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|v| v.as_str()),
+            ) {
+                pid_names.insert(pid, name);
+            }
+        }
+    }
+
+    // Per-channel hop decomposition and instant-event counts.
+    let mut hops: BTreeMap<u64, HopAgg> = BTreeMap::new();
+    let mut instants: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut span_events = 0u64;
+    for ev in events {
+        let ph = ev.get("ph").and_then(|v| v.as_str()).unwrap_or("");
+        let name = ev.get("name").and_then(|v| v.as_str()).unwrap_or("");
+        let dur = ev
+            .get("args")
+            .and_then(|a| a.get("dur_ns"))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0);
+        let pid = ev.get("pid").and_then(|v| v.as_u64()).unwrap_or(0);
+        match ph {
+            "X" => {
+                span_events += 1;
+                let agg = hops.entry(pid).or_default();
+                match name {
+                    "queue" => {
+                        agg.queue_ns += dur;
+                        agg.queue_n += 1;
+                    }
+                    "tx" => {
+                        agg.tx_ns += dur;
+                        agg.tx_n += 1;
+                    }
+                    "wire" => {
+                        agg.wire_ns += dur;
+                        agg.wire_n += 1;
+                    }
+                    _ => {}
+                }
+            }
+            "i" => {
+                span_events += 1;
+                *instants.entry(name).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::new();
+    let od = doc.get("otherData");
+    let dropped = od
+        .and_then(|o| o.get("spans_dropped"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    out.push_str(&format!(
+        "trace: {span_events} lifecycle events ({dropped} spans dropped at capture)\n"
+    ));
+
+    // --- Flow table, ranked by p99 one-way delay -------------------------
+    let flows = od.and_then(|o| o.get("flows")).and_then(|v| v.as_array());
+    if let Some(flows) = flows {
+        // (p99, name, row) — sort desc by p99, then name for determinism.
+        let mut rows: Vec<(u64, &str, &JsonValue)> = flows
+            .iter()
+            .map(|f| {
+                let name = f.get("flow").and_then(|v| v.as_str()).unwrap_or("?");
+                let p99 = f
+                    .get("delay_ns")
+                    .and_then(|h| h.get("p99"))
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or(0);
+                (p99, name, f)
+            })
+            .collect();
+        rows.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(b.1)));
+        let shown = if top == 0 {
+            rows.len()
+        } else {
+            top.min(rows.len())
+        };
+        out.push_str(&format!(
+            "\nflows by p99 one-way delay ({shown} of {}):\n",
+            rows.len()
+        ));
+        out.push_str(
+            "  flow                              delivered      p50      p90      p99    worst\n",
+        );
+        for (p99, name, f) in rows.iter().take(shown) {
+            let h = f.get("delay_ns");
+            let g = |k: &str| {
+                h.and_then(|h| h.get(k))
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or(0)
+            };
+            let delivered = f.get("delivered").and_then(|v| v.as_u64()).unwrap_or(0);
+            let worst = f
+                .get("worst_delay_ns")
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0);
+            out.push_str(&format!(
+                "  {:<32} {:>10} {:>8} {:>8} {:>8} {:>8}\n",
+                name,
+                delivered,
+                fmt_ns(g("p50")),
+                fmt_ns(g("p90")),
+                fmt_ns(*p99),
+                fmt_ns(worst),
+            ));
+        }
+    }
+
+    // --- Per-hop decomposition ------------------------------------------
+    let chan_rows: Vec<(u64, &HopAgg)> = hops
+        .iter()
+        .filter(|(pid, _)| pid_names.get(pid).is_some_and(|n| n.starts_with("chan")))
+        .map(|(pid, agg)| (*pid, agg))
+        .collect();
+    if !chan_rows.is_empty() {
+        out.push_str("\nper-hop delay decomposition (totals across packets):\n");
+        out.push_str("  channel                           pkts    queue       tx     wire\n");
+        let mut tq = 0u64;
+        let mut tt = 0u64;
+        let mut tw = 0u64;
+        for (pid, agg) in &chan_rows {
+            let name = pid_names.get(pid).copied().unwrap_or("?");
+            out.push_str(&format!(
+                "  {:<32} {:>5} {:>8} {:>8} {:>8}\n",
+                name,
+                agg.tx_n,
+                fmt_ns(agg.queue_ns),
+                fmt_ns(agg.tx_ns),
+                fmt_ns(agg.wire_ns),
+            ));
+            tq += agg.queue_ns;
+            tt += agg.tx_ns;
+            tw += agg.wire_ns;
+        }
+        let total = tq + tt + tw;
+        let pct = |x: u64| (x * 100).checked_div(total).unwrap_or(0);
+        if total > 0 {
+            out.push_str(&format!(
+                "  total: queue {} ({}%), tx {} ({}%), wire {} ({}%)\n",
+                fmt_ns(tq),
+                pct(tq),
+                fmt_ns(tt),
+                pct(tt),
+                fmt_ns(tw),
+                pct(tw),
+            ));
+        }
+    }
+
+    // --- Instant events --------------------------------------------------
+    if !instants.is_empty() {
+        out.push_str("\ninstant events:\n");
+        for (name, n) in &instants {
+            out.push_str(&format!("  {name:<20} {n:>8}\n"));
+        }
+    }
+
+    // --- SLO report ------------------------------------------------------
+    if let Some(slo) = od.and_then(|o| o.get("slo")) {
+        let total = slo
+            .get("total_misses")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0);
+        out.push_str(&format!("\nSLO conformance (total misses: {total}):\n"));
+        if let Some(flows) = slo.get("flows").and_then(|v| v.as_array()) {
+            out.push_str(
+                "  flow                               deadline delivered   misses maxstreak\n",
+            );
+            for f in flows {
+                let name = f.get("flow").and_then(|v| v.as_str()).unwrap_or("?");
+                let dl = match f.get("deadline_ns").and_then(|v| v.as_u64()) {
+                    Some(d) => fmt_ns(d),
+                    None => "-".to_string(),
+                };
+                let delivered = f.get("delivered").and_then(|v| v.as_u64()).unwrap_or(0);
+                let misses = f.get("misses").and_then(|v| v.as_u64()).unwrap_or(0);
+                let streak = f
+                    .get("miss_streak_max")
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or(0);
+                out.push_str(&format!(
+                    "  {name:<32} {dl:>10} {delivered:>9} {misses:>8} {streak:>9}\n"
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Format nanoseconds with an SI unit, integer math only (byte-stable).
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!(
+            "{}.{:03}s",
+            ns / 1_000_000_000,
+            (ns % 1_000_000_000) / 1_000_000
+        )
+    } else if ns >= 1_000_000 {
+        format!("{}.{:03}ms", ns / 1_000_000, (ns % 1_000_000) / 1_000)
+    } else if ns >= 1_000 {
+        format!("{}.{:03}us", ns / 1_000, ns % 1_000)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_is_fixed_width_per_magnitude() {
+        assert_eq!(fmt_ns(0), "0ns");
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_000), "1.000us");
+        assert_eq!(fmt_ns(1_500_000), "1.500ms");
+        assert_eq!(fmt_ns(2_000_000_000), "2.000s");
+        assert_eq!(fmt_ns(3_932_160), "3.932ms");
+    }
+
+    #[test]
+    fn empty_trace_summarizes_and_checks() {
+        let json = r#"{"traceEvents":[],"displayTimeUnit":"ms"}"#;
+        let report = summarize(json, 10).unwrap();
+        assert!(report.contains("0 lifecycle events"));
+        // The empty (tracing-disabled) export has no otherData: check
+        // flags it, since CI should never gate on a disabled trace.
+        assert!(check(json).is_err());
+    }
+
+    #[test]
+    fn check_catches_shape_violations() {
+        let json = r#"{"traceEvents":[{"name":"queue","ph":"X","ts":0,"pid":1,"tid":1}],"displayTimeUnit":"ms"}"#;
+        let errs = check(json).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("without ts/dur")));
+        assert!(errs.iter().any(|e| e.contains("no process_name")));
+        assert!(errs.iter().any(|e| e.contains("otherData")));
+    }
+}

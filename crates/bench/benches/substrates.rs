@@ -22,6 +22,7 @@ fn pkt(sport: u16) -> Packet {
         l4: L4::Udp,
         payload_len: 1472,
         id: 0,
+        born: SimTime::ZERO,
     }
 }
 

@@ -29,5 +29,6 @@ fn main() {
             );
         }
         output::write_metrics(&format!("fig7_{label}"), &metrics.metrics_json);
+        output::write_trace(&format!("fig7_{label}"), &metrics.trace_json);
     }
 }

@@ -19,4 +19,5 @@ fn main() {
         phase_mean(&series, 22.0, 30.0),
     );
     output::write_metrics("fig8", &metrics.metrics_json);
+    output::write_trace("fig8", &metrics.trace_json);
 }

@@ -54,4 +54,5 @@ fn main() {
         outcome.final_state,
     );
     output::write_metrics("chaos", &metrics.metrics_json);
+    output::write_trace("chaos", &metrics.trace_json);
 }

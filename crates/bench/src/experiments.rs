@@ -8,7 +8,8 @@ use mpichgq_core::{enable_qos, AdaptPolicy, AdaptState, AdaptiveFlow, QosAgentCf
 use mpichgq_gara::{CpuRequest, NetworkRequest, Request, StartSpec};
 use mpichgq_mpi::JobBuilder;
 use mpichgq_netsim::{
-    DepthRule, FaultAction, FaultPlan, FaultStats, GarnetCfg, NodeId, PolicingAction, Proto,
+    DepthRule, FaultAction, FaultPlan, FaultStats, FlowSpec, GarnetCfg, NodeId, PolicingAction,
+    Proto,
 };
 use mpichgq_sim::{SchedulerKind, SimDelta, SimTime, TimeSeries};
 use mpichgq_tcp::TcpCfg;
@@ -29,6 +30,9 @@ fn secs(s: f64) -> SimTime {
 pub struct RunMetrics {
     pub events: u64,
     pub metrics_json: String,
+    /// Chrome trace-event export of the packet lifecycle (empty events
+    /// array when tracing was off); `qtrace` summarizes it.
+    pub trace_json: String,
 }
 
 /// Flight-recorder ring size the figure binaries use; the interesting
@@ -39,6 +43,7 @@ pub const TRACE_CAPACITY: usize = 4096;
 fn arm_trace(lab: &mut GarnetLab, trace_capacity: usize) {
     if trace_capacity > 0 {
         lab.sim.net.obs.enable_trace(trace_capacity);
+        lab.sim.net.enable_packet_tracing();
     }
 }
 
@@ -46,8 +51,15 @@ fn collect_metrics(lab: &mut GarnetLab) -> RunMetrics {
     RunMetrics {
         events: lab.sim.net.events_processed(),
         metrics_json: lab.sim.net.metrics_json(),
+        trace_json: lab.sim.net.chrome_trace_json(),
     }
 }
+
+/// Delivery deadline the instrumented premium-flow runs assert against:
+/// comfortably above the premium path's queueing-free one-way delay, and
+/// comfortably below the delay a full best-effort trunk queue inflicts
+/// (so SLO misses track loss of QoS, not noise).
+pub const PREMIUM_DEADLINE: SimDelta = SimDelta::from_millis(10);
 
 /// TCP tuning of the paper's era: the premium end systems were Solaris
 /// Ultras with coarse retransmission timers (minimum RTO around half a
@@ -542,12 +554,17 @@ pub fn fig7_seq_trace_run(
     struct Traced {
         inner: VizSender,
         traced: bool,
+        /// Delivery deadline for the data flow (instrumented runs only).
+        deadline: Option<SimDelta>,
     }
     impl mpichgq_mpi::MpiProgram for Traced {
         fn poll(&mut self, mpi: &mut mpichgq_mpi::Mpi) -> mpichgq_mpi::Poll {
             if !self.traced {
                 self.traced = true;
                 mpi.trace_peer_connection(1, "fig7.seq");
+                if let Some(dl) = self.deadline {
+                    mpi.set_peer_deadline(1, dl);
+                }
             }
             self.inner.poll(mpi)
         }
@@ -558,6 +575,7 @@ pub fn fig7_seq_trace_run(
             Box::new(Traced {
                 inner: tx,
                 traced: false,
+                deadline: (trace_capacity > 0).then_some(PREMIUM_DEADLINE),
             }),
         )
         .rank(lab.premium_dst, Box::new(rx))
@@ -639,6 +657,10 @@ pub fn fig8_cpu_reservation_run(cfg: Fig8Cfg, trace_capacity: usize) -> (TimeSer
     let (tx, _stats, proc_out) = VizSender::new(vcfg, None);
     let (rx, meter, frames) = VizReceiver::new(SimDelta::from_secs(1), cfg.duration);
     let psrc = lab.premium_src;
+    if trace_capacity > 0 {
+        let spec = FlowSpec::host_pair(psrc, lab.premium_dst, Proto::Tcp);
+        lab.sim.net.set_deadline_matching(spec, PREMIUM_DEADLINE);
+    }
     let _job = builder
         .rank(lab.premium_src, Box::new(tx))
         .rank(lab.premium_dst, Box::new(rx))
@@ -1014,6 +1036,10 @@ pub fn chaos_run(cfg: ChaosCfg, trace_capacity: usize) -> (TimeSeries, RunMetric
     let (builder, _env) = enable_qos(JobBuilder::new(), QosAgentCfg::default());
     let (tx, _stats, _proc) = VizSender::new(vcfg, None);
     let (rx, meter, frames) = VizReceiver::new(SimDelta::from_secs(1), cfg.duration);
+    if trace_capacity > 0 {
+        let spec = FlowSpec::host_pair(psrc, pdst, Proto::Tcp);
+        lab.sim.net.set_deadline_matching(spec, PREMIUM_DEADLINE);
+    }
     let _job = builder
         .rank(psrc, Box::new(tx))
         .rank(pdst, Box::new(rx))

@@ -75,3 +75,20 @@ pub fn write_metrics(experiment: &str, metrics_json: &str) {
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
 }
+
+/// Write an experiment's packet-lifecycle Chrome trace to
+/// `results/<experiment>/trace.json`. Load it in Perfetto or summarize it
+/// with `qtrace`; `qtrace --check` gates its shape in CI. Traces are
+/// regenerated artifacts (gitignored), unlike the committed metrics.
+pub fn write_trace(experiment: &str, trace_json: &str) {
+    let dir = std::path::Path::new("results").join(experiment);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join("trace.json");
+    match std::fs::write(&path, trace_json) {
+        Ok(()) => eprintln!("# trace: {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}

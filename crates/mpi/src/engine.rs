@@ -968,4 +968,15 @@ impl Mpi<'_, '_> {
             .expect("no connection to that peer yet");
         self.ctx.trace_seq(sock, series);
     }
+
+    /// Register a delivery deadline (SLO) on this rank's connection to
+    /// `peer_world` — the Figure 7/8 frame deadline, evaluated per packet
+    /// at delivery by the network's conformance monitor. Enables
+    /// packet-lifecycle tracing if it was off.
+    pub fn set_peer_deadline(&mut self, peer_world: usize, deadline: mpichgq_sim::SimDelta) {
+        let sock = self.eng.peers[peer_world]
+            .sock
+            .expect("no connection to that peer yet");
+        self.ctx.set_flow_deadline(sock, deadline);
+    }
 }

@@ -260,6 +260,7 @@ mod tests {
             l4: L4::Udp,
             payload_len: 972, // ip_len = 1000
             id: 0,
+            born: SimTime::ZERO,
         }
     }
 

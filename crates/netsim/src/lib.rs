@@ -21,6 +21,7 @@
 
 pub mod classifier;
 pub mod faults;
+pub mod lifecycle;
 pub mod link;
 pub mod net;
 pub mod packet;
@@ -31,6 +32,7 @@ pub mod topology;
 
 pub use classifier::{Classifier, FlowSpec, PolicingAction, Verdict};
 pub use faults::{FaultAction, FaultPlan, FaultStats};
+pub use lifecycle::{FlowRec, PacketTracer, Span, SpanKind};
 pub use link::{Chan, ChanId, Framing, LinkCfg};
 pub use net::{DropStats, Net, NetHandler, Node, NodeKind, TopoBuilder};
 pub use packet::{Dscp, FlowKey, NodeId, Packet, Proto, TcpFlags, TcpHeader, L4};

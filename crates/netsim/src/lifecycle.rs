@@ -1,0 +1,681 @@
+//! Packet-lifecycle tracing: per-hop spans, per-flow latency histograms,
+//! and deadline (SLO) conformance.
+//!
+//! The paper's Figures 7–8 are claims about *where delay accrues* — in the
+//! sender's shaper, an EF or best-effort queue, serialization, or the wire.
+//! The flight recorder's flat event ring cannot answer that, so this module
+//! follows each packet through its life and decomposes one-way delay per
+//! hop:
+//!
+//! ```text
+//! send ──(shaper?)── enqueue ──queue── tx start ──tx── tx done ──wire── deliver
+//!                       │                 │                          │
+//!                       └── queue span ───┘     per hop              └─ e2e span
+//! ```
+//!
+//! The [`PacketTracer`] is owned by `Net` as `Option<Box<...>>` (the same
+//! pattern as the fault layer): when tracing is off, every hook is a single
+//! predictable branch and the simulation byte-stream is unchanged. When on,
+//! it maintains:
+//!
+//! * per-flow ([`FlowKey`]) one-way **delay** and **jitter** histograms,
+//! * per-class (EF / best-effort) **queue-wait** histograms across all hops,
+//! * a bounded log of lifecycle [`Span`]s for Chrome-trace export,
+//! * per-flow **deadline** conformance: miss counters, miss-streak
+//!   high-water marks, and `slo.miss` flight-recorder events.
+//!
+//! All times are nanoseconds of sim time; everything is deterministic.
+
+use crate::classifier::FlowSpec;
+use crate::link::{Chan, ChanId};
+use crate::packet::{Dscp, FlowKey, Packet};
+use mpichgq_obs::{FlightRecorder, Histogram, JsonWriter, Registry};
+use mpichgq_sim::{FxHashMap, SimTime};
+
+/// Default bound on retained lifecycle spans (~3 MB of span log).
+pub const DEFAULT_MAX_SPANS: usize = 65_536;
+
+/// What a lifecycle span or instant records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Waiting in an interface queue (duration = queue wait).
+    Queue,
+    /// Serializing onto the link (duration = serialization time).
+    Tx,
+    /// Propagating on the wire (duration = propagation delay).
+    Wire,
+    /// Whole packet life, birth to delivery (duration = one-way delay).
+    E2e,
+    /// Instant: held back by an egress shaper.
+    Shaped,
+    /// Instant: dropped by a full queue.
+    DropQueueFull,
+    /// Instant: dropped by an edge policer.
+    DropPoliced,
+    /// Instant: dropped by the fault layer (loss/corrupt/link-down).
+    DropFault,
+    /// Instant: delivered past its flow's deadline.
+    SloMiss,
+}
+
+impl SpanKind {
+    /// Stable label used in trace exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Queue => "queue",
+            SpanKind::Tx => "tx",
+            SpanKind::Wire => "wire",
+            SpanKind::E2e => "e2e",
+            SpanKind::Shaped => "shaped",
+            SpanKind::DropQueueFull => "drop.queue_full",
+            SpanKind::DropPoliced => "drop.policed",
+            SpanKind::DropFault => "drop.fault",
+            SpanKind::SloMiss => "slo.miss",
+        }
+    }
+
+    /// Complete spans export as Chrome `"X"` events; the rest as `"i"`.
+    pub fn is_complete(self) -> bool {
+        matches!(
+            self,
+            SpanKind::Queue | SpanKind::Tx | SpanKind::Wire | SpanKind::E2e
+        )
+    }
+}
+
+/// One recorded lifecycle span (or instant, when `dur_ns` is irrelevant).
+#[derive(Debug, Clone, Copy)]
+pub struct Span {
+    /// Start time, nanoseconds of sim time.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds (0 for instants).
+    pub dur_ns: u64,
+    pub kind: SpanKind,
+    /// The channel this span happened on, or [`Span::NO_CHAN`] for
+    /// flow-scoped spans (e2e, shaped, SLO misses).
+    pub chan: u32,
+    /// Packet trace id.
+    pub pkt: u64,
+    /// Dense flow index (see [`PacketTracer::flows`]).
+    pub flow: u32,
+}
+
+impl Span {
+    /// `chan` value for spans not tied to a channel.
+    pub const NO_CHAN: u32 = u32::MAX;
+}
+
+/// Per-flow latency and conformance state.
+#[derive(Debug)]
+pub struct FlowRec {
+    pub key: FlowKey,
+    /// Stable display/metric name, e.g. `"n0p49152-n2p6000.tcp"`.
+    pub name: String,
+    /// One-way delay, birth to delivery, nanoseconds.
+    pub delay: Histogram,
+    /// Delay variation: `|delay - previous delay|`, nanoseconds.
+    pub jitter: Histogram,
+    last_delay_ns: Option<u64>,
+    /// Delivery deadline; delay strictly above it is a miss.
+    pub deadline_ns: Option<u64>,
+    pub delivered: u64,
+    pub misses: u64,
+    miss_streak: u64,
+    /// Longest run of consecutive misses.
+    pub max_miss_streak: u64,
+    pub worst_delay_ns: u64,
+}
+
+impl FlowRec {
+    fn new(key: FlowKey) -> FlowRec {
+        let proto = match key.proto {
+            crate::packet::Proto::Tcp => "tcp",
+            crate::packet::Proto::Udp => "udp",
+        };
+        FlowRec {
+            name: format!(
+                "{}p{}-{}p{}.{}",
+                key.src, key.src_port, key.dst, key.dst_port, proto
+            ),
+            key,
+            delay: Histogram::new(),
+            jitter: Histogram::new(),
+            last_delay_ns: None,
+            deadline_ns: None,
+            delivered: 0,
+            misses: 0,
+            miss_streak: 0,
+            max_miss_streak: 0,
+            worst_delay_ns: 0,
+        }
+    }
+}
+
+/// In-flight state of one traced packet.
+#[derive(Debug, Clone, Copy)]
+struct PacketLife {
+    flow: u32,
+    /// When the packet entered the queue of its current hop.
+    enq_at: SimTime,
+}
+
+/// The lifecycle tracer. Created by `Net::enable_packet_tracing`; all
+/// hooks are crate-internal and called from the network's hot paths behind
+/// an `Option` check.
+#[derive(Debug)]
+pub struct PacketTracer {
+    flow_ids: FxHashMap<FlowKey, u32>,
+    flows: Vec<FlowRec>,
+    active: FxHashMap<u64, PacketLife>,
+    /// Queue wait of EF-marked packets, all hops.
+    pub ef_wait: Histogram,
+    /// Queue wait of best-effort packets, all hops.
+    pub be_wait: Histogram,
+    spans: Vec<Span>,
+    max_spans: usize,
+    spans_dropped: u64,
+    /// Deadline rules applied to flows on first sight (first match wins).
+    deadline_rules: Vec<(FlowSpec, u64)>,
+    total_misses: u64,
+}
+
+impl PacketTracer {
+    pub(crate) fn new(max_spans: usize) -> PacketTracer {
+        PacketTracer {
+            flow_ids: FxHashMap::default(),
+            flows: Vec::new(),
+            active: FxHashMap::default(),
+            ef_wait: Histogram::new(),
+            be_wait: Histogram::new(),
+            spans: Vec::new(),
+            max_spans,
+            spans_dropped: 0,
+            deadline_rules: Vec::new(),
+            total_misses: 0,
+        }
+    }
+
+    /// Registered flows, in first-seen order (dense `flow` indices).
+    pub fn flows(&self) -> &[FlowRec] {
+        &self.flows
+    }
+
+    /// Retained lifecycle spans, in record order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Spans discarded after the retention bound filled up.
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans_dropped
+    }
+
+    /// Total deadline misses across all flows.
+    pub fn total_misses(&self) -> u64 {
+        self.total_misses
+    }
+
+    pub(crate) fn add_deadline_rule(&mut self, spec: FlowSpec, deadline_ns: u64) {
+        // Existing flows: first installed rule wins, so only fill gaps.
+        for f in &mut self.flows {
+            if f.deadline_ns.is_none() && spec_matches_key(&spec, &f.key) {
+                f.deadline_ns = Some(deadline_ns);
+            }
+        }
+        self.deadline_rules.push((spec, deadline_ns));
+    }
+
+    #[inline]
+    fn push_span(&mut self, span: Span) {
+        if self.spans.len() < self.max_spans {
+            self.spans.push(span);
+        } else {
+            self.spans_dropped += 1;
+        }
+    }
+
+    fn flow_of(&mut self, pkt: &Packet) -> u32 {
+        let key = FlowKey::of(pkt);
+        if let Some(&i) = self.flow_ids.get(&key) {
+            return i;
+        }
+        let i = self.flows.len() as u32;
+        let mut rec = FlowRec::new(key);
+        for (spec, dl) in &self.deadline_rules {
+            // DSCP at send time is pre-marking, which is what deadline
+            // specs written against the 5-tuple expect.
+            if spec_matches_key(spec, &key) {
+                rec.deadline_ns = Some(*dl);
+                break;
+            }
+        }
+        self.flows.push(rec);
+        self.flow_ids.insert(key, i);
+        i
+    }
+
+    /// Hook: packet injected at its source host (after id/birth stamping).
+    pub(crate) fn on_send(&mut self, now: SimTime, pkt: &Packet) {
+        let flow = self.flow_of(pkt);
+        self.active.insert(pkt.id, PacketLife { flow, enq_at: now });
+    }
+
+    /// Hook: packet held back by an egress shaper.
+    pub(crate) fn on_shaped(&mut self, now: SimTime, pkt_id: u64) {
+        if let Some(life) = self.active.get(&pkt_id) {
+            let flow = life.flow;
+            self.push_span(Span {
+                ts_ns: now.as_nanos(),
+                dur_ns: 0,
+                kind: SpanKind::Shaped,
+                chan: Span::NO_CHAN,
+                pkt: pkt_id,
+                flow,
+            });
+        }
+    }
+
+    /// Hook: packet entered the queue of an interface.
+    pub(crate) fn on_enqueue(&mut self, now: SimTime, pkt_id: u64) {
+        if let Some(life) = self.active.get_mut(&pkt_id) {
+            life.enq_at = now;
+        }
+    }
+
+    /// Hook: packet left a queue and started transmitting on `chan`.
+    /// Emits the hop's queue/tx/wire spans and the per-class queue-wait
+    /// observation.
+    pub(crate) fn on_tx_start(
+        &mut self,
+        now: SimTime,
+        pkt: &Packet,
+        chan: ChanId,
+        ser_ns: u64,
+        wire_ns: u64,
+    ) {
+        let Some(life) = self.active.get(&pkt.id).copied() else {
+            return; // packet predates tracing enablement
+        };
+        let wait = now.as_nanos().saturating_sub(life.enq_at.as_nanos());
+        match pkt.dscp {
+            Dscp::Ef => self.ef_wait.observe(wait),
+            Dscp::BestEffort => self.be_wait.observe(wait),
+        }
+        let base = Span {
+            ts_ns: life.enq_at.as_nanos(),
+            dur_ns: wait,
+            kind: SpanKind::Queue,
+            chan: chan.0,
+            pkt: pkt.id,
+            flow: life.flow,
+        };
+        self.push_span(base);
+        self.push_span(Span {
+            ts_ns: now.as_nanos(),
+            dur_ns: ser_ns,
+            kind: SpanKind::Tx,
+            ..base
+        });
+        self.push_span(Span {
+            ts_ns: now.as_nanos() + ser_ns,
+            dur_ns: wire_ns,
+            kind: SpanKind::Wire,
+            ..base
+        });
+    }
+
+    /// Hook: packet destroyed before delivery. `chan` is the interface it
+    /// died on, or [`Span::NO_CHAN`].
+    pub(crate) fn on_drop(&mut self, now: SimTime, pkt_id: u64, kind: SpanKind, chan: u32) {
+        if let Some(life) = self.active.remove(&pkt_id) {
+            self.push_span(Span {
+                ts_ns: now.as_nanos(),
+                dur_ns: 0,
+                kind,
+                chan,
+                pkt: pkt_id,
+                flow: life.flow,
+            });
+        }
+    }
+
+    /// Hook: packet reached its destination host. Updates delay/jitter
+    /// histograms and evaluates the flow's deadline; misses feed both the
+    /// span log and the flight recorder (`slo.miss`).
+    pub(crate) fn on_delivered(&mut self, now: SimTime, pkt: &Packet, fr: &mut FlightRecorder) {
+        let Some(life) = self.active.remove(&pkt.id) else {
+            return;
+        };
+        let delay_ns = now.as_nanos().saturating_sub(pkt.born.as_nanos());
+        let f = &mut self.flows[life.flow as usize];
+        f.delivered += 1;
+        f.delay.observe(delay_ns);
+        if let Some(prev) = f.last_delay_ns {
+            f.jitter.observe(delay_ns.abs_diff(prev));
+        }
+        f.last_delay_ns = Some(delay_ns);
+        if delay_ns > f.worst_delay_ns {
+            f.worst_delay_ns = delay_ns;
+        }
+        let mut missed = false;
+        if let Some(dl) = f.deadline_ns {
+            if delay_ns > dl {
+                missed = true;
+                f.misses += 1;
+                f.miss_streak += 1;
+                if f.miss_streak > f.max_miss_streak {
+                    f.max_miss_streak = f.miss_streak;
+                }
+            } else {
+                f.miss_streak = 0;
+            }
+        }
+        let flow = life.flow;
+        self.push_span(Span {
+            ts_ns: pkt.born.as_nanos(),
+            dur_ns: delay_ns,
+            kind: SpanKind::E2e,
+            chan: Span::NO_CHAN,
+            pkt: pkt.id,
+            flow,
+        });
+        if missed {
+            self.total_misses += 1;
+            self.push_span(Span {
+                ts_ns: now.as_nanos(),
+                dur_ns: 0,
+                kind: SpanKind::SloMiss,
+                chan: Span::NO_CHAN,
+                pkt: pkt.id,
+                flow,
+            });
+            fr.record(now, "slo.miss", flow as u64, delay_ns as i64);
+        }
+    }
+
+    /// Publish per-flow and per-class histograms plus SLO counters into
+    /// the registry (called from `Net::publish_metrics`).
+    pub(crate) fn publish(&self, m: &mut Registry) {
+        m.record_hist("phb.ef.queue_wait_ns", &self.ef_wait);
+        m.record_hist("phb.be.queue_wait_ns", &self.be_wait);
+        for f in &self.flows {
+            m.record_hist(&format!("flow.{}.delay_ns", f.name), &f.delay);
+            m.record_hist(&format!("flow.{}.jitter_ns", f.name), &f.jitter);
+        }
+        m.record_total("slo.misses", self.total_misses);
+        m.record_total("trace.spans_dropped", self.spans_dropped);
+    }
+
+    /// Write the `"slo"` metrics section:
+    /// `{"flows": [{"flow", "deadline_ns", "delivered", "misses",
+    /// "miss_streak_max", "worst_delay_ns"}, ...], "total_misses": N}`.
+    /// Flows are name-sorted; flows without a deadline report
+    /// `"deadline_ns": null`.
+    pub(crate) fn write_slo_json(&self, w: &mut JsonWriter) {
+        let mut order: Vec<usize> = (0..self.flows.len()).collect();
+        order.sort_by(|&a, &b| self.flows[a].name.cmp(&self.flows[b].name));
+        w.begin_object();
+        w.key("flows");
+        w.begin_array();
+        for i in order {
+            let f = &self.flows[i];
+            w.begin_object();
+            w.key("flow");
+            w.string(&f.name);
+            w.key("deadline_ns");
+            match f.deadline_ns {
+                Some(d) => w.u64(d),
+                None => w.raw("null"),
+            }
+            w.key("delivered");
+            w.u64(f.delivered);
+            w.key("misses");
+            w.u64(f.misses);
+            w.key("miss_streak_max");
+            w.u64(f.max_miss_streak);
+            w.key("worst_delay_ns");
+            w.u64(f.worst_delay_ns);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("total_misses");
+        w.u64(self.total_misses);
+        w.end_object();
+    }
+
+    /// Write the span log as a Chrome trace-event document (Perfetto and
+    /// `chrome://tracing` load it).
+    ///
+    /// Layout: each channel is a "process" (`pid` = channel index + 1)
+    /// named after its endpoints; flow-scoped spans (e2e, shaped, SLO
+    /// misses) land on per-flow processes after the channels. Timestamps
+    /// are microseconds with fixed 3-digit nanosecond fractions, so output
+    /// is byte-stable; exact nanosecond values ride along in `args`.
+    pub(crate) fn write_chrome_trace(&self, w: &mut JsonWriter, chans: &[Chan], names: &[String]) {
+        let flow_pid_base = chans.len() as u64 + 1;
+        w.begin_object();
+        w.key("traceEvents");
+        w.begin_array();
+        // Process-name metadata first: channels, then flows.
+        for (i, c) in chans.iter().enumerate() {
+            if self.spans.iter().all(|s| s.chan != i as u32) {
+                continue; // idle channel: keep the trace small
+            }
+            write_process_name(
+                w,
+                i as u64 + 1,
+                &format!(
+                    "chan{} {}->{}",
+                    i, names[c.from.0 as usize], names[c.to.0 as usize]
+                ),
+            );
+        }
+        for (i, f) in self.flows.iter().enumerate() {
+            write_process_name(w, flow_pid_base + i as u64, &format!("flow {}", f.name));
+        }
+        for s in &self.spans {
+            let pid = if s.chan == Span::NO_CHAN {
+                flow_pid_base + s.flow as u64
+            } else {
+                s.chan as u64 + 1
+            };
+            w.begin_object();
+            w.key("name");
+            w.string(s.kind.label());
+            w.key("ph");
+            w.string(if s.kind.is_complete() { "X" } else { "i" });
+            w.key("ts");
+            w.raw(&us(s.ts_ns));
+            if s.kind.is_complete() {
+                w.key("dur");
+                w.raw(&us(s.dur_ns));
+            } else {
+                w.key("s");
+                w.string("p"); // process-scoped instant
+            }
+            w.key("pid");
+            w.u64(pid);
+            w.key("tid");
+            w.u64(1);
+            w.key("args");
+            w.begin_object();
+            w.key("pkt");
+            w.u64(s.pkt);
+            w.key("flow");
+            w.string(&self.flows[s.flow as usize].name);
+            w.key("ts_ns");
+            w.u64(s.ts_ns);
+            w.key("dur_ns");
+            w.u64(s.dur_ns);
+            w.end_object();
+            w.end_object();
+        }
+        w.end_array();
+        w.key("displayTimeUnit");
+        w.string("ms");
+        // Summary block for qtrace: per-flow histograms + SLO state.
+        w.key("otherData");
+        w.begin_object();
+        w.key("spans_dropped");
+        w.u64(self.spans_dropped);
+        w.key("flows");
+        w.begin_array();
+        let mut order: Vec<usize> = (0..self.flows.len()).collect();
+        order.sort_by(|&a, &b| self.flows[a].name.cmp(&self.flows[b].name));
+        for i in order {
+            let f = &self.flows[i];
+            w.begin_object();
+            w.key("flow");
+            w.string(&f.name);
+            w.key("delay_ns");
+            f.delay.write_json(w);
+            w.key("jitter_ns");
+            f.jitter.write_json(w);
+            w.key("deadline_ns");
+            match f.deadline_ns {
+                Some(d) => w.u64(d),
+                None => w.raw("null"),
+            }
+            w.key("delivered");
+            w.u64(f.delivered);
+            w.key("misses");
+            w.u64(f.misses);
+            w.key("miss_streak_max");
+            w.u64(f.max_miss_streak);
+            w.key("worst_delay_ns");
+            w.u64(f.worst_delay_ns);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("slo");
+        self.write_slo_json(w);
+        w.end_object();
+        w.end_object();
+    }
+}
+
+/// Match a deadline spec against a flow's 5-tuple. The DS field is not
+/// part of [`FlowKey`] (marking happens downstream of the sender), so a
+/// `dscp` constraint in the spec is ignored here.
+fn spec_matches_key(spec: &FlowSpec, key: &FlowKey) -> bool {
+    spec.src.is_none_or(|v| v == key.src)
+        && spec.dst.is_none_or(|v| v == key.dst)
+        && spec.proto.is_none_or(|v| v == key.proto)
+        && spec.src_port.is_none_or(|v| v == key.src_port)
+        && spec.dst_port.is_none_or(|v| v == key.dst_port)
+}
+
+/// Nanoseconds as a microsecond decimal with exactly three fraction
+/// digits — a fixed-width, byte-stable JSON number.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn write_process_name(w: &mut JsonWriter, pid: u64, name: &str) {
+    w.begin_object();
+    w.key("name");
+    w.string("process_name");
+    w.key("ph");
+    w.string("M");
+    w.key("pid");
+    w.u64(pid);
+    w.key("tid");
+    w.u64(0);
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.string(name);
+    w.end_object();
+    w.end_object();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{NodeId, Proto, L4};
+
+    fn probe(src_port: u16) -> Packet {
+        Packet {
+            src: NodeId(0),
+            dst: NodeId(2),
+            src_port,
+            dst_port: 6000,
+            dscp: Dscp::BestEffort,
+            l4: L4::Udp,
+            payload_len: 100,
+            id: 7,
+            born: SimTime::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn deadline_rules_apply_to_existing_and_future_flows() {
+        let mut t = PacketTracer::new(16);
+        let mut p1 = probe(1000);
+        p1.id = 1;
+        t.on_send(SimTime::ZERO, &p1);
+        t.add_deadline_rule(
+            FlowSpec::host_pair(NodeId(0), NodeId(2), Proto::Udp),
+            5_000_000,
+        );
+        assert_eq!(t.flows()[0].deadline_ns, Some(5_000_000));
+        let mut p2 = probe(2000);
+        p2.id = 2;
+        t.on_send(SimTime::ZERO, &p2);
+        assert_eq!(t.flows()[1].deadline_ns, Some(5_000_000));
+        // Non-matching flow stays deadline-free.
+        let mut p3 = probe(3000);
+        p3.dst = NodeId(9);
+        p3.id = 3;
+        t.on_send(SimTime::ZERO, &p3);
+        assert_eq!(t.flows()[2].deadline_ns, None);
+    }
+
+    #[test]
+    fn delivery_updates_delay_jitter_and_misses() {
+        let mut t = PacketTracer::new(16);
+        let mut fr = FlightRecorder::default();
+        fr.enable(8);
+        t.add_deadline_rule(FlowSpec::any(), 2_000_000); // 2 ms deadline
+        let mut send_recv = |id: u64, born_ms: u64, deliver_ms: u64| {
+            let mut p = probe(1000);
+            p.id = id;
+            p.born = SimTime::from_millis(born_ms);
+            t.on_send(p.born, &p);
+            t.on_delivered(SimTime::from_millis(deliver_ms), &p, &mut fr);
+        };
+        send_recv(1, 0, 1); // 1 ms: conformant
+        send_recv(2, 10, 13); // 3 ms: miss
+        send_recv(3, 20, 24); // 4 ms: miss (streak 2)
+        send_recv(4, 30, 31); // 1 ms: streak resets
+        let f = &t.flows()[0];
+        assert_eq!(f.delivered, 4);
+        assert_eq!(f.misses, 2);
+        assert_eq!(f.max_miss_streak, 2);
+        assert_eq!(f.worst_delay_ns, 4_000_000);
+        assert_eq!(f.delay.count(), 4);
+        assert_eq!(f.jitter.count(), 3);
+        assert_eq!(t.total_misses(), 2);
+        let miss_events: Vec<_> = fr.events().filter(|e| e.kind == "slo.miss").collect();
+        assert_eq!(miss_events.len(), 2);
+        assert_eq!(miss_events[0].key, 0); // flow index
+        assert_eq!(miss_events[0].value, 3_000_000);
+        // E2e spans recorded for every delivery, SloMiss instants for misses.
+        let e2e = t.spans().iter().filter(|s| s.kind == SpanKind::E2e).count();
+        assert_eq!(e2e, 4);
+    }
+
+    #[test]
+    fn span_log_is_bounded() {
+        let mut t = PacketTracer::new(2);
+        let mut fr = FlightRecorder::default();
+        for id in 0..5u64 {
+            let mut p = probe(1000);
+            p.id = id;
+            t.on_send(SimTime::ZERO, &p);
+            t.on_delivered(SimTime::from_millis(1), &p, &mut fr);
+        }
+        assert_eq!(t.spans().len(), 2);
+        assert_eq!(t.spans_dropped(), 3);
+    }
+}

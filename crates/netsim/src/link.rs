@@ -171,6 +171,7 @@ mod utilization_tests {
     use crate::packet::{Dscp, Packet, L4};
     use crate::queue::QueueCfg;
     use mpichgq_dsrt::ProcId;
+    use mpichgq_sim::SimTime;
 
     struct Sink;
     impl crate::net::NetHandler for Sink {
@@ -203,6 +204,7 @@ mod utilization_tests {
                 l4: L4::Udp,
                 payload_len: 972,
                 id: 0,
+                born: SimTime::ZERO,
             });
         }
         net.run_to_quiescence(&mut Sink);

@@ -11,14 +11,15 @@
 use crate::classifier::FlowSpec;
 use crate::classifier::{Classifier, Verdict};
 use crate::faults::{FaultAction, FaultLayer, FaultPlan, FaultStats, FaultVerdict};
+use crate::lifecycle::{PacketTracer, SpanKind, DEFAULT_MAX_SPANS};
 use crate::link::{Chan, ChanId, LinkCfg};
 use crate::packet::{NodeId, Packet};
 use crate::queue::{Enqueue, Queue, QueueCfg, QueueStats};
 use crate::shaper::{ShapeOutcome, Shaper};
 use crate::tokenbucket::TokenBucket;
 use mpichgq_dsrt::{AdmissionError, CompleteOutcome, Cpu, ProcId, Update, WorkId};
-use mpichgq_obs::{CounterId, Obs};
-use mpichgq_sim::{Engine, Recorder, SchedulerKind, SimRng, SimTime};
+use mpichgq_obs::{CounterId, JsonWriter, Obs};
+use mpichgq_sim::{Engine, Recorder, SchedulerKind, SimDelta, SimRng, SimTime};
 
 /// What kind of node this is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,6 +176,9 @@ pub struct Net {
     /// Fault-injection state; `None` (one branch per delivery) until
     /// [`Net::install_fault_plan`] is called.
     faults: Option<Box<FaultLayer>>,
+    /// Packet-lifecycle tracer; `None` (one branch per hook site) until
+    /// [`Net::enable_packet_tracing`] is called.
+    lifecycle: Option<Box<PacketTracer>>,
 }
 
 impl Net {
@@ -202,6 +206,7 @@ impl Net {
             ctrs,
             next_pkt_id: 0,
             faults: None,
+            lifecycle: None,
         }
     }
 
@@ -388,6 +393,75 @@ impl Net {
     }
 
     // ------------------------------------------------------------------
+    // Packet-lifecycle tracing + SLO conformance
+    // ------------------------------------------------------------------
+
+    /// Turn on packet-lifecycle tracing with the default span bound.
+    /// Until this (or [`Net::set_deadline_matching`]) is called, every
+    /// lifecycle hook is a single predictable branch.
+    pub fn enable_packet_tracing(&mut self) {
+        self.enable_packet_tracing_with(DEFAULT_MAX_SPANS);
+    }
+
+    /// Turn on packet-lifecycle tracing, retaining at most `max_spans`
+    /// lifecycle spans (histograms and SLO counters are unbounded either
+    /// way; spans past the bound are counted, not kept). Re-enabling
+    /// keeps existing tracer state.
+    pub fn enable_packet_tracing_with(&mut self, max_spans: usize) {
+        if self.lifecycle.is_none() {
+            self.lifecycle = Some(Box::new(PacketTracer::new(max_spans)));
+        }
+    }
+
+    /// Whether lifecycle tracing is on.
+    pub fn packet_tracing_enabled(&self) -> bool {
+        self.lifecycle.is_some()
+    }
+
+    /// The lifecycle tracer, if tracing is enabled.
+    pub fn packet_tracer(&self) -> Option<&PacketTracer> {
+        self.lifecycle.as_deref()
+    }
+
+    /// Install a delivery deadline for every flow matching `spec` (current
+    /// and future; a flow's first matching rule wins). Deliveries later
+    /// than `deadline` after [`Packet::born`] count as SLO misses: per-flow
+    /// miss counters and miss-streak high-water marks update, and a
+    /// `slo.miss` event (key = flow index, value = delay in ns) lands in
+    /// the flight recorder. Enables lifecycle tracing if it was off.
+    pub fn set_deadline_matching(&mut self, spec: FlowSpec, deadline: SimDelta) {
+        self.enable_packet_tracing();
+        self.lifecycle
+            .as_deref_mut()
+            .expect("just enabled")
+            .add_deadline_rule(spec, deadline.as_nanos());
+    }
+
+    /// Export the lifecycle span log as a Chrome trace-event JSON document
+    /// (loadable in Perfetto / `chrome://tracing`; see
+    /// [`crate::lifecycle`] for the layout). With tracing disabled this
+    /// returns an empty-but-valid trace document.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        match &self.lifecycle {
+            Some(t) => {
+                let names: Vec<String> = self.nodes.iter().map(|n| n.name.clone()).collect();
+                t.write_chrome_trace(&mut w, &self.chans, &names);
+            }
+            None => {
+                w.begin_object();
+                w.key("traceEvents");
+                w.begin_array();
+                w.end_array();
+                w.key("displayTimeUnit");
+                w.string("ms");
+                w.end_object();
+            }
+        }
+        w.finish()
+    }
+
+    // ------------------------------------------------------------------
     // Observability
     // ------------------------------------------------------------------
 
@@ -467,13 +541,28 @@ impl Net {
                 m.set_gauge(&format!("{p}.bucket_level_bytes"), s.bucket.available(now));
             }
         }
+
+        if let Some(t) = &self.lifecycle {
+            t.publish(m);
+        }
     }
 
     /// [`Net::publish_metrics`] followed by a full JSON snapshot — what the
     /// experiment binaries write to `results/<experiment>/metrics.json`.
+    /// With lifecycle tracing on, the snapshot carries per-flow delay and
+    /// jitter histograms plus per-class queue-wait histograms under
+    /// `"histograms"`, and the deadline-conformance report under `"slo"`.
     pub fn metrics_json(&mut self) -> String {
         self.publish_metrics();
-        self.obs.snapshot_json()
+        match &self.lifecycle {
+            Some(t) => {
+                let mut w = JsonWriter::new();
+                t.write_slo_json(&mut w);
+                let slo = w.finish();
+                self.obs.snapshot_json_with(&[("slo", &slo)])
+            }
+            None => self.obs.snapshot_json(),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -488,15 +577,23 @@ impl Net {
         pkt.id = self.alloc_pkt_id();
         self.obs.metrics.inc(self.ctrs.pkts_sent, 1);
         let now = self.now();
+        pkt.born = now;
+        if let Some(t) = self.lifecycle.as_deref_mut() {
+            t.on_send(now, &pkt);
+        }
         // Egress shaping (first matching shaper wins). Single scan: the
         // match position doubles as the index for the mutable borrow.
         let node = &mut self.nodes[src.0 as usize];
         if let Some(pos) = node.shapers.iter().position(|s| s.spec.matches(&pkt)) {
             let s = &mut node.shapers[pos];
             let sid = s.id;
+            let pid = pkt.id;
             match s.offer(now, pkt) {
                 ShapeOutcome::PassThrough(p) => self.forward_from(src, p),
                 ShapeOutcome::Queued { arm_at } => {
+                    if let Some(t) = self.lifecycle.as_deref_mut() {
+                        t.on_shaped(now, pid);
+                    }
                     if let Some(at) = arm_at {
                         let gen = s.gen;
                         self.engine.schedule(
@@ -661,6 +758,9 @@ impl Net {
                             chan.0 as u64,
                             pkt.ip_len() as i64,
                         );
+                        if let Some(t) = self.lifecycle.as_deref_mut() {
+                            t.on_drop(now, pkt.id, SpanKind::DropFault, chan.0);
+                        }
                         return;
                     }
                 }
@@ -730,6 +830,9 @@ impl Net {
                                 node_id.0 as u64,
                                 pkt.ip_len() as i64,
                             );
+                            if let Some(t) = self.lifecycle.as_deref_mut() {
+                                t.on_drop(now, pkt.id, SpanKind::DropPoliced, chan.0);
+                            }
                             return;
                         }
                     }
@@ -739,6 +842,10 @@ impl Net {
             NodeKind::Host => {
                 if pkt.dst == node_id {
                     self.obs.metrics.inc(self.ctrs.pkts_delivered, 1);
+                    if let Some(t) = self.lifecycle.as_deref_mut() {
+                        let now = self.engine.now();
+                        t.on_delivered(now, &pkt, &mut self.obs.trace);
+                    }
                     h.deliver(self, node_id, pkt);
                 } else {
                     self.drops.misrouted += 1;
@@ -754,14 +861,24 @@ impl Net {
             return;
         };
         let len = pkt.ip_len();
+        let pid = pkt.id;
         match self.queues[chan.0 as usize].enqueue(pkt) {
-            Enqueue::Queued => self.try_start_tx(chan),
+            Enqueue::Queued => {
+                if let Some(t) = self.lifecycle.as_deref_mut() {
+                    let now = self.engine.now();
+                    t.on_enqueue(now, pid);
+                }
+                self.try_start_tx(chan)
+            }
             Enqueue::DroppedFull => {
                 self.drops.queue_full += 1;
                 let now = self.now();
                 self.obs
                     .trace
                     .record(now, "drop.queue_full", chan.0 as u64, len as i64);
+                if let Some(t) = self.lifecycle.as_deref_mut() {
+                    t.on_drop(now, pid, SpanKind::DropQueueFull, chan.0);
+                }
             }
         }
     }
@@ -787,6 +904,9 @@ impl Net {
         c.tx_bytes_wire += c.cfg.framing.wire_bytes(pkt.ip_len()) as u64;
         let delay = c.cfg.delay;
         let now = self.now();
+        if let Some(t) = self.lifecycle.as_deref_mut() {
+            t.on_tx_start(now, &pkt, chan, ser.as_nanos(), delay.as_nanos());
+        }
         self.engine.schedule(now + ser, Ev::TxDone { chan });
         self.engine
             .schedule(now + ser + delay, Ev::Deliver { chan, pkt });
@@ -972,6 +1092,7 @@ mod tests {
             l4: L4::Udp,
             payload_len: payload,
             id: 0,
+            born: SimTime::ZERO,
         }
     }
 
@@ -1218,6 +1339,79 @@ mod tests {
         let mut h = CpuH { done_at: None };
         net.run_to_quiescence(&mut h);
         assert_eq!(h.done_at, Some(SimTime::from_millis(3_500)));
+    }
+
+    #[test]
+    fn lifecycle_spans_decompose_end_to_end_delay() {
+        let (mut net, h1, h2) = line_topology();
+        net.enable_packet_tracing();
+        net.set_deadline_matching(
+            FlowSpec::host_pair(h1, h2, crate::packet::Proto::Udp),
+            SimDelta::from_millis(3), // 4 ms one-way delay: every packet misses
+        );
+        let mut h = Collect::new();
+        net.send_ip(udp(h1, h2, 972));
+        net.run_to_quiescence(&mut h);
+        let t = net.packet_tracer().unwrap();
+        // Two hops: queue+tx+wire each, plus one e2e span and one slo.miss.
+        use crate::lifecycle::SpanKind;
+        let spans = t.spans();
+        let kind_count = |k: SpanKind| spans.iter().filter(|s| s.kind == k).count();
+        assert_eq!(kind_count(SpanKind::Queue), 2);
+        assert_eq!(kind_count(SpanKind::Tx), 2);
+        assert_eq!(kind_count(SpanKind::Wire), 2);
+        assert_eq!(kind_count(SpanKind::E2e), 1);
+        assert_eq!(kind_count(SpanKind::SloMiss), 1);
+        // Per-hop durations sum to the end-to-end delay (no queueing on an
+        // idle path: 1 ms ser + 1 ms wire per hop = 4 ms total).
+        let sum: u64 = spans
+            .iter()
+            .filter(|s| s.kind != SpanKind::E2e && s.kind != SpanKind::SloMiss)
+            .map(|s| s.dur_ns)
+            .sum();
+        let e2e = spans
+            .iter()
+            .find(|s| s.kind == SpanKind::E2e)
+            .unwrap()
+            .dur_ns;
+        assert_eq!(sum, e2e);
+        assert_eq!(e2e, 4_000_000);
+        let f = &t.flows()[0];
+        assert_eq!(f.delivered, 1);
+        assert_eq!(f.misses, 1);
+        assert_eq!(f.delay.quantile(0.5), Some(3_932_160)); // bucket lower bound ≤ 4 ms
+                                                            // Queue-wait histogram: both hops saw zero wait (BE class).
+        assert_eq!(t.be_wait.count(), 2);
+        assert_eq!(t.be_wait.max(), Some(0));
+        // Snapshot surfaces the new sections.
+        let json = net.metrics_json();
+        assert!(json.contains("\"histograms\""));
+        assert!(json.contains("\"flow.n0p1-n2p2.udp.delay_ns\""));
+        assert!(json.contains("\"slo\""));
+        assert!(json.contains("\"total_misses\":1"));
+        // Chrome export parses and carries the spans.
+        let trace = net.chrome_trace_json();
+        let doc = mpichgq_obs::parse(&trace).expect("chrome trace must parse");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(
+            events.len() >= 8,
+            "expected spans + metadata, got {}",
+            events.len()
+        );
+    }
+
+    #[test]
+    fn tracing_disabled_leaves_behavior_and_snapshot_sections_empty() {
+        let (mut net, h1, h2) = line_topology();
+        let mut h = Collect::new();
+        net.send_ip(udp(h1, h2, 972));
+        net.run_to_quiescence(&mut h);
+        assert!(!net.packet_tracing_enabled());
+        let json = net.metrics_json();
+        assert!(json.contains("\"histograms\":{}"));
+        assert!(!json.contains("\"slo\""));
+        let trace = net.chrome_trace_json();
+        assert_eq!(trace, "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
     }
 
     #[test]

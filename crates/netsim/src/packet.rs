@@ -7,6 +7,7 @@
 //! in-order delivery lets higher layers reconstruct message contents from a
 //! side channel without copying bulk bytes through every queue.
 
+use mpichgq_sim::SimTime;
 use std::fmt;
 
 /// A node in the network (host or router).
@@ -112,6 +113,12 @@ pub struct Packet {
     pub payload_len: u32,
     /// Monotonic id for tracing.
     pub id: u64,
+    /// Sim time the packet entered the network ([`Net::send_ip`] stamps
+    /// it); one-way delay at delivery is `now - born`. Constructors may
+    /// leave it at [`SimTime::ZERO`].
+    ///
+    /// [`Net::send_ip`]: crate::Net::send_ip
+    pub born: SimTime,
 }
 
 impl Packet {
@@ -192,6 +199,7 @@ mod tests {
             l4,
             payload_len: payload,
             id: 0,
+            born: SimTime::ZERO,
         }
     }
 

@@ -218,6 +218,7 @@ impl Queue {
 mod tests {
     use super::*;
     use crate::packet::{NodeId, L4};
+    use mpichgq_sim::SimTime;
 
     fn pkt(dscp: Dscp, payload: u32) -> Packet {
         Packet {
@@ -229,6 +230,7 @@ mod tests {
             l4: L4::Udp,
             payload_len: payload,
             id: 0,
+            born: SimTime::ZERO,
         }
     }
 

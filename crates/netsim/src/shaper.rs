@@ -152,6 +152,7 @@ mod tests {
             l4: L4::Udp,
             payload_len: payload,
             id: 0,
+            born: SimTime::ZERO,
         }
     }
 

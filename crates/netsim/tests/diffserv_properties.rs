@@ -19,6 +19,7 @@ fn udp(src: NodeId, dst: NodeId, payload: u32, dscp: Dscp) -> Packet {
         l4: L4::Udp,
         payload_len: payload,
         id: 0,
+        born: SimTime::ZERO,
     }
 }
 

@@ -7,7 +7,7 @@ use mpichgq_netsim::{
     Dscp, FlowSpec, Framing, LinkCfg, Net, NetHandler, NodeId, Packet, PolicingAction, Proto,
     QueueCfg, TokenBucket, TopoBuilder, L4,
 };
-use mpichgq_sim::SimDelta;
+use mpichgq_sim::{SimDelta, SimTime};
 
 struct Count {
     ef: u64,
@@ -35,6 +35,7 @@ fn udp(src: NodeId, dst: NodeId, dport: u16) -> Packet {
         l4: L4::Udp,
         payload_len: 972, // 1000-byte datagrams
         id: 0,
+        born: SimTime::ZERO,
     }
 }
 

@@ -23,12 +23,14 @@
 //! 3. **No dependencies.** JSON is written by hand (the workspace builds
 //!    fully offline); the only dependency is `mpichgq-sim` for [`SimTime`].
 
+mod hist;
 mod json;
 mod metrics;
 mod trace;
 
-pub use json::JsonWriter;
-pub use metrics::{CounterId, GaugeId, Registry};
+pub use hist::{bucket_index, bucket_low, Histogram, NUM_BUCKETS};
+pub use json::{parse, JsonValue, JsonWriter};
+pub use metrics::{CounterId, GaugeId, HistId, Registry};
 pub use trace::{FlightRecorder, TraceEvent};
 
 use mpichgq_sim::SimTime;
@@ -61,16 +63,31 @@ impl Obs {
     }
 
     /// Serialize the whole bundle as one deterministic JSON document:
-    /// `{"counters": {...}, "gauges": {...}, "trace": {...}}`.
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...},
+    /// "trace": {...}}`.
     pub fn snapshot_json(&self) -> String {
+        self.snapshot_json_with(&[])
+    }
+
+    /// Like [`snapshot_json`](Obs::snapshot_json), with caller-supplied
+    /// extra top-level sections appended after `"trace"`. Each entry is a
+    /// `(key, raw_json_value)` pair; the caller vouches that the value is
+    /// valid JSON (the network uses this to attach its `"slo"` section).
+    pub fn snapshot_json_with(&self, extra: &[(&str, &str)]) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
         w.key("counters");
         self.metrics.write_counters(&mut w);
         w.key("gauges");
         self.metrics.write_gauges(&mut w);
+        w.key("histograms");
+        self.metrics.write_histograms(&mut w);
         w.key("trace");
         self.trace.write_json(&mut w);
+        for (key, raw) in extra {
+            w.key(key);
+            w.raw(raw);
+        }
         w.end_object();
         w.finish()
     }
@@ -165,6 +182,9 @@ mod tests {
             o.metrics.inc(a, 1);
             let g = o.metrics.gauge("level");
             o.metrics.gauge_set(g, 1.5);
+            let h = o.metrics.hist("delay");
+            o.metrics.hist_observe(h, 1_000_000);
+            o.metrics.hist_observe(h, 2_000_000);
             o.event(SimTime::from_millis(5), "drop", 9, -1);
             o.snapshot_json()
         };
@@ -176,9 +196,27 @@ mod tests {
         assert!(alpha < beta, "counters must be name-sorted: {s1}");
         assert!(s1.contains("\"counters\""));
         assert!(s1.contains("\"gauges\""));
+        assert!(s1.contains("\"histograms\""));
+        assert!(s1.contains("\"delay\""));
+        assert!(s1.contains("\"p99\""));
         assert!(s1.contains("\"trace\""));
         assert!(s1.contains("\"high_water\""));
         assert!(s1.contains("\"t_ns\":5000000"));
+    }
+
+    #[test]
+    fn extra_sections_append_after_trace() {
+        let o = Obs::new();
+        let s = o.snapshot_json_with(&[("slo", "{\"flows\":[],\"total_misses\":0}")]);
+        assert!(
+            s.ends_with(",\"slo\":{\"flows\":[],\"total_misses\":0}}"),
+            "{s}"
+        );
+        let v = crate::parse(&s).expect("snapshot must parse");
+        assert_eq!(
+            v.get("slo").unwrap().get("total_misses").unwrap().as_u64(),
+            Some(0)
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! are plain vector writes. Snapshots are name-sorted so JSON output is
 //! deterministic regardless of registration order.
 
+use crate::hist::Histogram;
 use crate::json::JsonWriter;
 use mpichgq_sim::FxHashMap;
 
@@ -15,6 +16,10 @@ pub struct CounterId(u32);
 /// Handle to a registered gauge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GaugeId(u32);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(u32);
 
 #[derive(Debug)]
 struct Gauge {
@@ -32,6 +37,9 @@ pub struct Registry {
     gauge_names: Vec<String>,
     gauges: Vec<Gauge>,
     gauge_ids: FxHashMap<String, u32>,
+    hist_names: Vec<String>,
+    hists: Vec<Histogram>,
+    hist_ids: FxHashMap<String, u32>,
 }
 
 impl Registry {
@@ -128,6 +136,48 @@ impl Registry {
             .map(|&i| self.gauges[i as usize].high_water)
     }
 
+    /// Register (or look up) a histogram; observations via the returned id
+    /// are one bucket increment.
+    pub fn hist(&mut self, name: &str) -> HistId {
+        if let Some(&i) = self.hist_ids.get(name) {
+            return HistId(i);
+        }
+        let i = self.hists.len() as u32;
+        self.hist_names.push(name.to_owned());
+        self.hists.push(Histogram::new());
+        self.hist_ids.insert(name.to_owned(), i);
+        HistId(i)
+    }
+
+    /// Record one observation into a histogram.
+    #[inline]
+    pub fn hist_observe(&mut self, id: HistId, v: u64) {
+        self.hists[id.0 as usize].observe(v);
+    }
+
+    /// Record one observation by name (registration on first use).
+    pub fn observe(&mut self, name: &str, v: u64) {
+        let id = self.hist(name);
+        self.hist_observe(id, v);
+    }
+
+    /// Publish an externally maintained histogram into the registry by
+    /// replacing the named slot with a copy. For component-local
+    /// histograms published at snapshot time (mirrors [`record_total`]):
+    /// calling it repeatedly with a growing source is idempotent per call,
+    /// not additive.
+    ///
+    /// [`record_total`]: Registry::record_total
+    pub fn record_hist(&mut self, name: &str, h: &Histogram) {
+        let id = self.hist(name);
+        self.hists[id.0 as usize] = h.clone();
+    }
+
+    /// Read access to a registered histogram.
+    pub fn hist_value(&self, name: &str) -> Option<&Histogram> {
+        self.hist_ids.get(name).map(|&i| &self.hists[i as usize])
+    }
+
     /// Write `{"name": value, ...}` for all counters, name-sorted.
     pub fn write_counters(&self, w: &mut JsonWriter) {
         let mut order: Vec<usize> = (0..self.counter_names.len()).collect();
@@ -158,6 +208,25 @@ impl Registry {
             w.key("high_water");
             w.f64(g.high_water);
             w.end_object();
+        }
+        w.end_object();
+    }
+
+    /// Write `{"name": {histogram...}, ...}`, name-sorted. Histograms that
+    /// were registered but never observed are omitted (so snapshots with
+    /// tracing disabled stay free of empty sections). The per-histogram
+    /// schema is documented on [`Histogram::write_json`].
+    pub fn write_histograms(&self, w: &mut JsonWriter) {
+        let mut order: Vec<usize> = (0..self.hist_names.len()).collect();
+        order.sort_by(|&a, &b| self.hist_names[a].cmp(&self.hist_names[b]));
+        w.begin_object();
+        for i in order {
+            let h = &self.hists[i];
+            if h.is_empty() {
+                continue;
+            }
+            w.key(&self.hist_names[i]);
+            h.write_json(w);
         }
         w.end_object();
     }

@@ -85,15 +85,23 @@ impl FlightRecorder {
         });
     }
 
-    #[cold]
+    // Not `#[cold]`: this *is* the hot path whenever tracing is enabled.
+    // Only the wrap/overwrite branch, taken once the ring is full, carries
+    // the cold hint.
+    #[inline]
     fn push(&mut self, ev: TraceEvent) {
         self.total += 1;
         if self.ring.len() < self.capacity {
             self.ring.push(ev);
         } else {
-            self.ring[self.head] = ev;
-            self.head = (self.head + 1) % self.capacity;
+            self.wrap_push(ev);
         }
+    }
+
+    #[cold]
+    fn wrap_push(&mut self, ev: TraceEvent) {
+        self.ring[self.head] = ev;
+        self.head = (self.head + 1) % self.capacity;
     }
 
     /// Held events, oldest first.
@@ -102,8 +110,30 @@ impl FlightRecorder {
         older.iter().chain(newer.iter())
     }
 
-    /// Write `{"capacity": .., "recorded": .., "dropped": .., "events":
-    /// [{"t_ns": .., "kind": .., "key": .., "value": ..}, ...]}`.
+    /// Write the recorder state as one JSON object.
+    ///
+    /// # Schema
+    ///
+    /// ```json
+    /// {
+    ///   "capacity": u64,   // ring size in events (0 when disabled)
+    ///   "recorded": u64,   // total events offered while enabled
+    ///   "dropped":  u64,   // events overwritten (recorded - retained)
+    ///   "events": [        // retained events, oldest first
+    ///     {
+    ///       "t_ns":  u64,  // sim time, nanoseconds
+    ///       "kind":  str,  // static label, e.g. "tcp.rto"
+    ///       "key":   u64,  // event subject (channel, socket, flow index)
+    ///       "value": i64   // event payload (depth, cwnd, delay); signed
+    ///     }, ...
+    ///   ]
+    /// }
+    /// ```
+    ///
+    /// Note the asymmetry inside each event object: `key` is unsigned
+    /// (identifiers never go negative) while `value` is **signed** —
+    /// consumers must parse the two fields with different integer types.
+    /// `tests/observability.rs` pins this with a parse round-trip.
     pub fn write_json(&self, w: &mut JsonWriter) {
         w.begin_object();
         w.key("capacity");

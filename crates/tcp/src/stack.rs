@@ -10,7 +10,7 @@
 
 use crate::conn::{CcKind, Connection, Out, SegFlags, SegIn, SegOut, State, TcpCfg};
 use mpichgq_dsrt::ProcId;
-use mpichgq_netsim::{Net, NetHandler, NodeId, Packet, TcpFlags, TcpHeader, L4};
+use mpichgq_netsim::{FlowSpec, Net, NetHandler, NodeId, Packet, Proto, TcpFlags, TcpHeader, L4};
 use mpichgq_sim::FxHashMap;
 use mpichgq_sim::{SimDelta, SimTime};
 use std::any::{Any, TypeId};
@@ -354,6 +354,7 @@ impl Stack {
             }),
             payload_len: seg.len,
             id: 0,
+            born: SimTime::ZERO, // stamped by send_ip
         };
         net.send_ip(pkt);
     }
@@ -659,6 +660,38 @@ impl Ctx<'_> {
         self.stack.socks[sock.0 as usize].trace = Some(series.to_owned());
     }
 
+    /// The 5-tuple spec of this socket's outgoing data direction — what
+    /// the QoS agent extracts from a communicator ("basically port and
+    /// machine names"). Unconnected sockets wildcard the peer side.
+    pub fn flow_spec(&self, sock: SockId) -> FlowSpec {
+        let s = &self.stack.socks[sock.0 as usize];
+        let proto = match s.kind {
+            SockKind::Tcp(_) => Proto::Tcp,
+            _ => Proto::Udp,
+        };
+        match s.peer {
+            Some((peer_host, peer_port)) => {
+                FlowSpec::exact(s.host, peer_host, proto, s.lport, peer_port)
+            }
+            None => FlowSpec {
+                src: Some(s.host),
+                proto: Some(proto),
+                src_port: Some(s.lport),
+                ..FlowSpec::default()
+            },
+        }
+    }
+
+    /// Register a delivery deadline (SLO) for this socket's outgoing flow:
+    /// packets delivered more than `deadline` after entering the network
+    /// count as misses in the network's conformance monitor (enables
+    /// packet-lifecycle tracing if it was off). See
+    /// [`mpichgq_netsim::Net::set_deadline_matching`].
+    pub fn set_flow_deadline(&mut self, sock: SockId, deadline: SimDelta) {
+        let spec = self.flow_spec(sock);
+        self.net.set_deadline_matching(spec, deadline);
+    }
+
     /// Arm an application timer; `token` comes back in `on_timer`.
     pub fn set_timer(&mut self, after: SimDelta, token: u32) {
         let at = self.net.now() + after;
@@ -718,6 +751,7 @@ impl Ctx<'_> {
             l4: L4::Udp,
             payload_len,
             id: 0,
+            born: SimTime::ZERO, // stamped by send_ip
         };
         self.net.send_ip(pkt);
     }

@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
 """Validate results/<experiment>/metrics.json files against the schema
-documented in DESIGN.md §9 (and §10 for the chaos experiment).
+documented in DESIGN.md §9 (§10 for the chaos experiment, §11 for
+lifecycle histograms and SLO conformance).
 
 Usage: check_metrics.py results/fig1/metrics.json [more.json ...]
 
@@ -10,9 +11,13 @@ Checks, per file:
 - gauges are {"value": number, "high_water": number} objects;
 - the trace carries capacity/recorded/dropped and a list of events with
   monotonically non-decreasing "t_ns" timestamps;
+- when present, "histograms" entries are valid snapshots (bucket counts
+  sum to "count", quantiles ordered p50 <= p90 <= p99) and "slo" is a
+  conformance table whose total_misses equals the per-flow sum;
 - the core engine/net counters every simulation run must emit exist;
 - experiment-specific keys exist (e.g. the chaos run's adaptation
-  counters and fault counters).
+  counters and fault counters; the traced runs' per-flow delay
+  histograms and deadline rows).
 
 All problems in a file are collected and reported together — a missing
 section or key never aborts the remaining checks, so one run lists
@@ -60,7 +65,18 @@ REQUIRED_BY_EXPERIMENT = {
             "agent.granted_rate_bps",
             "agent.dscp",
         ],
+        # Lifecycle tracing is armed for the chaos run: per-flow delay
+        # histograms and a deadline-carrying SLO table must be present,
+        # and the run carries premium (EF-marked) traffic.
+        "traced": True,
+        "ef_traffic": True,
     },
+    "fig7_10fps_40kb_frames": {"traced": True, "ef_traffic": True},
+    "fig7_1fps_400kb_frame": {"traced": True, "ef_traffic": True},
+    # fig8 is the CPU-contention scenario: traced, but no network
+    # reservation ever marks EF, so its EF queue-wait histogram is
+    # legitimately empty (and empty histograms are omitted).
+    "fig8": {"traced": True},
 }
 
 
@@ -125,6 +141,81 @@ def check_trace(doc, errors):
         last_t = e["t_ns"]
 
 
+def check_histograms(doc, errors, traced, ef_traffic):
+    hists = doc.get("histograms")
+    if hists is None:
+        if traced:
+            errors.append("missing 'histograms' section (tracing was armed)")
+        return
+    if not isinstance(hists, dict):
+        errors.append("'histograms' is not an object")
+        return
+    for name, h in hists.items():
+        if not isinstance(h, dict) or "count" not in h or "buckets" not in h:
+            errors.append(f"histogram {name!r} is not a snapshot object: {h!r}")
+            continue
+        count = h["count"]
+        bucket_sum = sum(b[1] for b in h["buckets"])
+        if bucket_sum != count:
+            errors.append(
+                f"histogram {name!r}: bucket counts sum to {bucket_sum}, "
+                f"count says {count}"
+            )
+        if count > 0:
+            missing = [k for k in ("min", "max", "p50", "p90", "p99") if k not in h]
+            if missing:
+                errors.append(f"histogram {name!r} missing: " + ", ".join(missing))
+            elif not (h["p50"] <= h["p90"] <= h["p99"]):
+                errors.append(f"histogram {name!r}: quantiles not ordered")
+            if any(b[1] == 0 for b in h["buckets"]):
+                errors.append(f"histogram {name!r} stores empty buckets")
+    if traced:
+        flow_delay = [
+            n for n, h in hists.items()
+            if n.startswith("flow.") and n.endswith(".delay_ns") and h.get("count", 0) > 0
+        ]
+        if not flow_delay:
+            errors.append("no populated flow.*.delay_ns histogram")
+        required_phb = ["phb.be.queue_wait_ns"]
+        if ef_traffic:
+            required_phb.append("phb.ef.queue_wait_ns")
+        for phb in required_phb:
+            if phb not in hists:
+                errors.append(f"missing per-class histogram {phb!r}")
+
+
+def check_slo(doc, errors, traced):
+    slo = doc.get("slo")
+    if slo is None:
+        if traced:
+            errors.append("missing 'slo' section (tracing was armed)")
+        return
+    if not isinstance(slo, dict) or "flows" not in slo or "total_misses" not in slo:
+        errors.append(f"'slo' is not {{flows, total_misses}}: {slo!r}")
+        return
+    miss_sum = 0
+    with_deadline = 0
+    row_keys = {
+        "flow", "deadline_ns", "delivered", "misses", "miss_streak_max",
+        "worst_delay_ns",
+    }
+    for f in slo["flows"]:
+        if set(f) != row_keys:
+            errors.append(f"malformed SLO row: {f!r}")
+            continue
+        miss_sum += f["misses"]
+        if f["deadline_ns"] is not None:
+            with_deadline += 1
+            if f["misses"] > f["delivered"]:
+                errors.append(f"SLO row {f['flow']!r}: more misses than deliveries")
+    if slo["total_misses"] != miss_sum:
+        errors.append(
+            f"slo.total_misses {slo['total_misses']} != per-flow sum {miss_sum}"
+        )
+    if traced and with_deadline == 0:
+        errors.append("no SLO row carries a deadline")
+
+
 def check(path):
     errors = []
     try:
@@ -139,6 +230,9 @@ def check(path):
     check_counters(doc, errors, extra.get("counters", []))
     check_gauges(doc, errors, extra.get("gauges", []))
     check_trace(doc, errors)
+    traced = extra.get("traced", False)
+    check_histograms(doc, errors, traced, extra.get("ef_traffic", False))
+    check_slo(doc, errors, traced)
     return errors, doc
 
 

@@ -4,6 +4,7 @@
 //! arming the flight recorder must not perturb the simulation itself.
 
 use mpichgq_bench::{fig1_tcp_sawtooth_run, Fig1Cfg};
+use mpichgq_obs::{parse, FlightRecorder, Histogram, JsonWriter};
 use mpichgq_sim::SimTime;
 
 fn short_cfg() -> Fig1Cfg {
@@ -42,6 +43,13 @@ fn fig1_metrics_carry_the_documented_schema() {
         "\"capacity\":256",
         "\"events\":[",
         "\"high_water\"",
+        // Lifecycle tracing rides along with the flight recorder: per-class
+        // and per-flow histograms plus the SLO conformance section.
+        "\"histograms\"",
+        "\"phb.be.queue_wait_ns\"",
+        "\"p99\"",
+        "\"slo\"",
+        "\"total_misses\"",
     ] {
         assert!(j.contains(key), "snapshot missing {key}: {j}");
     }
@@ -63,7 +71,68 @@ fn arming_the_flight_recorder_does_not_perturb_the_simulation() {
     );
     assert_eq!(series_off.points(), series_on.points());
     // The disabled run still publishes counters (they are always live) but
-    // records no trace events.
+    // records no trace events, no histograms, and no SLO section.
     assert!(off.metrics_json.contains("\"recorded\":0"));
     assert!(!on.metrics_json.contains("\"recorded\":0"));
+    assert!(off.metrics_json.contains("\"histograms\":{}"));
+    assert!(!off.metrics_json.contains("\"slo\""));
+    assert!(off.trace_json.contains("\"traceEvents\":[]"));
+}
+
+/// The flight-recorder JSON schema pins `key` as u64 and `value` as i64
+/// (see `FlightRecorder::write_json`): the full u64 key range and negative
+/// values must survive a parse round-trip without narrowing.
+#[test]
+fn flight_recorder_json_key_and_value_types_round_trip() {
+    let mut fr = FlightRecorder::default();
+    fr.enable(8);
+    fr.record(SimTime::from_nanos(5), "probe", u64::MAX, -42);
+    fr.record(SimTime::from_nanos(9), "probe", 0, i64::MIN);
+    let mut w = JsonWriter::new();
+    fr.write_json(&mut w);
+    let doc = parse(&w.finish()).expect("recorder snapshot parses");
+    let events = doc.get("events").unwrap().as_array().unwrap();
+    assert_eq!(events.len(), 2);
+    assert_eq!(events[0].get("t_ns").unwrap().as_u64(), Some(5));
+    assert_eq!(events[0].get("kind").unwrap().as_str(), Some("probe"));
+    assert_eq!(events[0].get("key").unwrap().as_u64(), Some(u64::MAX));
+    assert_eq!(events[0].get("value").unwrap().as_i64(), Some(-42));
+    assert_eq!(events[1].get("value").unwrap().as_i64(), Some(i64::MIN));
+    // The asymmetry is intentional: a u64-range key must NOT be readable
+    // as i64, and the negative value must not alias into u64 range.
+    assert_eq!(events[0].get("key").unwrap().as_i64(), None);
+    assert_eq!(events[0].get("value").unwrap().as_u64(), None);
+}
+
+/// Histogram snapshots depend only on the recorded distribution, not on
+/// insertion or merge order — byte-identical JSON either way.
+#[test]
+fn histogram_snapshots_are_order_independent() {
+    let values = [0u64, 1, 15, 16, 17, 255, 4096, 1 << 20, u64::MAX, 77, 77];
+    let mut fwd = Histogram::new();
+    for &v in &values {
+        fwd.observe(v);
+    }
+    let mut rev = Histogram::new();
+    for &v in values.iter().rev() {
+        rev.observe(v);
+    }
+    let mut split_a = Histogram::new();
+    let mut split_b = Histogram::new();
+    for (i, &v) in values.iter().enumerate() {
+        if i % 2 == 0 {
+            split_a.observe(v);
+        } else {
+            split_b.observe(v);
+        }
+    }
+    split_b.merge(&split_a);
+    let snap = |h: &Histogram| {
+        let mut w = JsonWriter::new();
+        h.write_json(&mut w);
+        w.finish()
+    };
+    assert_eq!(snap(&fwd), snap(&rev));
+    assert_eq!(snap(&fwd), snap(&split_b));
+    assert_eq!(fwd.quantile(0.5), split_b.quantile(0.5));
 }
