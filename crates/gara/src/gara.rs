@@ -250,6 +250,32 @@ impl Gara {
         self.links.len()
     }
 
+    /// Reconfigure a managed channel's reservable capacity in place,
+    /// keeping its admitted slots (the broker-side analogue of
+    /// [`SlotTable::set_capacity`]). Returns false if the channel is not
+    /// managed. Lowering below the committed peak leaves the table
+    /// transiently overcommitted; auditors see it via [`Gara::slot_tables`].
+    pub fn set_chan_capacity(&mut self, chan: ChanId, reservable_bps: u64) -> bool {
+        match self.links.get_mut(&chan) {
+            Some(t) => {
+                t.set_capacity(reservable_bps);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Managed network slot tables, for invariant auditors (qcheck checks
+    /// peak ≤ capacity on every table after each scenario).
+    pub fn slot_tables(&self) -> impl Iterator<Item = (ChanId, &SlotTable)> {
+        self.links.iter().map(|(c, t)| (*c, t))
+    }
+
+    /// Per-host CPU slot tables, for invariant auditors.
+    pub fn cpu_tables(&self) -> impl Iterator<Item = (NodeId, &SlotTable)> {
+        self.cpus.iter().map(|(h, t)| (*h, t))
+    }
+
     // ------------------------------------------------------------------
     // The uniform reservation API
     // ------------------------------------------------------------------
@@ -434,14 +460,29 @@ impl Gara {
             .collect();
         let old_rate = nreq.rate_bps;
         for (chan, sid) in &slot_list {
-            let table = self.links.get_mut(chan).expect("managed chan vanished");
-            match table.try_resize(*sid, new_rate_bps) {
-                Ok(()) => resized.push((*chan, *sid, old_rate)),
-                Err(rej) => {
+            let refusal = match self.links.get_mut(chan) {
+                // A managed channel can disappear under us (broker
+                // reconfiguration); that refuses the modify, it must not
+                // abort the process.
+                None => Some(ReserveError::Invalid("managed channel vanished")),
+                Some(table) => match table.try_resize(*sid, new_rate_bps) {
+                    Ok(()) => None,
+                    Err(rej) => Some(ReserveError::Admission(rej)),
+                },
+            };
+            match refusal {
+                None => resized.push((*chan, *sid, old_rate)),
+                Some(err) => {
+                    // Roll back infallibly: the old amounts were admitted
+                    // before, so `restore` reinstates them without
+                    // re-running admission (which could refuse, e.g. after
+                    // a capacity-lowering reconfiguration mid-sequence).
                     for (c, s, old) in resized {
-                        self.links.get_mut(&c).unwrap().try_resize(s, old).unwrap();
+                        if let Some(t) = self.links.get_mut(&c) {
+                            t.restore(s, old);
+                        }
                     }
-                    return Err(ReserveError::Admission(rej));
+                    return Err(err);
                 }
             }
         }
@@ -495,7 +536,7 @@ impl Gara {
         let amount = (new_fraction * CPU_UNITS).round() as u64;
         self.cpus
             .get_mut(&host)
-            .expect("cpu table for admitted reservation")
+            .ok_or(ReserveError::Invalid("CPU table vanished"))?
             .try_resize(sid, amount)
             .map_err(ReserveError::Admission)?;
         let active = self.resvs[&id.0].status == Status::Active;

@@ -20,4 +20,4 @@ pub use gara::{
     install, CpuRequest, Gara, NetworkRequest, Request, ReserveError, ResvId, StartSpec, Status,
     StorageRequest,
 };
-pub use slot_table::{Rejected, SlotId, SlotTable};
+pub use slot_table::{RejectReason, Rejected, SlotId, SlotTable};

@@ -23,20 +23,40 @@ struct Slot {
     amount: u64,
 }
 
+/// Why an admission or resize attempt was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RejectReason {
+    /// The interval lacks capacity at its tightest instant.
+    #[default]
+    OverCapacity,
+    /// [`SlotTable::try_resize`] named a slot this table does not hold.
+    UnknownSlot,
+}
+
 /// Admission failure: how much was free at the worst point of the interval.
+///
+/// `available` is reported with saturating arithmetic: if existing slots
+/// already exceed capacity (possible transiently after a capacity-lowering
+/// [`SlotTable::set_capacity`]), it reads 0 rather than wrapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Rejected {
     pub requested: u64,
     pub available: u64,
+    pub reason: RejectReason,
 }
 
 impl std::fmt::Display for Rejected {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "reservation of {} rejected; only {} available in the interval",
-            self.requested, self.available
-        )
+        match self.reason {
+            RejectReason::OverCapacity => write!(
+                f,
+                "reservation of {} rejected; only {} available in the interval",
+                self.requested, self.available
+            ),
+            RejectReason::UnknownSlot => {
+                write!(f, "resize to {} rejected: no such slot", self.requested)
+            }
+        }
     }
 }
 impl std::error::Error for Rejected {}
@@ -60,6 +80,15 @@ impl SlotTable {
 
     pub fn capacity(&self) -> u64 {
         self.capacity
+    }
+
+    /// Reconfigure the capacity in place, keeping every existing slot.
+    /// Lowering it below the committed peak leaves the table transiently
+    /// overcommitted — admission of *new* load is refused until enough
+    /// slots end or are removed, and auditors can quantify the overshoot
+    /// via [`SlotTable::max_overcommit`].
+    pub fn set_capacity(&mut self, capacity: u64) {
+        self.capacity = capacity;
     }
 
     /// Peak committed amount over `[start, end)`, excluding slot `except`.
@@ -102,9 +131,33 @@ impl SlotTable {
         })
     }
 
-    /// Free capacity at the tightest instant of `[start, end)`.
+    /// Free capacity at the tightest instant of `[start, end)` (0 when the
+    /// interval is already committed at or over capacity).
     pub fn available(&self, start: SimTime, end: SimTime) -> u64 {
-        self.capacity - self.peak_in(start, end, None)
+        self.capacity.saturating_sub(self.peak_in(start, end, None))
+    }
+
+    /// Peak committed amount over all time (the all-slots high-water mark).
+    pub fn max_peak(&self) -> u64 {
+        // The peak is always attained at some slot's start boundary.
+        self.slots
+            .values()
+            .map(|s| {
+                self.slots
+                    .values()
+                    .filter(|o| o.start <= s.start && s.start < o.end)
+                    .map(|o| o.amount)
+                    .sum()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// How far the committed peak exceeds capacity (0 when within bounds).
+    /// Nonzero only transiently, after a capacity-lowering
+    /// [`SlotTable::set_capacity`]; admission never creates overcommit.
+    pub fn max_overcommit(&self) -> u64 {
+        self.max_peak().saturating_sub(self.capacity)
     }
 
     /// Admit `amount` over `[start, end)` or reject without side effects.
@@ -116,10 +169,11 @@ impl SlotTable {
     ) -> Result<SlotId, Rejected> {
         assert!(start < end, "empty reservation interval");
         let peak = self.peak_in(start, end, None);
-        if peak + amount > self.capacity {
+        if peak.saturating_add(amount) > self.capacity {
             return Err(Rejected {
                 requested: amount,
-                available: self.capacity - peak,
+                available: self.capacity.saturating_sub(peak),
+                reason: RejectReason::OverCapacity,
             });
         }
         let id = self.next_id;
@@ -134,23 +188,46 @@ impl SlotTable {
     }
 
     /// Change the amount of an existing allocation (reservation modify).
-    /// On rejection the original allocation is kept unchanged.
+    /// On rejection the original allocation is kept unchanged. An unknown
+    /// slot id is reported as [`RejectReason::UnknownSlot`], distinct from
+    /// a genuine capacity refusal.
     pub fn try_resize(&mut self, id: SlotId, new_amount: u64) -> Result<(), Rejected> {
         let Some(&slot) = self.slots.get(&id.0) else {
             return Err(Rejected {
                 requested: new_amount,
                 available: 0,
+                reason: RejectReason::UnknownSlot,
             });
         };
         let peak_others = self.peak_in(slot.start, slot.end, Some(id));
-        if peak_others + new_amount > self.capacity {
+        if peak_others.saturating_add(new_amount) > self.capacity {
             return Err(Rejected {
                 requested: new_amount,
-                available: self.capacity - peak_others,
+                available: self.capacity.saturating_sub(peak_others),
+                reason: RejectReason::OverCapacity,
             });
         }
         self.slots.get_mut(&id.0).unwrap().amount = new_amount;
         Ok(())
+    }
+
+    /// Set a slot's amount without admission control. This is the rollback
+    /// primitive: restoring a previously admitted amount must never fail,
+    /// even if capacity was reconfigured in between. Returns whether the
+    /// slot existed.
+    pub fn restore(&mut self, id: SlotId, amount: u64) -> bool {
+        match self.slots.get_mut(&id.0) {
+            Some(s) => {
+                s.amount = amount;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Current amount of an allocation, if it exists.
+    pub fn amount_of(&self, id: SlotId) -> Option<u64> {
+        self.slots.get(&id.0).map(|s| s.amount)
     }
 
     /// Committed amount at instant `t`.
@@ -237,6 +314,64 @@ mod tests {
         st.try_insert(t(5), t(6), 90).unwrap();
         let err = st.try_insert(t(0), t(10), 20).unwrap_err();
         assert_eq!(err.available, 10);
+    }
+
+    #[test]
+    fn overcommitted_table_reports_zero_available_not_underflow() {
+        // Regression: `capacity - peak` underflowed (panicking in debug,
+        // wrapping to ~u64::MAX available in release) whenever existing
+        // slots exceeded a lowered capacity.
+        let mut st = SlotTable::new(100);
+        let a = st.try_insert(t(0), t(10), 80).unwrap();
+        st.set_capacity(60);
+        assert_eq!(st.max_overcommit(), 20);
+        assert_eq!(st.available(t(0), t(10)), 0);
+        let err = st.try_insert(t(0), t(10), 1).unwrap_err();
+        assert_eq!(err.available, 0);
+        assert_eq!(err.reason, RejectReason::OverCapacity);
+        // Growing the overcommitted slot is refused with a saturated report;
+        // shrinking it back under the new capacity is allowed.
+        let err = st.try_resize(a, 81).unwrap_err();
+        assert_eq!(err.available, 60);
+        assert_eq!(err.reason, RejectReason::OverCapacity);
+        st.try_resize(a, 50).unwrap();
+        assert_eq!(st.max_overcommit(), 0);
+    }
+
+    #[test]
+    fn resize_of_unknown_slot_is_distinguished() {
+        let mut st = SlotTable::new(100);
+        let a = st.try_insert(t(0), t(10), 100).unwrap();
+        let err = st.try_resize(SlotId(999), 10).unwrap_err();
+        assert_eq!(err.reason, RejectReason::UnknownSlot);
+        // A genuine capacity refusal keeps its own reason.
+        st.remove(a);
+        let a = st.try_insert(t(0), t(10), 50).unwrap();
+        st.try_insert(t(0), t(10), 50).unwrap();
+        let err = st.try_resize(a, 51).unwrap_err();
+        assert_eq!(err.reason, RejectReason::OverCapacity);
+    }
+
+    #[test]
+    fn restore_is_infallible_even_over_capacity() {
+        let mut st = SlotTable::new(100);
+        let a = st.try_insert(t(0), t(10), 80).unwrap();
+        st.set_capacity(10);
+        // try_resize would refuse; restore (rollback) must not.
+        assert!(st.try_resize(a, 80).is_err());
+        assert!(st.restore(a, 80));
+        assert_eq!(st.amount_of(a), Some(80));
+        assert!(!st.restore(SlotId(999), 5));
+    }
+
+    #[test]
+    fn max_peak_tracks_staircase() {
+        let mut st = SlotTable::new(100);
+        st.try_insert(t(0), t(4), 30).unwrap();
+        st.try_insert(t(2), t(6), 30).unwrap();
+        st.try_insert(t(3), t(5), 30).unwrap();
+        assert_eq!(st.max_peak(), 90);
+        assert_eq!(st.max_overcommit(), 0);
     }
 
     #[test]

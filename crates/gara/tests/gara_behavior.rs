@@ -545,3 +545,111 @@ fn cpu_reservation_can_be_modified_live() {
         .unwrap();
     });
 }
+
+#[test]
+fn failed_multi_link_modify_rolls_back_infallibly() {
+    // A reservation path crossing two managed trunks with different
+    // reservable capacities: growing the rate succeeds on the roomier
+    // first trunk and is refused on the tighter second. The refusal must
+    // restore the first trunk's slot to the old rate — without panicking
+    // (regression: the rollback chained `try_resize(..).unwrap()` /
+    // `get_mut(..).unwrap()` and aborted the process on any wrinkle).
+    use mpichgq_netsim::{LinkCfg, QueueCfg, TopoBuilder};
+    let mut b = TopoBuilder::new(77);
+    let h1 = b.host("h1");
+    let r1 = b.router("r1");
+    let r2 = b.router("r2");
+    let r3 = b.router("r3");
+    let h2 = b.host("h2");
+    let edge = LinkCfg::fast_ethernet(SimDelta::from_micros(50));
+    let trunk = LinkCfg::atm_vc(10_000_000, SimDelta::from_millis(2));
+    b.link(h1, r1, edge, QueueCfg::droptail_default());
+    let (t12, _) = b.link(r1, r2, trunk, QueueCfg::priority_default());
+    let (t23, _) = b.link(r2, r3, trunk, QueueCfg::priority_default());
+    b.link(r3, h2, edge, QueueCfg::droptail_default());
+    let mut sim = Sim::new(b.build());
+    let mut gara = Gara::new();
+    gara.manage_chan(t12, 8_000_000);
+    gara.manage_chan(t23, 5_000_000);
+    install(&mut sim.stack, gara);
+
+    with_gara(&mut sim, |g, net| {
+        let id = g
+            .reserve(net, net_request(h1, h2, 4_000_000), StartSpec::Now, None)
+            .unwrap();
+        let horizon = SimTime::from_secs(1000);
+        assert_eq!(g.available_on(t12, SimTime::ZERO, horizon), Some(4_000_000));
+        assert_eq!(g.available_on(t23, SimTime::ZERO, horizon), Some(1_000_000));
+
+        // 6 Mb/s fits trunk 1 (8 reservable) but not trunk 2 (5 reservable).
+        let err = g.modify_network_rate(net, id, 6_000_000).unwrap_err();
+        match err {
+            ReserveError::Admission(r) => {
+                assert_eq!(r.requested, 6_000_000);
+                assert_eq!(r.available, 5_000_000);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        // Prior state restored on BOTH trunks: the old rate is still
+        // admitted, and the freed capacity adds up exactly.
+        assert_eq!(g.status(id), Some(Status::Active));
+        assert_eq!(g.available_on(t12, SimTime::ZERO, horizon), Some(4_000_000));
+        assert_eq!(g.available_on(t23, SimTime::ZERO, horizon), Some(1_000_000));
+
+        // A feasible modify still works after the refused one.
+        g.modify_network_rate(net, id, 5_000_000).unwrap();
+        assert_eq!(g.available_on(t12, SimTime::ZERO, horizon), Some(3_000_000));
+        assert_eq!(g.available_on(t23, SimTime::ZERO, horizon), Some(0));
+    });
+}
+
+#[test]
+fn modify_rollback_survives_capacity_lowering_reconfiguration() {
+    // Broker lowers a trunk's reservable capacity below the committed peak
+    // *after* admission. A later refused modify must still roll back
+    // cleanly — `restore` bypasses admission, so the old (now formally
+    // overcommitted) amount is reinstated instead of the process dying.
+    use mpichgq_netsim::{LinkCfg, QueueCfg, TopoBuilder};
+    let mut b = TopoBuilder::new(78);
+    let h1 = b.host("h1");
+    let r1 = b.router("r1");
+    let r2 = b.router("r2");
+    let r3 = b.router("r3");
+    let h2 = b.host("h2");
+    let edge = LinkCfg::fast_ethernet(SimDelta::from_micros(50));
+    let trunk = LinkCfg::atm_vc(10_000_000, SimDelta::from_millis(2));
+    b.link(h1, r1, edge, QueueCfg::droptail_default());
+    let (t12, _) = b.link(r1, r2, trunk, QueueCfg::priority_default());
+    let (t23, _) = b.link(r2, r3, trunk, QueueCfg::priority_default());
+    b.link(r3, h2, edge, QueueCfg::droptail_default());
+    let mut sim = Sim::new(b.build());
+    let mut gara = Gara::new();
+    gara.manage_chan(t12, 8_000_000);
+    gara.manage_chan(t23, 8_000_000);
+    install(&mut sim.stack, gara);
+
+    with_gara(&mut sim, |g, net| {
+        let id = g
+            .reserve(net, net_request(h1, h2, 6_000_000), StartSpec::Now, None)
+            .unwrap();
+        // Reconfiguration squeezes the first trunk under the committed 6.
+        assert!(g.set_chan_capacity(t12, 4_000_000));
+        let over: Vec<_> = g
+            .slot_tables()
+            .filter(|(_, t)| t.max_overcommit() > 0)
+            .map(|(c, t)| (c, t.max_overcommit()))
+            .collect();
+        assert_eq!(over, vec![(t12, 2_000_000)]);
+
+        // Any modify is now refused at trunk 1 (over capacity), and the
+        // rollback leaves the original 6 Mb/s in force everywhere.
+        assert!(g.modify_network_rate(net, id, 7_000_000).is_err());
+        assert_eq!(g.status(id), Some(Status::Active));
+        for (_, t) in g.slot_tables() {
+            assert_eq!(t.len(), 1);
+        }
+        let horizon = SimTime::from_secs(1000);
+        assert_eq!(g.available_on(t23, SimTime::ZERO, horizon), Some(2_000_000));
+        assert_eq!(g.available_on(t12, SimTime::ZERO, horizon), Some(0));
+    });
+}

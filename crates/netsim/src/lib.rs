@@ -34,7 +34,7 @@ pub use classifier::{Classifier, FlowSpec, PolicingAction, Verdict};
 pub use faults::{FaultAction, FaultPlan, FaultStats};
 pub use lifecycle::{FlowRec, PacketTracer, Span, SpanKind};
 pub use link::{Chan, ChanId, Framing, LinkCfg};
-pub use net::{DropStats, Net, NetHandler, Node, NodeKind, TopoBuilder};
+pub use net::{ChanAudit, DropStats, Net, NetAudit, NetHandler, Node, NodeKind, TopoBuilder};
 pub use packet::{Dscp, FlowKey, NodeId, Packet, Proto, TcpFlags, TcpHeader, L4};
 pub use queue::{Enqueue, Queue, QueueCfg, QueueStats};
 pub use shaper::{ShapeOutcome, Shaper, ShaperStats};

@@ -93,6 +93,10 @@ pub struct Chan {
     /// Transmission counters.
     pub tx_packets: u64,
     pub tx_bytes_wire: u64,
+    /// Packets whose propagation completed (counted at delivery, before any
+    /// fault verdict). `tx_packets - rx_packets` is the wire in-flight count
+    /// the conservation audit charges to this channel.
+    pub rx_packets: u64,
 }
 
 impl Chan {
@@ -149,6 +153,7 @@ mod tests {
             busy: false,
             tx_packets: 0,
             tx_bytes_wire: 0,
+            rx_packets: 0,
         };
         // 1000 bytes at 8 Mb/s = 1 ms.
         assert_eq!(chan.serialization(1000), SimDelta::from_millis(1));

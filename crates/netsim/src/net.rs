@@ -104,6 +104,86 @@ pub struct DropStats {
     pub misrouted: u64,
 }
 
+/// One interface's row of the conservation ledger (see [`Net::audit`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ChanAudit {
+    pub chan: ChanId,
+    /// Packets accepted into the interface queue (all classes).
+    pub enqueued: u64,
+    /// Packets popped from the queue for transmission.
+    pub dequeued: u64,
+    /// Packets waiting in the queue right now.
+    pub queued_pkts: u64,
+    /// Packets whose serialization started.
+    pub tx_packets: u64,
+    /// Packets whose propagation completed (counted before fault verdicts).
+    pub rx_packets: u64,
+    pub prio_inversions: u64,
+}
+
+impl ChanAudit {
+    /// Packets currently serialized onto this wire.
+    pub fn wire_in_flight(&self) -> u64 {
+        self.tx_packets.saturating_sub(self.rx_packets)
+    }
+
+    /// The per-interface identity: every packet accepted into the queue was
+    /// either popped or is still queued, every pop started a transmission,
+    /// and nothing arrived off the wire that was never put on it.
+    pub fn conserved(&self) -> bool {
+        self.enqueued == self.dequeued + self.queued_pkts
+            && self.dequeued == self.tx_packets
+            && self.rx_packets <= self.tx_packets
+    }
+}
+
+/// Instantaneous cross-layer packet ledger produced by [`Net::audit`].
+#[derive(Debug, Clone)]
+pub struct NetAudit {
+    /// Packets injected at hosts ([`Net::send_ip`]).
+    pub sent: u64,
+    /// Packets handed to the destination host's transport.
+    pub delivered: u64,
+    /// Dropped by an edge policer.
+    pub policed: u64,
+    /// Dropped by a full interface queue.
+    pub queue_full: u64,
+    /// Dropped for lack of a route or a wrong-host arrival.
+    pub misrouted: u64,
+    /// Dropped by injected faults (link down, loss, corruption).
+    pub fault_drops: u64,
+    /// Waiting in interface queues right now.
+    pub queued_pkts: u64,
+    /// Waiting in host egress shapers right now.
+    pub shaper_pkts: u64,
+    /// Serialized onto wires right now.
+    pub wire_pkts: u64,
+    /// Strict-priority violations observed by any queue.
+    pub prio_inversions: u64,
+    /// Token-bucket levels observed outside `[0, depth]`.
+    pub bucket_violations: u64,
+    pub chans: Vec<ChanAudit>,
+}
+
+impl NetAudit {
+    /// Where every injected packet is accounted right now.
+    pub fn accounted(&self) -> u64 {
+        self.delivered
+            + self.policed
+            + self.queue_full
+            + self.misrouted
+            + self.fault_drops
+            + self.queued_pkts
+            + self.shaper_pkts
+            + self.wire_pkts
+    }
+
+    /// The global identity plus every per-interface ledger row.
+    pub fn conserved(&self) -> bool {
+        self.sent == self.accounted() && self.chans.iter().all(|c| c.conserved())
+    }
+}
+
 /// Hop-count shortest-path next hops, flattened to one contiguous
 /// row-major table: `next_hop[from * n + to]` is the outgoing channel
 /// index, or [`RouteTable::NONE`]. One multiply-add and one load per
@@ -508,9 +588,12 @@ impl Net {
             m.record_total(&format!("{p}.bytes_dequeued"), st.bytes_dequeued);
             m.record_total(&format!("{p}.tx_packets"), c.tx_packets);
             m.record_total(&format!("{p}.tx_bytes_wire"), c.tx_bytes_wire);
+            m.record_total(&format!("{p}.rx_packets"), c.rx_packets);
+            m.record_total(&format!("{p}.prio_inversions"), st.prio_inversions);
             m.set_gauge(&format!("{p}.hw_ef_bytes"), st.hw_ef_bytes as f64);
             m.set_gauge(&format!("{p}.hw_be_bytes"), st.hw_be_bytes as f64);
             m.set_gauge(&format!("{p}.backlog_bytes"), q.backlog_bytes() as f64);
+            m.set_gauge(&format!("{p}.backlog_pkts"), q.len() as f64);
         }
 
         for (n, node) in self.nodes.iter_mut().enumerate() {
@@ -534,6 +617,7 @@ impl Net {
                 m.record_total(&format!("{p}.passed"), s.stats.passed);
                 m.record_total(&format!("{p}.delayed"), s.stats.delayed);
                 m.set_gauge(&format!("{p}.backlog_bytes"), s.backlog_bytes() as f64);
+                m.set_gauge(&format!("{p}.backlog_pkts"), s.queue.len() as f64);
                 m.set_gauge(
                     &format!("{p}.max_backlog_bytes"),
                     s.stats.max_backlog_bytes as f64,
@@ -562,6 +646,79 @@ impl Net {
                 self.obs.snapshot_json_with(&[("slo", &slo)])
             }
             None => self.obs.snapshot_json(),
+        }
+    }
+
+    /// Take a cross-layer conservation snapshot (the qcheck invariant
+    /// battery's raw material). Valid at *any* instant, not just after a
+    /// drain: every packet ever injected by [`Net::send_ip`] is, right now,
+    /// exactly one of delivered / dropped-for-a-named-cause / waiting in a
+    /// shaper or interface queue / serialized onto a wire.
+    pub fn audit(&mut self) -> NetAudit {
+        let now = self.now();
+        let mut chans = Vec::with_capacity(self.chans.len());
+        let mut queued_pkts = 0u64;
+        let mut wire_pkts = 0u64;
+        let mut prio_inversions = 0u64;
+        for (i, c) in self.chans.iter().enumerate() {
+            let q = &self.queues[i];
+            let st = q.stats();
+            let ca = ChanAudit {
+                chan: ChanId(i as u32),
+                enqueued: st.enq_be + st.enq_ef,
+                dequeued: st.dequeued,
+                queued_pkts: q.len(),
+                tx_packets: c.tx_packets,
+                rx_packets: c.rx_packets,
+                prio_inversions: st.prio_inversions,
+            };
+            queued_pkts += ca.queued_pkts;
+            wire_pkts += ca.wire_in_flight();
+            prio_inversions += ca.prio_inversions;
+            chans.push(ca);
+        }
+        let mut shaper_pkts = 0u64;
+        let mut bucket_violations = 0u64;
+        const EPS: f64 = 1e-6;
+        for node in &mut self.nodes {
+            for r in node.classifier.rules_mut() {
+                if let Some(tb) = &mut r.policer {
+                    let level = tb.available(now);
+                    if !(-EPS..=tb.depth_bytes() as f64 + EPS).contains(&level) {
+                        bucket_violations += 1;
+                    }
+                }
+            }
+            for s in &mut node.shapers {
+                shaper_pkts += s.queue.len() as u64;
+                let level = s.bucket.available(now);
+                if !(-EPS..=s.bucket.depth_bytes() as f64 + EPS).contains(&level) {
+                    bucket_violations += 1;
+                }
+            }
+        }
+        let fault_drops = self
+            .faults
+            .as_ref()
+            .map(|f| f.stats.drops_link_down + f.stats.drops_loss + f.stats.drops_corrupt)
+            .unwrap_or(0);
+        NetAudit {
+            sent: self.obs.metrics.counter_value("net.pkts.sent").unwrap_or(0),
+            delivered: self
+                .obs
+                .metrics
+                .counter_value("net.pkts.delivered")
+                .unwrap_or(0),
+            policed: self.drops.policed,
+            queue_full: self.drops.queue_full,
+            misrouted: self.drops.misrouted,
+            fault_drops,
+            queued_pkts,
+            shaper_pkts,
+            wire_pkts,
+            prio_inversions,
+            bucket_violations,
+            chans,
         }
     }
 
@@ -748,6 +905,11 @@ impl Net {
                 self.try_start_tx(chan);
             }
             Ev::Deliver { chan, pkt } => {
+                // Off the wire: from here the packet is either delivered,
+                // forwarded, or accounted to a named drop cause — never
+                // silently in flight. The conservation audit depends on
+                // this increment preceding the fault verdict.
+                self.chans[chan.0 as usize].rx_packets += 1;
                 if let Some(f) = self.faults.as_mut() {
                     let now = self.engine.now();
                     let verdict = f.deliver_verdict(now, chan);
@@ -994,6 +1156,7 @@ impl TopoBuilder {
             busy: false,
             tx_packets: 0,
             tx_bytes_wire: 0,
+            rx_packets: 0,
         });
         self.queues.push(Queue::new(queue));
         self.nodes[from.0 as usize].ifaces.push(id);

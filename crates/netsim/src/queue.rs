@@ -31,6 +31,11 @@ pub struct QueueStats {
     /// queue is single-class; its mark is reported as best-effort.
     pub hw_be_bytes: u64,
     pub hw_ef_bytes: u64,
+    /// Strict-priority violations: a best-effort packet was dequeued while
+    /// an EF packet was waiting. Structurally impossible with the current
+    /// `pop` ordering — the counter exists so the qcheck invariant battery
+    /// can convict any future regression of the EF-first guarantee.
+    pub prio_inversions: u64,
 }
 
 /// A byte-capacity-bounded FIFO.
@@ -181,7 +186,15 @@ impl Queue {
     pub fn pop(&mut self) -> Option<Packet> {
         let (pkt, stats) = match self {
             Queue::DropTail { fifo, stats } => (fifo.0.pop(), stats),
-            Queue::Priority { ef, be, stats } => (ef.0.pop().or_else(|| be.0.pop()), stats),
+            Queue::Priority { ef, be, stats } => {
+                let p = ef.0.pop().or_else(|| be.0.pop());
+                if let Some(p) = &p {
+                    if p.dscp != Dscp::Ef && !ef.0.q.is_empty() {
+                        stats.prio_inversions += 1;
+                    }
+                }
+                (p, stats)
+            }
         };
         if let Some(p) = &pkt {
             stats.dequeued += 1;
@@ -195,6 +208,15 @@ impl Queue {
         match self {
             Queue::DropTail { fifo, .. } => fifo.0.q.is_empty(),
             Queue::Priority { ef, be, .. } => ef.0.q.is_empty() && be.0.q.is_empty(),
+        }
+    }
+
+    /// Packets currently queued (all classes).
+    #[inline]
+    pub fn len(&self) -> u64 {
+        match self {
+            Queue::DropTail { fifo, .. } => fifo.0.q.len() as u64,
+            Queue::Priority { ef, be, .. } => (ef.0.q.len() + be.0.q.len()) as u64,
         }
     }
 

@@ -1,0 +1,82 @@
+//! Greedy scenario shrinking: lower one knob at a time while the failure
+//! (same invariant name) still reproduces.
+//!
+//! Knobs shrink independently because the generator forks one RNG stream
+//! per dimension — removing the last UDP flow does not reshuffle the TCP
+//! flows, so a smaller spec usually keeps failing for the same reason.
+//! The loop is budgeted in *runs*, not iterations, since each probe costs
+//! a full simulation.
+
+use crate::run::{run_spec, RunOutcome};
+use crate::spec::{Inject, Knobs, ScenarioSpec};
+
+/// Result of a shrink pass: the smallest still-failing spec found and the
+/// outcome of its run (whose fingerprint the repro artifact pins).
+pub struct Shrunk {
+    pub spec: ScenarioSpec,
+    pub outcome: RunOutcome,
+    pub runs_spent: usize,
+}
+
+/// True when `outcome` fails with the invariant being chased.
+fn fails_with(outcome: &RunOutcome, invariant: &str) -> bool {
+    outcome.violations.iter().any(|v| v.invariant == invariant)
+}
+
+/// Shrink `spec` while preserving a violation of `invariant`. `budget`
+/// bounds the number of candidate runs (a typical failure shrinks in well
+/// under 50).
+pub fn shrink(spec: &ScenarioSpec, inject: &Inject, invariant: &str, budget: usize) -> Shrunk {
+    let mut best_spec = *spec;
+    let mut best = run_spec(&best_spec, inject);
+    debug_assert!(fails_with(&best, invariant));
+    let mut spent = 1usize;
+    let mut progress = true;
+    while progress && spent < budget {
+        progress = false;
+        for (name, field) in Knobs::fields() {
+            let floor = Knobs::floor(name);
+            loop {
+                let cur = {
+                    let mut k = best_spec.knobs;
+                    *field(&mut k)
+                };
+                if cur <= floor || spent >= budget {
+                    break;
+                }
+                // Try the floor first (drop the dimension entirely), then
+                // halve the distance.
+                let mut candidates = vec![floor];
+                let half = floor + (cur - floor) / 2;
+                if half != floor && half != cur {
+                    candidates.push(half);
+                }
+                let mut improved = false;
+                for cand in candidates {
+                    let mut trial = best_spec;
+                    *field(&mut trial.knobs) = cand;
+                    let out = run_spec(&trial, inject);
+                    spent += 1;
+                    if fails_with(&out, invariant) {
+                        best_spec = trial;
+                        best = out;
+                        progress = true;
+                        improved = true;
+                        break;
+                    }
+                    if spent >= budget {
+                        break;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+    }
+    Shrunk {
+        spec: best_spec,
+        outcome: best,
+        runs_spent: spent,
+    }
+}

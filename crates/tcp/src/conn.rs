@@ -58,6 +58,14 @@ pub struct TcpCfg {
     pub delayed_ack: bool,
     /// Delayed-ACK timeout (era stacks: 200 ms).
     pub delack_delay: SimDelta,
+    /// Disable Karn's algorithm (bug-injection switch for the qcheck
+    /// fuzzer's self-test: with this set, RTT samples are armed on
+    /// retransmitted bytes and survive retransmissions, reproducing the
+    /// historical bug; the `karn_violations` audit counter still detects
+    /// every bogus sample that reaches `update_rtt`). Never set this in
+    /// real configurations.
+    #[doc(hidden)]
+    pub karn_disable: bool,
 }
 
 impl TcpCfg {
@@ -90,6 +98,7 @@ impl Default for TcpCfg {
             idle_restart: true,
             delayed_ack: false,
             delack_delay: SimDelta::from_millis(200),
+            karn_disable: false,
         }
     }
 }
@@ -194,6 +203,31 @@ pub struct ConnStats {
     pub dup_acks_received: u64,
     /// RFC 2861 idle-restart window collapses.
     pub slow_start_restarts: u64,
+    /// RTT samples taken from (possibly) retransmitted data that reached
+    /// `update_rtt` — Karn's algorithm forbids these, so this stays 0
+    /// unless the `karn_disable` bug switch is set. Audited by qcheck.
+    pub karn_violations: u64,
+    /// Protocol-invariant failures caught by the connection's self-audit
+    /// (`snd_una ≤ snd_nxt ≤ written+1`, monotone `snd_una`/`delivered`,
+    /// `cwnd ≥ mss`). Always 0 on a correct implementation; audited by
+    /// qcheck after every fuzzed scenario.
+    pub invariant_violations: u64,
+}
+
+/// One outstanding RTT measurement (RFC 6298 timing of a single segment).
+#[derive(Debug, Clone, Copy)]
+struct RttSample {
+    /// Cumulative ACK threshold that completes the sample.
+    seq: u64,
+    /// When the sampled segment was transmitted.
+    at: SimTime,
+    /// False if the sampled bytes were (or may have been) transmitted more
+    /// than once — Karn's algorithm: such a sample must never reach
+    /// `update_rtt`. With the fix in force an unclean sample is cleared at
+    /// the retransmission, so `clean` is always true at acceptance; the
+    /// flag exists so the `karn_disable` bug switch still *detects* (and
+    /// counts) the violations it reintroduces.
+    clean: bool,
 }
 
 /// A TCP connection endpoint.
@@ -225,8 +259,13 @@ pub struct Connection {
     rttvar: SimDelta,
     timer_gen: u64,
     timer_armed: bool,
-    /// One outstanding RTT sample: (sequence that must be acked, send time).
-    rtt_sample: Option<(u64, SimTime)>,
+    /// One outstanding RTT sample.
+    rtt_sample: Option<RttSample>,
+    /// Transmission high-water mark: one past the highest byte ever sent.
+    /// `snd_nxt < max_sent` means the stream is being re-sent (go-back-N
+    /// after an RTO), so segments below this frontier are retransmissions
+    /// even when they flow through the regular `send_data` path.
+    max_sent: u64,
     /// Time of the last data transmission (for idle restart).
     last_send: SimTime,
     /// A delayed ACK is owed for received in-order data.
@@ -248,6 +287,10 @@ pub struct Connection {
     advertised_wnd: u32,
     our_fin_acked: bool,
 
+    // --- self-audit memory (monotonicity witnesses) ---
+    audit_una: u64,
+    audit_delivered: u64,
+
     pub stats: ConnStats,
 }
 
@@ -268,6 +311,7 @@ impl Connection {
             rtx: false,
         }));
         c.snd_nxt = 1; // SYN occupies sequence 0
+        c.max_sent = 1;
         c.arm_timer(now, &mut outs);
         (c, outs)
     }
@@ -294,6 +338,7 @@ impl Connection {
             rtx: false,
         }));
         c.snd_nxt = 1;
+        c.max_sent = 1;
         c.arm_timer(now, &mut outs);
         (c, outs)
     }
@@ -320,6 +365,7 @@ impl Connection {
             timer_gen: 0,
             timer_armed: false,
             rtt_sample: None,
+            max_sent: 0,
             last_send: SimTime::ZERO,
             delack_pending: false,
             delack_gen: 1,
@@ -330,6 +376,8 @@ impl Connection {
             peer_fin_acked: false,
             advertised_wnd: cfg.recv_buf,
             our_fin_acked: false,
+            audit_una: 0,
+            audit_delivered: 0,
             stats: ConnStats::default(),
         }
     }
@@ -403,6 +451,7 @@ impl Connection {
         }
         let mut outs = Vec::new();
         self.send_data(now, &mut outs);
+        self.audit();
         (accepted, outs)
     }
 
@@ -419,6 +468,7 @@ impl Connection {
         {
             self.emit_ack(&mut outs);
         }
+        self.audit();
         (n, outs)
     }
 
@@ -438,6 +488,12 @@ impl Connection {
     // ------------------------------------------------------------------
 
     pub fn on_segment(&mut self, seg: &SegIn, now: SimTime) -> Vec<Out> {
+        let outs = self.on_segment_inner(seg, now);
+        self.audit();
+        outs
+    }
+
+    fn on_segment_inner(&mut self, seg: &SegIn, now: SimTime) -> Vec<Out> {
         let mut outs = Vec::new();
         if seg.flags.rst {
             self.state = State::Closed;
@@ -511,10 +567,19 @@ impl Connection {
                     self.our_fin_acked = true;
                 }
             }
-            // RTT sampling (Karn: sample invalidated on retransmission).
-            if let Some((sample_seq, sent_at)) = self.rtt_sample {
-                if ack >= sample_seq {
-                    let r = now.since(sent_at);
+            // RTT sampling. Karn's algorithm: a sample is only trustworthy
+            // if the timed bytes were transmitted exactly once — samples
+            // armed on retransmitted data, or outlived by a retransmission,
+            // are cleared in `note_retransmit` and never get here. The
+            // `clean` check is the always-on auditor: it counts any bogus
+            // sample that slips through (reachable only via the
+            // `karn_disable` bug-injection switch).
+            if let Some(s) = self.rtt_sample {
+                if ack >= s.seq {
+                    if !s.clean {
+                        self.stats.karn_violations += 1;
+                    }
+                    let r = now.since(s.at);
                     self.update_rtt(r);
                     self.rtt_sample = None;
                 }
@@ -613,8 +678,48 @@ impl Connection {
         self.rto = candidate.max(self.cfg.rto_min).min(self.cfg.rto_max);
     }
 
+    /// Karn's algorithm: a retransmission makes any outstanding RTT sample
+    /// ambiguous (the completing ACK may have been triggered by either
+    /// copy), so drop it. Every retransmit path funnels through here —
+    /// fast retransmit, RTO go-back-N, FIN and SYN retransmissions. With
+    /// the `karn_disable` bug switch the sample survives but is marked
+    /// unclean, so the audit counter can convict it at acceptance.
+    fn note_retransmit(&mut self) {
+        if self.cfg.karn_disable {
+            if let Some(s) = &mut self.rtt_sample {
+                s.clean = false;
+            }
+        } else {
+            self.rtt_sample = None;
+        }
+    }
+
+    /// Always-on protocol self-audit, run after every externally driven
+    /// state transition (segment arrival, timer, app read/write). Checks
+    /// sequence-space ordering (`snd_una <= snd_nxt <= max_sent <=
+    /// written + 1`, the `+ 1` being the FIN's sequence slot), congestion
+    /// window floor (`cwnd >= mss`), receive-side sanity (`delivered <=
+    /// rcv_nxt`), and monotonicity of `snd_una` and `delivered` against
+    /// the values witnessed by the previous audit. Violations only bump
+    /// `stats.invariant_violations` — the connection keeps running so a
+    /// fuzzer can observe the count without the process aborting.
+    fn audit(&mut self) {
+        let ordered = self.snd_una <= self.snd_nxt
+            && self.snd_nxt <= self.max_sent
+            && self.max_sent <= self.written + 1;
+        let monotone = self.snd_una >= self.audit_una && self.delivered >= self.audit_delivered;
+        let cwnd_ok = self.cwnd >= self.cfg.mss as f64;
+        let recv_ok = self.delivered <= self.rcv_nxt;
+        if !(ordered && monotone && cwnd_ok && recv_ok) {
+            self.stats.invariant_violations += 1;
+        }
+        self.audit_una = self.snd_una;
+        self.audit_delivered = self.delivered;
+    }
+
     /// Retransmit one segment starting at `snd_una`.
     fn retransmit_head(&mut self, _now: SimTime, outs: &mut Vec<Out>) {
+        self.note_retransmit();
         if self.snd_una == 0 {
             // Retransmit SYN (or SYN/ACK).
             let flags = match self.state {
@@ -653,7 +758,6 @@ impl Connection {
                 rtx: true,
             }));
             self.stats.rtx_segs += 1;
-            self.rtt_sample = None;
             return;
         }
         let data_left = self.written.saturating_sub(self.snd_una);
@@ -674,8 +778,6 @@ impl Connection {
             self.stats.segs_sent += 1;
             self.stats.bytes_sent += len as u64;
         }
-        // Karn's algorithm: retransmitted data poisons the RTT sample.
-        self.rtt_sample = None;
     }
 
     fn process_data(&mut self, seg: &SegIn, now: SimTime, outs: &mut Vec<Out>) {
@@ -815,6 +917,10 @@ impl Connection {
                 break;
             }
             let seq = self.snd_nxt;
+            // Below the transmission high-water mark this is a go-back-N
+            // retransmission (snd_nxt was rewound at an RTO), even though
+            // it flows through the regular send path.
+            let fresh = seq >= self.max_sent;
             outs.push(Out::Seg(SegOut {
                 seq,
                 ack: self.rcv_nxt,
@@ -824,14 +930,23 @@ impl Connection {
                     ack: true,
                     ..Default::default()
                 },
-                rtx: false,
+                rtx: !fresh,
             }));
             self.snd_nxt += len;
+            self.max_sent = self.max_sent.max(self.snd_nxt);
             self.stats.segs_sent += 1;
             self.stats.bytes_sent += len;
             self.last_send = now;
-            if self.rtt_sample.is_none() {
-                self.rtt_sample = Some((self.snd_nxt, now));
+            // Karn: time only segments transmitted for the first time. The
+            // bug switch restores the historical behavior (arming on
+            // re-sent bytes) but brands the sample unclean so the audit
+            // counter convicts it when it completes.
+            if self.rtt_sample.is_none() && (fresh || self.cfg.karn_disable) {
+                self.rtt_sample = Some(RttSample {
+                    seq: self.snd_nxt,
+                    at: now,
+                    clean: fresh,
+                });
             }
             sent_any = true;
         }
@@ -853,6 +968,7 @@ impl Connection {
                 }));
                 self.fin_seq = Some(self.snd_nxt);
                 self.snd_nxt += 1;
+                self.max_sent = self.max_sent.max(self.snd_nxt);
                 if self.state == State::Established {
                     self.state = State::FinWait;
                 }
@@ -907,6 +1023,12 @@ impl Connection {
     /// A timer fired: the retransmission timer (even generations) or the
     /// delayed-ACK timer (odd generations).
     pub fn on_timer(&mut self, gen: u64, now: SimTime) -> Vec<Out> {
+        let outs = self.on_timer_inner(gen, now);
+        self.audit();
+        outs
+    }
+
+    fn on_timer_inner(&mut self, gen: u64, now: SimTime) -> Vec<Out> {
         let mut outs = Vec::new();
         if gen % 2 == 1 {
             if gen == self.delack_gen && self.delack_pending && self.state != State::Closed {
@@ -946,7 +1068,7 @@ impl Connection {
                     self.fin_queued = true;
                 }
             }
-            self.rtt_sample = None; // Karn
+            self.note_retransmit(); // Karn
             self.stats.rtx_segs += 1;
             self.send_data(now, &mut outs);
             self.rto = (self.rto * 2).min(self.cfg.rto_max);
@@ -971,6 +1093,7 @@ impl Connection {
                 rtx: false,
             }));
             self.snd_nxt += 1;
+            self.max_sent = self.max_sent.max(self.snd_nxt);
             self.stats.segs_sent += 1;
             self.stats.bytes_sent += 1;
             self.rto = (self.rto * 2).min(self.cfg.rto_max);

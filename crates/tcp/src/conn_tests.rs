@@ -613,3 +613,85 @@ fn delack_off_acks_every_segment() {
     let outs = c.on_segment(&data_at(1, 1000), t(2));
     assert_eq!(segs(&outs).len(), 1, "immediate ack when delack disabled");
 }
+
+// ----------------------------------------------------------------------
+// Karn's algorithm (pinned regressions for the RTO go-back-N bug)
+// ----------------------------------------------------------------------
+
+/// The retransmission timer armed by a batch of outs (even generations;
+/// delayed-ACK generations are odd).
+fn rtx_timer(outs: &[Out]) -> (u64, SimTime) {
+    outs.iter()
+        .rev()
+        .find_map(|o| match o {
+            Out::ArmTimer { gen, at } if gen % 2 == 0 => Some((*gen, *at)),
+            _ => None,
+        })
+        .expect("retransmission timer armed")
+}
+
+/// Drive one clean MSS exchange (write at t(10), ACK at t(110)) so srtt is
+/// primed to 100 ms, then write a second MSS that goes unACKed until the
+/// RTO fires and go-back-N re-sends it.
+fn primed_then_rto(cfg: TcpCfg) -> (Connection, u64) {
+    let mss = cfg.mss as u64;
+    let mut c = established(cfg);
+    let (n, outs) = c.write(mss, t(10));
+    assert_eq!(n, mss);
+    assert_eq!(data_segs(&outs).len(), 1);
+    let _ = c.on_segment(&ack_of(&c, 1 + mss, 65535), t(110));
+    assert_eq!(c.srtt(), Some(SimDelta::from_millis(100)));
+    // Second burst at t(200); the ACK never arrives.
+    let (n, outs) = c.write(mss, t(200));
+    assert_eq!(n, mss);
+    let (gen, at) = rtx_timer(&outs);
+    // srtt 100 ms, rttvar 50 ms -> RTO 300 ms.
+    assert_eq!(at, t(500));
+    let outs = c.on_timer(gen, t(500));
+    let rtx = data_segs(&outs);
+    assert_eq!(rtx.len(), 1, "go-back-N re-sends the lost segment");
+    assert!(
+        rtx[0].rtx,
+        "re-sent bytes must be flagged as a retransmission"
+    );
+    (c, 1 + 2 * mss)
+}
+
+#[test]
+fn karn_rto_retransmission_never_times_rtt() {
+    let (mut c, ack) = primed_then_rto(TcpCfg::default());
+    let srtt0 = c.srtt().unwrap();
+    // The ACK of the retransmitted segment lands 4.5 s after the original
+    // transmission. It is ambiguous (it may acknowledge either copy), so
+    // Karn's algorithm forbids feeding it to update_rtt.
+    let _ = c.on_segment(&ack_of(&c, ack, 65535), t(5000));
+    assert_eq!(c.flight(), 0, "the late ACK covers everything outstanding");
+    assert_eq!(
+        c.srtt(),
+        Some(srtt0),
+        "ambiguous ACK of a retransmission must not move srtt"
+    );
+    assert_eq!(c.stats.karn_violations, 0);
+    assert_eq!(c.stats.invariant_violations, 0);
+}
+
+#[test]
+fn karn_disable_switch_reintroduces_the_bogus_sample() {
+    let cfg = TcpCfg {
+        karn_disable: true,
+        ..TcpCfg::default()
+    };
+    let (mut c, ack) = primed_then_rto(cfg);
+    let srtt0 = c.srtt().unwrap();
+    let _ = c.on_segment(&ack_of(&c, ack, 65535), t(5000));
+    // The historical bug: the sample armed at t(200) survives the RTO and
+    // the 4.8 s "RTT" is fed into the estimator — and the audit counter
+    // convicts it.
+    assert_eq!(c.stats.karn_violations, 1);
+    assert!(
+        c.srtt().unwrap() > srtt0 * 4,
+        "bug switch must reproduce the srtt pollution ({:?} vs {:?})",
+        c.srtt(),
+        srtt0
+    );
+}

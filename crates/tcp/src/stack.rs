@@ -218,6 +218,17 @@ impl Stack {
         }
     }
 
+    /// All sockets that currently hold a TCP connection, for stack-wide
+    /// audits (the qcheck invariant battery sums per-connection counters).
+    pub fn tcp_sock_ids(&self) -> Vec<SockId> {
+        self.socks
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.kind, SockKind::Tcp(_)))
+            .map(|(i, _)| SockId(i as u32))
+            .collect()
+    }
+
     pub fn conn_state(&self, sock: SockId) -> Option<State> {
         match &self.socks[sock.0 as usize].kind {
             SockKind::Tcp(c) => Some(c.state()),

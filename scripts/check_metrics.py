@@ -19,6 +19,10 @@ Checks, per file:
   counters and fault counters; the traced runs' per-flow delay
   histograms and deadline rows).
 
+Files whose top level carries "qcheck_summary" (the scenario fuzzer's
+batch report, results/qcheck/summary.json) are validated against the
+qcheck summary schema instead (DESIGN.md §12).
+
 All problems in a file are collected and reported together — a missing
 section or key never aborts the remaining checks, so one run lists
 every violation at once.
@@ -216,6 +220,32 @@ def check_slo(doc, errors, traced):
         errors.append("no SLO row carries a deadline")
 
 
+def check_qcheck_summary(doc, errors):
+    """Schema of results/qcheck/summary.json (the fuzzer's batch report)."""
+    if doc.get("qcheck_summary") != 1:
+        errors.append(f"unsupported qcheck_summary schema: {doc.get('qcheck_summary')!r}")
+    for k in ("seeds", "violations"):
+        if not isinstance(doc.get(k), int) or doc.get(k, -1) < 0:
+            errors.append(f"{k!r} is not a non-negative integer: {doc.get(k)!r}")
+    failed = doc.get("failed_seeds")
+    if not isinstance(failed, list) or not all(isinstance(s, int) for s in failed):
+        errors.append(f"'failed_seeds' is not a list of integers: {failed!r}")
+    elif isinstance(doc.get("seeds"), int) and len(failed) > doc["seeds"]:
+        errors.append("more failed seeds than seeds run")
+    elif isinstance(doc.get("violations"), int) and len(failed) > doc["violations"]:
+        errors.append("more failed seeds than violations")
+    totals = doc.get("totals")
+    if not isinstance(totals, dict) or set(totals) != {"events", "sent", "delivered"}:
+        errors.append(f"'totals' is not {{events, sent, delivered}}: {totals!r}")
+        return
+    for k, v in totals.items():
+        if not isinstance(v, int) or v < 0:
+            errors.append(f"totals.{k} is not a non-negative integer: {v!r}")
+    if all(isinstance(totals.get(k), int) for k in ("sent", "delivered")):
+        if totals["delivered"] > totals["sent"]:
+            errors.append("totals.delivered exceeds totals.sent")
+
+
 def check(path):
     errors = []
     try:
@@ -225,6 +255,10 @@ def check(path):
         return [f"unreadable or invalid JSON: {exc}"], None
     if not isinstance(doc, dict):
         return ["top level is not a JSON object"], None
+
+    if "qcheck_summary" in doc:
+        check_qcheck_summary(doc, errors)
+        return errors, doc
 
     extra = REQUIRED_BY_EXPERIMENT.get(experiment_name(path), {})
     check_counters(doc, errors, extra.get("counters", []))
@@ -247,6 +281,10 @@ def main():
             failed = True
             for e in errors:
                 print(f"{path}: {e}", file=sys.stderr)
+        elif "qcheck_summary" in doc:
+            print(f"{path}: ok [qcheck summary schema] "
+                  f"({doc['seeds']} seeds, {doc['violations']} violations, "
+                  f"{doc['totals']['events']} events)")
         else:
             schema = experiment_name(path) or "generic"
             print(f"{path}: ok [{schema} schema] "

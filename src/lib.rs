@@ -11,6 +11,7 @@
 //! * [`mpi`] — the MPI subset (communicators, attributes, pt2pt, collectives)
 //! * [`core`] — MPICH-GQ itself: the MPI QoS Agent and attribute machinery
 //! * [`apps`] — the paper's workloads (ping-pong, distance visualization)
+//! * [`qcheck`] — deterministic scenario fuzzer + cross-layer invariant auditor
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -21,5 +22,6 @@ pub use mpichgq_dsrt as dsrt;
 pub use mpichgq_gara as gara;
 pub use mpichgq_mpi as mpi;
 pub use mpichgq_netsim as netsim;
+pub use mpichgq_qcheck as qcheck;
 pub use mpichgq_sim as sim;
 pub use mpichgq_tcp as tcp;

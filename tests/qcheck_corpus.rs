@@ -1,0 +1,108 @@
+//! The qcheck pinned corpus (DESIGN.md §12): the invariant battery
+//! applied to the canonical paper scenarios and to a fixed seed range of
+//! fuzzed scenarios, plus the end-to-end failure pipeline (inject →
+//! detect → shrink → artifact → bit-identical replay) exercised against
+//! the deliberately re-introducible Karn bug.
+//!
+//! Every snapshot-level check here runs the same identities the live
+//! auditor enforces, but from published counters/gauges alone — so any
+//! experiment's `metrics.json` can be audited after the fact.
+
+use mpichgq::qcheck::{
+    audit_metrics_json, parse_repro, replay, repro_json, run_spec, shrink, Inject, ScenarioSpec,
+};
+use mpichgq_bench::{chaos_run, fig1_tcp_sawtooth_run, fig7_seq_trace_run, ChaosCfg, Fig1Cfg};
+use mpichgq_sim::SimTime;
+
+fn fig1_cfg() -> Fig1Cfg {
+    Fig1Cfg {
+        duration: SimTime::from_secs(5),
+        ..Fig1Cfg::default()
+    }
+}
+
+#[test]
+fn fig1_snapshot_satisfies_the_conservation_battery() {
+    let (_, m) = fig1_tcp_sawtooth_run(fig1_cfg(), 256);
+    let viols = audit_metrics_json(&m.metrics_json).expect("snapshot parses");
+    assert!(viols.is_empty(), "fig1 snapshot violations: {viols:?}");
+}
+
+#[test]
+fn fig7_snapshot_satisfies_the_conservation_battery() {
+    let (_, m) = fig7_seq_trace_run(10.0, SimTime::from_secs(3), 256);
+    let viols = audit_metrics_json(&m.metrics_json).expect("snapshot parses");
+    assert!(viols.is_empty(), "fig7 snapshot violations: {viols:?}");
+}
+
+#[test]
+fn chaos_snapshot_satisfies_the_conservation_battery() {
+    let (_, m, _) = chaos_run(ChaosCfg::fast(), 2048);
+    let viols = audit_metrics_json(&m.metrics_json).expect("snapshot parses");
+    assert!(viols.is_empty(), "chaos snapshot violations: {viols:?}");
+}
+
+/// The pinned fuzz corpus: these seeds ran clean when the suite was
+/// written and must stay clean. A failure here is a real regression in
+/// some layer's bookkeeping (or a nondeterminism leak), not fuzz noise.
+#[test]
+fn pinned_seed_corpus_runs_clean() {
+    for seed in 0..16 {
+        let out = run_spec(&ScenarioSpec::from_seed(seed), &Inject::default());
+        assert!(
+            out.ok(),
+            "seed {seed} violated {:?}",
+            out.violations.first()
+        );
+        assert!(out.events > 0, "seed {seed} simulated nothing");
+    }
+}
+
+#[test]
+fn fuzzed_scenarios_are_bit_identical_across_runs() {
+    for seed in [3, 7, 13] {
+        let spec = ScenarioSpec::from_seed(seed);
+        let a = run_spec(&spec, &Inject::default());
+        let b = run_spec(&spec, &Inject::default());
+        assert_eq!(a.fingerprint, b.fingerprint, "seed {seed} diverged");
+        assert_eq!(a.events, b.events);
+    }
+}
+
+/// The acceptance pipeline: re-introduce the Karn bug via the injection
+/// switch (no source patch), prove the fuzzer convicts it, shrink the
+/// scenario, and replay the artifact bit-identically.
+#[test]
+fn injected_karn_bug_is_convicted_shrunk_and_replayable() {
+    let inject = Inject { karn: true };
+    let out = (0..40)
+        .map(|s| run_spec(&ScenarioSpec::from_seed(s), &inject))
+        .find(|o| o.violations.iter().any(|v| v.invariant == "karn"))
+        .expect("no seed in 0..40 tripped the injected Karn bug");
+    let shrunk = shrink(&out.spec, &inject, "karn", 40);
+    let k = &shrunk.spec.knobs;
+    assert!(
+        k.tcp_flows + k.mpi_pairs > 0,
+        "a Karn conviction needs at least one TCP-bearing workload: {k:?}"
+    );
+    let artifact = repro_json(&shrunk.outcome);
+    let repro = parse_repro(&artifact).expect("artifact parses");
+    assert_eq!(repro.spec, shrunk.spec);
+    assert_eq!(repro.violation.invariant, "karn");
+    let rep = replay(&repro);
+    assert!(rep.same_invariant, "replay lost the violation");
+    assert!(rep.same_fingerprint, "replay was not bit-identical");
+}
+
+/// Without the injection switch the same seeds carry no Karn violation —
+/// i.e. the conviction above is attributable to the armed bug alone.
+#[test]
+fn karn_conviction_requires_the_injected_bug() {
+    for seed in 0..40 {
+        let out = run_spec(&ScenarioSpec::from_seed(seed), &Inject::default());
+        assert!(
+            !out.violations.iter().any(|v| v.invariant == "karn"),
+            "seed {seed} convicted karn without the bug armed"
+        );
+    }
+}
