@@ -7,6 +7,8 @@
 //! qcheck --inject-bug karn           arm a deliberate bug (must fail)
 //! qcheck --replay results/qcheck/repro-17.json
 //! qcheck --out DIR                   artifact directory (default results/qcheck)
+//! qcheck --threads 4                 determinism self-test: every seed must
+//!                                    fingerprint identically at 1 and N threads
 //! ```
 //!
 //! On a violation: shrink to a minimal knob vector, write
@@ -15,8 +17,8 @@
 //! `scripts/check_metrics.py` validates its schema in CI.
 
 use mpichgq_qcheck::{
-    parse_repro, replay, repro_json, run_spec, shrink, summary_json, Inject, RunOutcome,
-    ScenarioSpec,
+    parse_repro, replay, repro_json, run_par_scenario, run_spec, run_spec_threads, shrink,
+    summary_json, Inject, RunOutcome, ScenarioSpec,
 };
 use std::process::ExitCode;
 
@@ -26,13 +28,14 @@ struct Args {
     out_dir: String,
     replay_path: Option<String>,
     shrink_budget: usize,
+    threads: usize,
     verbose: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: qcheck [--seeds A..B | --seed N] [--inject-bug karn] \
-         [--out DIR] [--shrink-budget N] [--replay FILE] [-v]"
+         [--out DIR] [--shrink-budget N] [--threads N] [--replay FILE] [-v]"
     );
     ExitCode::from(2)
 }
@@ -44,6 +47,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         out_dir: "results/qcheck".to_string(),
         replay_path: None,
         shrink_budget: 60,
+        threads: 1,
         verbose: false,
     };
     let mut it = std::env::args().skip(1);
@@ -86,6 +90,16 @@ fn parse_args() -> Result<Args, ExitCode> {
                     return Err(usage());
                 };
                 args.shrink_budget = n;
+            }
+            "--threads" => {
+                let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                    return Err(usage());
+                };
+                if n == 0 {
+                    eprintln!("qcheck: --threads must be >= 1");
+                    return Err(ExitCode::from(2));
+                }
+                args.threads = n;
             }
             "--replay" => {
                 let Some(p) = it.next() else {
@@ -155,9 +169,34 @@ fn main() -> ExitCode {
         eprintln!("qcheck: cannot create {}", args.out_dir);
         return ExitCode::FAILURE;
     }
+    let mut determinism_breaks = 0usize;
     for seed in args.seeds.clone() {
         let spec = ScenarioSpec::from_seed(seed);
         let out = run_spec(&spec, &args.inject);
+        // Determinism self-test: the same seed driven through the parallel
+        // engine's windowed schedule must land on the same FNV fingerprint.
+        // Any divergence is a parallel-engine bug, not a scenario bug.
+        if args.threads > 1 {
+            let par = run_spec_threads(&spec, &args.inject, args.threads);
+            if par.fingerprint != out.fingerprint || par.events != out.events {
+                determinism_breaks += 1;
+                eprintln!(
+                    "seed {seed}: DETERMINISM BREAK — 1 thread {:#018x} ({} events) \
+                     vs {} threads {:#018x} ({} events)",
+                    out.fingerprint, out.events, args.threads, par.fingerprint, par.events
+                );
+            }
+            let mono = run_par_scenario(seed, 1);
+            let multi = run_par_scenario(seed, args.threads);
+            if (mono.fingerprint, mono.events) != (multi.fingerprint, multi.events) {
+                determinism_breaks += 1;
+                eprintln!(
+                    "seed {seed}: PARTITIONED DETERMINISM BREAK — {} shards, \
+                     1 thread {:#018x} vs {} threads {:#018x}",
+                    mono.shards, mono.fingerprint, args.threads, multi.fingerprint
+                );
+            }
+        }
         if args.verbose {
             println!(
                 "seed {seed}: events {} sent {} delivered {} {}",
@@ -197,11 +236,17 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let total_events: u64 = outcomes.iter().map(|o| o.events).sum();
+    if args.threads > 1 {
+        println!(
+            "qcheck: determinism self-test at {} threads: {} seeds, {} breaks",
+            args.threads, n, determinism_breaks
+        );
+    }
     println!(
         "qcheck: {} seeds, {} failures, {} events -> {}",
         n, failures, total_events, spath
     );
-    if failures == 0 {
+    if failures == 0 && determinism_breaks == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -13,13 +13,9 @@
 //!
 //! Run with: `cargo run --release -p mpichgq-bench --bin bench_engine`
 
+use mpichgq_bench::bulk::transport_multiflow_bulk;
 use mpichgq_bench::{fig1_tcp_sawtooth_counted, fig5_pingpong_point_counted, Fig1Cfg, Fig5Cfg};
-use mpichgq_netsim::link::{Framing, LinkCfg};
-use mpichgq_netsim::net::TopoBuilder;
-use mpichgq_netsim::queue::QueueCfg;
-use mpichgq_netsim::NodeId;
 use mpichgq_sim::{Engine, SchedulerKind, SimDelta, SimRng, SimTime};
-use mpichgq_tcp::{App, Ctx, DataMode, Sim, SockId, TcpCfg};
 use std::time::Instant;
 
 /// Wall-clock repeats per (workload, backend); best run is reported so
@@ -120,102 +116,6 @@ fn engine_churn(kind: SchedulerKind, quick: bool) -> u64 {
     eng.processed()
 }
 
-struct BulkTx {
-    dst: NodeId,
-    total: u64,
-    sent: u64,
-    sock: Option<SockId>,
-}
-impl App for BulkTx {
-    fn on_start(&mut self, ctx: &mut Ctx) {
-        self.sock = Some(ctx.tcp_connect(self.dst, 7000, TcpCfg::default(), DataMode::Counted));
-    }
-    fn on_connected(&mut self, _s: SockId, ctx: &mut Ctx) {
-        self.pump(ctx);
-    }
-    fn on_writable(&mut self, _s: SockId, ctx: &mut Ctx) {
-        self.pump(ctx);
-    }
-}
-impl BulkTx {
-    fn pump(&mut self, ctx: &mut Ctx) {
-        let s = self.sock.unwrap();
-        while self.sent < self.total {
-            let n = ctx.send(s, (self.total - self.sent).min(16 * 1024));
-            self.sent += n;
-            if n == 0 {
-                break;
-            }
-        }
-    }
-}
-struct BulkRx;
-impl App for BulkRx {
-    fn on_start(&mut self, ctx: &mut Ctx) {
-        ctx.tcp_listen(7000, TcpCfg::default(), DataMode::Counted);
-    }
-    fn on_readable(&mut self, s: SockId, ctx: &mut Ctx) {
-        ctx.recv(s, u64::MAX);
-    }
-}
-
-/// The headline workload: 32 concurrent bulk TCP flows sharing one
-/// high-bandwidth-delay trunk, so the engine carries a deep standing
-/// population of in-flight Deliver events plus per-flow TCP timers.
-fn transport_multiflow(kind: SchedulerKind) -> u64 {
-    const FLOWS: usize = 32;
-    let mut b = TopoBuilder::new(0xF10E5);
-    b.scheduler(kind);
-    let r1 = b.router("r1");
-    let r2 = b.router("r2");
-    let edge = LinkCfg {
-        bandwidth_bps: 10_000_000_000,
-        delay: SimDelta::from_micros(10),
-        framing: Framing::None,
-    };
-    let trunk = LinkCfg {
-        bandwidth_bps: 622_080_000, // OC12
-        delay: SimDelta::from_millis(20),
-        framing: Framing::None,
-    };
-    let q = QueueCfg::priority_default();
-    b.link(r1, r2, trunk, q);
-    let pairs: Vec<(NodeId, NodeId)> = (0..FLOWS)
-        .map(|i| {
-            let src = b.host(&format!("src{i}"));
-            let dst = b.host(&format!("dst{i}"));
-            b.link(src, r1, edge, q);
-            b.link(r2, dst, edge, q);
-            (src, dst)
-        })
-        .collect();
-    let mut sim = Sim::new(b.build());
-    for &(src, dst) in &pairs {
-        sim.spawn_app(dst, Box::new(BulkRx));
-        sim.spawn_app(
-            src,
-            Box::new(BulkTx {
-                dst,
-                total: u64::MAX / 2,
-                sent: 0,
-                sock: None,
-            }),
-        );
-    }
-    sim.run_until(SimTime::from_secs(10));
-    if std::env::var_os("BENCH_ENGINE_STATS").is_some() {
-        if let Some(s) = sim.net.scheduler_stats() {
-            eprintln!(
-                "[stats] transport_multiflow: pending={} processed={} {:?}",
-                sim.net.pending_events(),
-                sim.net.events_processed(),
-                s
-            );
-        }
-    }
-    sim.net.events_processed()
-}
-
 fn fig1_sawtooth(kind: SchedulerKind) -> u64 {
     let cfg = Fig1Cfg {
         duration: SimTime::from_secs(20),
@@ -278,7 +178,7 @@ fn main() {
             repeats,
             "transport_multiflow_bulk",
             "32 bulk TCP flows over a shared OC12 trunk (20 ms), 10 s simulated",
-            transport_multiflow,
+            |k| transport_multiflow_bulk(k, SimTime::from_secs(10)),
         ));
         results.push(run_workload(
             repeats,

@@ -1,0 +1,340 @@
+//! Thread-scaling benchmark for the sharded conservative-lookahead engine.
+//!
+//! Two workloads, one output file (`BENCH_parallel.json`, or the path
+//! given as the first CLI argument):
+//!
+//! * **engine compat** — the exact `transport_multiflow_bulk` workload
+//!   from `bench_engine`, run monolithically on the calendar scheduler.
+//!   Its events/sec is directly comparable to the committed
+//!   `BENCH_engine.json` number; scripts/perf_gate.py enforces the
+//!   "single-thread within 5% of the old engine" acceptance bound.
+//! * **sharded scaling** — four WAN-separated trunk groups (each a scaled
+//!   copy of the multiflow workload) plus cross-group bulk flows, run
+//!   through `run_partitioned` at 1, 2, and 4 worker threads. The run's
+//!   FNV fingerprint must be bit-identical at every thread count (always
+//!   asserted); the ≥2.5x speedup gate at 4 threads is enforced only when
+//!   the host actually has ≥4 cores — on smaller hosts the numbers are
+//!   still recorded, with the gate marked unenforced in the JSON.
+//!
+//! Run with: `cargo run --release -p mpichgq-bench --bin bench_parallel`
+//! (`--quick` for the CI smoke mode: shorter simulations, one repeat).
+
+use mpichgq_bench::bulk::{edge_link, oc12_trunk, transport_multiflow_bulk, BulkRx, BulkTx};
+use mpichgq_netsim::net::TopoBuilder;
+use mpichgq_netsim::queue::QueueCfg;
+use mpichgq_netsim::{run_partitioned, LinkCfg, Net, NodeId, Partition};
+use mpichgq_sim::{SchedulerKind, SimDelta, SimTime};
+use mpichgq_tcp::Stack;
+use std::time::Instant;
+
+/// Groups in the scaling topology; also the shard count after the WAN cut.
+const GROUPS: usize = 4;
+/// Intra-group bulk flow pairs.
+const LOCAL_FLOWS: usize = 8;
+/// Thread counts swept by the scaling workload.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+/// Speedup the 4-thread run must reach over 1 thread (when enforceable).
+const SPEEDUP_GATE: f64 = 2.5;
+
+/// Node ids for one group, re-derivable by every shard worker because the
+/// topology is rebuilt with identical calls in identical order.
+struct Group {
+    local: Vec<(NodeId, NodeId)>,
+    cross_src: NodeId,
+    cross_dst: NodeId,
+}
+
+/// The scaling topology: `GROUPS` copies of the multiflow trunk workload
+/// (intra-group trunk delay lowered to 2 ms so the group clusters into
+/// one shard), joined in a line by 20 ms OC12 WAN links — the lookahead
+/// bound. Every call builds the identical topology.
+fn scale_topo() -> (TopoBuilder, Vec<Group>) {
+    let mut b = TopoBuilder::new(0x5CA1E);
+    b.scheduler(SchedulerKind::Calendar);
+    let q = QueueCfg::priority_default();
+    let intra_trunk = LinkCfg {
+        delay: SimDelta::from_millis(2),
+        ..oc12_trunk()
+    };
+    let mut groups = Vec::with_capacity(GROUPS);
+    let mut prev_r2: Option<NodeId> = None;
+    for g in 0..GROUPS {
+        let r1 = b.router(&format!("g{g}-r1"));
+        let r2 = b.router(&format!("g{g}-r2"));
+        b.link(r1, r2, intra_trunk, q);
+        if let Some(p) = prev_r2 {
+            b.link(p, r1, oc12_trunk(), q);
+        }
+        prev_r2 = Some(r2);
+        let local = (0..LOCAL_FLOWS)
+            .map(|i| {
+                let src = b.host(&format!("g{g}-src{i}"));
+                let dst = b.host(&format!("g{g}-dst{i}"));
+                b.link(src, r1, edge_link(), q);
+                b.link(r2, dst, edge_link(), q);
+                (src, dst)
+            })
+            .collect();
+        let cross_src = b.host(&format!("g{g}-xsrc"));
+        let cross_dst = b.host(&format!("g{g}-xdst"));
+        b.link(cross_src, r2, edge_link(), q);
+        b.link(cross_dst, r1, edge_link(), q);
+        groups.push(Group {
+            local,
+            cross_src,
+            cross_dst,
+        });
+    }
+    (b, groups)
+}
+
+/// Build one shard's world: full topology, apps only on owned hosts.
+fn build_shard(shard: u32, part: &Partition) -> (Net, Stack) {
+    let (b, groups) = scale_topo();
+    let mut net = b.build();
+    let mut stack = Stack::new();
+    let owned = |n: NodeId| part.shard_of(n) == shard;
+    for (g, grp) in groups.iter().enumerate() {
+        for &(src, dst) in &grp.local {
+            if owned(dst) {
+                stack.spawn_app(&mut net, dst, Box::new(BulkRx { port: 7000 }));
+            }
+            if owned(src) {
+                stack.spawn_app(
+                    &mut net,
+                    src,
+                    Box::new(BulkTx::new(dst, 7000, u64::MAX / 2)),
+                );
+            }
+        }
+        // Cross-group bulk flow: group g -> group g+1, crossing the WAN
+        // cut, so SYNs, data, and ACKs all ride the outbox/merge path.
+        if g + 1 < groups.len() {
+            let dst = groups[g + 1].cross_dst;
+            if owned(dst) {
+                stack.spawn_app(&mut net, dst, Box::new(BulkRx { port: 7100 }));
+            }
+            if owned(grp.cross_src) {
+                stack.spawn_app(
+                    &mut net,
+                    grp.cross_src,
+                    Box::new(BulkTx::new(dst, 7100, u64::MAX / 2)),
+                );
+            }
+        }
+    }
+    (net, stack)
+}
+
+struct ScalingRun {
+    threads: usize,
+    events: u64,
+    wall_secs: f64,
+    fingerprint: u64,
+    /// Per-shard metric registries folded in shard order — name-sorted
+    /// JSON, so it must be byte-identical at every thread count.
+    merged_metrics: String,
+    delivered: u64,
+}
+
+/// Run the scaling workload once at `threads` workers.
+fn run_scaling(part: &Partition, threads: usize, t_end: SimTime) -> ScalingRun {
+    let t0 = Instant::now();
+    let per_shard = run_partitioned(
+        part,
+        threads,
+        t_end,
+        |shard| build_shard(shard, part),
+        |_, mut net, _stack| {
+            (
+                net.events_processed(),
+                net.state_fingerprint(),
+                std::mem::take(&mut net.obs.metrics),
+            )
+        },
+    );
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut events = 0u64;
+    let mut merged = mpichgq_obs::Registry::default();
+    for (ev, digest, reg) in &per_shard {
+        events += ev;
+        for b in digest.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        merged.merge_from(reg);
+    }
+    ScalingRun {
+        threads,
+        events,
+        wall_secs,
+        fingerprint: h,
+        delivered: merged.counter_value("net.pkts.delivered").unwrap_or(0),
+        merged_metrics: merged.snapshot_json(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_parallel.json".to_string());
+    let repeats = if quick { 1 } else { 2 };
+    let host_cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    // --- Engine compat: the bench_engine workload, monolithic. ----------
+    let compat_sim_secs = if quick { 2 } else { 10 };
+    eprintln!("[bench_parallel] engine compat ({compat_sim_secs} s simulated) ...");
+    let mut compat_events = 0u64;
+    let mut compat_best = f64::INFINITY;
+    for rep in 0..repeats {
+        let t0 = Instant::now();
+        let n =
+            transport_multiflow_bulk(SchedulerKind::Calendar, SimTime::from_secs(compat_sim_secs));
+        let secs = t0.elapsed().as_secs_f64();
+        if rep == 0 {
+            compat_events = n;
+        } else {
+            assert_eq!(n, compat_events, "engine compat event count varied");
+        }
+        compat_best = compat_best.min(secs);
+    }
+    let compat_eps = compat_events as f64 / compat_best;
+    eprintln!("[bench_parallel] engine compat: {compat_eps:.0} ev/s");
+
+    // --- Sharded scaling sweep. ------------------------------------------
+    let (topo, _) = scale_topo();
+    let part = Partition::by_min_delay(&topo, SimDelta::from_millis(10))
+        .expect("scaling topology has a positive-delay WAN cut");
+    assert_eq!(part.shards() as usize, GROUPS, "cut must split per group");
+    let lookahead = part.lookahead().expect("cross-shard links exist");
+    let t_end = SimTime::from_millis(if quick { 500 } else { 2_000 });
+
+    let mut runs: Vec<ScalingRun> = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        eprintln!("[bench_parallel] scaling at {threads} thread(s) ...");
+        let mut best: Option<ScalingRun> = None;
+        for _ in 0..repeats {
+            let r = run_scaling(&part, threads, t_end);
+            if let Some(b) = &best {
+                assert_eq!(
+                    (r.fingerprint, r.events),
+                    (b.fingerprint, b.events),
+                    "scaling run varied across repeats at {threads} threads"
+                );
+            }
+            if best.as_ref().is_none_or(|b| r.wall_secs < b.wall_secs) {
+                best = Some(r);
+            }
+        }
+        let r = best.unwrap();
+        eprintln!(
+            "[bench_parallel] scaling at {threads} thread(s): {} events, {:.0} ev/s, fp {:#018x}",
+            r.events,
+            r.events as f64 / r.wall_secs,
+            r.fingerprint
+        );
+        runs.push(r);
+    }
+
+    // Bit-identical across every thread count — the determinism gate. This
+    // holds (and is enforced) regardless of how many cores the host has.
+    // The merged per-shard metric registry is part of the contract: shard
+    // registries folded in shard order must snapshot to identical JSON.
+    for r in &runs[1..] {
+        assert_eq!(
+            (r.fingerprint, r.events),
+            (runs[0].fingerprint, runs[0].events),
+            "{} threads diverged from 1 thread",
+            r.threads
+        );
+        assert_eq!(
+            r.merged_metrics, runs[0].merged_metrics,
+            "{} threads: merged metric registry diverged from 1 thread",
+            r.threads
+        );
+    }
+
+    let base = runs[0].wall_secs;
+    let speedup_4 = base / runs.last().unwrap().wall_secs;
+    let gate_enforced = !quick && host_cores >= 4;
+    let gate_reason = if quick {
+        "quick mode: timing not gated"
+    } else if host_cores < 4 {
+        "host has fewer than 4 cores: 4 threads cannot physically speed up"
+    } else {
+        "full run on a >=4-core host"
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"bench_parallel\",\n");
+    json.push_str(
+        "  \"note\": \"sharded conservative-lookahead engine: thread-count sweep with \
+         bit-identical-fingerprint enforcement; engine_compat is the bench_engine \
+         transport_multiflow_bulk workload run monolithically for cross-file comparison\",\n",
+    );
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"repeats\": {repeats},\n"));
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    json.push_str("  \"engine_compat\": {\n");
+    json.push_str("    \"name\": \"transport_multiflow_bulk\",\n");
+    json.push_str(&format!("    \"sim_secs\": {compat_sim_secs},\n"));
+    json.push_str(&format!(
+        "    \"calendar\": {{\"events\": {}, \"wall_secs\": {:.6}, \"events_per_sec\": {:.1}}}\n",
+        compat_events, compat_best, compat_eps
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"scaling\": {\n");
+    json.push_str("    \"name\": \"sharded_multiflow_4x\",\n");
+    json.push_str(&format!(
+        "    \"description\": \"{GROUPS} WAN-separated trunk groups, {LOCAL_FLOWS} bulk flows \
+         each plus cross-group flows, {} ms simulated\",\n",
+        t_end.as_nanos() / 1_000_000
+    ));
+    json.push_str(&format!("    \"shards\": {},\n", part.shards()));
+    json.push_str(&format!(
+        "    \"lookahead_ms\": {},\n",
+        lookahead.as_nanos() / 1_000_000
+    ));
+    json.push_str(&format!(
+        "    \"fingerprint\": \"{:#018x}\",\n",
+        runs[0].fingerprint
+    ));
+    json.push_str(&format!("    \"pkts_delivered\": {},\n", runs[0].delivered));
+    json.push_str("    \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"threads\": {}, \"events\": {}, \"wall_secs\": {:.6}, \
+             \"events_per_sec\": {:.1}, \"speedup_over_1_thread\": {:.3}}}{}\n",
+            r.threads,
+            r.events,
+            r.wall_secs,
+            r.events as f64 / r.wall_secs,
+            base / r.wall_secs,
+            if i + 1 == runs.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("    ],\n");
+    json.push_str(&format!(
+        "    \"speedup_gate\": {{\"threshold\": {SPEEDUP_GATE}, \"enforced\": {gate_enforced}, \
+         \"reason\": \"{gate_reason}\"}}\n"
+    ));
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("{json}");
+    println!("4-thread speedup: {speedup_4:.3}x (gate {SPEEDUP_GATE}x, {gate_reason})");
+
+    if gate_enforced {
+        assert!(
+            speedup_4 >= SPEEDUP_GATE,
+            "4-thread speedup {speedup_4:.3}x below the {SPEEDUP_GATE}x gate"
+        );
+    }
+}

@@ -1,8 +1,8 @@
 //! The experiment implementations (paper §5).
 
 use mpichgq_apps::{
-    finish_viz, GarnetLab, MeteredTcpReceiver, PacedTcpSender, PingPong, Scheduler, VizCfg,
-    VizReceiver, VizSender,
+    finish_viz, run_env_windowed, GarnetLab, MeteredTcpReceiver, PacedTcpSender, PingPong,
+    Scheduler, VizCfg, VizReceiver, VizSender,
 };
 use mpichgq_core::{enable_qos, AdaptPolicy, AdaptState, AdaptiveFlow, QosAgentCfg, QosAttribute};
 use mpichgq_gara::{CpuRequest, NetworkRequest, Request, StartSpec};
@@ -1284,7 +1284,7 @@ pub fn sec3_finite_difference(cfg: Sec3Cfg) -> Sec3Out {
         builder = builder.rank(host, Box::new(rank));
     }
     builder.cfg(era_mpi()).launch(&mut ts.sim);
-    ts.sim.run_until(horizon);
+    run_env_windowed(&mut ts.sim, horizon);
 
     let iterations_done = log.borrow().len();
     // A run that never finished its iterations has no steady state: the

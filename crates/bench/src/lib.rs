@@ -8,6 +8,7 @@
 //! Cisco/ATM testbed); the shapes — who wins, where the knees fall, the
 //! burstiness penalty — are the reproduction targets (see EXPERIMENTS.md).
 
+pub mod bulk;
 pub mod experiments;
 pub mod output;
 pub mod par;

@@ -27,6 +27,7 @@ pub mod net;
 pub mod packet;
 pub mod queue;
 pub mod shaper;
+pub mod shard;
 pub mod tokenbucket;
 pub mod topology;
 
@@ -38,5 +39,6 @@ pub use net::{ChanAudit, DropStats, Net, NetAudit, NetHandler, Node, NodeKind, T
 pub use packet::{Dscp, FlowKey, NodeId, Packet, Proto, TcpFlags, TcpHeader, L4};
 pub use queue::{Enqueue, Queue, QueueCfg, QueueStats};
 pub use shaper::{ShapeOutcome, Shaper, ShaperStats};
+pub use shard::{run_partitioned, run_windowed, Partition, PartitionError};
 pub use tokenbucket::{depth_for, DepthRule, TokenBucket};
 pub use topology::{Dumbbell, Garnet, GarnetCfg};

@@ -236,6 +236,35 @@ impl NetCounters {
     }
 }
 
+/// One cross-shard packet handoff (see [`crate::shard`]): produced by the
+/// sender-owning shard in `try_start_tx`, exchanged at the next safe-time
+/// barrier, and drained into the destination shard's engine under the
+/// deterministic merge rule `(at, src_shard, seq)`.
+#[derive(Debug)]
+pub(crate) struct XMsg {
+    /// Absolute delivery time: `tx_start + serialization + propagation`.
+    pub(crate) at: SimTime,
+    /// Shard that produced the message (merge-rule tie-break #2).
+    pub(crate) src_shard: u32,
+    /// Monotonic per-source-shard sequence (merge-rule tie-break #3).
+    pub(crate) seq: u64,
+    pub(crate) chan: ChanId,
+    pub(crate) pkt: Packet,
+}
+
+/// Shard identity of a partitioned [`Net`] copy: which shard this copy
+/// executes, the global node→shard map, and the outbox of cross-shard
+/// deliveries produced since the last barrier. Boxed and `None` for
+/// ordinary monolithic worlds, so the unpartitioned hot path pays one
+/// pointer-null branch at the single handoff site.
+#[derive(Debug)]
+pub(crate) struct ShardCtx {
+    shard: u32,
+    shard_of: std::sync::Arc<[u32]>,
+    outbox: Vec<XMsg>,
+    next_seq: u64,
+}
+
 /// The simulated network.
 pub struct Net {
     engine: Engine<Ev>,
@@ -259,6 +288,9 @@ pub struct Net {
     /// Packet-lifecycle tracer; `None` (one branch per hook site) until
     /// [`Net::enable_packet_tracing`] is called.
     lifecycle: Option<Box<PacketTracer>>,
+    /// Set when this `Net` is one shard of a partitioned world
+    /// ([`crate::shard`]); `None` for monolithic worlds.
+    shard: Option<Box<ShardCtx>>,
 }
 
 impl Net {
@@ -287,7 +319,96 @@ impl Net {
             next_pkt_id: 0,
             faults: None,
             lifecycle: None,
+            shard: None,
         }
+    }
+
+    /// Mark this copy as shard `shard` of a partitioned world. Only events
+    /// for nodes this shard owns may ever enter its engine; the one
+    /// mechanism that would violate that — a transmission whose channel
+    /// lands on a foreign node — is diverted into the outbox instead (see
+    /// `try_start_tx` and [`crate::shard`]).
+    pub(crate) fn set_shard_ctx(&mut self, shard: u32, shard_of: std::sync::Arc<[u32]>) {
+        assert_eq!(
+            shard_of.len(),
+            self.nodes.len(),
+            "shard map covers a different topology"
+        );
+        assert!(
+            self.shard.is_none(),
+            "net is already bound to shard {}",
+            self.shard.as_ref().unwrap().shard
+        );
+        assert!(
+            self.lifecycle.is_none(),
+            "packet lifecycle tracing is not shard-safe; trace a monolithic run"
+        );
+        self.shard = Some(Box::new(ShardCtx {
+            shard,
+            shard_of,
+            outbox: Vec::new(),
+            next_seq: 0,
+        }));
+    }
+
+    /// Drain the cross-shard deliveries produced since the last call.
+    pub(crate) fn take_outbox(&mut self) -> Vec<XMsg> {
+        self.shard
+            .as_mut()
+            .map(|s| std::mem::take(&mut s.outbox))
+            .unwrap_or_default()
+    }
+
+    /// Schedule one cross-shard delivery received at a barrier. The caller
+    /// presents messages in merge order; `at` is always at or beyond the
+    /// window edge, hence `>= now`, so this can never schedule into the past.
+    pub(crate) fn inject_cross(&mut self, m: XMsg) {
+        self.engine.schedule(
+            m.at,
+            Ev::Deliver {
+                chan: m.chan,
+                pkt: m.pkt,
+            },
+        );
+    }
+
+    /// Earliest pending event time, if any — drives the shard engine's
+    /// idle-window skip.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.engine.peek_time()
+    }
+
+    /// FNV-1a digest of the world's externally observable physics: clock,
+    /// event count, per-channel wire counters, and drop ledger. Two runs of
+    /// the same world are bit-identical iff these digests match per shard;
+    /// the parallel-engine determinism gates compare them across thread
+    /// counts.
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut put = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        put(self.now().as_nanos());
+        put(self.engine.processed());
+        put(self.chans.len() as u64);
+        for c in &self.chans {
+            put(c.tx_packets);
+            put(c.tx_bytes_wire);
+            put(c.rx_packets);
+        }
+        put(self.drops.policed);
+        put(self.drops.queue_full);
+        put(self.drops.misrouted);
+        put(self.obs.metrics.counter_value("net.pkts.sent").unwrap_or(0));
+        put(self
+            .obs
+            .metrics
+            .counter_value("net.pkts.delivered")
+            .unwrap_or(0));
+        h
     }
 
     #[inline]
@@ -405,6 +526,49 @@ impl Net {
     /// installed plan's seed initializes the fault layer's private RNG;
     /// further plans add actions to the same layer.
     pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        if let Some(sc) = self.shard.as_deref() {
+            // A channel's fault state is consulted on both sides of the
+            // wire (tx gate in the owner-of-`from` copy, delivery verdict
+            // in the owner-of-`to` copy), so faults on cross-shard channels
+            // would need replicated state. Reject them instead of silently
+            // diverging.
+            for &(_, action) in plan.actions() {
+                let chan = match action {
+                    FaultAction::LinkDown(c) | FaultAction::LinkUp(c) => Some(c),
+                    FaultAction::LossBurst { chan, .. }
+                    | FaultAction::CorruptBurst { chan, .. } => Some(chan),
+                    FaultAction::CpuThrottle { host, .. } => {
+                        assert_eq!(
+                            sc.shard_of[host.0 as usize], sc.shard,
+                            "fault plan throttles host {} owned by shard {}, \
+                             but this net is shard {}; install the plan on the \
+                             owning shard",
+                            host.0, sc.shard_of[host.0 as usize], sc.shard
+                        );
+                        None
+                    }
+                };
+                if let Some(c) = chan {
+                    let ch = &self.chans[c.0 as usize];
+                    let (sf, st) = (
+                        sc.shard_of[ch.from.0 as usize],
+                        sc.shard_of[ch.to.0 as usize],
+                    );
+                    assert!(
+                        sf == sc.shard && st == sc.shard,
+                        "fault plan targets chan {} ({} -> {}, shards {} -> {}), \
+                         which is not fully owned by shard {}; faults on \
+                         cross-shard links are not shard-safe",
+                        c.0,
+                        ch.from.0,
+                        ch.to.0,
+                        sf,
+                        st,
+                        sc.shard
+                    );
+                }
+            }
+        }
         if self.faults.is_none() {
             self.faults = Some(Box::new(FaultLayer::new(plan.seed(), self.chans.len())));
         }
@@ -488,6 +652,13 @@ impl Net {
     /// way; spans past the bound are counted, not kept). Re-enabling
     /// keeps existing tracer state.
     pub fn enable_packet_tracing_with(&mut self, max_spans: usize) {
+        // A cross-shard packet's span would start in the sender's tracer
+        // and end in the receiver's — neither copy sees a whole lifecycle,
+        // so tracing a shard would publish misleading SLO numbers.
+        assert!(
+            self.shard.is_none(),
+            "packet lifecycle tracing is not shard-safe; trace a monolithic run"
+        );
         if self.lifecycle.is_none() {
             self.lifecycle = Some(Box::new(PacketTracer::new(max_spans)));
         }
@@ -1065,13 +1236,32 @@ impl Net {
         c.tx_packets += 1;
         c.tx_bytes_wire += c.cfg.framing.wire_bytes(pkt.ip_len()) as u64;
         let delay = c.cfg.delay;
+        let to = c.to;
         let now = self.now();
         if let Some(t) = self.lifecycle.as_deref_mut() {
             t.on_tx_start(now, &pkt, chan, ser.as_nanos(), delay.as_nanos());
         }
         self.engine.schedule(now + ser, Ev::TxDone { chan });
-        self.engine
-            .schedule(now + ser + delay, Ev::Deliver { chan, pkt });
+        let deliver_at = now + ser + delay;
+        match self.shard.as_deref_mut() {
+            // The cross-shard handoff: the delivery lands on a node a
+            // foreign shard owns, so it leaves as an outbox message instead
+            // of an engine event. `deliver_at >= now + delay >= window end`
+            // (lookahead bound), so the receiver sees it strictly in its
+            // future.
+            Some(sc) if sc.shard_of[to.0 as usize] != sc.shard => {
+                let seq = sc.next_seq;
+                sc.next_seq += 1;
+                sc.outbox.push(XMsg {
+                    at: deliver_at,
+                    src_shard: sc.shard,
+                    seq,
+                    chan,
+                    pkt,
+                });
+            }
+            _ => self.engine.schedule(deliver_at, Ev::Deliver { chan, pkt }),
+        }
     }
 }
 
@@ -1161,6 +1351,19 @@ impl TopoBuilder {
         self.queues.push(Queue::new(queue));
         self.nodes[from.0 as usize].ifaces.push(id);
         id
+    }
+
+    /// Number of nodes added so far (partition maps must cover them all).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Per-channel `(from, to, propagation delay)` triples, for partition
+    /// validation and lookahead computation (see [`crate::shard`]).
+    pub(crate) fn chan_meta(&self) -> impl Iterator<Item = (usize, usize, SimDelta)> + '_ {
+        self.chans
+            .iter()
+            .map(|c| (c.from.0 as usize, c.to.0 as usize, c.cfg.delay))
     }
 
     /// Compute hop-count shortest-path routes and freeze the topology.

@@ -178,6 +178,58 @@ impl Registry {
         self.hist_ids.get(name).map(|&i| &self.hists[i as usize])
     }
 
+    /// Fold another registry into this one, name by name. Counters add;
+    /// gauges add both current value and high-water (component gauges are
+    /// occupancy-style — queue depths, pending work — so sums are the
+    /// system-wide reading, and the summed high-water is an upper bound on
+    /// the true combined peak); histograms merge bucket-wise.
+    ///
+    /// Registration order in `self` follows first-seen order across the
+    /// merge sequence, but snapshots are name-sorted, so merging shards in
+    /// any fixed order yields byte-identical JSON.
+    pub fn merge_from(&mut self, other: &Registry) {
+        for (name, &v) in other.counter_names.iter().zip(&other.counter_values) {
+            self.add(name, v);
+        }
+        for (name, g) in other.gauge_names.iter().zip(&other.gauges) {
+            if !g.touched {
+                continue;
+            }
+            let id = self.gauge(name);
+            let mine = &mut self.gauges[id.0 as usize];
+            mine.value += g.value;
+            mine.high_water = if mine.touched {
+                mine.high_water + g.high_water
+            } else {
+                g.high_water
+            };
+            mine.touched = true;
+        }
+        for (name, h) in other.hist_names.iter().zip(&other.hists) {
+            if h.is_empty() {
+                continue;
+            }
+            let id = self.hist(name);
+            self.hists[id.0 as usize].merge(h);
+        }
+    }
+
+    /// Snapshot just this registry (no trace section) as a JSON document:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`. Used
+    /// for merged per-shard registries, which have no flight recorder.
+    pub fn snapshot_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("counters");
+        self.write_counters(&mut w);
+        w.key("gauges");
+        self.write_gauges(&mut w);
+        w.key("histograms");
+        self.write_histograms(&mut w);
+        w.end_object();
+        w.finish()
+    }
+
     /// Write `{"name": value, ...}` for all counters, name-sorted.
     pub fn write_counters(&self, w: &mut JsonWriter) {
         let mut order: Vec<usize> = (0..self.counter_names.len()).collect();

@@ -23,6 +23,7 @@
 //! `mpichgq-apps`; a CI smoke job runs a few hundred seeds per push.
 
 pub mod audit;
+pub mod parscen;
 pub mod repro;
 pub mod run;
 pub mod scenario;
@@ -31,8 +32,9 @@ pub mod spec;
 pub mod workload;
 
 pub use audit::audit_metrics_json;
+pub use parscen::{run_par_scenario, ParOutcome};
 pub use repro::{parse_repro, replay, repro_json, summary_json, Replay, Repro};
-pub use run::{run_spec, RunOutcome, Violation};
+pub use run::{run_spec, run_spec_threads, RunOutcome, Violation};
 pub use scenario::{build, BuiltScenario, GaraOp};
 pub use shrink::{shrink, Shrunk};
 pub use spec::{Inject, Knobs, ScenarioSpec};

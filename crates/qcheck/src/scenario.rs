@@ -108,13 +108,14 @@ pub struct BuiltScenario {
 pub fn build(spec: &ScenarioSpec, inject: &Inject) -> BuiltScenario {
     let k = &spec.knobs;
     let mut rng = SimRng::new(spec.seed);
-    // One fork per dimension, in fixed order, regardless of knob values.
-    let mut topo_rng = rng.fork(1);
-    let mut tcp_rng = rng.fork(2);
-    let mut udp_rng = rng.fork(3);
-    let mut mpi_rng = rng.fork(4);
-    let mut gara_rng = rng.fork(5);
-    let mut fault_rng = rng.fork(6);
+    // One labeled fork per dimension, in fixed order, regardless of knob
+    // values — the label names the stream, the fork order seeds it.
+    let mut topo_rng = rng.fork_labeled("topology");
+    let mut tcp_rng = rng.fork_labeled("tcp");
+    let mut udp_rng = rng.fork_labeled("udp");
+    let mut mpi_rng = rng.fork_labeled("mpi");
+    let mut gara_rng = rng.fork_labeled("gara");
+    let mut fault_rng = rng.fork_labeled("faults");
 
     let duration = SimDelta::from_millis(k.duration_ms);
     let t_end = SimTime::ZERO + duration;

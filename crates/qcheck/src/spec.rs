@@ -146,7 +146,7 @@ impl ScenarioSpec {
     /// The fuzzer's default path: the seed also picks the knobs.
     pub fn from_seed(seed: u64) -> ScenarioSpec {
         let mut rng = SimRng::new(seed);
-        let mut knob_rng = rng.fork(0);
+        let mut knob_rng = rng.fork_labeled("knobs");
         ScenarioSpec {
             seed,
             knobs: Knobs::sample(&mut knob_rng),

@@ -17,6 +17,6 @@ pub mod time;
 
 pub use engine::{CalendarStats, Engine, SchedulerKind};
 pub use fxhash::{FxBuildHasher, FxHashMap};
-pub use rng::SimRng;
+pub use rng::{fnv1a, SimRng};
 pub use series::{Recorder, ThroughputMeter, TimeSeries};
 pub use time::{SimDelta, SimTime};

@@ -1,13 +1,25 @@
 #!/usr/bin/env python3
-"""Compare a fresh bench_engine run against the committed baseline.
+"""Compare a fresh benchmark run against a committed baseline.
 
 Usage: perf_gate.py BASELINE.json FRESH.json [--tolerance 0.25]
 
-Fails (exit 1) if any workload present in both files regressed by more
-than the tolerance in calendar-backend events/sec. Workloads present in
-only one file (e.g. a --quick run emits a subset) are compared only on
-the intersection. The heap backend is reported but not gated: the
-calendar scheduler is the default, so it is the number that matters.
+Understands both benchmark schemas and auto-detects each file's via its
+"benchmark" field:
+
+* bench_engine  — {"workloads": [{name, heap, calendar}, ...]}; the
+  calendar backend's events/sec is the gated number (heap is informative
+  only, since calendar is the default scheduler).
+* bench_parallel — {"engine_compat": ..., "scaling": {"runs": [...]}};
+  engine_compat is the bench_engine transport_multiflow_bulk workload
+  run monolithically (so it can be gated *across files* against a
+  bench_engine baseline — that is the "single-thread within tolerance of
+  the old engine" acceptance check), and each scaling run gates at its
+  thread count.
+
+Every workload present in both files is compared; ALL regressions beyond
+the tolerance are reported with their deltas before the nonzero exit, so
+one failure never masks another. Workloads present in only one file
+(e.g. a --quick run emits a subset) are compared on the intersection.
 """
 
 import argparse
@@ -16,9 +28,22 @@ import sys
 
 
 def load(path):
+    """Normalize one benchmark file to {workload name: events/sec}."""
     with open(path) as f:
         doc = json.load(f)
-    return {w["name"]: w for w in doc["workloads"]}
+    kind = doc.get("benchmark", "bench_engine")
+    rates = {}
+    if kind == "bench_parallel":
+        compat = doc["engine_compat"]
+        rates[compat["name"]] = compat["calendar"]["events_per_sec"]
+        scaling = doc["scaling"]
+        for run in scaling["runs"]:
+            name = f"{scaling['name']}@{run['threads']}t"
+            rates[name] = run["events_per_sec"]
+    else:
+        for w in doc["workloads"]:
+            rates[w["name"]] = w["calendar"]["events_per_sec"]
+    return rates
 
 
 def main():
@@ -39,13 +64,13 @@ def main():
 
     failed = []
     for name in common:
-        b = base[name]["calendar"]["events_per_sec"]
-        f = fresh[name]["calendar"]["events_per_sec"]
+        b = base[name]
+        f = fresh[name]
         ratio = f / b
         status = "ok"
         if ratio < 1.0 - args.tolerance:
             status = "REGRESSED"
-            failed.append(name)
+            failed.append((name, ratio))
         print(f"{name:28s} baseline {b:14,.0f} ev/s   fresh {f:14,.0f} ev/s "
               f"  ({ratio:5.2f}x)  {status}")
 
@@ -54,8 +79,11 @@ def main():
         print(f"perf_gate: not in both files, skipped: {', '.join(skipped)}")
 
     if failed:
-        print(f"perf_gate: FAIL — {', '.join(failed)} regressed more than "
-              f"{args.tolerance:.0%} vs baseline", file=sys.stderr)
+        deltas = ", ".join(f"{name} ({(1 - ratio):.1%} below baseline)"
+                           for name, ratio in failed)
+        print(f"perf_gate: FAIL — {len(failed)} of {len(common)} workload(s) "
+              f"regressed more than {args.tolerance:.0%}: {deltas}",
+              file=sys.stderr)
         return 1
     print(f"perf_gate: PASS — {len(common)} workload(s) within "
           f"{args.tolerance:.0%} of baseline")
