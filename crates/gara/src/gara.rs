@@ -15,7 +15,7 @@
 //! flow's edge router, granting DSRT CPU reservations, or debiting a
 //! storage server's bandwidth table.
 
-use crate::slot_table::{Rejected, SlotId, SlotTable};
+use crate::slot_table::{RejectReason, Rejected, SlotId, SlotTable};
 use mpichgq_dsrt::ProcId;
 use mpichgq_netsim::{
     depth_for, ChanId, DepthRule, Dscp, FlowSpec, Net, NodeId, NodeKind, PolicingAction, Proto,
@@ -23,7 +23,8 @@ use mpichgq_netsim::{
 };
 use mpichgq_sim::{SimDelta, SimTime};
 use mpichgq_tcp::{control_token, Controller, ControllerId, Stack};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Reservation handle ("an opaque object ... that allows the calling
 /// program to modify, cancel, and monitor the reservation", §4.2).
@@ -144,12 +145,25 @@ impl std::fmt::Display for ReserveError {
 }
 impl std::error::Error for ReserveError {}
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum SlotRef {
     Net(ChanId, SlotId),
     Cpu(NodeId, SlotId),
     Storage(String, SlotId),
 }
+
+/// Identity of one slot table, used to group co-reservation demands so
+/// each table sees its share of the set as a single batch.
+#[derive(Debug, PartialEq, Eq)]
+enum TableKey {
+    Net(ChanId),
+    Cpu(NodeId),
+    Storage(String),
+}
+
+/// One co-reservation demand against a table: requesting index within
+/// the input set, window, and amount.
+type Demand = (usize, SimTime, SimTime, u64);
 
 #[derive(Debug, Default)]
 enum Enforcement {
@@ -188,6 +202,13 @@ pub struct Gara {
     /// Storage servers: bandwidth tables in bytes/s.
     storage: HashMap<String, SlotTable>,
     events: Vec<(ResvId, Status)>,
+    /// Min-heap of `(deadline, reservation)` — every pending activation
+    /// and finite active expiry, possibly stale (cancelled/revoked
+    /// reservations leave their entries behind; they are skipped lazily
+    /// against the live record). Keeps [`Gara::advance`] and timer
+    /// re-arming O(log n) instead of a scan over every reservation ever
+    /// made — at control-plane scale the scan is quadratic.
+    deadlines: BinaryHeap<Reverse<(SimTime, u64)>>,
     listeners: Vec<Box<dyn FnMut(ResvId, Status)>>,
     ctl: Option<ControllerId>,
     /// Pending fault-injected rejections: while nonzero, each `reserve`
@@ -207,6 +228,7 @@ impl Gara {
             cpus: HashMap::new(),
             storage: HashMap::new(),
             events: Vec::new(),
+            deadlines: BinaryHeap::new(),
             listeners: Vec::new(),
             ctl: None,
             inject_rejections: 0,
@@ -299,12 +321,12 @@ impl Gara {
             None => SimTime::MAX,
         };
         if let Err(e) = self.validate(&req) {
-            net.obs.metrics.add("gara.reservations_rejected", 1);
+            Self::count_reservation_reject(net, &e);
             return Err(e);
         }
         if self.inject_rejections > 0 {
             self.inject_rejections -= 1;
-            net.obs.metrics.add("gara.reservations_rejected", 1);
+            Self::count_reservation_reject(net, &ReserveError::Injected);
             net.obs.metrics.add("gara.injected_rejections", 1);
             net.obs.trace.record(now, "gara.reject", self.next_id, -1);
             return Err(ReserveError::Injected);
@@ -312,7 +334,7 @@ impl Gara {
         let slots = match self.admit(net, &req, start_t, end_t) {
             Ok(s) => s,
             Err(e) => {
-                net.obs.metrics.add("gara.reservations_rejected", 1);
+                Self::count_reservation_reject(net, &e);
                 net.obs.trace.record(now, "gara.reject", self.next_id, 0);
                 return Err(e);
             }
@@ -341,6 +363,7 @@ impl Gara {
         if start_t <= now {
             self.activate(net, rid);
         } else {
+            self.deadlines.push(Reverse((start_t, id)));
             self.emit(rid, Status::Pending);
         }
         self.arm(net);
@@ -350,22 +373,176 @@ impl Gara {
     /// Atomic co-reservation: every request is admitted or none is
     /// ("co-reservation of CPU, network, and other resources needed for
     /// end-to-end performance", §1).
+    ///
+    /// Unlike a loop over [`Gara::reserve`] (the old implementation,
+    /// which granted then cancelled on failure — emitting spurious
+    /// grant/cancel events and re-running admission during rollback),
+    /// this admits all requests *first*: demands are grouped per slot
+    /// table and each table decides its group all-or-nothing in one
+    /// [`SlotTable::try_insert_batch`] pass. No reservation object
+    /// exists, no event fires, and no enforcement is touched unless the
+    /// whole set is admitted.
     pub fn co_reserve(
         &mut self,
         net: &mut Net,
         reqs: Vec<(Request, StartSpec, Option<SimDelta>)>,
     ) -> Result<Vec<ResvId>, ReserveError> {
-        let mut granted = Vec::new();
-        for (req, start, dur) in reqs {
-            match self.reserve(net, req, start, dur) {
-                Ok(id) => granted.push(id),
-                Err(e) => {
-                    for id in granted {
-                        self.cancel(net, id);
+        let now = net.now();
+        // Phase 0: validate everything before any slot moves.
+        for (req, _, _) in &reqs {
+            if let Err(e) = self.validate(req) {
+                Self::count_reservation_reject(net, &e);
+                return Err(e);
+            }
+        }
+        if !reqs.is_empty() && self.inject_rejections > 0 {
+            self.inject_rejections -= 1;
+            Self::count_reservation_reject(net, &ReserveError::Injected);
+            net.obs.metrics.add("gara.injected_rejections", 1);
+            net.obs.trace.record(now, "gara.reject", self.next_id, -1);
+            return Err(ReserveError::Injected);
+        }
+        // Phase 1: resolve every request to per-table demands, grouped by
+        // table in first-seen order (so SlotIds come out exactly as a
+        // sequential admission would have assigned them).
+        let windows: Vec<(SimTime, SimTime)> = reqs
+            .iter()
+            .map(|(_, start, duration)| {
+                let start_t = match start {
+                    StartSpec::Now => now,
+                    StartSpec::At(t) => (*t).max(now),
+                };
+                let end_t = match duration {
+                    Some(d) => start_t + *d,
+                    None => SimTime::MAX,
+                };
+                (start_t, end_t)
+            })
+            .collect();
+        let mut groups: Vec<(TableKey, Vec<Demand>)> = Vec::new();
+        let push_demand = |groups: &mut Vec<(TableKey, Vec<Demand>)>,
+                           key: TableKey,
+                           demand: Demand| {
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, items)) => items.push(demand),
+                None => groups.push((key, vec![demand])),
+            }
+        };
+        for (i, (req, _, _)) in reqs.iter().enumerate() {
+            let (start_t, end_t) = windows[i];
+            match req {
+                Request::Network(n) => {
+                    let Some(path) = net.path_chans(n.src, n.dst) else {
+                        let e = ReserveError::NoRoute;
+                        Self::count_reservation_reject(net, &e);
+                        net.obs.trace.record(now, "gara.reject", self.next_id, 0);
+                        return Err(e);
+                    };
+                    for chan in path {
+                        if self.links.contains_key(&chan) {
+                            push_demand(
+                                &mut groups,
+                                TableKey::Net(chan),
+                                (i, start_t, end_t, n.rate_bps),
+                            );
+                        }
                     }
+                }
+                Request::Cpu(c) => {
+                    self.cpus
+                        .entry(c.host)
+                        .or_insert_with(|| SlotTable::new(CPU_CAPACITY));
+                    let amount = (c.fraction * CPU_UNITS).round() as u64;
+                    push_demand(
+                        &mut groups,
+                        TableKey::Cpu(c.host),
+                        (i, start_t, end_t, amount),
+                    );
+                }
+                Request::Storage(s) => {
+                    if !self.storage.contains_key(&s.server) {
+                        let e = ReserveError::UnknownServer(s.server.clone());
+                        Self::count_reservation_reject(net, &e);
+                        net.obs.trace.record(now, "gara.reject", self.next_id, 0);
+                        return Err(e);
+                    }
+                    push_demand(
+                        &mut groups,
+                        TableKey::Storage(s.server.clone()),
+                        (i, start_t, end_t, s.bytes_per_sec),
+                    );
+                }
+            }
+        }
+        // Phase 2: batch-admit per table; on any refusal, release the
+        // groups already admitted (plain removes — infallible) and reject.
+        let mut slots_per_req: Vec<Vec<SlotRef>> = reqs.iter().map(|_| Vec::new()).collect();
+        let mut admitted: Vec<SlotRef> = Vec::new();
+        for (key, items) in &groups {
+            let batch: Vec<(SimTime, SimTime, u64)> =
+                items.iter().map(|&(_, s, e, a)| (s, e, a)).collect();
+            let table = match key {
+                TableKey::Net(c) => self.links.get_mut(c).expect("grouped from managed set"),
+                TableKey::Cpu(h) => self.cpus.get_mut(h).expect("grouped from managed set"),
+                TableKey::Storage(s) => self.storage.get_mut(s).expect("grouped from managed set"),
+            };
+            match table.try_insert_batch(&batch) {
+                Ok(ids) => {
+                    for (&(req_idx, ..), sid) in items.iter().zip(ids) {
+                        let sref = match key {
+                            TableKey::Net(c) => SlotRef::Net(*c, sid),
+                            TableKey::Cpu(h) => SlotRef::Cpu(*h, sid),
+                            TableKey::Storage(s) => SlotRef::Storage(s.clone(), sid),
+                        };
+                        slots_per_req[req_idx].push(sref.clone());
+                        admitted.push(sref);
+                    }
+                }
+                Err(rej) => {
+                    for s in &admitted {
+                        self.release_slot(s);
+                    }
+                    let e = ReserveError::Admission(rej);
+                    Self::count_reservation_reject(net, &e);
+                    net.obs.trace.record(now, "gara.reject", self.next_id, 0);
                     return Err(e);
                 }
             }
+        }
+        // Phase 3: the whole set is admitted — create and (when due)
+        // activate each reservation in input order, as reserve() would.
+        let mut granted = Vec::new();
+        for ((req, _, _), ((start_t, end_t), slots)) in
+            reqs.into_iter().zip(windows.into_iter().zip(slots_per_req))
+        {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.resvs.insert(
+                id,
+                Resv {
+                    req,
+                    start: start_t,
+                    end: end_t,
+                    status: Status::Pending,
+                    slots,
+                    enforcement: Enforcement::None,
+                },
+            );
+            let rid = ResvId(id);
+            net.obs.metrics.add("gara.reservations_granted", 1);
+            let granted_amount = match &self.resvs[&id].req {
+                Request::Network(n) => n.rate_bps as i64,
+                Request::Cpu(c) => (c.fraction * 1000.0) as i64,
+                Request::Storage(_) => 0,
+            };
+            net.obs.trace.record(now, "gara.grant", id, granted_amount);
+            if start_t <= now {
+                self.activate(net, rid);
+            } else {
+                self.emit(rid, Status::Pending);
+            }
+            self.arm(net);
+            granted.push(rid);
         }
         Ok(granted)
     }
@@ -431,6 +608,19 @@ impl Gara {
 
     /// Modify the rate of an active/pending network reservation in place.
     pub fn modify_network_rate(
+        &mut self,
+        net: &mut Net,
+        id: ResvId,
+        new_rate_bps: u64,
+    ) -> Result<(), ReserveError> {
+        let r = self.modify_network_rate_inner(net, id, new_rate_bps);
+        if let Err(e) = &r {
+            Self::count_modify_reject(net, e);
+        }
+        r
+    }
+
+    fn modify_network_rate_inner(
         &mut self,
         net: &mut Net,
         id: ResvId,
@@ -510,6 +700,19 @@ impl Gara {
     /// the same all-or-nothing admission as a fresh request ("essentially
     /// the same calls are used" across resource types, §4.2).
     pub fn modify_cpu_fraction(
+        &mut self,
+        net: &mut Net,
+        id: ResvId,
+        new_fraction: f64,
+    ) -> Result<(), ReserveError> {
+        let r = self.modify_cpu_fraction_inner(net, id, new_fraction);
+        if let Err(e) = &r {
+            Self::count_modify_reject(net, e);
+        }
+        r
+    }
+
+    fn modify_cpu_fraction_inner(
         &mut self,
         net: &mut Net,
         id: ResvId,
@@ -609,6 +812,10 @@ impl Gara {
     }
 
     /// Earliest pending activation or active expiry.
+    ///
+    /// This is the query form (a full scan, O(reservations)); the timer
+    /// path uses the deadline heap instead, which answers the same
+    /// question in O(log n) amortized.
     pub fn next_deadline(&self) -> Option<SimTime> {
         self.resvs
             .values()
@@ -620,46 +827,94 @@ impl Gara {
             .min()
     }
 
-    /// Activate/expire everything due at `now`, then re-arm the timer.
+    /// Is a popped/peeked heap entry still the live deadline of its
+    /// reservation? Cancelled, revoked, expired, and already-activated
+    /// records invalidate their old entries; they are discarded here.
+    fn deadline_live(&self, t: SimTime, id: u64) -> bool {
+        match self.resvs.get(&id) {
+            Some(r) => match r.status {
+                Status::Pending => r.start == t,
+                Status::Active => r.end == t,
+                _ => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Activate/expire everything due at `now` in `(deadline, id)`
+    /// order, then re-arm the timer. Each reservation contributes at
+    /// most two heap entries over its lifetime (activation, expiry), so
+    /// this is O(log n) per transition regardless of how many finished
+    /// reservations the broker remembers.
     pub fn advance(&mut self, net: &mut Net) {
         let now = net.now();
-        loop {
-            let due: Vec<u64> = self
-                .resvs
-                .iter()
-                .filter(|(_, r)| match r.status {
-                    Status::Pending => r.start <= now,
-                    Status::Active => r.end <= now,
-                    _ => false,
-                })
-                .map(|(&id, _)| id)
-                .collect();
-            if due.is_empty() {
+        while let Some(&Reverse((t, id))) = self.deadlines.peek() {
+            if t > now {
                 break;
             }
-            for id in due {
-                let rid = ResvId(id);
-                match self.resvs[&id].status {
-                    Status::Pending => self.activate(net, rid),
-                    Status::Active => self.deactivate(net, rid, Status::Expired),
-                    _ => {}
-                }
+            self.deadlines.pop();
+            if !self.deadline_live(t, id) {
+                continue; // stale: superseded or already terminal
+            }
+            let rid = ResvId(id);
+            match self.resvs[&id].status {
+                // Activation pushes the expiry entry, which this same
+                // loop then drains if it is already due.
+                Status::Pending => self.activate(net, rid),
+                Status::Active => self.deactivate(net, rid, Status::Expired),
+                _ => {}
             }
         }
         self.arm(net);
     }
 
-    fn arm(&self, net: &mut Net) {
-        if let (Some(ctl), Some(d)) = (self.ctl, self.next_deadline()) {
-            if d != SimTime::MAX {
-                net.schedule_control(d.max(net.now()), control_token(ctl, 0));
+    fn arm(&mut self, net: &mut Net) {
+        let Some(ctl) = self.ctl else {
+            return;
+        };
+        while let Some(&Reverse((t, id))) = self.deadlines.peek() {
+            if self.deadline_live(t, id) {
+                net.schedule_control(t.max(net.now()), control_token(ctl, 0));
+                return;
             }
+            self.deadlines.pop();
         }
     }
 
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
+
+    /// Per-reason reject counter key, so benchmarks and operators can
+    /// break refusals down by cause instead of one opaque total.
+    fn reject_reason_key(e: &ReserveError) -> &'static str {
+        match e {
+            ReserveError::Admission(r) => match r.reason {
+                RejectReason::OverCapacity => "gara.rejects.over_capacity",
+                RejectReason::UnknownSlot => "gara.rejects.unknown_slot",
+            },
+            ReserveError::NoRoute => "gara.rejects.no_route",
+            ReserveError::UnknownServer(_) => "gara.rejects.unknown_server",
+            ReserveError::Invalid(_) => "gara.rejects.invalid",
+            ReserveError::Injected => "gara.rejects.injected",
+        }
+    }
+
+    /// Count a refused reservation: the lifecycle total plus the
+    /// per-reason breakdown.
+    fn count_reservation_reject(net: &mut Net, e: &ReserveError) {
+        net.obs.metrics.add("gara.reservations_rejected", 1);
+        net.obs.metrics.add(Self::reject_reason_key(e), 1);
+    }
+
+    /// Count a refused modify. Deliberately *not* `reservations_rejected`:
+    /// that counter means "a reservation request was refused" and
+    /// participates in qcheck run fingerprints; in-place modifies keep
+    /// their own total alongside the shared per-reason breakdown.
+    fn count_modify_reject(net: &mut Net, e: &ReserveError) {
+        net.obs.metrics.add("gara.modifies_rejected", 1);
+        net.obs.metrics.add(Self::reject_reason_key(e), 1);
+    }
 
     fn validate(&self, req: &Request) -> Result<(), ReserveError> {
         match req {
@@ -816,6 +1071,10 @@ impl Gara {
         };
         let r = self.resvs.get_mut(&id.0).unwrap();
         r.enforcement = enforcement;
+        let end = r.end;
+        if end != SimTime::MAX {
+            self.deadlines.push(Reverse((end, id.0)));
+        }
         let now = net.now();
         net.obs.trace.record(now, "gara.active", id.0, 0);
         self.set_status(id, Status::Active);

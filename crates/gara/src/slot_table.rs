@@ -8,6 +8,31 @@
 //! bandwidth on a link, percent of a CPU, MB/s of a storage server) over
 //! time intervals, supporting immediate and *advance* reservations with
 //! all-or-nothing admission.
+//!
+//! # Implementation (DESIGN.md §14)
+//!
+//! The table is an augmented balanced tree (a treap with deterministic
+//! priorities) keyed on the *time boundaries* of reservations. Each
+//! boundary node carries the net load change at that instant (`+amount`
+//! at a slot's start, `-amount` at its end) and every subtree aggregates
+//! the sum of its deltas and the maximum prefix sum over its in-order
+//! sequence. The committed load at any instant is a prefix sum of
+//! boundary deltas, so:
+//!
+//! * peak load over an interval (`[SlotTable::available]`, admission) is
+//!   one `O(log n)` range query — prefix sum up to the interval's start
+//!   plus the max prefix of the boundaries strictly inside it;
+//! * admit / free / resize are `O(log n)` boundary updates;
+//! * the global peak ([`SlotTable::max_peak`]) is the root's max-prefix
+//!   aggregate, `O(1)`;
+//! * capacity changes ([`SlotTable::set_capacity`]) are `O(1)` — the
+//!   tree stores loads, not headroom.
+//!
+//! Batch admission ([`SlotTable::try_insert_batch`]) admits a vector of
+//! co-reservations all-or-nothing in one pass over the tree, and
+//! compaction ([`SlotTable::compact`]) merges a tenant's adjacent
+//! same-amount slots so long-running reservations that are repeatedly
+//! extended do not grow the boundary set without bound.
 
 use mpichgq_sim::SimTime;
 use std::collections::HashMap;
@@ -21,6 +46,7 @@ struct Slot {
     start: SimTime,
     end: SimTime,
     amount: u64,
+    tenant: u64,
 }
 
 /// Why an admission or resize attempt was refused.
@@ -38,6 +64,8 @@ pub enum RejectReason {
 /// `available` is reported with saturating arithmetic: if existing slots
 /// already exceed capacity (possible transiently after a capacity-lowering
 /// [`SlotTable::set_capacity`]), it reads 0 rather than wrapping.
+/// `requested` always carries the amount that was asked for, for
+/// [`RejectReason::UnknownSlot`] refusals as much as capacity ones.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Rejected {
     pub requested: u64,
@@ -61,12 +89,52 @@ impl std::fmt::Display for Rejected {
 }
 impl std::error::Error for Rejected {}
 
+// ---------------------------------------------------------------------
+// The boundary tree
+// ---------------------------------------------------------------------
+
+const NIL: u32 = u32::MAX;
+
+/// One boundary instant: the net load change across every slot endpoint
+/// at this time, plus how many endpoints reference it (the node is freed
+/// when the last endpoint goes away, even if its net delta is zero).
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: SimTime,
+    prio: u64,
+    left: u32,
+    right: u32,
+    /// Net load change at `key` (sum over endpoints here).
+    delta: i128,
+    /// Endpoints (slot starts + slot ends) located at `key`.
+    refs: u32,
+    /// Sum of `delta` over this subtree.
+    sum: i128,
+    /// Max over k of the sum of the first k deltas (in key order) of this
+    /// subtree, k >= 1.
+    max_prefix: i128,
+}
+
 /// Capacity-over-time bookkeeping with all-or-nothing admission.
 #[derive(Debug, Clone)]
 pub struct SlotTable {
     capacity: u64,
     slots: HashMap<u64, Slot>,
     next_id: u64,
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    root: u32,
+    /// Counter feeding the deterministic priority stream (splitmix64), so
+    /// identical operation sequences build identical trees.
+    prio_seq: u64,
+}
+
+/// splitmix64: cheap, well-mixed deterministic priorities for the treap.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 impl SlotTable {
@@ -75,6 +143,10 @@ impl SlotTable {
             capacity,
             slots: HashMap::new(),
             next_id: 0,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            prio_seq: 0,
         }
     }
 
@@ -86,71 +158,294 @@ impl SlotTable {
     /// Lowering it below the committed peak leaves the table transiently
     /// overcommitted — admission of *new* load is refused until enough
     /// slots end or are removed, and auditors can quantify the overshoot
-    /// via [`SlotTable::max_overcommit`].
+    /// via [`SlotTable::max_overcommit`]. `O(1)`: the tree stores loads,
+    /// not remaining headroom.
     pub fn set_capacity(&mut self, capacity: u64) {
         self.capacity = capacity;
     }
 
-    /// Peak committed amount over `[start, end)`, excluding slot `except`.
-    fn peak_in(&self, start: SimTime, end: SimTime, except: Option<SlotId>) -> u64 {
-        // Sweep the overlapping slots' boundary points. With the modest
-        // reservation counts GARA sees, O(n²) over overlaps is fine.
-        let mut points: Vec<SimTime> = vec![start];
-        for s in self.overlapping(start, end, except) {
-            if s.start > start {
-                points.push(s.start);
-            }
-        }
-        let mut peak = 0;
-        for &p in &points {
-            let load: u64 = self
-                .overlapping(start, end, except)
-                .filter(|s| s.start <= p && p < s.end)
-                .map(|s| s.amount)
-                .sum();
-            peak = peak.max(load);
-        }
-        peak
+    // -- tree plumbing -------------------------------------------------
+
+    fn node(&self, i: u32) -> &Node {
+        &self.nodes[i as usize]
     }
 
-    fn overlapping(
-        &self,
-        start: SimTime,
-        end: SimTime,
-        except: Option<SlotId>,
-    ) -> impl Iterator<Item = &Slot> {
-        self.slots.iter().filter_map(move |(&id, s)| {
-            if Some(SlotId(id)) == except {
-                return None;
-            }
-            if s.start < end && start < s.end {
-                Some(s)
-            } else {
-                None
-            }
-        })
+    fn sum_of(&self, i: u32) -> i128 {
+        if i == NIL {
+            0
+        } else {
+            self.nodes[i as usize].sum
+        }
     }
+
+    /// Max prefix of subtree `i`, or `None` when empty.
+    fn max_prefix_of(&self, i: u32) -> Option<i128> {
+        if i == NIL {
+            None
+        } else {
+            Some(self.nodes[i as usize].max_prefix)
+        }
+    }
+
+    /// Recompute `i`'s aggregates from its children (the "pull" step).
+    fn pull(&mut self, i: u32) {
+        let (l, r, delta) = {
+            let n = &self.nodes[i as usize];
+            (n.left, n.right, n.delta)
+        };
+        let lsum = self.sum_of(l);
+        let rsum = self.sum_of(r);
+        let mut best = lsum + delta; // prefix ending at this node
+        if let Some(m) = self.max_prefix_of(l) {
+            best = best.max(m);
+        }
+        if let Some(m) = self.max_prefix_of(r) {
+            best = best.max(lsum + delta + m);
+        }
+        let n = &mut self.nodes[i as usize];
+        n.sum = lsum + delta + rsum;
+        n.max_prefix = best;
+    }
+
+    fn alloc(&mut self, key: SimTime, delta: i128, refs: u32) -> u32 {
+        let prio = splitmix64(self.prio_seq);
+        self.prio_seq += 1;
+        let n = Node {
+            key,
+            prio,
+            left: NIL,
+            right: NIL,
+            delta,
+            refs,
+            sum: delta,
+            max_prefix: delta,
+        };
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = n;
+                i
+            }
+            None => {
+                self.nodes.push(n);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.node(a).prio >= self.node(b).prio {
+            let ar = self.node(a).right;
+            let m = self.merge(ar, b);
+            self.nodes[a as usize].right = m;
+            self.pull(a);
+            a
+        } else {
+            let bl = self.node(b).left;
+            let m = self.merge(a, bl);
+            self.nodes[b as usize].left = m;
+            self.pull(b);
+            b
+        }
+    }
+
+    /// Add `delta` (and `refs_delta` endpoint references) at boundary
+    /// `key`, creating the node if absent, freeing it when its last
+    /// reference goes away.
+    fn apply(&mut self, key: SimTime, delta: i128, refs_delta: i32) {
+        let root = self.root;
+        self.root = self.apply_rec(root, key, delta, refs_delta);
+    }
+
+    fn apply_rec(&mut self, t: u32, key: SimTime, delta: i128, refs_delta: i32) -> u32 {
+        if t == NIL {
+            debug_assert!(refs_delta > 0, "releasing a boundary that was never added");
+            return self.alloc(key, delta, refs_delta as u32);
+        }
+        let (nkey, nprio) = {
+            let n = self.node(t);
+            (n.key, n.prio)
+        };
+        if key == nkey {
+            let n = &mut self.nodes[t as usize];
+            n.delta += delta;
+            n.refs = (n.refs as i64 + refs_delta as i64) as u32;
+            if n.refs == 0 {
+                debug_assert_eq!(n.delta, 0, "freed boundary with nonzero delta");
+                let (l, r) = (n.left, n.right);
+                self.free.push(t);
+                return self.merge(l, r);
+            }
+            self.pull(t);
+            return t;
+        }
+        if key < nkey {
+            let l = self.node(t).left;
+            let nl = self.apply_rec(l, key, delta, refs_delta);
+            self.nodes[t as usize].left = nl;
+            // Rotate the child up when a fresh node won the priority draw.
+            if nl != NIL && self.node(nl).prio > nprio {
+                let t2 = self.rotate_right(t);
+                return t2;
+            }
+        } else {
+            let r = self.node(t).right;
+            let nr = self.apply_rec(r, key, delta, refs_delta);
+            self.nodes[t as usize].right = nr;
+            if nr != NIL && self.node(nr).prio > nprio {
+                let t2 = self.rotate_left(t);
+                return t2;
+            }
+        }
+        self.pull(t);
+        t
+    }
+
+    /// Right rotation: left child becomes the subtree root.
+    fn rotate_right(&mut self, t: u32) -> u32 {
+        let l = self.node(t).left;
+        let lr = self.node(l).right;
+        self.nodes[t as usize].left = lr;
+        self.pull(t);
+        self.nodes[l as usize].right = t;
+        self.pull(l);
+        l
+    }
+
+    fn rotate_left(&mut self, t: u32) -> u32 {
+        let r = self.node(t).right;
+        let rl = self.node(r).left;
+        self.nodes[t as usize].right = rl;
+        self.pull(t);
+        self.nodes[r as usize].left = t;
+        self.pull(r);
+        r
+    }
+
+    /// Committed load just after every boundary `<= t` has applied —
+    /// i.e. the load at instant `t`. Non-mutating `O(log n)` walk.
+    fn prefix_le(&self, t: SimTime) -> i128 {
+        let mut acc = 0i128;
+        let mut i = self.root;
+        while i != NIL {
+            let n = self.node(i);
+            if n.key <= t {
+                acc += self.sum_of(n.left) + n.delta;
+                i = n.right;
+            } else {
+                i = n.left;
+            }
+        }
+        acc
+    }
+
+    /// Peak committed load over `[start, end)` (all slots). `O(log n)`,
+    /// read-only: the load at `start` plus the best prefix of the
+    /// boundary deltas strictly inside the interval, computed by walking
+    /// the two boundary paths of the key range.
+    fn peak_in(&self, start: SimTime, end: SimTime) -> u64 {
+        debug_assert!(start < end);
+        let base = self.prefix_le(start);
+        let inner = self.range_agg(self.root, start, end);
+        let peak = match inner {
+            Some((_, maxpre)) if maxpre > 0 => base + maxpre,
+            _ => base,
+        };
+        debug_assert!(peak >= 0, "negative committed load");
+        peak.max(0) as u64
+    }
+
+    /// `(sum, max_prefix)` over one subtree, `None` when empty.
+    fn whole(&self, t: u32) -> Option<(i128, i128)> {
+        if t == NIL {
+            None
+        } else {
+            let n = self.node(t);
+            Some((n.sum, n.max_prefix))
+        }
+    }
+
+    /// Concatenate two in-order aggregates.
+    fn combine(a: Option<(i128, i128)>, b: Option<(i128, i128)>) -> Option<(i128, i128)> {
+        match (a, b) {
+            (None, x) | (x, None) => x,
+            (Some((sa, ma)), Some((sb, mb))) => Some((sa + sb, ma.max(sa + mb))),
+        }
+    }
+
+    /// Aggregate over keys strictly greater than `s` within subtree `t`
+    /// (a suffix of its in-order sequence). Single-path descent.
+    fn agg_gt(&self, t: u32, s: SimTime) -> Option<(i128, i128)> {
+        if t == NIL {
+            return None;
+        }
+        let n = self.node(t);
+        if n.key <= s {
+            self.agg_gt(n.right, s)
+        } else {
+            let left = self.agg_gt(n.left, s);
+            let here = Some((n.delta, n.delta));
+            Self::combine(Self::combine(left, here), self.whole(n.right))
+        }
+    }
+
+    /// Aggregate over keys strictly less than `e` within subtree `t`
+    /// (a prefix of its in-order sequence). Single-path descent.
+    fn agg_lt(&self, t: u32, e: SimTime) -> Option<(i128, i128)> {
+        if t == NIL {
+            return None;
+        }
+        let n = self.node(t);
+        if n.key >= e {
+            self.agg_lt(n.left, e)
+        } else {
+            let here = Some((n.delta, n.delta));
+            let right = self.agg_lt(n.right, e);
+            Self::combine(Self::combine(self.whole(n.left), here), right)
+        }
+    }
+
+    /// Aggregate over keys in the open range `(s, e)`: descend to the
+    /// topmost node inside the range, then take a suffix of its left
+    /// subtree and a prefix of its right one.
+    fn range_agg(&self, t: u32, s: SimTime, e: SimTime) -> Option<(i128, i128)> {
+        if t == NIL {
+            return None;
+        }
+        let n = self.node(t);
+        if n.key <= s {
+            self.range_agg(n.right, s, e)
+        } else if n.key >= e {
+            self.range_agg(n.left, s, e)
+        } else {
+            let left = self.agg_gt(n.left, s);
+            let here = Some((n.delta, n.delta));
+            let right = self.agg_lt(n.right, e);
+            Self::combine(Self::combine(left, here), right)
+        }
+    }
+
+    // -- the admission API ---------------------------------------------
 
     /// Free capacity at the tightest instant of `[start, end)` (0 when the
     /// interval is already committed at or over capacity).
     pub fn available(&self, start: SimTime, end: SimTime) -> u64 {
-        self.capacity.saturating_sub(self.peak_in(start, end, None))
+        let peak = self.peak_in(start, end);
+        self.capacity.saturating_sub(peak)
     }
 
-    /// Peak committed amount over all time (the all-slots high-water mark).
+    /// Peak committed amount over all time (the all-slots high-water
+    /// mark). `O(1)`: the root's max-prefix aggregate.
     pub fn max_peak(&self) -> u64 {
-        // The peak is always attained at some slot's start boundary.
-        self.slots
-            .values()
-            .map(|s| {
-                self.slots
-                    .values()
-                    .filter(|o| o.start <= s.start && s.start < o.end)
-                    .map(|o| o.amount)
-                    .sum()
-            })
-            .max()
-            .unwrap_or(0)
+        match self.max_prefix_of(self.root) {
+            Some(m) if m > 0 => m as u64,
+            _ => 0,
+        }
     }
 
     /// How far the committed peak exceeds capacity (0 when within bounds).
@@ -167,8 +462,20 @@ impl SlotTable {
         end: SimTime,
         amount: u64,
     ) -> Result<SlotId, Rejected> {
+        self.try_insert_tenant(start, end, amount, 0)
+    }
+
+    /// [`SlotTable::try_insert`] with a tenant tag; slots of the same
+    /// tenant are the unit [`SlotTable::compact`] may merge.
+    pub fn try_insert_tenant(
+        &mut self,
+        start: SimTime,
+        end: SimTime,
+        amount: u64,
+        tenant: u64,
+    ) -> Result<SlotId, Rejected> {
         assert!(start < end, "empty reservation interval");
-        let peak = self.peak_in(start, end, None);
+        let peak = self.peak_in(start, end);
         if peak.saturating_add(amount) > self.capacity {
             return Err(Rejected {
                 requested: amount,
@@ -176,21 +483,96 @@ impl SlotTable {
                 reason: RejectReason::OverCapacity,
             });
         }
+        Ok(self.insert_unchecked(start, end, amount, tenant))
+    }
+
+    /// Insert a slot's boundaries and bookkeeping without admission.
+    fn insert_unchecked(
+        &mut self,
+        start: SimTime,
+        end: SimTime,
+        amount: u64,
+        tenant: u64,
+    ) -> SlotId {
         let id = self.next_id;
         self.next_id += 1;
-        self.slots.insert(id, Slot { start, end, amount });
-        Ok(SlotId(id))
+        self.apply(start, amount as i128, 1);
+        self.apply(end, -(amount as i128), 1);
+        self.slots.insert(
+            id,
+            Slot {
+                start,
+                end,
+                amount,
+                tenant,
+            },
+        );
+        SlotId(id)
+    }
+
+    /// All-or-nothing admission of a vector of co-reservations in one
+    /// pass: every item is admitted, or none is and the first item (in
+    /// input order) whose interval would exceed capacity is reported.
+    /// The reported `available` counts the other items of the batch as
+    /// committed load, exactly as a sequential admit-with-rollback loop
+    /// would have seen them.
+    pub fn try_insert_batch(
+        &mut self,
+        items: &[(SimTime, SimTime, u64)],
+    ) -> Result<Vec<SlotId>, Rejected> {
+        self.try_insert_batch_tenant(items, 0)
+    }
+
+    /// [`SlotTable::try_insert_batch`] with a tenant tag on every slot.
+    pub fn try_insert_batch_tenant(
+        &mut self,
+        items: &[(SimTime, SimTime, u64)],
+        tenant: u64,
+    ) -> Result<Vec<SlotId>, Rejected> {
+        for &(start, end, _) in items {
+            assert!(start < end, "empty reservation interval");
+        }
+        // Optimistically commit every boundary, then audit each item's
+        // interval against the combined load; roll back all on the first
+        // offender. One O(log n) peak query per item either way — the
+        // win over a sequential loop is that no interval is re-scanned
+        // per mate and rollback never re-runs admission.
+        let ids: Vec<SlotId> = items
+            .iter()
+            .map(|&(s, e, amount)| self.insert_unchecked(s, e, amount, tenant))
+            .collect();
+        for (i, &(s, e, amount)) in items.iter().enumerate() {
+            let peak = self.peak_in(s, e);
+            if peak > self.capacity {
+                let available = self.capacity.saturating_sub(peak.saturating_sub(amount));
+                for id in ids {
+                    self.remove(id);
+                }
+                return Err(Rejected {
+                    requested: items[i].2,
+                    available,
+                    reason: RejectReason::OverCapacity,
+                });
+            }
+        }
+        Ok(ids)
     }
 
     /// Remove an allocation; returns whether it existed.
     pub fn remove(&mut self, id: SlotId) -> bool {
-        self.slots.remove(&id.0).is_some()
+        let Some(s) = self.slots.remove(&id.0) else {
+            return false;
+        };
+        self.apply(s.start, -(s.amount as i128), -1);
+        self.apply(s.end, s.amount as i128, -1);
+        true
     }
 
     /// Change the amount of an existing allocation (reservation modify).
     /// On rejection the original allocation is kept unchanged. An unknown
     /// slot id is reported as [`RejectReason::UnknownSlot`], distinct from
-    /// a genuine capacity refusal.
+    /// a genuine capacity refusal; either way `requested` carries
+    /// `new_amount`.
     pub fn try_resize(&mut self, id: SlotId, new_amount: u64) -> Result<(), Rejected> {
         let Some(&slot) = self.slots.get(&id.0) else {
             return Err(Rejected {
@@ -199,14 +581,23 @@ impl SlotTable {
                 reason: RejectReason::UnknownSlot,
             });
         };
-        let peak_others = self.peak_in(slot.start, slot.end, Some(id));
+        // Lift the slot's own load out of the tree, audit the interval
+        // against everyone else, then commit either amount — O(log n)
+        // throughout, no rescans.
+        self.apply(slot.start, -(slot.amount as i128), 0);
+        self.apply(slot.end, slot.amount as i128, 0);
+        let peak_others = self.peak_in(slot.start, slot.end);
         if peak_others.saturating_add(new_amount) > self.capacity {
+            self.apply(slot.start, slot.amount as i128, 0);
+            self.apply(slot.end, -(slot.amount as i128), 0);
             return Err(Rejected {
                 requested: new_amount,
                 available: self.capacity.saturating_sub(peak_others),
                 reason: RejectReason::OverCapacity,
             });
         }
+        self.apply(slot.start, new_amount as i128, 0);
+        self.apply(slot.end, -(new_amount as i128), 0);
         self.slots.get_mut(&id.0).unwrap().amount = new_amount;
         Ok(())
     }
@@ -216,13 +607,47 @@ impl SlotTable {
     /// even if capacity was reconfigured in between. Returns whether the
     /// slot existed.
     pub fn restore(&mut self, id: SlotId, amount: u64) -> bool {
-        match self.slots.get_mut(&id.0) {
-            Some(s) => {
-                s.amount = amount;
-                true
+        let Some(&slot) = self.slots.get(&id.0) else {
+            return false;
+        };
+        self.apply(slot.start, amount as i128 - slot.amount as i128, 0);
+        self.apply(slot.end, slot.amount as i128 - amount as i128, 0);
+        self.slots.get_mut(&id.0).unwrap().amount = amount;
+        true
+    }
+
+    /// Merge adjacent same-amount slots of the same tenant: whenever one
+    /// slot ends exactly where the next (same tenant, same amount) begins,
+    /// the pair collapses into the earlier slot and the later [`SlotId`]
+    /// is retired. Long-running reservations that are extended by booking
+    /// adjacent windows therefore keep the boundary tree flat. Returns
+    /// `(absorbed, survivor)` pairs so holders can remap their handles;
+    /// the committed load profile is unchanged.
+    pub fn compact(&mut self) -> Vec<(SlotId, SlotId)> {
+        let mut order: Vec<(u64, Slot)> = self.slots.iter().map(|(&id, &s)| (id, s)).collect();
+        // Deterministic sweep order regardless of hash-map iteration.
+        order.sort_by_key(|&(id, s)| (s.tenant, s.start, s.end, id));
+        let mut merged = Vec::new();
+        let mut i = 0;
+        while i + 1 < order.len() {
+            let (sid, s) = order[i];
+            let (tid, t) = order[i + 1];
+            if s.tenant == t.tenant && s.amount == t.amount && s.end == t.start {
+                // The shared boundary carries +amount and -amount from the
+                // pair; both endpoints retire together.
+                self.apply(s.end, 0, -2);
+                self.slots.remove(&tid);
+                let surv = self.slots.get_mut(&sid).unwrap();
+                surv.end = t.end;
+                merged.push((SlotId(tid), SlotId(sid)));
+                // The survivor may chain with the next slot.
+                order[i].1.end = t.end;
+                order.remove(i + 1);
+            } else {
+                i += 1;
             }
-            None => false,
         }
+        merged
     }
 
     /// Current amount of an allocation, if it exists.
@@ -230,13 +655,16 @@ impl SlotTable {
         self.slots.get(&id.0).map(|s| s.amount)
     }
 
-    /// Committed amount at instant `t`.
+    /// Tenant tag of an allocation, if it exists.
+    pub fn tenant_of(&self, id: SlotId) -> Option<u64> {
+        self.slots.get(&id.0).map(|s| s.tenant)
+    }
+
+    /// Committed amount at instant `t`. `O(log n)`.
     pub fn load_at(&self, t: SimTime) -> u64 {
-        self.slots
-            .values()
-            .filter(|s| s.start <= t && t < s.end)
-            .map(|s| s.amount)
-            .sum()
+        let v = self.prefix_le(t);
+        debug_assert!(v >= 0, "negative committed load");
+        v.max(0) as u64
     }
 
     pub fn len(&self) -> usize {
@@ -245,6 +673,13 @@ impl SlotTable {
 
     pub fn is_empty(&self) -> bool {
         self.slots.is_empty()
+    }
+
+    /// Live boundary nodes in the tree (distinct slot-endpoint instants).
+    /// Compaction exists to keep this from growing without bound under
+    /// adjacent-extension churn; `bench_gara` reports it per table size.
+    pub fn boundary_count(&self) -> usize {
+        self.nodes.len() - self.free.len()
     }
 }
 
@@ -344,6 +779,9 @@ mod tests {
         let a = st.try_insert(t(0), t(10), 100).unwrap();
         let err = st.try_resize(SlotId(999), 10).unwrap_err();
         assert_eq!(err.reason, RejectReason::UnknownSlot);
+        // The UnknownSlot refusal still reports what was asked for.
+        assert_eq!(err.requested, 10);
+        assert_eq!(err.available, 0);
         // A genuine capacity refusal keeps its own reason.
         st.remove(a);
         let a = st.try_insert(t(0), t(10), 50).unwrap();
@@ -384,5 +822,147 @@ mod tests {
         assert_eq!(st.available(t(0), t(10)), 10);
         assert!(st.try_insert(t(0), t(10), 11).is_err());
         st.try_insert(t(0), t(10), 10).unwrap();
+    }
+
+    #[test]
+    fn batch_is_all_or_nothing() {
+        let mut st = SlotTable::new(100);
+        st.try_insert(t(0), t(10), 50).unwrap();
+        // Combined 60 over the committed 50 exceeds 100: nothing lands.
+        let err = st
+            .try_insert_batch(&[(t(0), t(5), 30), (t(2), t(8), 30)])
+            .unwrap_err();
+        assert_eq!(err.reason, RejectReason::OverCapacity);
+        assert_eq!(err.requested, 30);
+        // The other mate (30) plus the standing 50 leave 20 at the pinch.
+        assert_eq!(err.available, 20);
+        assert_eq!(st.len(), 1);
+        assert_eq!(st.max_peak(), 50);
+        // Disjoint mates that each fit are admitted together.
+        let ids = st
+            .try_insert_batch(&[(t(0), t(5), 50), (t(5), t(10), 50)])
+            .unwrap();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(st.load_at(t(2)), 100);
+        assert_eq!(st.load_at(t(7)), 100);
+    }
+
+    #[test]
+    fn batch_matches_sequential_admission_decision() {
+        // Batch admits exactly when a sequential loop over the same items
+        // would: combined load within capacity at every instant.
+        let items = [(t(0), t(4), 40), (t(2), t(6), 40), (t(3), t(5), 20)];
+        let mut batch = SlotTable::new(100);
+        let mut seq = SlotTable::new(100);
+        let b = batch.try_insert_batch(&items);
+        let mut ok = true;
+        let mut held = Vec::new();
+        for &(s, e, a) in &items {
+            match seq.try_insert(s, e, a) {
+                Ok(id) => held.push(id),
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        assert_eq!(b.is_ok(), ok);
+        assert_eq!(batch.max_peak(), seq.max_peak());
+    }
+
+    #[test]
+    fn compact_merges_adjacent_same_amount_slots_of_a_tenant() {
+        let mut st = SlotTable::new(100);
+        let a = st.try_insert_tenant(t(0), t(10), 40, 7).unwrap();
+        let b = st.try_insert_tenant(t(10), t(20), 40, 7).unwrap();
+        let c = st.try_insert_tenant(t(20), t(30), 40, 7).unwrap();
+        // Different tenant and different amount stay untouched.
+        let other = st.try_insert_tenant(t(30), t(40), 40, 8).unwrap();
+        let thinner = st.try_insert_tenant(t(40), t(50), 30, 7).unwrap();
+        let before = st.boundary_count();
+        let merged = st.compact();
+        assert_eq!(
+            merged,
+            vec![(b, a), (c, a)],
+            "the chain folds into the earliest slot"
+        );
+        assert_eq!(st.len(), 3);
+        assert!(st.boundary_count() < before);
+        assert_eq!(st.amount_of(a), Some(40));
+        assert_eq!(st.amount_of(b), None);
+        assert_eq!(st.amount_of(c), None);
+        assert_eq!(st.amount_of(other), Some(40));
+        assert_eq!(st.amount_of(thinner), Some(30));
+        // The load profile is unchanged.
+        for s in 0..50 {
+            let expect = if s < 30 || (30..40).contains(&s) {
+                40
+            } else {
+                30
+            };
+            assert_eq!(st.load_at(t(s)), expect, "load changed at t={s}");
+        }
+        // And the merged slot behaves like one long reservation.
+        st.try_resize(a, 60).unwrap();
+        assert_eq!(st.load_at(t(15)), 60);
+    }
+
+    #[test]
+    fn compact_keeps_overlapping_slots_apart() {
+        let mut st = SlotTable::new(100);
+        st.try_insert_tenant(t(0), t(10), 40, 1).unwrap();
+        st.try_insert_tenant(t(5), t(15), 40, 1).unwrap();
+        assert!(st.compact().is_empty(), "overlap is not adjacency");
+        assert_eq!(st.len(), 2);
+        assert_eq!(st.load_at(t(7)), 80);
+    }
+
+    #[test]
+    fn boundary_nodes_are_shared_and_reclaimed() {
+        let mut st = SlotTable::new(100);
+        let a = st.try_insert(t(0), t(10), 30).unwrap();
+        let b = st.try_insert(t(0), t(10), 30).unwrap();
+        // Shared endpoints collapse onto two boundary nodes.
+        assert_eq!(st.boundary_count(), 2);
+        st.remove(a);
+        assert_eq!(st.boundary_count(), 2);
+        st.remove(b);
+        assert_eq!(st.boundary_count(), 0);
+        assert!(st.is_empty());
+        assert_eq!(st.max_peak(), 0);
+    }
+
+    #[test]
+    fn deep_tables_stay_exact() {
+        // A few thousand staggered slots: the tree's point and peak
+        // queries must agree with brute-force summation everywhere.
+        let mut st = SlotTable::new(1_000_000);
+        let mut held: Vec<(SlotId, u64, u64, u64)> = Vec::new();
+        for i in 0..2_000u64 {
+            let s = (i * 37) % 500;
+            let e = s + 3 + (i % 11);
+            let amount = 100 + (i % 17) * 10;
+            if let Ok(id) = st.try_insert(t(s), t(e), amount) {
+                held.push((id, s, e, amount));
+            }
+        }
+        let mut brute_peak = 0;
+        for probe in 0..520u64 {
+            let brute: u64 = held
+                .iter()
+                .filter(|&&(_, s, e, _)| s <= probe && probe < e)
+                .map(|&(_, _, _, a)| a)
+                .sum();
+            assert_eq!(st.load_at(t(probe)), brute, "load differs at t={probe}");
+            brute_peak = brute_peak.max(brute);
+        }
+        assert_eq!(st.max_peak(), brute_peak);
+        assert!(st.max_peak() <= 1_000_000);
+        // Remove everything; the tree must drain completely.
+        for (id, ..) in held {
+            assert!(st.remove(id));
+        }
+        assert_eq!(st.boundary_count(), 0);
+        assert_eq!(st.max_peak(), 0);
     }
 }

@@ -261,40 +261,7 @@ pub fn build(spec: &ScenarioSpec, inject: &Inject) -> BuiltScenario {
     let mut ats = Vec::new();
     for _ in 0..k.gara_ops {
         let at = SimTime::ZERO + frac(&mut gara_rng, 50, 800);
-        let op = match gara_rng.below(5) {
-            // Reserves dominate so modify/cancel/revoke usually have a
-            // victim to act on.
-            0 | 1 => {
-                let (src, dst) = distinct_pair(&mut gara_rng, &hosts);
-                GaraOp::Reserve {
-                    src,
-                    dst,
-                    proto: if gara_rng.chance(0.5) {
-                        Proto::Udp
-                    } else {
-                        Proto::Tcp
-                    },
-                    rate_bps: gara_rng.range(1, 15) * 1_000_000,
-                    duration_ms: if gara_rng.chance(0.5) {
-                        Some(gara_rng.range(20, k.duration_ms.max(21)))
-                    } else {
-                        None
-                    },
-                    shape: gara_rng.chance(0.3),
-                }
-            }
-            2 => GaraOp::Modify {
-                victim: gara_rng.next_u64(),
-                rate_bps: gara_rng.range(1, 25) * 1_000_000,
-            },
-            3 => GaraOp::Cancel {
-                victim: gara_rng.next_u64(),
-            },
-            _ => GaraOp::Revoke {
-                victim: gara_rng.next_u64(),
-            },
-        };
-        ops.push(op);
+        ops.push(draw_gara_op(&mut gara_rng, &hosts, k.duration_ms));
         ats.push(at);
     }
     let script = sim.stack.add_controller(Box::new(QcScript {
@@ -307,6 +274,48 @@ pub fn build(spec: &ScenarioSpec, inject: &Inject) -> BuiltScenario {
     }
 
     BuiltScenario { sim, t_end }
+}
+
+/// Draw one GARA operation from `rng` against `hosts`: the exact
+/// distribution the scenario fuzzer schedules (reserve-heavy so
+/// modify/cancel/revoke usually have a victim, half the reserves
+/// bounded to at most `duration_ms`). Public so load generators —
+/// `bench_gara` in particular — can replay the fuzzer's op mix at
+/// arbitrary scale instead of inventing a second, divergent one.
+pub fn draw_gara_op(rng: &mut SimRng, hosts: &[NodeId], duration_ms: u64) -> GaraOp {
+    match rng.below(5) {
+        // Reserves dominate so modify/cancel/revoke usually have a
+        // victim to act on.
+        0 | 1 => {
+            let (src, dst) = distinct_pair(rng, hosts);
+            GaraOp::Reserve {
+                src,
+                dst,
+                proto: if rng.chance(0.5) {
+                    Proto::Udp
+                } else {
+                    Proto::Tcp
+                },
+                rate_bps: rng.range(1, 15) * 1_000_000,
+                duration_ms: if rng.chance(0.5) {
+                    Some(rng.range(20, duration_ms.max(21)))
+                } else {
+                    None
+                },
+                shape: rng.chance(0.3),
+            }
+        }
+        2 => GaraOp::Modify {
+            victim: rng.next_u64(),
+            rate_bps: rng.range(1, 25) * 1_000_000,
+        },
+        3 => GaraOp::Cancel {
+            victim: rng.next_u64(),
+        },
+        _ => GaraOp::Revoke {
+            victim: rng.next_u64(),
+        },
+    }
 }
 
 /// Two distinct hosts, uniformly.

@@ -17,7 +17,9 @@ Checks, per file:
 - the core engine/net counters every simulation run must emit exist;
 - experiment-specific keys exist (e.g. the chaos run's adaptation
   counters and fault counters; the traced runs' per-flow delay
-  histograms and deadline rows).
+  histograms and deadline rows; the gara run's reservation-lifecycle
+  counters, per-reason reject breakdown, and populated
+  admission-latency histogram).
 
 Files whose top level carries "qcheck_summary" (the scenario fuzzer's
 batch report, results/qcheck/summary.json) are validated against the
@@ -81,6 +83,29 @@ REQUIRED_BY_EXPERIMENT = {
     # reservation ever marks EF, so its EF queue-wait histogram is
     # legitimately empty (and empty histograms are omitted).
     "fig8": {"traced": True},
+    # bench_gara's control-plane snapshot: the full reservation
+    # lifecycle, the per-reason reject breakdown, and a populated
+    # admission-latency histogram (DESIGN.md §14).
+    "gara": {
+        "counters": [
+            "gara.reservations_granted",
+            "gara.reservations_rejected",
+            "gara.modifies",
+            "gara.modifies_rejected",
+            "gara.cancels",
+            "gara.revocations",
+            "gara.injected_rejections",
+            "gara.rejects.over_capacity",
+            "gara.rejects.unknown_slot",
+            "gara.rejects.no_route",
+            "gara.rejects.unknown_server",
+            "gara.rejects.invalid",
+            "gara.rejects.injected",
+        ],
+        "hists": [
+            "gara.admission_ns",
+        ],
+    },
 }
 
 
@@ -145,11 +170,16 @@ def check_trace(doc, errors):
         last_t = e["t_ns"]
 
 
-def check_histograms(doc, errors, traced, ef_traffic):
+def check_histograms(doc, errors, traced, ef_traffic, extra_required):
     hists = doc.get("histograms")
     if hists is None:
         if traced:
             errors.append("missing 'histograms' section (tracing was armed)")
+        if extra_required:
+            errors.append(
+                f"{len(extra_required)} required histogram(s) missing "
+                "(no 'histograms' section): " + ", ".join(extra_required)
+            )
         return
     if not isinstance(hists, dict):
         errors.append("'histograms' is not an object")
@@ -173,6 +203,14 @@ def check_histograms(doc, errors, traced, ef_traffic):
                 errors.append(f"histogram {name!r}: quantiles not ordered")
             if any(b[1] == 0 for b in h["buckets"]):
                 errors.append(f"histogram {name!r} stores empty buckets")
+    missing = [
+        n for n in extra_required if n not in hists or hists[n].get("count", 0) == 0
+    ]
+    if missing:
+        errors.append(
+            f"{len(missing)} required histogram(s) missing or empty: "
+            + ", ".join(missing)
+        )
     if traced:
         flow_delay = [
             n for n, h in hists.items()
@@ -265,7 +303,8 @@ def check(path):
     check_gauges(doc, errors, extra.get("gauges", []))
     check_trace(doc, errors)
     traced = extra.get("traced", False)
-    check_histograms(doc, errors, traced, extra.get("ef_traffic", False))
+    check_histograms(doc, errors, traced, extra.get("ef_traffic", False),
+                     extra.get("hists", []))
     check_slo(doc, errors, traced)
     return errors, doc
 

@@ -15,6 +15,11 @@ Understands both benchmark schemas and auto-detects each file's via its
   bench_engine baseline — that is the "single-thread within tolerance of
   the old engine" acceptance check), and each scaling run gates at its
   thread count.
+* bench_gara — {"workloads": [{name, reservations_per_sec,
+  admission_p99_us, ...}, ...]}; each workload gates two metrics:
+  reservations/sec (higher is better) and the p99 admission latency
+  (LOWER is better — the ratio is inverted before comparison, with
+  +1 µs smoothing so sub-microsecond baselines never divide by zero).
 
 Every workload present in both files is compared; ALL regressions beyond
 the tolerance are reported with their deltas before the nonzero exit, so
@@ -28,21 +33,26 @@ import sys
 
 
 def load(path):
-    """Normalize one benchmark file to {workload name: events/sec}."""
+    """Normalize one benchmark file to
+    {metric name: (value, unit, higher_is_better)}."""
     with open(path) as f:
         doc = json.load(f)
     kind = doc.get("benchmark", "bench_engine")
     rates = {}
     if kind == "bench_parallel":
         compat = doc["engine_compat"]
-        rates[compat["name"]] = compat["calendar"]["events_per_sec"]
+        rates[compat["name"]] = (compat["calendar"]["events_per_sec"], "ev/s", True)
         scaling = doc["scaling"]
         for run in scaling["runs"]:
             name = f"{scaling['name']}@{run['threads']}t"
-            rates[name] = run["events_per_sec"]
+            rates[name] = (run["events_per_sec"], "ev/s", True)
+    elif kind == "bench_gara":
+        for w in doc["workloads"]:
+            rates[f"{w['name']}/rps"] = (w["reservations_per_sec"], "resv/s", True)
+            rates[f"{w['name']}/p99"] = (w["admission_p99_us"], "us", False)
     else:
         for w in doc["workloads"]:
-            rates[w["name"]] = w["calendar"]["events_per_sec"]
+            rates[w["name"]] = (w["calendar"]["events_per_sec"], "ev/s", True)
     return rates
 
 
@@ -64,14 +74,19 @@ def main():
 
     failed = []
     for name in common:
-        b = base[name]
-        f = fresh[name]
-        ratio = f / b
+        b, unit, higher_better = base[name]
+        f = fresh[name][0]
+        if higher_better:
+            ratio = f / b
+        else:
+            # Lower is better (latency): invert so ratio > 1 still means
+            # "fresh is better"; +1 smooths away zero-microsecond bases.
+            ratio = (b + 1.0) / (f + 1.0)
         status = "ok"
         if ratio < 1.0 - args.tolerance:
             status = "REGRESSED"
             failed.append((name, ratio))
-        print(f"{name:28s} baseline {b:14,.0f} ev/s   fresh {f:14,.0f} ev/s "
+        print(f"{name:28s} baseline {b:14,.0f} {unit:6s} fresh {f:14,.0f} {unit:6s}"
               f"  ({ratio:5.2f}x)  {status}")
 
     skipped = sorted((set(base) | set(fresh)) - set(common))

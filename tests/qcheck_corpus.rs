@@ -58,6 +58,43 @@ fn pinned_seed_corpus_runs_clean() {
     }
 }
 
+/// Fingerprint values pinned at the moment the slot table moved from a
+/// flat re-scan to the interval tree (PR 7), captured from the flat
+/// implementation. The GARA script scenarios in this corpus exercise
+/// reserve/modify/cancel/revoke through the broker on every seed, so
+/// these staying bit-identical is the "the swap changed no observable
+/// behavior" acceptance check — and any future admission change that
+/// alters grant/reject decisions will trip it loudly.
+#[test]
+fn pinned_corpus_fingerprints_are_unchanged_by_the_interval_tree_swap() {
+    const PINNED: [(u64, u64, u64); 16] = [
+        (0, 0x24d941e6b7eca1e7, 19606),
+        (1, 0xa5fa70d0da02659e, 3190),
+        (2, 0x62d81e0c8b8fdcc6, 6807),
+        (3, 0x2fe047084db5aefb, 17760),
+        (4, 0x4527f85217ab5e42, 12980),
+        (5, 0x4b1a305716db8690, 16114),
+        (6, 0x0de13ca03d199983, 3484),
+        (7, 0x404d2bdf7ead852e, 9361),
+        (8, 0xf51bf855d0c23d22, 8336),
+        (9, 0xc677aa23f322acb0, 16896),
+        (10, 0x511622688ea30328, 6193),
+        (11, 0xbbdb49d3fbcafa56, 19449),
+        (12, 0xec6f6aa2ff6bf036, 10462),
+        (13, 0x803cc09a17f35d6e, 11049),
+        (14, 0x24a1efeb48285870, 884),
+        (15, 0xdd26af418e1504b6, 10661),
+    ];
+    for (seed, fingerprint, events) in PINNED {
+        let out = run_spec(&ScenarioSpec::from_seed(seed), &Inject::default());
+        assert_eq!(
+            out.fingerprint, fingerprint,
+            "seed {seed}: fingerprint drifted from the pinned pre-swap value"
+        );
+        assert_eq!(out.events, events, "seed {seed}: event count drifted");
+    }
+}
+
 #[test]
 fn fuzzed_scenarios_are_bit_identical_across_runs() {
     for seed in [3, 7, 13] {
