@@ -19,6 +19,8 @@ pub struct UdpBlaster {
     pub interval: SimDelta,
     /// Uniform jitter as a fraction of the interval (0.0 = strict CBR).
     pub jitter: f64,
+    /// Source port to bind; two blasters on one host need distinct ports.
+    pub sport: u16,
     pub start_at: SimTime,
     pub stop_at: SimTime,
     sock: Option<SockId>,
@@ -34,6 +36,7 @@ impl UdpBlaster {
             payload,
             interval,
             jitter: 0.1,
+            sport: 59_999,
             start_at: SimTime::ZERO,
             stop_at: SimTime::MAX,
             sock: None,
@@ -43,6 +46,11 @@ impl UdpBlaster {
     pub fn window(mut self, start: SimTime, stop: SimTime) -> UdpBlaster {
         self.start_at = start;
         self.stop_at = stop;
+        self
+    }
+
+    pub fn sport(mut self, sport: u16) -> UdpBlaster {
+        self.sport = sport;
         self
     }
 
@@ -63,7 +71,7 @@ impl UdpBlaster {
 
 impl App for UdpBlaster {
     fn on_start(&mut self, ctx: &mut Ctx) {
-        self.sock = Some(ctx.udp_bind(59_999));
+        self.sock = Some(ctx.udp_bind(self.sport));
         let wait = self.start_at.since(ctx.now());
         ctx.set_timer(wait, 0);
     }

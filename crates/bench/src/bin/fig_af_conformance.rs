@@ -1,0 +1,42 @@
+//! PHB conformance under overload: one EF, one AF, and one best-effort
+//! flow share a WFQ/WRED trunk offered ~135% of its capacity.
+//!
+//! The printed table is the DiffServ contract, one row per class: the
+//! reserved EF flow delivers essentially everything, the AF flow lands
+//! between its committed and offered rates (in-profile low-precedence
+//! traffic survives while the policer-escalated excess takes the WRED
+//! drops), and best-effort absorbs the remaining starvation.
+
+use mpichgq_bench::{af_conformance_run, output, AfConformanceCfg, TRACE_CAPACITY};
+
+fn main() {
+    let cfg = if output::fast_mode() {
+        AfConformanceCfg::fast()
+    } else {
+        AfConformanceCfg::default()
+    };
+    let (out, metrics) = af_conformance_run(cfg, TRACE_CAPACITY);
+    let rows: Vec<Vec<String>> = out
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.class.to_string(),
+                format!("{:.1}", r.offered_bps as f64 / 1e6),
+                format!("{:.1}", r.delivered_bps as f64 / 1e6),
+                format!("{:.1}%", r.delivery_ratio() * 100.0),
+            ]
+        })
+        .collect();
+    output::print_table(
+        "PHB conformance: EF vs AF vs BE on an overloaded WFQ/WRED trunk",
+        &["class", "offered_mbps", "delivered_mbps", "delivery"],
+        &rows,
+    );
+    println!(
+        "# drops: {} tail, {} RED-early ({} on AF); {} events",
+        out.tail_drops, out.red_early_drops, out.early_af_drops, out.events
+    );
+    output::write_metrics("af_conformance", &metrics.metrics_json);
+    output::write_trace("af_conformance", &metrics.trace_json);
+}

@@ -1,0 +1,47 @@
+//! Queue-discipline ablation: the Figure-1 premium workload (paced TCP
+//! above an undersized reservation, under full contention) re-run across
+//! the SP/WFQ/DRR × drop-tail/RED matrix, scored by the SLO layer.
+//!
+//! Only `GarnetCfg::core_queue` varies between cells, so the goodput and
+//! deadline-miss columns isolate what the discipline itself buys: how well
+//! each scheduler protects the premium class, and how much RED's early
+//! dropping shortens the best-effort queues the ACK path rides through.
+
+use mpichgq_bench::{output, qdisc_ablation_matrix, qdisc_cell_labels, QdiscAblationCfg};
+
+fn main() {
+    let cfg = if output::fast_mode() {
+        QdiscAblationCfg::fast()
+    } else {
+        QdiscAblationCfg::default()
+    };
+    let (cells, metrics) = qdisc_ablation_matrix(cfg);
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            let (sched, dropper) = qdisc_cell_labels(c.sched, c.red);
+            vec![
+                sched.to_string(),
+                dropper.to_string(),
+                format!("{:.0}", c.premium_kbps),
+                c.slo_misses.to_string(),
+                c.tail_drops.to_string(),
+                c.red_early_drops.to_string(),
+            ]
+        })
+        .collect();
+    output::print_table(
+        "Discipline ablation: premium TCP goodput and SLO misses per scheduler × dropper",
+        &[
+            "sched",
+            "dropper",
+            "premium_kbps",
+            "slo_misses",
+            "tail_drops",
+            "red_early",
+        ],
+        &rows,
+    );
+    output::write_metrics("qdisc_ablation", &metrics.metrics_json);
+    output::write_trace("qdisc_ablation", &metrics.trace_json);
+}

@@ -8,8 +8,8 @@ use mpichgq_core::{enable_qos, AdaptPolicy, AdaptState, AdaptiveFlow, QosAgentCf
 use mpichgq_gara::{CpuRequest, NetworkRequest, Request, StartSpec};
 use mpichgq_mpi::JobBuilder;
 use mpichgq_netsim::{
-    DepthRule, FaultAction, FaultPlan, FaultStats, FlowSpec, GarnetCfg, NodeId, PolicingAction,
-    Proto,
+    depth_for, ClassCfg, DepthRule, Dscp, FaultAction, FaultPlan, FaultStats, FlowSpec, GarnetCfg,
+    NodeId, PolicingAction, Proto, QueueCfg, RedCfg, SchedCfg, SchedKind, TokenBucket,
 };
 use mpichgq_sim::{SchedulerKind, SimDelta, SimTime, TimeSeries};
 use mpichgq_tcp::TcpCfg;
@@ -1175,6 +1175,396 @@ pub fn chaos_run(cfg: ChaosCfg, trace_capacity: usize) -> (TimeSeries, RunMetric
         finish_viz(meter, frames, cfg.duration, SimTime::ZERO, cfg.duration).series,
         metrics,
         outcome,
+    )
+}
+
+// ---------------------------------------------------------------------
+// PHB conformance — EF vs AF vs BE on a WFQ/WRED trunk under overload
+// ---------------------------------------------------------------------
+
+/// Configuration of the three-class conformance experiment: one flow per
+/// PHB sharing an overloaded trunk, with the trunk running WFQ over
+/// per-class queues and WRED on the AF queue.
+///
+/// EF is admission-controlled (a GARA reservation polices it at the edge),
+/// AF is marked by an edge `Remark` policer — in-profile traffic enters at
+/// low drop precedence, excess is escalated and thus RED-dropped first —
+/// and best-effort is the paper's contention blaster, offered well above
+/// the trunk's spare capacity.
+#[derive(Debug, Clone, Copy)]
+pub struct AfConformanceCfg {
+    /// Offered EF load (UDP, premium host pair).
+    pub ef_rate_bps: u64,
+    /// EF reservation; above the offered rate, so EF stays in profile.
+    pub ef_reservation_bps: u64,
+    /// Offered AF load (UDP, a second premium-host-pair flow).
+    pub af_rate_bps: u64,
+    /// AF committed rate: traffic under it is marked low drop precedence,
+    /// the excess is escalated by the edge policer's `Remark` action.
+    pub af_commit_bps: u64,
+    /// Offered best-effort load (the contention blaster).
+    pub be_rate_bps: u64,
+    pub duration: SimTime,
+}
+
+impl Default for AfConformanceCfg {
+    fn default() -> Self {
+        AfConformanceCfg {
+            ef_rate_bps: 20_000_000,
+            ef_reservation_bps: 25_000_000,
+            af_rate_bps: 60_000_000,
+            af_commit_bps: 25_000_000,
+            be_rate_bps: CONTENTION_BPS,
+            duration: SimTime::from_secs(20),
+        }
+    }
+}
+
+impl AfConformanceCfg {
+    /// The compressed `--fast` CI variant (same overload, shorter run).
+    pub fn fast() -> AfConformanceCfg {
+        AfConformanceCfg {
+            duration: SimTime::from_secs(6),
+            ..AfConformanceCfg::default()
+        }
+    }
+}
+
+/// One per-class row of the conformance table.
+#[derive(Debug, Clone, Copy)]
+pub struct PhbRow {
+    pub class: &'static str,
+    pub offered_bps: u64,
+    pub delivered_bps: u64,
+}
+
+impl PhbRow {
+    pub fn delivery_ratio(&self) -> f64 {
+        self.delivered_bps as f64 / self.offered_bps.max(1) as f64
+    }
+}
+
+/// What the conformance run reports: the EF/AF/BE delivery rows plus the
+/// discipline's drop accounting (tail vs RED-early, and the AF early
+/// drops that the WRED precedence ramp concentrates on escalated traffic).
+#[derive(Debug, Clone, Copy)]
+pub struct AfConformanceOut {
+    pub rows: [PhbRow; 3],
+    pub tail_drops: u64,
+    pub red_early_drops: u64,
+    pub early_af_drops: u64,
+    pub events: u64,
+}
+
+/// The WFQ/WRED trunk discipline the conformance experiment runs on.
+/// Weights 8/2/6: EF is protected outright, and because WFQ is
+/// work-conserving the share EF leaves idle is split 2:6 between AF and
+/// best-effort — which puts AF's service rate between its committed and
+/// offered rates, so the WRED precedence ramp (not the scheduler alone)
+/// decides which AF packets survive. WRED runs on AF, plain RED on BE.
+pub fn af_conformance_queue() -> QueueCfg {
+    QueueCfg::Sched(
+        SchedCfg::wfq()
+            .af(ClassCfg::new(150_000)
+                .weight(2)
+                .wred(RedCfg::wred_ramp(30_000, 120_000)))
+            .be(ClassCfg::new(150_000)
+                .weight(6)
+                .red(RedCfg::new(30_000, 120_000))),
+    )
+}
+
+/// Run the three-PHB conformance experiment. Expected shape under the
+/// ~35% overload of the defaults: EF delivers ~everything (reserved and
+/// weight-protected), AF lands between its committed and offered rates
+/// (the in-profile fraction survives, the escalated excess takes the RED
+/// drops), best-effort absorbs the rest of the starvation.
+pub fn af_conformance_run(
+    cfg: AfConformanceCfg,
+    trace_capacity: usize,
+) -> (AfConformanceOut, RunMetrics) {
+    let garnet = GarnetCfg {
+        core_queue: af_conformance_queue(),
+        ..GarnetCfg::default()
+    };
+    let mut lab = GarnetLab::new(garnet, 0.7);
+    arm_trace(&mut lab, trace_capacity);
+    lab.add_contention(cfg.be_rate_bps, SimTime::ZERO, cfg.duration);
+    let (psrc, pdst) = (lab.premium_src, lab.premium_dst);
+
+    // EF: a reserved UDP flow on the premium pair; the grant installs the
+    // edge policer that marks it EF (all of it in profile).
+    lab.with_gara(|g, net| {
+        g.reserve(
+            net,
+            Request::Network(NetworkRequest {
+                src: psrc,
+                dst: pdst,
+                proto: Proto::Udp,
+                src_port: None,
+                dst_port: Some(6000),
+                rate_bps: cfg.ef_reservation_bps,
+                depth: DepthRule::Normal,
+                action: PolicingAction::Drop,
+                shape_at_source: false,
+            }),
+            StartSpec::Now,
+            None,
+        )
+        .expect("conformance EF reservation admitted");
+    });
+
+    // AF: marked at the ingress edge router. In-profile traffic becomes
+    // AF at the default (low) drop precedence; the excess is escalated by
+    // `Remark`, so WRED sheds it first when the AF queue fills.
+    let af_spec = FlowSpec {
+        proto: Some(Proto::Udp),
+        dst_port: Some(6100),
+        ..FlowSpec::default()
+    };
+    let ingress = lab.routers[0];
+    lab.sim.net.node_mut(ingress).classifier.install(
+        af_spec,
+        Dscp::Af(Default::default()),
+        Some(TokenBucket::new(
+            cfg.af_commit_bps,
+            depth_for(DepthRule::Normal, cfg.af_commit_bps),
+        )),
+        PolicingAction::Remark,
+    );
+
+    if trace_capacity > 0 {
+        let ef_spec = FlowSpec {
+            proto: Some(Proto::Udp),
+            dst_port: Some(6000),
+            ..FlowSpec::default()
+        };
+        lab.sim.net.set_deadline_matching(ef_spec, PREMIUM_DEADLINE);
+    }
+
+    // Both marked flows ride the premium hosts' uncongested uplink so the
+    // three classes contend at the trunk, where the discipline under test
+    // runs — not at a shared drop-tail host queue upstream of the marker.
+    use mpichgq_apps::{UdpBlaster, UdpSink};
+    let (ef_sink, ef_meter) = UdpSink::new(6000, SimDelta::from_secs(1));
+    lab.sim.spawn_app(pdst, Box::new(ef_sink));
+    lab.sim.spawn_app(
+        psrc,
+        Box::new(UdpBlaster::with_rate(pdst, 6000, 1472, cfg.ef_rate_bps)),
+    );
+    let (af_sink, af_meter) = UdpSink::new(6100, SimDelta::from_secs(1));
+    lab.sim.spawn_app(pdst, Box::new(af_sink));
+    lab.sim.spawn_app(
+        psrc,
+        Box::new(UdpBlaster::with_rate(pdst, 6100, 1472, cfg.af_rate_bps).sport(59_998)),
+    );
+
+    lab.run_until(cfg.duration);
+    let metrics = collect_metrics(&mut lab);
+    let secs = cfg.duration.as_secs_f64();
+    let bps = |bytes: u64| (bytes as f64 * 8.0 / secs) as u64;
+    let counter = |name: &str| lab.sim.net.obs.metrics.counter_value(name).unwrap_or(0);
+    let early = counter("qdisc.early_drops.ef")
+        + counter("qdisc.early_drops.af")
+        + counter("qdisc.early_drops.be");
+    let out = AfConformanceOut {
+        rows: [
+            PhbRow {
+                class: "EF",
+                offered_bps: cfg.ef_rate_bps,
+                delivered_bps: bps(ef_meter.borrow().total_bytes()),
+            },
+            PhbRow {
+                class: "AF",
+                offered_bps: cfg.af_rate_bps,
+                delivered_bps: bps(af_meter.borrow().total_bytes()),
+            },
+            PhbRow {
+                class: "BE",
+                offered_bps: cfg.be_rate_bps,
+                delivered_bps: bps(lab.contention_delivered()),
+            },
+        ],
+        tail_drops: counter("net.drops.queue_full").saturating_sub(early),
+        red_early_drops: counter("net.drops.red_early"),
+        early_af_drops: counter("qdisc.early_drops.af"),
+        events: metrics.events,
+    };
+    (out, metrics)
+}
+
+// ---------------------------------------------------------------------
+// Discipline ablation — scheduler × dropper matrix, scored by the SLO layer
+// ---------------------------------------------------------------------
+
+/// Configuration of one ablation cell's workload: the Figure-1 premium
+/// TCP flow (paced above an undersized reservation) under full contention,
+/// with the delivery deadline armed so the SLO layer scores the run.
+#[derive(Debug, Clone, Copy)]
+pub struct QdiscAblationCfg {
+    pub app_rate_bps: u64,
+    pub reservation_bps: u64,
+    pub contention_bps: u64,
+    pub duration: SimTime,
+}
+
+impl Default for QdiscAblationCfg {
+    fn default() -> Self {
+        QdiscAblationCfg {
+            app_rate_bps: 50_000_000,
+            reservation_bps: 40_000_000,
+            contention_bps: CONTENTION_BPS,
+            duration: SimTime::from_secs(20),
+        }
+    }
+}
+
+impl QdiscAblationCfg {
+    /// The compressed `--fast` CI variant.
+    pub fn fast() -> QdiscAblationCfg {
+        QdiscAblationCfg {
+            duration: SimTime::from_secs(5),
+            ..QdiscAblationCfg::default()
+        }
+    }
+}
+
+/// One cell of the scheduler × dropper matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct QdiscCell {
+    pub sched: SchedKind,
+    pub red: bool,
+    /// Steady premium goodput over the run (Kb/s).
+    pub premium_kbps: f64,
+    /// Deadline misses the SLO layer charged to the premium flow's path.
+    pub slo_misses: u64,
+    pub tail_drops: u64,
+    pub red_early_drops: u64,
+    pub events: u64,
+}
+
+/// Human-readable labels for a cell's coordinates.
+pub fn qdisc_cell_labels(sched: SchedKind, red: bool) -> (&'static str, &'static str) {
+    let s = match sched {
+        SchedKind::Sp => "SP",
+        SchedKind::Wfq => "WFQ",
+        SchedKind::Drr => "DRR",
+    };
+    (s, if red { "RED" } else { "drop-tail" })
+}
+
+/// The trunk discipline of one ablation cell: the chosen scheduler with
+/// default 8/3/1 weights, and optionally RED on best-effort plus the WRED
+/// precedence ramp on AF.
+pub fn qdisc_cell_queue(sched: SchedKind, red: bool) -> QueueCfg {
+    let mut sc = match sched {
+        SchedKind::Sp => SchedCfg::sp(),
+        SchedKind::Wfq => SchedCfg::wfq(),
+        SchedKind::Drr => SchedCfg::drr(),
+    };
+    if red {
+        sc = sc
+            .af(ClassCfg::new(150_000)
+                .weight(3)
+                .wred(RedCfg::wred_ramp(30_000, 120_000)))
+            .be(ClassCfg::new(150_000)
+                .weight(1)
+                .red(RedCfg::new(30_000, 120_000)));
+    }
+    QueueCfg::Sched(sc)
+}
+
+/// Run one ablation cell. The workload is identical across the matrix;
+/// only `GarnetCfg::core_queue` varies, so differences in goodput and SLO
+/// misses are attributable to the discipline alone.
+pub fn qdisc_ablation_cell(
+    sched: SchedKind,
+    red: bool,
+    cfg: QdiscAblationCfg,
+    trace_capacity: usize,
+) -> (QdiscCell, RunMetrics) {
+    let garnet = GarnetCfg {
+        core_queue: qdisc_cell_queue(sched, red),
+        ..GarnetCfg::default()
+    };
+    let mut lab = GarnetLab::new(garnet, 0.7);
+    arm_trace(&mut lab, trace_capacity);
+    lab.add_contention(cfg.contention_bps, SimTime::ZERO, cfg.duration);
+    let (psrc, pdst) = (lab.premium_src, lab.premium_dst);
+    lab.with_gara(|g, net| {
+        g.reserve(
+            net,
+            Request::Network(NetworkRequest {
+                src: psrc,
+                dst: pdst,
+                proto: Proto::Tcp,
+                src_port: None,
+                dst_port: None,
+                rate_bps: cfg.reservation_bps,
+                depth: DepthRule::Normal,
+                action: PolicingAction::Drop,
+                shape_at_source: false,
+            }),
+            StartSpec::Now,
+            None,
+        )
+        .expect("ablation reservation admitted");
+    });
+    if trace_capacity > 0 {
+        lab.sim.net.set_deadline_matching(
+            FlowSpec::host_pair(psrc, pdst, Proto::Tcp),
+            PREMIUM_DEADLINE,
+        );
+    }
+    let tcp = TcpCfg {
+        send_buf: 512 * 1024,
+        recv_buf: 512 * 1024,
+        ..TcpCfg::default()
+    };
+    let (rx, meter) = MeteredTcpReceiver::new(6000, tcp, SimDelta::from_secs(1));
+    lab.sim.spawn_app(pdst, Box::new(rx));
+    lab.sim.spawn_app(
+        psrc,
+        Box::new(PacedTcpSender::new(pdst, 6000, cfg.app_rate_bps, tcp)),
+    );
+    lab.run_until(cfg.duration);
+    let metrics = collect_metrics(&mut lab);
+    let counter = |name: &str| lab.sim.net.obs.metrics.counter_value(name).unwrap_or(0);
+    let m = std::rc::Rc::try_unwrap(meter)
+        .map(|c| c.into_inner())
+        .unwrap_or_else(|rc| rc.borrow().clone());
+    let series = m.finish(cfg.duration);
+    let half = cfg.duration.as_secs_f64() / 2.0;
+    let cell = QdiscCell {
+        sched,
+        red,
+        premium_kbps: phase_mean(&series, half, cfg.duration.as_secs_f64()),
+        slo_misses: counter("slo.misses"),
+        tail_drops: counter("net.drops.queue_full").saturating_sub(counter("net.drops.red_early")),
+        red_early_drops: counter("net.drops.red_early"),
+        events: metrics.events,
+    };
+    (cell, metrics)
+}
+
+/// The full SP/WFQ/DRR × drop-tail/RED matrix, in a fixed order. Returns
+/// the six cells plus the metrics snapshot of the WFQ × RED cell (the
+/// matrix's designated `results/qdisc_ablation/metrics.json` source).
+pub fn qdisc_ablation_matrix(cfg: QdiscAblationCfg) -> (Vec<QdiscCell>, RunMetrics) {
+    let mut cells = Vec::new();
+    let mut designated = None;
+    for sched in [SchedKind::Sp, SchedKind::Wfq, SchedKind::Drr] {
+        for red in [false, true] {
+            let (cell, metrics) = qdisc_ablation_cell(sched, red, cfg, TRACE_CAPACITY);
+            if sched == SchedKind::Wfq && red {
+                designated = Some(metrics);
+            }
+            cells.push(cell);
+        }
+    }
+    (
+        cells,
+        designated.expect("matrix includes the WFQ × RED cell"),
     )
 }
 

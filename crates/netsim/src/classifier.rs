@@ -89,6 +89,13 @@ pub enum PolicingAction {
     Drop,
     /// Demote out-of-profile packets to best-effort instead of dropping.
     Demote,
+    /// Keep the rule's class but escalate the drop precedence (RFC 2597
+    /// style): an out-of-profile packet under an AF mark is forwarded as
+    /// AF with [`AfPrec::escalated`](crate::packet::AfPrec::escalated)
+    /// precedence, so WRED discards it
+    /// first under congestion. Under a non-AF mark this behaves like
+    /// [`Demote`](PolicingAction::Demote).
+    Remark,
 }
 
 /// One classifier rule: match, mark, optionally police.
@@ -126,8 +133,13 @@ pub enum Verdict {
 pub struct ClassifierStats {
     /// Packets whose DS field was newly set to EF by a rule.
     pub marked_ef: u64,
+    /// Packets whose DS field was newly set to an AF codepoint by a rule.
+    pub marked_af: u64,
     /// Out-of-profile packets demoted to best-effort (Demote action).
     pub demoted: u64,
+    /// Out-of-profile packets kept in class at escalated drop precedence
+    /// (Remark action on an AF mark).
+    pub remarked: u64,
 }
 
 /// An ordered list of rules applied at a router's edge ingress.
@@ -222,8 +234,10 @@ impl Classifier {
                 None => true,
             };
             if conforms {
-                if r.mark == Dscp::Ef && pkt.dscp != Dscp::Ef {
-                    self.stats.marked_ef += 1;
+                match r.mark {
+                    Dscp::Ef if pkt.dscp != Dscp::Ef => self.stats.marked_ef += 1,
+                    Dscp::Af(_) if !matches!(pkt.dscp, Dscp::Af(_)) => self.stats.marked_af += 1,
+                    _ => {}
                 }
                 pkt.dscp = r.mark;
                 r.stats.conformant_pkts += 1;
@@ -237,6 +251,16 @@ impl Classifier {
                 PolicingAction::Demote => {
                     self.stats.demoted += 1;
                     pkt.dscp = Dscp::BestEffort;
+                    Verdict::Forward
+                }
+                PolicingAction::Remark => {
+                    if let Dscp::Af(prec) = r.mark {
+                        self.stats.remarked += 1;
+                        pkt.dscp = Dscp::Af(prec.escalated());
+                    } else {
+                        self.stats.demoted += 1;
+                        pkt.dscp = Dscp::BestEffort;
+                    }
                     Verdict::Forward
                 }
             };
@@ -382,6 +406,28 @@ mod tests {
         let mut be = pkt(3, 2, 1, 1);
         assert_eq!(c.classify(now, &mut be), Verdict::Forward);
         assert_eq!(be.dscp, Dscp::BestEffort);
+    }
+
+    #[test]
+    fn remark_escalates_af_drop_precedence() {
+        use crate::packet::AfPrec;
+        let mut c = Classifier::new();
+        let tb = TokenBucket::new(8_000, 1_000);
+        c.install(
+            FlowSpec::any(),
+            Dscp::Af(AfPrec::Low),
+            Some(tb),
+            PolicingAction::Remark,
+        );
+        let now = SimTime::ZERO;
+        let mut p1 = pkt(1, 2, 1, 1);
+        assert_eq!(c.classify(now, &mut p1), Verdict::Forward);
+        assert_eq!(p1.dscp, Dscp::Af(AfPrec::Low));
+        let mut p2 = pkt(1, 2, 1, 1);
+        assert_eq!(c.classify(now, &mut p2), Verdict::Forward);
+        assert_eq!(p2.dscp, Dscp::Af(AfPrec::Medium));
+        assert_eq!(c.stats().marked_af, 1);
+        assert_eq!(c.stats().remarked, 1);
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //!
 //! * a **packet classifier** on edge-ingress interfaces ([`classifier`]);
 //! * **token-bucket** marking and policing of premium flows ([`tokenbucket`]);
-//! * **priority queuing** implementing the EF per-hop behavior ([`queue`]);
+//! * **pluggable queue disciplines** ([`queue`]): the paper's strict-
+//!   priority EF queuing by default, plus WFQ/DRR schedulers and RED/WRED
+//!   droppers with an Assured Forwarding class behind one
+//!   [`QueueDiscipline`] trait;
 //! * optional **end-system traffic shaping** ([`shaper`]) — the paper's
 //!   proposed remedy for bursty MPI traffic (§5.4);
 //! * a per-host **CPU model** (via `mpichgq-dsrt`) so CPU contention and
@@ -36,8 +39,11 @@ pub use faults::{FaultAction, FaultPlan, FaultStats};
 pub use lifecycle::{FlowRec, PacketTracer, Span, SpanKind};
 pub use link::{Chan, ChanId, Framing, LinkCfg};
 pub use net::{ChanAudit, DropStats, Net, NetAudit, NetHandler, Node, NodeKind, TopoBuilder};
-pub use packet::{Dscp, FlowKey, NodeId, Packet, Proto, TcpFlags, TcpHeader, L4};
-pub use queue::{Enqueue, Queue, QueueCfg, QueueStats};
+pub use packet::{AfPrec, Dscp, FlowKey, NodeId, Packet, Proto, TcpFlags, TcpHeader, L4};
+pub use queue::{
+    ClassCfg, DropperCfg, Enqueue, Queue, QueueCfg, QueueDiscipline, QueueStats, RedCfg, SchedCfg,
+    SchedKind,
+};
 pub use shaper::{ShapeOutcome, Shaper, ShaperStats};
 pub use shard::{run_partitioned, run_windowed, Partition, PartitionError};
 pub use tokenbucket::{depth_for, DepthRule, TokenBucket};

@@ -50,6 +50,8 @@ pub enum SpanKind {
     Shaped,
     /// Instant: dropped by a full queue.
     DropQueueFull,
+    /// Instant: dropped early by RED/WRED before the queue filled.
+    DropRedEarly,
     /// Instant: dropped by an edge policer.
     DropPoliced,
     /// Instant: dropped by the fault layer (loss/corrupt/link-down).
@@ -68,6 +70,7 @@ impl SpanKind {
             SpanKind::E2e => "e2e",
             SpanKind::Shaped => "shaped",
             SpanKind::DropQueueFull => "drop.queue_full",
+            SpanKind::DropRedEarly => "drop.red_early",
             SpanKind::DropPoliced => "drop.policed",
             SpanKind::DropFault => "drop.fault",
             SpanKind::SloMiss => "slo.miss",
@@ -169,6 +172,8 @@ pub struct PacketTracer {
     active: FxHashMap<u64, PacketLife>,
     /// Queue wait of EF-marked packets, all hops.
     pub ef_wait: Histogram,
+    /// Queue wait of AF-marked packets (all drop precedences), all hops.
+    pub af_wait: Histogram,
     /// Queue wait of best-effort packets, all hops.
     pub be_wait: Histogram,
     spans: Vec<Span>,
@@ -186,6 +191,7 @@ impl PacketTracer {
             flows: Vec::new(),
             active: FxHashMap::default(),
             ef_wait: Histogram::new(),
+            af_wait: Histogram::new(),
             be_wait: Histogram::new(),
             spans: Vec::new(),
             max_spans,
@@ -299,6 +305,7 @@ impl PacketTracer {
         let wait = now.as_nanos().saturating_sub(life.enq_at.as_nanos());
         match pkt.dscp {
             Dscp::Ef => self.ef_wait.observe(wait),
+            Dscp::Af(_) => self.af_wait.observe(wait),
             Dscp::BestEffort => self.be_wait.observe(wait),
         }
         let base = Span {
@@ -397,6 +404,7 @@ impl PacketTracer {
     /// the registry (called from `Net::publish_metrics`).
     pub(crate) fn publish(&self, m: &mut Registry) {
         m.record_hist("phb.ef.queue_wait_ns", &self.ef_wait);
+        m.record_hist("phb.af.queue_wait_ns", &self.af_wait);
         m.record_hist("phb.be.queue_wait_ns", &self.be_wait);
         for f in &self.flows {
             m.record_hist(&format!("flow.{}.delay_ns", f.name), &f.delay);

@@ -19,7 +19,7 @@ use crate::shaper::{ShapeOutcome, Shaper};
 use crate::tokenbucket::TokenBucket;
 use mpichgq_dsrt::{AdmissionError, CompleteOutcome, Cpu, ProcId, Update, WorkId};
 use mpichgq_obs::{CounterId, JsonWriter, Obs};
-use mpichgq_sim::{Engine, Recorder, SchedulerKind, SimDelta, SimRng, SimTime};
+use mpichgq_sim::{fnv1a, Engine, Recorder, SchedulerKind, SimDelta, SimRng, SimTime};
 
 /// What kind of node this is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,8 +98,12 @@ pub trait NetHandler {
 pub struct DropStats {
     /// Dropped by an edge policer (out of profile).
     pub policed: u64,
-    /// Dropped by a full queue.
+    /// Dropped at an interface queue — tail drops plus RED/WRED early
+    /// drops (the conservation ledger treats both as the same loss cause).
     pub queue_full: u64,
+    /// Of `queue_full`, how many were RED/WRED early drops. Informational
+    /// subcount; not a separate ledger column.
+    pub red_early: u64,
     /// Arrived at a host that was not the destination (routing bug guard).
     pub misrouted: u64,
 }
@@ -160,6 +164,9 @@ pub struct NetAudit {
     pub wire_pkts: u64,
     /// Strict-priority violations observed by any queue.
     pub prio_inversions: u64,
+    /// Scheduler self-audit violations (WFQ virtual time regressed, DRR
+    /// rotation guard overflowed) observed by any queue.
+    pub sched_violations: u64,
     /// Token-bucket levels observed outside `[0, depth]`.
     pub bucket_violations: u64,
     pub chans: Vec<ChanAudit>,
@@ -744,9 +751,23 @@ impl Net {
             m.record_total("faults.link_ups", f.stats.link_ups);
         }
 
+        let mut early = [0u64; 3]; // qdisc.* aggregates: [ef, af, be]
+        let mut sched_violations = 0u64;
         for (i, q) in self.queues.iter().enumerate() {
             let st = q.stats();
-            if st.enq_be + st.enq_ef + st.drop_be + st.drop_ef == 0 {
+            early[0] += st.early_ef;
+            early[1] += st.early_af.iter().sum::<u64>();
+            early[2] += st.early_be;
+            sched_violations += st.sched_violations;
+            if st.enq_be
+                + st.enq_ef
+                + st.enq_af
+                + st.drop_be
+                + st.drop_ef
+                + st.drop_af
+                + st.early_total()
+                == 0
+            {
                 continue; // idle interface: keep snapshots readable
             }
             let c = &self.chans[i];
@@ -765,13 +786,59 @@ impl Net {
             m.set_gauge(&format!("{p}.hw_be_bytes"), st.hw_be_bytes as f64);
             m.set_gauge(&format!("{p}.backlog_bytes"), q.backlog_bytes() as f64);
             m.set_gauge(&format!("{p}.backlog_pkts"), q.len() as f64);
+            // AF- and AQM-era keys appear only when that machinery actually
+            // ran, so legacy snapshots stay byte-identical.
+            if st.enq_af > 0 {
+                m.record_total(&format!("{p}.enq_af"), st.enq_af);
+            }
+            if st.drop_af > 0 {
+                m.record_total(&format!("{p}.drop_af"), st.drop_af);
+            }
+            if st.hw_af_bytes > 0 {
+                m.set_gauge(&format!("{p}.hw_af_bytes"), st.hw_af_bytes as f64);
+            }
+            if st.early_ef > 0 {
+                m.record_total(&format!("{p}.early_ef"), st.early_ef);
+            }
+            if st.early_be > 0 {
+                m.record_total(&format!("{p}.early_be"), st.early_be);
+            }
+            for (prec, &n) in st.early_af.iter().enumerate() {
+                if n > 0 {
+                    m.record_total(&format!("{p}.early_af{prec}"), n);
+                }
+            }
+            if st.sched_violations > 0 {
+                m.record_total(&format!("{p}.sched_violations"), st.sched_violations);
+            }
+        }
+        if self.drops.red_early > 0 {
+            m.record_total("net.drops.red_early", self.drops.red_early);
+        }
+        if early[0] > 0 {
+            m.record_total("qdisc.early_drops.ef", early[0]);
+        }
+        if early[1] > 0 {
+            m.record_total("qdisc.early_drops.af", early[1]);
+        }
+        if early[2] > 0 {
+            m.record_total("qdisc.early_drops.be", early[2]);
+        }
+        if sched_violations > 0 {
+            m.record_total("qdisc.sched_violations", sched_violations);
         }
 
         for (n, node) in self.nodes.iter_mut().enumerate() {
             let cs = node.classifier.stats();
-            if cs.marked_ef + cs.demoted > 0 {
+            if cs.marked_ef + cs.demoted + cs.marked_af + cs.remarked > 0 {
                 m.record_total(&format!("node{n:03}.marked_ef"), cs.marked_ef);
                 m.record_total(&format!("node{n:03}.demoted"), cs.demoted);
+                if cs.marked_af > 0 {
+                    m.record_total(&format!("node{n:03}.marked_af"), cs.marked_af);
+                }
+                if cs.remarked > 0 {
+                    m.record_total(&format!("node{n:03}.remarked"), cs.remarked);
+                }
             }
             for r in node.classifier.rules_mut() {
                 let p = format!("node{n:03}.rule{:03}", r.id);
@@ -831,12 +898,13 @@ impl Net {
         let mut queued_pkts = 0u64;
         let mut wire_pkts = 0u64;
         let mut prio_inversions = 0u64;
+        let mut sched_violations = 0u64;
         for (i, c) in self.chans.iter().enumerate() {
             let q = &self.queues[i];
             let st = q.stats();
             let ca = ChanAudit {
                 chan: ChanId(i as u32),
-                enqueued: st.enq_be + st.enq_ef,
+                enqueued: st.enq_be + st.enq_ef + st.enq_af,
                 dequeued: st.dequeued,
                 queued_pkts: q.len(),
                 tx_packets: c.tx_packets,
@@ -846,6 +914,7 @@ impl Net {
             queued_pkts += ca.queued_pkts;
             wire_pkts += ca.wire_in_flight();
             prio_inversions += ca.prio_inversions;
+            sched_violations += st.sched_violations;
             chans.push(ca);
         }
         let mut shaper_pkts = 0u64;
@@ -888,6 +957,7 @@ impl Net {
             shaper_pkts,
             wire_pkts,
             prio_inversions,
+            sched_violations,
             bucket_violations,
             chans,
         }
@@ -1213,6 +1283,20 @@ impl Net {
                     t.on_drop(now, pid, SpanKind::DropQueueFull, chan.0);
                 }
             }
+            // RED/WRED early drops share the queue-loss ledger column (so
+            // conservation identities and fingerprints are discipline-
+            // independent) but trace under their own label.
+            Enqueue::DroppedEarly => {
+                self.drops.queue_full += 1;
+                self.drops.red_early += 1;
+                let now = self.now();
+                self.obs
+                    .trace
+                    .record(now, "drop.red_early", chan.0 as u64, len as i64);
+                if let Some(t) = self.lifecycle.as_deref_mut() {
+                    t.on_drop(now, pid, SpanKind::DropRedEarly, chan.0);
+                }
+            }
         }
     }
 
@@ -1348,7 +1432,15 @@ impl TopoBuilder {
             tx_bytes_wire: 0,
             rx_packets: 0,
         });
-        self.queues.push(Queue::new(queue));
+        // Seed each queue's discipline RNG (RED/WRED draws) from the
+        // topology seed and the channel index alone, so a shard worker
+        // rebuilding its slice of the topology reproduces the exact
+        // per-interface drop streams (DESIGN.md §15 shard-locality).
+        let mut seed_bytes = [0u8; 16];
+        seed_bytes[..8].copy_from_slice(&self.seed.to_le_bytes());
+        seed_bytes[8..].copy_from_slice(&(id.0 as u64).to_le_bytes());
+        self.queues
+            .push(Queue::with_seed(queue, fnv1a(&seed_bytes)));
         self.nodes[from.0 as usize].ifaces.push(id);
         id
     }

@@ -20,12 +20,53 @@ impl fmt::Display for NodeId {
     }
 }
 
-/// Differentiated Services code point. We model the two PHBs the paper
-/// uses: default (best-effort) and Expedited Forwarding (RFC 2598).
+/// Drop precedence within the Assured Forwarding PHB (RFC 2597): under
+/// congestion, `High` precedence packets are discarded first and `Low`
+/// last. Policers escalate the precedence of out-of-profile AF traffic
+/// instead of dropping it at the edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AfPrec {
+    /// In-profile: dropped last.
+    #[default]
+    Low,
+    Medium,
+    /// Out-of-profile: dropped first.
+    High,
+}
+
+impl AfPrec {
+    /// Index into per-precedence tables (0 = `Low` … 2 = `High`).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            AfPrec::Low => 0,
+            AfPrec::Medium => 1,
+            AfPrec::High => 2,
+        }
+    }
+
+    /// The next-worse precedence (saturating at `High`) — what a policer's
+    /// `Remark` action assigns to non-conformant AF traffic.
+    #[inline]
+    pub fn escalated(self) -> AfPrec {
+        match self {
+            AfPrec::Low => AfPrec::Medium,
+            AfPrec::Medium | AfPrec::High => AfPrec::High,
+        }
+    }
+}
+
+/// Differentiated Services code point. We model the paper's two PHBs —
+/// default (best-effort) and Expedited Forwarding (RFC 2598) — plus an
+/// Assured Forwarding class (RFC 2597) with three drop precedences,
+/// scheduled between EF and best-effort.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Dscp {
     #[default]
     BestEffort,
+    /// Assured Forwarding: weighted/assured service with per-packet drop
+    /// precedence ([`AfPrec`]).
+    Af(AfPrec),
     /// Expedited Forwarding: served from the strict-priority queue.
     Ef,
 }

@@ -17,7 +17,7 @@ impl NetHandler for Count {
     fn deliver(&mut self, _n: &mut Net, _h: NodeId, pkt: Packet) {
         match pkt.dscp {
             Dscp::Ef => self.ef += 1,
-            Dscp::BestEffort => self.be += 1,
+            Dscp::Af(_) | Dscp::BestEffort => self.be += 1,
         }
     }
     fn host_timer(&mut self, _n: &mut Net, _h: NodeId, _t: u64) {}

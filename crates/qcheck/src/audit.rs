@@ -49,7 +49,7 @@ pub fn audit_metrics_json(s: &str) -> Result<Vec<Violation>, String> {
             continue;
         }
         let c = |suffix: &str| counter(counters, &format!("{p}.{suffix}"));
-        let enq = c("enq_ef") + c("enq_be");
+        let enq = c("enq_ef") + c("enq_be") + c("enq_af");
         let deq = c("dequeued");
         let tx = c("tx_packets");
         let rx = c("rx_packets");
@@ -79,6 +79,13 @@ pub fn audit_metrics_json(s: &str) -> Result<Vec<Violation>, String> {
             out.push(Violation {
                 invariant: "prio_inversion".into(),
                 detail: format!("{p}: {inversions} strict-priority inversions"),
+            });
+        }
+        let sched = c("sched_violations");
+        if sched > 0 {
+            out.push(Violation {
+                invariant: "sched_violation".into(),
+                detail: format!("{p}: {sched} scheduler self-audit violations"),
             });
         }
     }

@@ -9,7 +9,11 @@
 //! * **packet/byte conservation** per interface and globally
 //!   (`enqueued = delivered + dropped + in-flight`, [`mpichgq_netsim::NetAudit`]);
 //! * **token-bucket sanity**: every policer/shaper level ∈ `[0, burst]`;
-//! * **strict priority**: EF is never queued behind best-effort;
+//! * **scheduler service order**: with the legacy strict-priority
+//!   discipline (the `qdisc = 0` knob) EF is never dequeued past waiting
+//!   best-effort; the WFQ/DRR disciplines are instead audited by their
+//!   structural self-checks (virtual-time monotonicity, rotation-guard
+//!   bounds), surfaced as the `sched_violation` invariant;
 //! * **TCP monotonicity**: `snd_una ≤ snd_nxt`, delivered monotone,
 //!   `cwnd ≥ mss`, and Karn's rule (no RTT samples from retransmissions);
 //! * **slot tables**: reserved peak ≤ capacity at every instant;

@@ -166,6 +166,19 @@ fn check_instant(sim: &mut Sim, out: &mut Vec<Violation>) {
             ),
         ));
     }
+    // The weighted-service generalization of prio_inversion: WFQ virtual
+    // time regressed or the DRR rotation guard overflowed. Any discipline
+    // keeps this at zero by construction.
+    if audit.sched_violations > 0 {
+        out.push(Violation::new(
+            "sched_violation",
+            format!(
+                "t={now:?}: {} scheduler self-audit violations (WFQ vtime \
+                 regression / DRR rotation overflow)",
+                audit.sched_violations
+            ),
+        ));
+    }
     if audit.bucket_violations > 0 {
         out.push(Violation::new(
             "token_bucket",

@@ -7,8 +7,8 @@ use crate::spec::{Inject, ScenarioSpec};
 use crate::workload::{QcPingPong, QcTcpSender, QcTcpSink, QcUdpPulse, QcUdpSink};
 use mpichgq_gara::{install, Gara, NetworkRequest, Request, ResvId, StartSpec};
 use mpichgq_netsim::{
-    ChanId, DepthRule, FaultAction, FaultPlan, LinkCfg, Net, NodeId, PolicingAction, Proto,
-    QueueCfg, TopoBuilder,
+    depth_for, ChanId, ClassCfg, DepthRule, Dscp, FaultAction, FaultPlan, FlowSpec, LinkCfg, Net,
+    NodeId, PolicingAction, Proto, QueueCfg, RedCfg, SchedCfg, SchedKind, TokenBucket, TopoBuilder,
 };
 use mpichgq_sim::{SimDelta, SimRng, SimTime};
 use mpichgq_tcp::{Controller, Sim, Stack, TcpCfg};
@@ -116,6 +116,9 @@ pub fn build(spec: &ScenarioSpec, inject: &Inject) -> BuiltScenario {
     let mut mpi_rng = rng.fork_labeled("mpi");
     let mut gara_rng = rng.fork_labeled("gara");
     let mut fault_rng = rng.fork_labeled("faults");
+    // Forked last so pre-qdisc corpora keep their historical streams; the
+    // stream is consumed only when `knobs.qdisc > 0`.
+    let mut qdisc_rng = rng.fork_labeled("qdisc");
 
     let duration = SimDelta::from_millis(k.duration_ms);
     let t_end = SimTime::ZERO + duration;
@@ -132,10 +135,18 @@ pub fn build(spec: &ScenarioSpec, inject: &Inject) -> BuiltScenario {
         let bw = topo_rng.range(8, 60) * 1_000_000;
         let delay = SimDelta::from_micros(topo_rng.range(200, 5_000));
         // Deliberately small best-effort buffers so queue_full drops (and
-        // the retransmissions they force) are routine, not exotic.
-        let qcfg = QueueCfg::Priority {
-            ef_cap_bytes: 500_000,
-            be_cap_bytes: topo_rng.range(20_000, 150_000),
+        // the retransmissions they force) are routine, not exotic. The
+        // best-effort capacity is always drawn from the topology stream —
+        // discipline parameters come from the dedicated qdisc stream, so
+        // qdisc = 0 reproduces pre-qdisc scenarios draw-for-draw.
+        let be_cap = topo_rng.range(20_000, 150_000);
+        let qcfg = if k.qdisc == 0 {
+            QueueCfg::Priority {
+                ef_cap_bytes: 500_000,
+                be_cap_bytes: be_cap,
+            }
+        } else {
+            draw_discipline(&mut qdisc_rng, k.qdisc, be_cap)
         };
         let (ab, ba) = b.link(routers[i - 1], routers[i], LinkCfg::atm_vc(bw, delay), qcfg);
         chans.push(ab);
@@ -167,6 +178,37 @@ pub fn build(spec: &ScenarioSpec, inject: &Inject) -> BuiltScenario {
         .collect();
     let mut net = b.build();
     net.enable_packet_tracing();
+
+    // --- AF marking (qdisc scenarios only). --------------------------------
+    // Some UDP flows enter the network as Assured Forwarding behind a
+    // token-bucket policer that escalates their drop precedence when out of
+    // profile (Remark). The rule is installed on every router so the flow
+    // is marked at whichever edge it enters; build-time rules precede any
+    // GARA-installed reservation rules in match order.
+    if k.qdisc > 0 {
+        for f in 0..k.udp_flows {
+            if !qdisc_rng.chance(0.5) {
+                continue;
+            }
+            let rate_bps = qdisc_rng.range(1, 8) * 1_000_000;
+            let spec = FlowSpec {
+                proto: Some(Proto::Udp),
+                dst_port: Some(6_000 + f as u16),
+                ..FlowSpec::default()
+            };
+            for &r in &routers {
+                net.node_mut(r).classifier.install(
+                    spec,
+                    Dscp::Af(Default::default()),
+                    Some(TokenBucket::new(
+                        rate_bps,
+                        depth_for(DepthRule::Normal, rate_bps),
+                    )),
+                    PolicingAction::Remark,
+                );
+            }
+        }
+    }
 
     // --- Fault plan (always-restoring windows inside the run). ----------
     if k.faults > 0 {
@@ -316,6 +358,35 @@ pub fn draw_gara_op(rng: &mut SimRng, hosts: &[NodeId], duration_ms: u64) -> Gar
             victim: rng.next_u64(),
         },
     }
+}
+
+/// Expand a nonzero `qdisc` knob into a core-link discipline. The knob
+/// picks the scheduler (`(qdisc-1) % 3`: SP/WFQ/DRR) and whether AQM is
+/// armed (`(qdisc-1) / 3`: drop-tail vs RED on BE + WRED on AF); weights,
+/// capacities, and RED thresholds are drawn from the dedicated qdisc
+/// stream so the topology stream stays untouched.
+fn draw_discipline(rng: &mut SimRng, qdisc: u64, be_cap: u64) -> QueueCfg {
+    let kind = match (qdisc - 1) % 3 {
+        0 => SchedKind::Sp,
+        1 => SchedKind::Wfq,
+        _ => SchedKind::Drr,
+    };
+    let aqm = (qdisc - 1) / 3 == 1;
+    let ef_w = rng.range(4, 12) as u32;
+    let af_w = rng.range(2, 6) as u32;
+    let be_w = rng.range(1, 3) as u32;
+    let af_cap = rng.range(be_cap / 2, be_cap + 1);
+    let ef = ClassCfg::new(500_000).weight(ef_w);
+    let mut af = ClassCfg::new(af_cap).weight(af_w);
+    let mut be = ClassCfg::new(be_cap).weight(be_w);
+    if aqm {
+        let min = rng.range(be_cap / 8, be_cap / 3);
+        let max = rng.range(be_cap / 2, be_cap + 1);
+        let max_p = rng.range(50, 500) as u32;
+        be = be.red(RedCfg::new(min, max).max_p_permille(max_p));
+        af = af.wred(RedCfg::wred_ramp(min, max));
+    }
+    QueueCfg::Sched(SchedCfg { kind, ef, af, be })
 }
 
 /// Two distinct hosts, uniformly.

@@ -34,6 +34,12 @@ pub struct Knobs {
     pub gara_ops: u64,
     /// Injected fault windows (link outage, loss burst, corruption burst).
     pub faults: u64,
+    /// Core-link queue discipline selector. Zero is the legacy
+    /// strict-priority drop-tail configuration (bit-identical to
+    /// pre-qdisc corpora); 1..=6 picks a scheduler (SP/WFQ/DRR) and
+    /// dropper (drop-tail, RED/WRED) combination whose thresholds and
+    /// weights are drawn from the scenario's `"qdisc"` RNG stream.
+    pub qdisc: u64,
 }
 
 impl Knobs {
@@ -49,10 +55,13 @@ impl Knobs {
             mpi_pairs: 0,
             gara_ops: 0,
             faults: 0,
+            qdisc: 0,
         }
     }
 
-    /// Draw a knob vector from `rng` (the seed's stream 0 fork).
+    /// Draw a knob vector from `rng` (the seed's stream 0 fork). New knobs
+    /// are always drawn *after* the existing ones so every pre-existing
+    /// dimension keeps its historical value for a given seed.
     pub fn sample(rng: &mut SimRng) -> Knobs {
         Knobs {
             duration_ms: rng.range(150, 900),
@@ -63,6 +72,7 @@ impl Knobs {
             mpi_pairs: rng.range(0, 2),
             gara_ops: rng.range(0, 6),
             faults: rng.range(0, 3),
+            qdisc: rng.range(0, 7),
         }
     }
 
@@ -70,6 +80,7 @@ impl Knobs {
     /// cheapest dimensions to remove first.
     pub fn fields() -> &'static [(&'static str, KnobField)] {
         &[
+            ("qdisc", |k| &mut k.qdisc),
             ("faults", |k| &mut k.faults),
             ("mpi_pairs", |k| &mut k.mpi_pairs),
             ("gara_ops", |k| &mut k.gara_ops),
@@ -112,6 +123,8 @@ impl Knobs {
         w.u64(self.gara_ops);
         w.key("faults");
         w.u64(self.faults);
+        w.key("qdisc");
+        w.u64(self.qdisc);
         w.end_object();
     }
 
@@ -131,6 +144,9 @@ impl Knobs {
             mpi_pairs: field("mpi_pairs")?,
             gara_ops: field("gara_ops")?,
             faults: field("faults")?,
+            // Absent in pre-qdisc repro artifacts: default to the legacy
+            // strict-priority discipline they were recorded under.
+            qdisc: v.get("qdisc").and_then(|x| x.as_u64()).unwrap_or(0),
         })
     }
 }

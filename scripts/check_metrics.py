@@ -83,6 +83,34 @@ REQUIRED_BY_EXPERIMENT = {
     # reservation ever marks EF, so its EF queue-wait histogram is
     # legitimately empty (and empty histograms are omitted).
     "fig8": {"traced": True},
+    # The three-PHB conformance run (EF vs AF vs BE on a WFQ/WRED trunk,
+    # DESIGN.md §15): AF traffic is marked and escalated at the edge, the
+    # AF queue takes WRED early drops, and all three per-class queue-wait
+    # histograms are populated.
+    "af_conformance": {
+        "counters": [
+            "net.drops.red_early",
+            "qdisc.early_drops.af",
+            "qdisc.early_drops.be",
+        ],
+        "hists": [
+            "phb.af.queue_wait_ns",
+        ],
+        "traced": True,
+        "ef_traffic": True,
+    },
+    # The scheduler × dropper ablation matrix; the committed snapshot is
+    # the WFQ × RED cell, so RED early drops and the SLO ledger of the
+    # deadline-carrying premium flow must both be present.
+    "qdisc_ablation": {
+        "counters": [
+            "slo.misses",
+            "net.drops.red_early",
+            "qdisc.early_drops.be",
+        ],
+        "traced": True,
+        "ef_traffic": True,
+    },
     # bench_gara's control-plane snapshot: the full reservation
     # lifecycle, the per-reason reject breakdown, and a populated
     # admission-latency histogram (DESIGN.md §14).
@@ -115,7 +143,7 @@ def experiment_name(path):
     return parent if parent in REQUIRED_BY_EXPERIMENT else None
 
 
-def check_counters(doc, errors, extra_required):
+def check_counters(doc, errors, extra_required, exp):
     counters = doc.get("counters")
     if not isinstance(counters, dict):
         errors.append("missing or non-object section 'counters'")
@@ -126,11 +154,12 @@ def check_counters(doc, errors, extra_required):
     missing = [n for n in REQUIRED_COUNTERS + extra_required if n not in counters]
     if missing:
         errors.append(
-            f"{len(missing)} required counter(s) missing: " + ", ".join(missing)
+            f"{len(missing)} required counter(s) missing for experiment "
+            f"{exp!r}: " + ", ".join(missing)
         )
 
 
-def check_gauges(doc, errors, extra_required):
+def check_gauges(doc, errors, extra_required, exp):
     gauges = doc.get("gauges")
     if not isinstance(gauges, dict):
         errors.append("missing or non-object section 'gauges'")
@@ -144,7 +173,8 @@ def check_gauges(doc, errors, extra_required):
     missing = [n for n in extra_required if n not in gauges]
     if missing:
         errors.append(
-            f"{len(missing)} required gauge(s) missing: " + ", ".join(missing)
+            f"{len(missing)} required gauge(s) missing for experiment "
+            f"{exp!r}: " + ", ".join(missing)
         )
 
 
@@ -170,15 +200,16 @@ def check_trace(doc, errors):
         last_t = e["t_ns"]
 
 
-def check_histograms(doc, errors, traced, ef_traffic, extra_required):
+def check_histograms(doc, errors, traced, ef_traffic, extra_required, exp):
     hists = doc.get("histograms")
     if hists is None:
         if traced:
             errors.append("missing 'histograms' section (tracing was armed)")
         if extra_required:
             errors.append(
-                f"{len(extra_required)} required histogram(s) missing "
-                "(no 'histograms' section): " + ", ".join(extra_required)
+                f"{len(extra_required)} required histogram(s) missing for "
+                f"experiment {exp!r} (no 'histograms' section): "
+                + ", ".join(extra_required)
             )
         return
     if not isinstance(hists, dict):
@@ -208,8 +239,8 @@ def check_histograms(doc, errors, traced, ef_traffic, extra_required):
     ]
     if missing:
         errors.append(
-            f"{len(missing)} required histogram(s) missing or empty: "
-            + ", ".join(missing)
+            f"{len(missing)} required histogram(s) missing or empty for "
+            f"experiment {exp!r}: " + ", ".join(missing)
         )
     if traced:
         flow_delay = [
@@ -298,13 +329,14 @@ def check(path):
         check_qcheck_summary(doc, errors)
         return errors, doc
 
-    extra = REQUIRED_BY_EXPERIMENT.get(experiment_name(path), {})
-    check_counters(doc, errors, extra.get("counters", []))
-    check_gauges(doc, errors, extra.get("gauges", []))
+    exp = experiment_name(path) or "generic"
+    extra = REQUIRED_BY_EXPERIMENT.get(exp, {})
+    check_counters(doc, errors, extra.get("counters", []), exp)
+    check_gauges(doc, errors, extra.get("gauges", []), exp)
     check_trace(doc, errors)
     traced = extra.get("traced", False)
     check_histograms(doc, errors, traced, extra.get("ef_traffic", False),
-                     extra.get("hists", []))
+                     extra.get("hists", []), exp)
     check_slo(doc, errors, traced)
     return errors, doc
 

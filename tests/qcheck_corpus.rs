@@ -65,6 +65,12 @@ fn pinned_seed_corpus_runs_clean() {
 /// these staying bit-identical is the "the swap changed no observable
 /// behavior" acceptance check — and any future admission change that
 /// alters grant/reject decisions will trip it loudly.
+///
+/// Since the queue-discipline refactor this doubles as the strict-priority
+/// bit-identicality proof: `qdisc` is pinned to 0 (the legacy SP +
+/// drop-tail path, which draws nothing from the `"qdisc"` RNG stream), so
+/// these fingerprints matching means the pluggable-discipline rebuild of
+/// the queue layer changed no observable behavior under the default.
 #[test]
 fn pinned_corpus_fingerprints_are_unchanged_by_the_interval_tree_swap() {
     const PINNED: [(u64, u64, u64); 16] = [
@@ -86,7 +92,9 @@ fn pinned_corpus_fingerprints_are_unchanged_by_the_interval_tree_swap() {
         (15, 0xdd26af418e1504b6, 10661),
     ];
     for (seed, fingerprint, events) in PINNED {
-        let out = run_spec(&ScenarioSpec::from_seed(seed), &Inject::default());
+        let mut spec = ScenarioSpec::from_seed(seed);
+        spec.knobs.qdisc = 0;
+        let out = run_spec(&spec, &Inject::default());
         assert_eq!(
             out.fingerprint, fingerprint,
             "seed {seed}: fingerprint drifted from the pinned pre-swap value"
