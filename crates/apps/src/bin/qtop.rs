@@ -1,0 +1,74 @@
+//! Summarize or validate a sampled timeline document.
+//!
+//! ```text
+//! qtop <timeline.json>            print the series/burn-rate report
+//! qtop --check <timeline.json>    validate timeline shape (CI gate)
+//! qtop --top N <timeline.json>    bound each ranked table to N rows
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut top = 15usize;
+    let mut path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--top" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("qtop: --top needs a number");
+                    return ExitCode::from(2);
+                };
+                top = n;
+            }
+            "-h" | "--help" => {
+                println!("usage: qtop [--check] [--top N] <timeline.json>");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(a),
+            other => {
+                eprintln!("qtop: unexpected argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: qtop [--check] [--top N] <timeline.json>");
+        return ExitCode::from(2);
+    };
+    let json = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("qtop: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if check {
+        match mpichgq_apps::qtop::check(&json) {
+            Ok(()) => {
+                println!("{path}: timeline shape OK");
+                ExitCode::SUCCESS
+            }
+            Err(errs) => {
+                eprintln!("{path}: {} problem(s):", errs.len());
+                for e in &errs {
+                    eprintln!("  {e}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        match mpichgq_apps::qtop::summarize(&json, top) {
+            Ok(report) => {
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("qtop: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

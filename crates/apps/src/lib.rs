@@ -11,9 +11,13 @@
 //!   exchange across two sites through a two-party intercommunicator;
 //! * [`qtrace`] — offline analysis of packet-lifecycle Chrome traces (the
 //!   `qtrace` binary: flow latency tables, per-hop delay decomposition,
-//!   SLO reports).
+//!   SLO reports);
+//! * [`qtop`] — offline analysis of sampled timeline documents (the
+//!   `qtop` binary: per-series summary tables, SLO burn-rate report,
+//!   peak attribution, and the `--check` CI shape gate).
 
 pub mod pingpong;
+pub mod qtop;
 pub mod qtrace;
 pub mod scenario;
 pub mod stencil;

@@ -1,0 +1,418 @@
+//! Offline analysis of sampled timeline documents.
+//!
+//! `Net::timeline_json` exports the fixed-interval time-series document
+//! (`results/<exp>/timeline.json`) the in-run sampler records: named
+//! counter and gauge series with delta-encoded timestamps. This module
+//! turns that document into a human-readable report:
+//!
+//! * per-series summary tables (counters ranked by total increase,
+//!   gauges by peak),
+//! * the SLO burn-rate report (peak fast/slow-window burn, time spent
+//!   above the alert threshold),
+//! * peak attribution: when each hot series hit its maximum.
+//!
+//! [`summarize`] produces the report; [`check`] validates the document's
+//! shape for CI (the `qtop --check` gate). Both are deterministic:
+//! identical input bytes produce identical output bytes (stable sort
+//! keys, shortest-round-trip float formatting), so reports can be
+//! snapshot-tested.
+
+use mpichgq_obs::parse;
+
+/// Series flavor, mirroring `obs::timeseries::SeriesKind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+}
+
+/// One decoded series: absolute timestamps plus counter or gauge values.
+struct SeriesView {
+    name: String,
+    kind: Kind,
+    t: Vec<u64>,
+    u: Vec<u64>,
+    f: Vec<f64>,
+}
+
+/// Validate a timeline document's structure. Returns every problem found
+/// (empty vector = conformant). This is the `qtop --check` CI gate.
+///
+/// Checked invariants: version tag, positive sampling interval,
+/// name-sorted non-empty series map, per-series delta arrays of matching
+/// length with strictly positive time deltas (timestamps strictly
+/// increase), and non-negative counter deltas (counters are monotone).
+pub fn check(json: &str) -> Result<(), Vec<String>> {
+    let mut errs = Vec::new();
+    let doc = match parse(json) {
+        Ok(d) => d,
+        Err(e) => return Err(vec![format!("not valid JSON: {e}")]),
+    };
+    if doc.get("timeline").and_then(|v| v.as_u64()) != Some(1) {
+        errs.push("missing or unknown timeline version (want 1)".into());
+    }
+    match doc.get("interval_ns").and_then(|v| v.as_u64()) {
+        Some(i) if i > 0 => {}
+        _ => errs.push("interval_ns missing or zero".into()),
+    }
+    let Some(series) = doc.get("series").and_then(|v| v.members()) else {
+        errs.push("missing series object".into());
+        return Err(errs);
+    };
+    if series.is_empty() {
+        errs.push("series object is empty (sampler never ticked?)".into());
+    }
+    for pair in series.windows(2) {
+        if pair[0].0 >= pair[1].0 {
+            errs.push(format!(
+                "series names not strictly sorted: {:?} then {:?}",
+                pair[0].0, pair[1].0
+            ));
+        }
+    }
+    for (name, s) in series {
+        let kind = match s.get("kind").and_then(|v| v.as_str()) {
+            Some("counter") => Kind::Counter,
+            Some("gauge") => Kind::Gauge,
+            other => {
+                errs.push(format!("series {name}: unknown kind {other:?}"));
+                continue;
+            }
+        };
+        let Some(dt) = s.get("dt_ns").and_then(|v| v.as_array()) else {
+            errs.push(format!("series {name}: missing dt_ns"));
+            continue;
+        };
+        let t0 = s.get("t0_ns").and_then(|v| v.as_u64());
+        if t0.is_none() {
+            errs.push(format!("series {name}: empty (null t0_ns)"));
+            continue;
+        }
+        if dt.iter().any(|d| !matches!(d.as_u64(), Some(d) if d > 0)) {
+            errs.push(format!(
+                "series {name}: dt_ns has a non-positive entry (timestamps must strictly increase)"
+            ));
+        }
+        match kind {
+            Kind::Counter => {
+                if s.get("v0").and_then(|v| v.as_u64()).is_none() {
+                    errs.push(format!("series {name}: counter without v0"));
+                }
+                match s.get("dv").and_then(|v| v.as_array()) {
+                    None => errs.push(format!("series {name}: counter without dv")),
+                    Some(dv) => {
+                        if dv.len() != dt.len() {
+                            errs.push(format!(
+                                "series {name}: dv length {} != dt_ns length {}",
+                                dv.len(),
+                                dt.len()
+                            ));
+                        }
+                        if dv.iter().any(|d| d.as_u64().is_none()) {
+                            errs.push(format!(
+                                "series {name}: dv has a negative or non-integer entry \
+                                 (counters are monotone)"
+                            ));
+                        }
+                    }
+                }
+            }
+            Kind::Gauge => match s.get("values").and_then(|v| v.as_array()) {
+                None => errs.push(format!("series {name}: gauge without values")),
+                Some(vals) => {
+                    if vals.len() != dt.len() + 1 {
+                        errs.push(format!(
+                            "series {name}: values length {} != sample count {}",
+                            vals.len(),
+                            dt.len() + 1
+                        ));
+                    }
+                    if vals.iter().any(|v| v.as_f64().is_none()) {
+                        errs.push(format!("series {name}: non-numeric gauge value"));
+                    }
+                }
+            },
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+/// Decode the document into `(interval_ns, series)` with absolute
+/// timestamps and values reconstructed from the delta encoding.
+fn decode(json: &str) -> Result<(u64, Vec<SeriesView>), String> {
+    let doc = parse(json)?;
+    let interval = doc
+        .get("interval_ns")
+        .and_then(|v| v.as_u64())
+        .ok_or("missing interval_ns")?;
+    let members = doc
+        .get("series")
+        .and_then(|v| v.members())
+        .ok_or("missing series object")?;
+    let mut out = Vec::with_capacity(members.len());
+    for (name, s) in members {
+        let kind = match s.get("kind").and_then(|v| v.as_str()) {
+            Some("counter") => Kind::Counter,
+            Some("gauge") => Kind::Gauge,
+            other => return Err(format!("series {name}: unknown kind {other:?}")),
+        };
+        let mut view = SeriesView {
+            name: name.clone(),
+            kind,
+            t: Vec::new(),
+            u: Vec::new(),
+            f: Vec::new(),
+        };
+        if let Some(t0) = s.get("t0_ns").and_then(|v| v.as_u64()) {
+            view.t.push(t0);
+            for d in s.get("dt_ns").and_then(|v| v.as_array()).unwrap_or(&[]) {
+                let d = d.as_u64().ok_or_else(|| format!("series {name}: bad dt"))?;
+                view.t.push(view.t.last().unwrap() + d);
+            }
+            match kind {
+                Kind::Counter => {
+                    let v0 = s
+                        .get("v0")
+                        .and_then(|v| v.as_u64())
+                        .ok_or_else(|| format!("series {name}: counter without v0"))?;
+                    view.u.push(v0);
+                    for d in s.get("dv").and_then(|v| v.as_array()).unwrap_or(&[]) {
+                        let d = d.as_u64().ok_or_else(|| format!("series {name}: bad dv"))?;
+                        view.u.push(view.u.last().unwrap() + d);
+                    }
+                    if view.u.len() != view.t.len() {
+                        return Err(format!("series {name}: counter length mismatch"));
+                    }
+                }
+                Kind::Gauge => {
+                    for v in s.get("values").and_then(|v| v.as_array()).unwrap_or(&[]) {
+                        view.f.push(
+                            v.as_f64()
+                                .ok_or_else(|| format!("series {name}: bad gauge value"))?,
+                        );
+                    }
+                    if view.f.len() != view.t.len() {
+                        return Err(format!("series {name}: gauge length mismatch"));
+                    }
+                }
+            }
+        }
+        out.push(view);
+    }
+    Ok((interval, out))
+}
+
+/// Render the timeline report. `top` bounds each ranked table (0 = all).
+pub fn summarize(json: &str, top: usize) -> Result<String, String> {
+    let (interval, series) = decode(json)?;
+    let max_samples = series.iter().map(|s| s.t.len()).max().unwrap_or(0);
+    let t_min = series.iter().filter_map(|s| s.t.first()).min().copied();
+    let t_max = series.iter().filter_map(|s| s.t.last()).max().copied();
+    let span = match (t_min, t_max) {
+        (Some(a), Some(b)) => b - a,
+        _ => 0,
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "timeline: {} series, {} samples max, interval {}, span {}\n",
+        series.len(),
+        max_samples,
+        fmt_ns(interval),
+        fmt_ns(span),
+    ));
+
+    // --- Counters by total increase --------------------------------------
+    let mut counters: Vec<&SeriesView> =
+        series.iter().filter(|s| s.kind == Kind::Counter).collect();
+    counters.sort_by(|a, b| total(b).cmp(&total(a)).then(a.name.cmp(&b.name)));
+    let shown = bound(top, counters.len());
+    if shown > 0 {
+        out.push_str(&format!(
+            "\ncounters by total increase ({shown} of {}):\n",
+            counters.len()
+        ));
+        out.push_str(
+            "  series                                 samples       last      total  max_step\n",
+        );
+        for s in counters.iter().take(shown) {
+            let max_step = s.u.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+            out.push_str(&format!(
+                "  {:<38} {:>7} {:>10} {:>10} {:>9}\n",
+                s.name,
+                s.t.len(),
+                s.u.last().copied().unwrap_or(0),
+                total(s),
+                max_step,
+            ));
+        }
+    }
+
+    // --- Gauges by peak ---------------------------------------------------
+    let mut gauges: Vec<&SeriesView> = series.iter().filter(|s| s.kind == Kind::Gauge).collect();
+    gauges.sort_by(|a, b| {
+        peak(b)
+            .total_cmp(&peak(a))
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    let shown = bound(top, gauges.len());
+    if shown > 0 {
+        out.push_str(&format!(
+            "\ngauges by peak ({shown} of {}):\n",
+            gauges.len()
+        ));
+        out.push_str(
+            "  series                                 samples       last       peak  at\n",
+        );
+        for s in gauges.iter().take(shown) {
+            let (pv, pt) = peak_at(s);
+            out.push_str(&format!(
+                "  {:<38} {:>7} {:>10} {:>10}  {}\n",
+                s.name,
+                s.t.len(),
+                fmt_f64(s.f.last().copied().unwrap_or(0.0)),
+                fmt_f64(pv),
+                fmt_ns(pt),
+            ));
+        }
+    }
+
+    // --- SLO burn-rate report ---------------------------------------------
+    out.push_str("\nSLO burn rate:\n");
+    match series.iter().find(|s| s.name == "slo.misses") {
+        Some(m) => out.push_str(&format!(
+            "  slo.misses: {} total\n",
+            m.u.last().copied().unwrap_or(0)
+        )),
+        None => out.push_str("  slo.misses: series absent (no deadline tracking)\n"),
+    }
+    let mut any_burn = false;
+    for (label, name) in [("fast", "slo.burn.fast"), ("slow", "slo.burn.slow")] {
+        if let Some(s) = series.iter().find(|s| s.name == name) {
+            any_burn = true;
+            let (pv, pt) = peak_at(s);
+            let hot = s.f.iter().filter(|&&v| v >= 1.0).count();
+            out.push_str(&format!(
+                "  {label} window: peak {}x budget at {}; {hot} sample(s) >= 1.0x (~{})\n",
+                fmt_f64(pv),
+                fmt_ns(pt),
+                fmt_ns(hot as u64 * interval),
+            ));
+        }
+    }
+    if !any_burn {
+        out.push_str("  burn series absent (sampler ran without lifecycle tracking)\n");
+    }
+    Ok(out)
+}
+
+/// Total increase of a counter over the run.
+fn total(s: &SeriesView) -> u64 {
+    match (s.u.first(), s.u.last()) {
+        (Some(a), Some(b)) => b - a,
+        _ => 0,
+    }
+}
+
+/// Peak value of a gauge (0.0 when empty).
+fn peak(s: &SeriesView) -> f64 {
+    s.f.iter().copied().fold(0.0f64, f64::max)
+}
+
+/// Peak gauge value and the timestamp of its first occurrence.
+fn peak_at(s: &SeriesView) -> (f64, u64) {
+    let p = peak(s);
+    let at =
+        s.f.iter()
+            .position(|&v| v == p)
+            .and_then(|i| s.t.get(i))
+            .copied()
+            .unwrap_or(0);
+    (p, at)
+}
+
+/// Table row bound: `top == 0` means all rows.
+fn bound(top: usize, len: usize) -> usize {
+    if top == 0 {
+        len
+    } else {
+        top.min(len)
+    }
+}
+
+/// Format a gauge value with Rust's shortest-round-trip float display
+/// (deterministic, byte-stable).
+fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+/// Format nanoseconds with an SI unit, integer math only (byte-stable).
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!(
+            "{}.{:03}s",
+            ns / 1_000_000_000,
+            (ns % 1_000_000_000) / 1_000_000
+        )
+    } else if ns >= 1_000_000 {
+        format!("{}.{:03}ms", ns / 1_000_000, (ns % 1_000_000) / 1_000)
+    } else if ns >= 1_000 {
+        format!("{}.{:03}us", ns / 1_000, ns % 1_000)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpichgq_obs::Timeline;
+
+    fn sample_doc() -> String {
+        let mut tl = Timeline::new(100);
+        tl.push_counter("slo.misses", 100, 0);
+        tl.push_counter("slo.misses", 200, 3);
+        tl.push_counter("net.pkts.delivered", 100, 10);
+        tl.push_counter("net.pkts.delivered", 200, 30);
+        tl.push_gauge("iface000.backlog_bytes", 100, 0.0);
+        tl.push_gauge("iface000.backlog_bytes", 200, 1500.0);
+        tl.push_gauge("slo.burn.fast", 200, 2.5);
+        tl.to_json()
+    }
+
+    #[test]
+    fn sampler_output_passes_check() {
+        assert_eq!(check(&sample_doc()), Ok(()));
+    }
+
+    #[test]
+    fn summarize_reports_counters_gauges_and_burn() {
+        let report = summarize(&sample_doc(), 0).unwrap();
+        assert!(report.contains("4 series"));
+        assert!(report.contains("slo.misses: 3 total"));
+        assert!(report.contains("net.pkts.delivered"));
+        assert!(report.contains("iface000.backlog_bytes"));
+        assert!(report.contains("fast window: peak 2.5x budget"));
+        // Deterministic: same bytes in, same bytes out.
+        assert_eq!(report, summarize(&sample_doc(), 0).unwrap());
+    }
+
+    #[test]
+    fn check_catches_shape_violations() {
+        let json = r#"{"timeline":1,"interval_ns":100,"series":{"b":{"kind":"counter","t0_ns":5,"dt_ns":[0],"v0":1,"dv":[2,3]},"a":{"kind":"gauge","t0_ns":null,"dt_ns":[],"values":[]}}}"#;
+        let errs = check(json).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("not strictly sorted")));
+        assert!(errs.iter().any(|e| e.contains("non-positive entry")));
+        assert!(errs.iter().any(|e| e.contains("dv length")));
+        assert!(errs.iter().any(|e| e.contains("empty (null t0_ns)")));
+    }
+
+    #[test]
+    fn check_rejects_missing_series() {
+        assert!(check(r#"{"timeline":1,"interval_ns":100}"#).is_err());
+        assert!(check(r#"{"timeline":2,"interval_ns":100,"series":{}}"#).is_err());
+    }
+}

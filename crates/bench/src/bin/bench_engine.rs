@@ -1,7 +1,9 @@
 //! Events-per-second benchmark for the two event-scheduler backends.
 //!
-//! Runs four workloads — a pure engine churn loop, the ping-pong transport
-//! workload (the headline comparison), a many-flow bulk TCP simulation,
+//! Runs five workloads — a pure engine churn loop, the ping-pong transport
+//! workload (the headline comparison), the same ping-pong with the
+//! flight recorder and timeline sampler armed (a non-gated
+//! instrumentation-overhead probe), a many-flow bulk TCP simulation,
 //! and the Figure 1 sawtooth — under both
 //! [`SchedulerKind::Heap`] and [`SchedulerKind::Calendar`], and writes
 //! `BENCH_engine.json` at the repository root (or to the path given as the
@@ -14,7 +16,10 @@
 //! Run with: `cargo run --release -p mpichgq-bench --bin bench_engine`
 
 use mpichgq_bench::bulk::transport_multiflow_bulk;
-use mpichgq_bench::{fig1_tcp_sawtooth_counted, fig5_pingpong_point_counted, Fig1Cfg, Fig5Cfg};
+use mpichgq_bench::{
+    fig1_tcp_sawtooth_counted, fig5_pingpong_point_counted, fig5_pingpong_point_sampled_counted,
+    Fig1Cfg, Fig5Cfg,
+};
 use mpichgq_sim::{Engine, SchedulerKind, SimDelta, SimRng, SimTime};
 use std::time::Instant;
 
@@ -31,6 +36,10 @@ struct Measurement {
 struct WorkloadResult {
     name: &'static str,
     description: &'static str,
+    /// Whether `scripts/perf_gate.py` should compare this workload against
+    /// the committed baseline. The instrumentation-overhead entry is
+    /// informative only, so it reports `false`.
+    perf_gated: bool,
     heap: Measurement,
     calendar: Measurement,
 }
@@ -68,6 +77,7 @@ fn run_workload(
     repeats: usize,
     name: &'static str,
     description: &'static str,
+    perf_gated: bool,
     f: impl Fn(SchedulerKind) -> u64,
 ) -> WorkloadResult {
     eprintln!("[bench_engine] {name}: heap ...");
@@ -89,6 +99,7 @@ fn run_workload(
     WorkloadResult {
         name,
         description,
+        perf_gated,
         heap,
         calendar,
     }
@@ -138,6 +149,21 @@ fn transport_pingpong(kind: SchedulerKind, quick: bool) -> u64 {
     fig5_pingpong_point_counted(cfg).1
 }
 
+/// [`transport_pingpong`] with the flight recorder and the timeline
+/// sampler armed at the figure-run defaults. The events/sec delta against
+/// the unsampled `transport_pingpong` entry is the cost of observability;
+/// the entry is labeled `perf_gated: false` so it is never compared
+/// against the committed baseline.
+fn transport_pingpong_sampled(kind: SchedulerKind, quick: bool) -> u64 {
+    let mut cfg = Fig5Cfg::new(40 * 1000 / 8, 6000.0);
+    cfg.scheduler = kind;
+    if quick {
+        cfg.duration = SimTime::from_secs(8);
+        cfg.warmup = SimTime::from_secs(3);
+    }
+    fig5_pingpong_point_sampled_counted(cfg).1
+}
+
 fn json_measurement(m: &Measurement) -> String {
     format!(
         "{{\"events\": {}, \"wall_secs\": {:.6}, \"events_per_sec\": {:.1}}}",
@@ -164,13 +190,22 @@ fn main() {
             repeats,
             "engine_churn",
             "pure Engine pop+reschedule loop, 100k standing events, 2M ops",
+            true,
             move |k| engine_churn(k, quick),
         ),
         run_workload(
             repeats,
             "transport_pingpong",
             "MPI ping-pong over TCP on GARNET (40 Kb msg, 6 Mb/s reservation) with bidirectional contention — the Figure 5 transport workload",
+            true,
             move |k| transport_pingpong(k, quick),
+        ),
+        run_workload(
+            repeats,
+            "transport_pingpong_sampled",
+            "transport_pingpong with the flight recorder and the 100 ms timeline sampler armed — instrumentation-overhead probe, informative only (not perf-gated)",
+            false,
+            move |k| transport_pingpong_sampled(k, quick),
         ),
     ];
     if !quick {
@@ -178,12 +213,14 @@ fn main() {
             repeats,
             "transport_multiflow_bulk",
             "32 bulk TCP flows over a shared OC12 trunk (20 ms), 10 s simulated",
+            true,
             |k| transport_multiflow_bulk(k, SimTime::from_secs(10)),
         ));
         results.push(run_workload(
             repeats,
             "fig1_sawtooth",
             "Figure 1 premium-vs-competitive sawtooth on GARNET, 20 s simulated",
+            true,
             fig1_sawtooth,
         ));
     }
@@ -202,6 +239,7 @@ fn main() {
         json.push_str("    {\n");
         json.push_str(&format!("      \"name\": \"{}\",\n", w.name));
         json.push_str(&format!("      \"description\": \"{}\",\n", w.description));
+        json.push_str(&format!("      \"perf_gated\": {},\n", w.perf_gated));
         json.push_str(&format!("      \"heap\": {},\n", json_measurement(&w.heap)));
         json.push_str(&format!(
             "      \"calendar\": {},\n",

@@ -24,4 +24,5 @@ fn main() {
         series.mean()
     );
     output::write_metrics("fig1", &metrics.metrics_json);
+    output::write_timeline("fig1", metrics.timeline_json.as_deref());
 }

@@ -36,4 +36,5 @@ fn main() {
     }
     let (_, metrics) = fig5_pingpong_point_run(cfg, TRACE_CAPACITY);
     output::write_metrics("fig5", &metrics.metrics_json);
+    output::write_timeline("fig5", metrics.timeline_json.as_deref());
 }

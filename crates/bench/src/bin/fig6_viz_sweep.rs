@@ -44,4 +44,5 @@ fn main() {
     }
     let (_, metrics) = viz_run_under_contention_run(cfg, TRACE_CAPACITY);
     output::write_metrics("fig6", &metrics.metrics_json);
+    output::write_timeline("fig6", metrics.timeline_json.as_deref());
 }

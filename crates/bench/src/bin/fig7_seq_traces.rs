@@ -30,5 +30,6 @@ fn main() {
         }
         output::write_metrics(&format!("fig7_{label}"), &metrics.metrics_json);
         output::write_trace(&format!("fig7_{label}"), &metrics.trace_json);
+        output::write_timeline(&format!("fig7_{label}"), metrics.timeline_json.as_deref());
     }
 }

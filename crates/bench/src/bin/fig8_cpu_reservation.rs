@@ -20,4 +20,5 @@ fn main() {
     );
     output::write_metrics("fig8", &metrics.metrics_json);
     output::write_trace("fig8", &metrics.trace_json);
+    output::write_timeline("fig8", metrics.timeline_json.as_deref());
 }

@@ -47,4 +47,5 @@ fn main() {
     );
     println!("# paper shape: full | depressed | restored | depressed | restored — both reservations are needed");
     output::write_metrics("fig9", &metrics.metrics_json);
+    output::write_timeline("fig9", metrics.timeline_json.as_deref());
 }

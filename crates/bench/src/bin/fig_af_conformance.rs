@@ -39,4 +39,5 @@ fn main() {
     );
     output::write_metrics("af_conformance", &metrics.metrics_json);
     output::write_trace("af_conformance", &metrics.trace_json);
+    output::write_timeline("af_conformance", metrics.timeline_json.as_deref());
 }

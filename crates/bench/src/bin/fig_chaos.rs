@@ -55,4 +55,5 @@ fn main() {
     );
     output::write_metrics("chaos", &metrics.metrics_json);
     output::write_trace("chaos", &metrics.trace_json);
+    output::write_timeline("chaos", metrics.timeline_json.as_deref());
 }

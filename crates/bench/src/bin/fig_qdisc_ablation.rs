@@ -44,4 +44,5 @@ fn main() {
     );
     output::write_metrics("qdisc_ablation", &metrics.metrics_json);
     output::write_trace("qdisc_ablation", &metrics.trace_json);
+    output::write_timeline("qdisc_ablation", metrics.timeline_json.as_deref());
 }

@@ -33,6 +33,10 @@ pub struct RunMetrics {
     /// Chrome trace-event export of the packet lifecycle (empty events
     /// array when tracing was off); `qtrace` summarizes it.
     pub trace_json: String,
+    /// Fixed-interval time-series document (`timeline.json`); `None` when
+    /// sampling was off (counted perf runs, `MPICHGQ_TIMELINE_MS=off`).
+    /// `qtop` summarizes it.
+    pub timeline_json: Option<String>,
 }
 
 /// Flight-recorder ring size the figure binaries use; the interesting
@@ -40,18 +44,63 @@ pub struct RunMetrics {
 /// few thousand entries cover a whole figure run.
 pub const TRACE_CAPACITY: usize = 4096;
 
+/// Default figure-run sampling interval; overridable per run via the
+/// `MPICHGQ_TIMELINE_MS` environment variable.
+pub const TIMELINE_DEFAULT_MS: u64 = 100;
+
+/// Sampling interval the instrumented figure runs use: the
+/// `MPICHGQ_TIMELINE_MS` value in milliseconds, `None` for `0`/`off`
+/// (sampling disabled), and [`TIMELINE_DEFAULT_MS`] when unset or
+/// unparseable.
+pub fn env_timeline_interval() -> Option<SimDelta> {
+    match std::env::var("MPICHGQ_TIMELINE_MS") {
+        Err(_) => Some(SimDelta::from_millis(TIMELINE_DEFAULT_MS)),
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            if v == "0" || v == "off" {
+                None
+            } else {
+                Some(SimDelta::from_millis(
+                    v.parse::<u64>()
+                        .ok()
+                        .filter(|&ms| ms > 0)
+                        .unwrap_or(TIMELINE_DEFAULT_MS),
+                ))
+            }
+        }
+    }
+}
+
 fn arm_trace(lab: &mut GarnetLab, trace_capacity: usize) {
+    arm_trace_with(lab, trace_capacity, env_timeline_interval());
+}
+
+/// [`arm_trace`] with the sampling interval passed explicitly instead of
+/// read from the environment (`None` = sampling off). The
+/// no-perturbation tests use the `*_run_timeline` figure variants built
+/// on this to compare sampled and unsampled runs inside one process
+/// without touching `MPICHGQ_TIMELINE_MS`.
+fn arm_trace_with(lab: &mut GarnetLab, trace_capacity: usize, timeline: Option<SimDelta>) {
     if trace_capacity > 0 {
         lab.sim.net.obs.enable_trace(trace_capacity);
         lab.sim.net.enable_packet_tracing();
+        // Counted perf variants pass capacity 0 and stay sampler-free; the
+        // no-perturbation tests prove the figures come out bit-identical
+        // either way.
+        if let Some(interval) = timeline {
+            lab.sim.net.enable_timeline(interval);
+        }
     }
 }
 
 fn collect_metrics(lab: &mut GarnetLab) -> RunMetrics {
+    let at = lab.sim.net.now();
+    lab.sim.net.timeline_finalize(&mut lab.sim.stack, at);
     RunMetrics {
         events: lab.sim.net.events_processed(),
         metrics_json: lab.sim.net.metrics_json(),
         trace_json: lab.sim.net.chrome_trace_json(),
+        timeline_json: lab.sim.net.timeline_json(),
     }
 }
 
@@ -135,12 +184,22 @@ pub fn fig1_tcp_sawtooth_counted(cfg: Fig1Cfg) -> (TimeSeries, u64) {
 /// `trace_capacity` arms the flight recorder, and the returned
 /// [`RunMetrics`] carries the registry + trace snapshot.
 pub fn fig1_tcp_sawtooth_run(cfg: Fig1Cfg, trace_capacity: usize) -> (TimeSeries, RunMetrics) {
+    fig1_tcp_sawtooth_run_timeline(cfg, trace_capacity, env_timeline_interval())
+}
+
+/// [`fig1_tcp_sawtooth_run`] with the sampling interval passed explicitly
+/// (`None` = sampling off) instead of read from `MPICHGQ_TIMELINE_MS`.
+pub fn fig1_tcp_sawtooth_run_timeline(
+    cfg: Fig1Cfg,
+    trace_capacity: usize,
+    timeline: Option<SimDelta>,
+) -> (TimeSeries, RunMetrics) {
     let garnet = GarnetCfg {
         scheduler: cfg.scheduler,
         ..GarnetCfg::default()
     };
     let mut lab = GarnetLab::new(garnet, 0.7);
-    arm_trace(&mut lab, trace_capacity);
+    arm_trace_with(&mut lab, trace_capacity, timeline);
     lab.add_contention(CONTENTION_BPS, SimTime::ZERO, cfg.duration);
     let (psrc, pdst) = (lab.premium_src, lab.premium_dst);
 
@@ -237,12 +296,36 @@ pub fn fig5_pingpong_point_counted(cfg: Fig5Cfg) -> (f64, u64) {
 /// [`fig5_pingpong_point`] with full observability (see
 /// [`fig1_tcp_sawtooth_run`]).
 pub fn fig5_pingpong_point_run(cfg: Fig5Cfg, trace_capacity: usize) -> (f64, RunMetrics) {
+    fig5_pingpong_point_inner(cfg, trace_capacity, false)
+}
+
+/// [`fig5_pingpong_point_counted`] with the flight recorder and the
+/// timeline sampler unconditionally armed (trace at [`TRACE_CAPACITY`],
+/// sampling at [`TIMELINE_DEFAULT_MS`], ignoring `MPICHGQ_TIMELINE_MS`).
+/// `bench_engine` uses this for its labeled, non-gated
+/// instrumentation-overhead entry, so the measured cost never depends on
+/// the caller's environment.
+pub fn fig5_pingpong_point_sampled_counted(cfg: Fig5Cfg) -> (f64, u64) {
+    let (kbps, m) = fig5_pingpong_point_inner(cfg, TRACE_CAPACITY, true);
+    (kbps, m.events)
+}
+
+fn fig5_pingpong_point_inner(
+    cfg: Fig5Cfg,
+    trace_capacity: usize,
+    force_timeline: bool,
+) -> (f64, RunMetrics) {
     let garnet = GarnetCfg {
         scheduler: cfg.scheduler,
         ..fig5_garnet()
     };
     let mut lab = GarnetLab::new(garnet, 0.7);
-    arm_trace(&mut lab, trace_capacity);
+    let timeline = if force_timeline {
+        Some(SimDelta::from_millis(TIMELINE_DEFAULT_MS))
+    } else {
+        env_timeline_interval()
+    };
+    arm_trace_with(&mut lab, trace_capacity, timeline);
     lab.add_contention(CONTENTION_BPS, SimTime::ZERO, cfg.duration);
     lab.add_contention_reverse(CONTENTION_BPS, SimTime::ZERO, cfg.duration);
 
@@ -533,10 +616,21 @@ pub fn fig7_seq_trace_run(
     window: SimTime,
     trace_capacity: usize,
 ) -> (TimeSeries, RunMetrics) {
+    fig7_seq_trace_run_timeline(fps, window, trace_capacity, env_timeline_interval())
+}
+
+/// [`fig7_seq_trace_run`] with the sampling interval passed explicitly
+/// (`None` = sampling off) instead of read from `MPICHGQ_TIMELINE_MS`.
+pub fn fig7_seq_trace_run_timeline(
+    fps: f64,
+    window: SimTime,
+    trace_capacity: usize,
+    timeline: Option<SimDelta>,
+) -> (TimeSeries, RunMetrics) {
     let target_kbps = 400.0;
     let frame_bytes = (target_kbps * 1000.0 / 8.0 / fps).round() as u32;
     let mut lab = GarnetLab::new(GarnetCfg::default(), 0.7);
-    arm_trace(&mut lab, trace_capacity);
+    arm_trace_with(&mut lab, trace_capacity, timeline);
     let (builder, env) = enable_qos(JobBuilder::new(), QosAgentCfg::default());
     let qos = Some((env, QosAttribute::premium(800.0, frame_bytes)));
     let end = window + SimDelta::from_secs(1);

@@ -30,7 +30,7 @@
 
 use crate::qos::QosOutcome;
 use mpichgq_gara::{Gara, NetworkRequest, Request, ResvId, StartSpec, Status};
-use mpichgq_netsim::Net;
+use mpichgq_netsim::{Net, TimelineSource};
 use mpichgq_sim::{SimDelta, SimTime};
 use mpichgq_tcp::{control_token, Controller, ControllerId, Sim, Stack};
 use std::cell::RefCell;
@@ -106,6 +106,32 @@ struct AdaptDriver {
     inner: Rc<RefCell<Inner>>,
 }
 
+/// Timeline probe over every installed [`AdaptiveFlow`] (one shared stack
+/// service; flows register in install order). Samples two gauges per flow:
+/// `agent.flow{i}.state` (the [`AdaptState`] ordinal: 0 idle, 1 backing
+/// off, 2 granted, 3 renegotiated, 4 degraded) and
+/// `agent.flow{i}.rate_bps` (premium rate held, 0 otherwise).
+struct AdaptProbe {
+    flows: Vec<Rc<RefCell<Inner>>>,
+}
+
+impl TimelineSource for AdaptProbe {
+    fn timeline_sample(&mut self, net: &mut Net, _at: SimTime) {
+        for (i, f) in self.flows.iter().enumerate() {
+            let inner = f.borrow();
+            let (state, rate) = match inner.state {
+                AdaptState::Idle => (0.0, 0u64),
+                AdaptState::BackingOff { .. } => (1.0, 0),
+                AdaptState::Granted { rate_bps, .. } => (2.0, rate_bps),
+                AdaptState::Renegotiated { rate_bps, .. } => (3.0, rate_bps),
+                AdaptState::Degraded => (4.0, 0),
+            };
+            net.timeline_record_gauge(&format!("agent.flow{i:02}.state"), state);
+            net.timeline_record_gauge(&format!("agent.flow{i:02}.rate_bps"), rate as f64);
+        }
+    }
+}
+
 impl Controller for AdaptDriver {
     fn on_control(&mut self, _payload: u64, net: &mut Net, stack: &mut Stack) {
         let Some(mut gara) = stack.take_service::<Gara>() else {
@@ -142,6 +168,12 @@ impl AdaptiveFlow {
         if let Some(mut gara) = sim.stack.take_service::<Gara>() {
             gara.set_adaptation_listener(id);
             sim.stack.put_service_box(gara);
+        }
+        match sim.stack.service_mut::<AdaptProbe>() {
+            Some(p) => p.flows.push(inner.clone()),
+            None => sim.stack.insert_sampled_service(AdaptProbe {
+                flows: vec![inner.clone()],
+            }),
         }
         let at = start.max(sim.net.now());
         sim.net.schedule_control(at, control_token(id, 0));

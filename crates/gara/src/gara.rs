@@ -19,7 +19,7 @@ use crate::slot_table::{RejectReason, Rejected, SlotId, SlotTable};
 use mpichgq_dsrt::ProcId;
 use mpichgq_netsim::{
     depth_for, ChanId, DepthRule, Dscp, FlowSpec, Net, NodeId, NodeKind, PolicingAction, Proto,
-    TokenBucket,
+    TimelineSource, TokenBucket,
 };
 use mpichgq_sim::{SimDelta, SimTime};
 use mpichgq_tcp::{control_token, Controller, ControllerId, Stack};
@@ -1147,9 +1147,31 @@ impl Controller for GaraDriver {
     }
 }
 
+impl TimelineSource for Gara {
+    /// Control-plane occupancy series: standing slots across every managed
+    /// table, the pending-deadline heap depth (stale entries included —
+    /// that *is* the heap the timer driver pays for), and the aggregate
+    /// EF load currently admitted on managed links. Reservation-rate
+    /// series (grants, rejects) come for free from the live `gara.*`
+    /// registry counters the sampler sweeps.
+    fn timeline_sample(&mut self, net: &mut Net, at: SimTime) {
+        let standing: usize = self
+            .links
+            .values()
+            .chain(self.cpus.values())
+            .chain(self.storage.values())
+            .map(SlotTable::len)
+            .sum();
+        net.timeline_record_gauge("gara.slots.standing", standing as f64);
+        net.timeline_record_gauge("gara.deadlines.pending", self.deadlines.len() as f64);
+        let reserved: u64 = self.links.values().map(|t| t.load_at(at)).sum();
+        net.timeline_record_gauge("gara.links.reserved_bps", reserved as f64);
+    }
+}
+
 /// Install `gara` as a stack service with its timer driver attached.
 pub fn install(stack: &mut Stack, mut gara: Gara) {
     let id = stack.add_controller(Box::new(GaraDriver));
     gara.set_controller_id(id);
-    stack.insert_service(gara);
+    stack.insert_sampled_service(gara);
 }

@@ -38,7 +38,9 @@ pub use classifier::{Classifier, FlowSpec, PolicingAction, Verdict};
 pub use faults::{FaultAction, FaultPlan, FaultStats};
 pub use lifecycle::{FlowRec, PacketTracer, Span, SpanKind};
 pub use link::{Chan, ChanId, Framing, LinkCfg};
-pub use net::{ChanAudit, DropStats, Net, NetAudit, NetHandler, Node, NodeKind, TopoBuilder};
+pub use net::{
+    ChanAudit, DropStats, Net, NetAudit, NetHandler, Node, NodeKind, TimelineSource, TopoBuilder,
+};
 pub use packet::{AfPrec, Dscp, FlowKey, NodeId, Packet, Proto, TcpFlags, TcpHeader, L4};
 pub use queue::{
     ClassCfg, DropperCfg, Enqueue, Queue, QueueCfg, QueueDiscipline, QueueStats, RedCfg, SchedCfg,

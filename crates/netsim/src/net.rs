@@ -18,7 +18,7 @@ use crate::queue::{Enqueue, Queue, QueueCfg, QueueStats};
 use crate::shaper::{ShapeOutcome, Shaper};
 use crate::tokenbucket::TokenBucket;
 use mpichgq_dsrt::{AdmissionError, CompleteOutcome, Cpu, ProcId, Update, WorkId};
-use mpichgq_obs::{CounterId, JsonWriter, Obs};
+use mpichgq_obs::{CounterId, JsonWriter, Obs, Timeline};
 use mpichgq_sim::{fnv1a, Engine, Recorder, SchedulerKind, SimDelta, SimRng, SimTime};
 
 /// What kind of node this is.
@@ -91,6 +91,24 @@ pub trait NetHandler {
     fn cpu_done(&mut self, net: &mut Net, host: NodeId, proc: ProcId);
     /// A control point set via [`Net::schedule_control`] was reached.
     fn control(&mut self, net: &mut Net, token: u64);
+    /// A timeline sampling tick at `at` (see [`Net::enable_timeline`]).
+    /// Called after the network's own samples for that tick; the handler
+    /// records upper-layer series via [`Net::timeline_record_counter`] /
+    /// [`Net::timeline_record_gauge`]. Must be read-only with respect to
+    /// simulated state — recording series is the only permitted effect —
+    /// so that sampling never perturbs the event stream. Default: no-op.
+    fn timeline_sample(&mut self, net: &mut Net, at: SimTime) {
+        let _ = (net, at);
+    }
+}
+
+/// A service that contributes series to the sampling timeline. Upper
+/// layers (the TCP stack's service registry, in practice) route
+/// [`NetHandler::timeline_sample`] ticks to every registered source. The
+/// same read-only contract applies: record series, touch nothing else.
+pub trait TimelineSource {
+    /// Record this source's series for the tick at `at`.
+    fn timeline_sample(&mut self, net: &mut Net, at: SimTime);
 }
 
 /// Global drop accounting, by cause.
@@ -270,6 +288,75 @@ pub(crate) struct ShardCtx {
     shard_of: std::sync::Arc<[u32]>,
     outbox: Vec<XMsg>,
     next_seq: u64,
+    /// Parallel-engine self-profiling totals, updated at each window
+    /// barrier via [`Net::shard_window_mark`]. All of them are pure
+    /// functions of simulated state (the window schedule is lock-step),
+    /// so they are invariant in the worker-thread count.
+    windows: u64,
+    windows_skipped: u64,
+    cross_in: u64,
+}
+
+/// Multi-window SLO burn-rate thresholds. Burn is the deadline-miss rate
+/// over a trailing window divided by the error budget: burn 1.0 means the
+/// run is missing deadlines exactly as fast as the budget allows.
+const BURN_FAST_TICKS: u64 = 5;
+const BURN_SLOW_TICKS: u64 = 30;
+const BURN_BUDGET: f64 = 0.01;
+const BURN_ALERT: f64 = 1.0;
+
+/// Hysteresis state for one burn window's alert threshold.
+#[derive(Debug, Default)]
+struct BurnEdge {
+    over: bool,
+}
+
+impl BurnEdge {
+    /// Update with this tick's burn; returns `Some(entered)` on an alert
+    /// edge (crossing [`BURN_ALERT`] in either direction).
+    fn update(&mut self, burn: f64) -> Option<bool> {
+        let over = burn >= BURN_ALERT;
+        let edge = over != self.over;
+        self.over = over;
+        edge.then_some(over)
+    }
+}
+
+/// Deadline-miss burn rate over the trailing `window_ns` ending at
+/// `at_ns`, read off the sampled `slo.misses` and `net.pkts.delivered`
+/// step functions: `(Δmisses / Δdelivered) / BURN_BUDGET`, or `0.0` when
+/// nothing was delivered in the window.
+fn burn_over(tl: &Timeline, at_ns: u64, window_ns: u64) -> f64 {
+    let t0 = at_ns.saturating_sub(window_ns);
+    let miss = tl
+        .counter_at("slo.misses", at_ns)
+        .saturating_sub(tl.counter_at("slo.misses", t0));
+    let delivered = tl
+        .counter_at("net.pkts.delivered", at_ns)
+        .saturating_sub(tl.counter_at("net.pkts.delivered", t0));
+    if delivered == 0 {
+        0.0
+    } else {
+        (miss as f64 / delivered as f64) / BURN_BUDGET
+    }
+}
+
+/// Sampler state (see [`Net::enable_timeline`]). Boxed and `None` until
+/// sampling is armed, so the disabled hot path pays one pointer-null
+/// branch per `run_until` call — never per event.
+#[derive(Debug)]
+struct TimelineCtx {
+    tl: Timeline,
+    interval_ns: u64,
+    /// Next unsampled grid boundary.
+    next_ns: u64,
+    /// Last instant actually sampled (grid boundary or finalize).
+    last_ns: Option<u64>,
+    /// Set while a sample tick is in progress; the timestamp
+    /// [`Net::timeline_record_counter`] stamps probe samples with.
+    cur_ns: Option<u64>,
+    fast: BurnEdge,
+    slow: BurnEdge,
 }
 
 /// The simulated network.
@@ -298,6 +385,9 @@ pub struct Net {
     /// Set when this `Net` is one shard of a partitioned world
     /// ([`crate::shard`]); `None` for monolithic worlds.
     shard: Option<Box<ShardCtx>>,
+    /// Fixed-interval time-series sampler; `None` (sampling off, provably
+    /// free) until [`Net::enable_timeline`] is called.
+    timeline: Option<Box<TimelineCtx>>,
 }
 
 impl Net {
@@ -327,6 +417,7 @@ impl Net {
             faults: None,
             lifecycle: None,
             shard: None,
+            timeline: None,
         }
     }
 
@@ -355,6 +446,9 @@ impl Net {
             shard_of,
             outbox: Vec::new(),
             next_seq: 0,
+            windows: 0,
+            windows_skipped: 0,
+            cross_in: 0,
         }));
     }
 
@@ -370,12 +464,45 @@ impl Net {
     /// presents messages in merge order; `at` is always at or beyond the
     /// window edge, hence `>= now`, so this can never schedule into the past.
     pub(crate) fn inject_cross(&mut self, m: XMsg) {
+        if let Some(sc) = self.shard.as_deref_mut() {
+            sc.cross_in += 1;
+        }
         self.engine.schedule(
             m.at,
             Ev::Deliver {
                 chan: m.chan,
                 pkt: m.pkt,
             },
+        );
+    }
+
+    /// Record one parallel-engine window barrier for this shard: bump the
+    /// self-profiling totals and, with sampling on, push the `shard{i}.*`
+    /// series at the window edge `at_ns`. `injected` is the number of
+    /// cross-shard messages drained from the inbox at this barrier;
+    /// `skipped` is how many whole idle windows the schedule jumped since
+    /// the previous barrier. No-op for monolithic worlds.
+    pub(crate) fn shard_window_mark(&mut self, at_ns: u64, injected: u64, skipped: u64) {
+        let Some(sc) = self.shard.as_deref_mut() else {
+            return;
+        };
+        sc.windows += 1;
+        sc.windows_skipped += skipped;
+        let Some(ctx) = self.timeline.as_deref_mut() else {
+            return;
+        };
+        let p = format!("shard{:02}", sc.shard);
+        let tl = &mut ctx.tl;
+        tl.push_counter(&format!("{p}.windows"), at_ns, sc.windows);
+        tl.push_counter(&format!("{p}.windows_skipped"), at_ns, sc.windows_skipped);
+        tl.push_counter(&format!("{p}.events"), at_ns, self.engine.processed());
+        tl.push_counter(&format!("{p}.cross_out"), at_ns, sc.next_seq);
+        tl.push_counter(&format!("{p}.cross_in"), at_ns, sc.cross_in);
+        tl.push_gauge(&format!("{p}.inbox_depth"), at_ns, injected as f64);
+        tl.push_gauge(
+            &format!("{p}.pending_events"),
+            at_ns,
+            self.engine.len() as f64,
         );
     }
 
@@ -864,6 +991,15 @@ impl Net {
             }
         }
 
+        if let Some(sc) = self.shard.as_deref() {
+            let p = format!("shard{:02}", sc.shard);
+            m.record_total(&format!("{p}.windows"), sc.windows);
+            m.record_total(&format!("{p}.windows_skipped"), sc.windows_skipped);
+            m.record_total(&format!("{p}.events"), self.engine.processed());
+            m.record_total(&format!("{p}.cross_out"), sc.next_seq);
+            m.record_total(&format!("{p}.cross_in"), sc.cross_in);
+        }
+
         if let Some(t) = &self.lifecycle {
             t.publish(m);
         }
@@ -884,6 +1020,342 @@ impl Net {
                 self.obs.snapshot_json_with(&[("slo", &slo)])
             }
             None => self.obs.snapshot_json(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Time-series sampling
+    // ------------------------------------------------------------------
+
+    /// Arm the fixed-interval time-series sampler. From the next grid
+    /// boundary on, every [`Net::run_until`] stops the clock at each
+    /// multiple of `interval` it crosses and records one sample of every
+    /// instrumented series. The boundaries are pure clock stops: no events
+    /// are scheduled, the pop order is untouched, and nothing consults the
+    /// RNG, so an armed run executes the exact event sequence a disarmed
+    /// run would. Until this is called, sampling costs one pointer-null
+    /// branch per `run_until` call.
+    pub fn enable_timeline(&mut self, interval: SimDelta) {
+        let i = interval.as_nanos();
+        assert!(i > 0, "timeline interval must be positive");
+        assert!(
+            self.timeline.is_none(),
+            "timeline sampling is already enabled"
+        );
+        let next_ns = (self.now().as_nanos() / i + 1) * i;
+        self.timeline = Some(Box::new(TimelineCtx {
+            tl: Timeline::new(i),
+            interval_ns: i,
+            next_ns,
+            last_ns: None,
+            cur_ns: None,
+            fast: BurnEdge::default(),
+            slow: BurnEdge::default(),
+        }));
+    }
+
+    /// Whether the time-series sampler is armed.
+    pub fn timeline_enabled(&self) -> bool {
+        self.timeline.is_some()
+    }
+
+    /// The timeline sampled so far, if the sampler is armed.
+    pub fn timeline(&self) -> Option<&Timeline> {
+        self.timeline.as_deref().map(|c| &c.tl)
+    }
+
+    /// Detach and return the sampled timeline, disarming the sampler.
+    pub fn take_timeline(&mut self) -> Option<Timeline> {
+        self.timeline.take().map(|c| c.tl)
+    }
+
+    /// Serialize the sampled timeline as deterministic JSON (the
+    /// `results/<experiment>/timeline.json` document), if armed.
+    pub fn timeline_json(&self) -> Option<String> {
+        self.timeline.as_deref().map(|c| c.tl.to_json())
+    }
+
+    /// Push one cumulative-counter sample from inside a sample tick —
+    /// the API [`TimelineSource`] probes and [`NetHandler::timeline_sample`]
+    /// implementations record through. Outside a tick (or with sampling
+    /// off) this is a no-op, so probes can call it unconditionally.
+    pub fn timeline_record_counter(&mut self, name: &str, v: u64) {
+        if let Some(ctx) = self.timeline.as_deref_mut() {
+            if let Some(t) = ctx.cur_ns {
+                ctx.tl.push_counter(name, t, v);
+            }
+        }
+    }
+
+    /// Gauge twin of [`Net::timeline_record_counter`].
+    pub fn timeline_record_gauge(&mut self, name: &str, v: f64) {
+        if let Some(ctx) = self.timeline.as_deref_mut() {
+            if let Some(t) = ctx.cur_ns {
+                ctx.tl.push_gauge(name, t, v);
+            }
+        }
+    }
+
+    /// Take one final sample at `at` unless the grid already sampled that
+    /// exact instant — so every series ends precisely at the end of the
+    /// run regardless of grid alignment. Call once, after the final
+    /// [`Net::run_until`].
+    pub fn timeline_finalize<H: NetHandler>(&mut self, h: &mut H, at: SimTime) {
+        let at_ns = at.as_nanos();
+        let due = match self.timeline.as_deref() {
+            Some(c) => c.last_ns != Some(at_ns),
+            None => false,
+        };
+        if due {
+            self.timeline_sample_tick(h, at_ns);
+        }
+    }
+
+    /// One sample tick at grid boundary (or finalize instant) `at_ns`:
+    /// core netsim series, then registry sweep, then handler probes, then
+    /// the SLO burn-rate windows.
+    fn timeline_sample_tick<H: NetHandler>(&mut self, h: &mut H, at_ns: u64) {
+        let Some(mut ctx) = self.timeline.take() else {
+            return;
+        };
+        ctx.cur_ns = Some(at_ns);
+        ctx.last_ns = Some(at_ns);
+        self.sample_core(&mut ctx.tl, at_ns);
+        // Live counters and gauges (anything other layers increment in
+        // place) are always current in the registry; sweeping them after
+        // the explicit pushes means explicitly sampled series are already
+        // marked live and skipped.
+        for (name, v) in self.obs.metrics.counters() {
+            ctx.tl.sweep_counter(name, at_ns, v);
+        }
+        for (name, v) in self.obs.metrics.gauges() {
+            ctx.tl.sweep_gauge(name, at_ns, v);
+        }
+        self.timeline = Some(ctx);
+        h.timeline_sample(self, SimTime::from_nanos(at_ns));
+        self.timeline_burn_tick(at_ns);
+        if let Some(ctx) = self.timeline.as_deref_mut() {
+            ctx.cur_ns = None;
+        }
+    }
+
+    /// Sample every component-local statistic [`Net::publish_metrics`]
+    /// publishes, with identical names and identical activity gating — so
+    /// the final sample of each cumulative series equals the end-of-run
+    /// registry counter (the `timeline_consistency` invariant). The one
+    /// deliberate read-path difference: token-bucket levels use
+    /// [`TokenBucket::peek_available`], because the mutating refill is not
+    /// bit-idempotent under splitting and would perturb later conformance
+    /// decisions.
+    fn sample_core(&mut self, tl: &mut Timeline, at_ns: u64) {
+        let at = SimTime::from_nanos(at_ns);
+        tl.push_counter("engine.events_processed", at_ns, self.engine.processed());
+        tl.push_gauge("engine.pending_events", at_ns, self.engine.len() as f64);
+        if let Some(cs) = self.engine.calendar_stats() {
+            tl.push_counter("engine.calendar.rebuilds", at_ns, cs.rebuilds);
+            tl.push_counter("engine.calendar.fallbacks", at_ns, cs.fallbacks);
+            tl.push_counter("engine.calendar.scan_steps", at_ns, cs.scan_steps);
+            tl.push_counter("engine.calendar.slow_pushes", at_ns, cs.slow_pushes);
+        }
+        tl.push_counter("net.drops.policed", at_ns, self.drops.policed);
+        tl.push_counter("net.drops.queue_full", at_ns, self.drops.queue_full);
+        tl.push_counter("net.drops.misrouted", at_ns, self.drops.misrouted);
+        if self.drops.red_early > 0 {
+            tl.push_counter("net.drops.red_early", at_ns, self.drops.red_early);
+        }
+        if let Some(f) = &self.faults {
+            tl.push_counter("faults.drops.link_down", at_ns, f.stats.drops_link_down);
+            tl.push_counter("faults.drops.loss", at_ns, f.stats.drops_loss);
+            tl.push_counter("faults.drops.corrupt", at_ns, f.stats.drops_corrupt);
+            tl.push_counter("faults.link_downs", at_ns, f.stats.link_downs);
+            tl.push_counter("faults.link_ups", at_ns, f.stats.link_ups);
+        }
+
+        let mut early = [0u64; 3];
+        let mut sched_violations = 0u64;
+        for (i, q) in self.queues.iter().enumerate() {
+            let st = q.stats();
+            early[0] += st.early_ef;
+            early[1] += st.early_af.iter().sum::<u64>();
+            early[2] += st.early_be;
+            sched_violations += st.sched_violations;
+            if st.enq_be
+                + st.enq_ef
+                + st.enq_af
+                + st.drop_be
+                + st.drop_ef
+                + st.drop_af
+                + st.early_total()
+                == 0
+            {
+                continue; // same idle-interface gate as publish_metrics
+            }
+            let c = &self.chans[i];
+            let p = format!("iface{i:03}");
+            tl.push_counter(&format!("{p}.enq_ef"), at_ns, st.enq_ef);
+            tl.push_counter(&format!("{p}.enq_be"), at_ns, st.enq_be);
+            tl.push_counter(&format!("{p}.drop_ef"), at_ns, st.drop_ef);
+            tl.push_counter(&format!("{p}.drop_be"), at_ns, st.drop_be);
+            tl.push_counter(&format!("{p}.dequeued"), at_ns, st.dequeued);
+            tl.push_counter(&format!("{p}.bytes_dequeued"), at_ns, st.bytes_dequeued);
+            tl.push_counter(&format!("{p}.tx_packets"), at_ns, c.tx_packets);
+            tl.push_counter(&format!("{p}.tx_bytes_wire"), at_ns, c.tx_bytes_wire);
+            tl.push_counter(&format!("{p}.rx_packets"), at_ns, c.rx_packets);
+            tl.push_counter(&format!("{p}.prio_inversions"), at_ns, st.prio_inversions);
+            tl.push_gauge(&format!("{p}.hw_ef_bytes"), at_ns, st.hw_ef_bytes as f64);
+            tl.push_gauge(&format!("{p}.hw_be_bytes"), at_ns, st.hw_be_bytes as f64);
+            tl.push_gauge(
+                &format!("{p}.backlog_bytes"),
+                at_ns,
+                q.backlog_bytes() as f64,
+            );
+            tl.push_gauge(&format!("{p}.backlog_pkts"), at_ns, q.len() as f64);
+            // Per-class occupancy is timeline-only: instantaneous queue
+            // composition is exactly what a fixed-interval series is for,
+            // while a point-in-time registry gauge of it would be noise.
+            let cb = q.class_backlog_bytes();
+            tl.push_gauge(&format!("{p}.backlog_ef_bytes"), at_ns, cb[0] as f64);
+            tl.push_gauge(&format!("{p}.backlog_af_bytes"), at_ns, cb[1] as f64);
+            tl.push_gauge(&format!("{p}.backlog_be_bytes"), at_ns, cb[2] as f64);
+            if st.enq_af > 0 {
+                tl.push_counter(&format!("{p}.enq_af"), at_ns, st.enq_af);
+            }
+            if st.drop_af > 0 {
+                tl.push_counter(&format!("{p}.drop_af"), at_ns, st.drop_af);
+            }
+            if st.hw_af_bytes > 0 {
+                tl.push_gauge(&format!("{p}.hw_af_bytes"), at_ns, st.hw_af_bytes as f64);
+            }
+            if st.early_ef > 0 {
+                tl.push_counter(&format!("{p}.early_ef"), at_ns, st.early_ef);
+            }
+            if st.early_be > 0 {
+                tl.push_counter(&format!("{p}.early_be"), at_ns, st.early_be);
+            }
+            for (prec, &n) in st.early_af.iter().enumerate() {
+                if n > 0 {
+                    tl.push_counter(&format!("{p}.early_af{prec}"), at_ns, n);
+                }
+            }
+            if st.sched_violations > 0 {
+                tl.push_counter(&format!("{p}.sched_violations"), at_ns, st.sched_violations);
+            }
+        }
+        if early[0] > 0 {
+            tl.push_counter("qdisc.early_drops.ef", at_ns, early[0]);
+        }
+        if early[1] > 0 {
+            tl.push_counter("qdisc.early_drops.af", at_ns, early[1]);
+        }
+        if early[2] > 0 {
+            tl.push_counter("qdisc.early_drops.be", at_ns, early[2]);
+        }
+        if sched_violations > 0 {
+            tl.push_counter("qdisc.sched_violations", at_ns, sched_violations);
+        }
+
+        // A sharded copy samples only the nodes it executes: foreign
+        // copies hold zeroed classifier/shaper state, and their gauges
+        // must not appear k-fold in the per-shard timelines a merge sums.
+        let shard = self
+            .shard
+            .as_deref()
+            .map(|sc| (sc.shard, sc.shard_of.clone()));
+        for (n, node) in self.nodes.iter().enumerate() {
+            if let Some((s, map)) = &shard {
+                if map[n] != *s {
+                    continue;
+                }
+            }
+            let cs = node.classifier.stats();
+            if cs.marked_ef + cs.demoted + cs.marked_af + cs.remarked > 0 {
+                tl.push_counter(&format!("node{n:03}.marked_ef"), at_ns, cs.marked_ef);
+                tl.push_counter(&format!("node{n:03}.demoted"), at_ns, cs.demoted);
+                if cs.marked_af > 0 {
+                    tl.push_counter(&format!("node{n:03}.marked_af"), at_ns, cs.marked_af);
+                }
+                if cs.remarked > 0 {
+                    tl.push_counter(&format!("node{n:03}.remarked"), at_ns, cs.remarked);
+                }
+            }
+            for r in node.classifier.rules() {
+                let p = format!("node{n:03}.rule{:03}", r.id);
+                tl.push_counter(
+                    &format!("{p}.conformant_pkts"),
+                    at_ns,
+                    r.stats.conformant_pkts,
+                );
+                tl.push_counter(
+                    &format!("{p}.conformant_bytes"),
+                    at_ns,
+                    r.stats.conformant_bytes,
+                );
+                tl.push_counter(&format!("{p}.policed_pkts"), at_ns, r.stats.policed_pkts);
+                tl.push_counter(&format!("{p}.policed_bytes"), at_ns, r.stats.policed_bytes);
+                if let Some(tb) = &r.policer {
+                    tl.push_gauge(
+                        &format!("{p}.bucket_level_bytes"),
+                        at_ns,
+                        tb.peek_available(at),
+                    );
+                }
+            }
+            for s in &node.shapers {
+                let p = format!("node{n:03}.shaper{:03}", s.id);
+                tl.push_counter(&format!("{p}.passed"), at_ns, s.stats.passed);
+                tl.push_counter(&format!("{p}.delayed"), at_ns, s.stats.delayed);
+                tl.push_gauge(
+                    &format!("{p}.backlog_bytes"),
+                    at_ns,
+                    s.backlog_bytes() as f64,
+                );
+                tl.push_gauge(&format!("{p}.backlog_pkts"), at_ns, s.queue.len() as f64);
+                tl.push_gauge(
+                    &format!("{p}.max_backlog_bytes"),
+                    at_ns,
+                    s.stats.max_backlog_bytes as f64,
+                );
+                tl.push_gauge(
+                    &format!("{p}.bucket_level_bytes"),
+                    at_ns,
+                    s.bucket.peek_available(at),
+                );
+            }
+        }
+
+        if let Some(t) = &self.lifecycle {
+            tl.push_counter("slo.misses", at_ns, t.total_misses());
+        }
+    }
+
+    /// Compute the multi-window SLO burn rates off the just-sampled series
+    /// and record threshold crossings in the flight recorder. Burn is the
+    /// deadline-miss rate over a trailing window divided by the error
+    /// budget ([`BURN_BUDGET`]); the fast window reacts in
+    /// [`BURN_FAST_TICKS`] intervals, the slow window smooths over
+    /// [`BURN_SLOW_TICKS`].
+    fn timeline_burn_tick(&mut self, at_ns: u64) {
+        if self.lifecycle.is_none() {
+            return;
+        }
+        let Some(mut ctx) = self.timeline.take() else {
+            return;
+        };
+        let fast = burn_over(&ctx.tl, at_ns, ctx.interval_ns * BURN_FAST_TICKS);
+        let slow = burn_over(&ctx.tl, at_ns, ctx.interval_ns * BURN_SLOW_TICKS);
+        ctx.tl.push_gauge("slo.burn.fast", at_ns, fast);
+        ctx.tl.push_gauge("slo.burn.slow", at_ns, slow);
+        let fe = ctx.fast.update(fast);
+        let se = ctx.slow.update(slow);
+        self.timeline = Some(ctx);
+        let at = SimTime::from_nanos(at_ns);
+        if let Some(entered) = fe {
+            let kind = if entered { "slo.burn" } else { "slo.burn.ok" };
+            self.obs.trace.record(at, kind, 1, (fast * 1000.0) as i64);
+        }
+        if let Some(entered) = se {
+            let kind = if entered { "slo.burn" } else { "slo.burn.ok" };
+            self.obs.trace.record(at, kind, 2, (slow * 1000.0) as i64);
         }
     }
 
@@ -1127,6 +1599,36 @@ impl Net {
     /// Run until `limit`, dispatching host-level events to `h`. The clock
     /// ends exactly at `limit` (or the last event, whichever is later).
     pub fn run_until<H: NetHandler>(&mut self, h: &mut H, limit: SimTime) {
+        if self.timeline.is_some() {
+            return self.run_until_sampled(h, limit);
+        }
+        while let Some((_, ev)) = self.engine.pop_until(limit) {
+            self.dispatch(ev, h);
+        }
+    }
+
+    /// [`Net::run_until`] with the sampler armed: drain events up to each
+    /// grid boundary `<= limit`, take one sample there, continue. The
+    /// catch-up loop makes the sampled grid a pure function of the clock,
+    /// not of call granularity — a windowed (or sharded) run stopping at
+    /// arbitrary intermediate limits samples the identical instants one
+    /// monolithic `run_until(t_end)` would.
+    fn run_until_sampled<H: NetHandler>(&mut self, h: &mut H, limit: SimTime) {
+        let limit_ns = limit.as_nanos();
+        loop {
+            let next = match self.timeline.as_deref() {
+                Some(c) if c.next_ns <= limit_ns => c.next_ns,
+                _ => break,
+            };
+            let b = SimTime::from_nanos(next);
+            while let Some((_, ev)) = self.engine.pop_until(b) {
+                self.dispatch(ev, h);
+            }
+            self.timeline_sample_tick(h, next);
+            if let Some(c) = self.timeline.as_deref_mut() {
+                c.next_ns = next + c.interval_ns;
+            }
+        }
         while let Some((_, ev)) = self.engine.pop_until(limit) {
             self.dispatch(ev, h);
         }

@@ -385,6 +385,12 @@ pub trait QueueDiscipline: std::fmt::Debug + Send {
     fn len(&self) -> u64;
     /// Bytes currently queued (all classes).
     fn backlog_bytes(&self) -> u64;
+    /// Bytes currently queued per class, `[EF, AF, BE]`. Single-class
+    /// disciplines report their whole backlog as best-effort (mirroring
+    /// how [`QueueStats`] attributes their high-water marks).
+    fn class_backlog_bytes(&self) -> [u64; 3] {
+        [0, 0, self.backlog_bytes()]
+    }
     /// Snapshot of the per-class counters.
     fn stats(&self) -> QueueStats;
 }
@@ -443,6 +449,12 @@ impl Queue {
     #[inline]
     pub fn backlog_bytes(&self) -> u64 {
         self.0.backlog_bytes()
+    }
+
+    /// Bytes currently queued per class, `[EF, AF, BE]`.
+    #[inline]
+    pub fn class_backlog_bytes(&self) -> [u64; 3] {
+        self.0.class_backlog_bytes()
     }
 
     pub fn stats(&self) -> QueueStats {
@@ -610,6 +622,10 @@ impl QueueDiscipline for SpQueue {
 
     fn backlog_bytes(&self) -> u64 {
         self.ef.cur_bytes + self.af.cur_bytes + self.be.cur_bytes
+    }
+
+    fn class_backlog_bytes(&self) -> [u64; 3] {
+        [self.ef.cur_bytes, self.af.cur_bytes, self.be.cur_bytes]
     }
 
     fn stats(&self) -> QueueStats {
@@ -845,6 +861,14 @@ impl QueueDiscipline for SchedQueue {
 
     fn backlog_bytes(&self) -> u64 {
         self.classes.iter().map(|c| c.fifo.cur_bytes).sum()
+    }
+
+    fn class_backlog_bytes(&self) -> [u64; 3] {
+        [
+            self.classes[EF].fifo.cur_bytes,
+            self.classes[AF].fifo.cur_bytes,
+            self.classes[BE].fifo.cur_bytes,
+        ]
     }
 
     fn stats(&self) -> QueueStats {

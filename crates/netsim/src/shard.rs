@@ -285,6 +285,10 @@ where
                     })
                     .collect();
                 let mut t_ns = 0u64;
+                // Whole idle windows the schedule jumped before the current
+                // one (the idle-skip vote) — recorded per barrier via
+                // `shard_window_mark` for the parallel-engine self-profile.
+                let mut skipped = 0u64;
                 loop {
                     let end_ns = t_ns.saturating_add(la_ns);
                     let final_win = end_ns > limit_ns;
@@ -312,9 +316,11 @@ where
                     for (i, net, _) in mine.iter_mut() {
                         let mut msgs = std::mem::take(&mut *inboxes[*i].lock().unwrap());
                         msgs.sort_unstable_by_key(|m| (m.at, m.src_shard, m.seq));
+                        let injected = msgs.len() as u64;
                         for m in msgs {
                             net.inject_cross(m);
                         }
+                        net.shard_window_mark(process_to.as_nanos(), injected, skipped);
                         let peek = net.peek_time().map_or(u64::MAX, |p| p.as_nanos());
                         peeks[*i].store(peek, Ordering::SeqCst);
                     }
@@ -333,6 +339,7 @@ where
                         .min()
                         .expect("at least one shard");
                     t_ns = end_ns.max(min_peek.min(limit_ns));
+                    skipped = (t_ns - end_ns) / la_ns;
                 }
                 for (i, net, h) in mine {
                     *results[i].lock().unwrap() = Some(finish(i as u32, net, h));

@@ -86,6 +86,21 @@ impl TokenBucket {
         self.tokens
     }
 
+    /// What [`TokenBucket::available`] would return at `now`, without
+    /// committing the refill. The timeline sampler uses this: a lazy
+    /// refill in two float steps is not bit-identical to one step, so a
+    /// mid-run mutating read would perturb later conformance decisions —
+    /// a read-only projection cannot.
+    #[inline]
+    pub fn peek_available(&self, now: SimTime) -> f64 {
+        let dt = now.since(self.last).as_secs_f64();
+        if dt > 0.0 && self.rate_bps > 0.0 {
+            (self.tokens + dt * self.rate_bps / 8.0).min(self.depth_bytes)
+        } else {
+            self.tokens
+        }
+    }
+
     /// Try to consume `bytes` tokens; returns whether the packet conforms.
     /// Non-conforming packets leave the bucket untouched (RFC 2697-style
     /// strict policing: no partial consumption).

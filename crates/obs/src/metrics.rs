@@ -178,11 +178,33 @@ impl Registry {
         self.hist_ids.get(name).map(|&i| &self.hists[i as usize])
     }
 
+    /// Counters in registration order, as `(name, value)` pairs.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counter_names
+            .iter()
+            .map(String::as_str)
+            .zip(self.counter_values.iter().copied())
+    }
+
+    /// Touched gauges in registration order, as `(name, value)` pairs.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauge_names
+            .iter()
+            .map(String::as_str)
+            .zip(self.gauges.iter())
+            .filter(|(_, g)| g.touched)
+            .map(|(n, g)| (n, g.value))
+    }
+
     /// Fold another registry into this one, name by name. Counters add;
     /// gauges add both current value and high-water (component gauges are
     /// occupancy-style — queue depths, pending work — so sums are the
-    /// system-wide reading, and the summed high-water is an upper bound on
-    /// the true combined peak); histograms merge bucket-wise.
+    /// system-wide reading, and the summed high-water is an *upper bound*
+    /// on the true combined peak: the shards need not have peaked at the
+    /// same instant). When the run also sampled a timeline,
+    /// [`Registry::refine_gauge_peaks`] replaces that bound with the peak
+    /// of the merged series; for unsampled gauges the bound is what gets
+    /// reported. Histograms merge bucket-wise.
     ///
     /// Registration order in `self` follows first-seen order across the
     /// merge sequence, but snapshots are name-sorted, so merging shards in
@@ -211,6 +233,26 @@ impl Registry {
             }
             let id = self.hist(name);
             self.hists[id.0 as usize].merge(h);
+        }
+    }
+
+    /// Replace merged gauge high-water marks with the true combined peaks
+    /// read off a merged [`Timeline`](crate::Timeline). After
+    /// [`Registry::merge_from`] a gauge's high-water is the *sum* of
+    /// per-shard peaks — an upper bound, since the shards need not peak
+    /// simultaneously. The merged timeline's series for the same gauge is
+    /// the pointwise sum of the per-shard step functions, so its maximum
+    /// is the combined peak at sampling resolution. Gauges without a
+    /// sampled series keep the documented upper-bound fallback.
+    pub fn refine_gauge_peaks(&mut self, timeline: &crate::Timeline) {
+        for (name, i) in &self.gauge_ids {
+            let g = &mut self.gauges[*i as usize];
+            if !g.touched {
+                continue;
+            }
+            if let Some(peak) = timeline.gauge_peak(name) {
+                g.high_water = peak.max(g.value);
+            }
         }
     }
 

@@ -15,6 +15,7 @@
 
 use crate::workload::{QcTcpSender, QcTcpSink, QcUdpPulse, QcUdpSink};
 use mpichgq_netsim::{run_partitioned, LinkCfg, Net, NodeId, Partition, QueueCfg, TopoBuilder};
+use mpichgq_obs::{Registry, Timeline};
 use mpichgq_sim::{SimDelta, SimRng, SimTime};
 use mpichgq_tcp::{Stack, TcpCfg};
 
@@ -261,6 +262,74 @@ pub fn run_par_scenario(seed: u64, threads: usize) -> ParOutcome {
     }
 }
 
+/// A partitioned run's merged observability: the shard-merged timeline
+/// plus the merged metrics registry.
+pub struct ParTimelines {
+    /// Order-independent merge of the per-shard timelines (shards sampled
+    /// on the same grid, merged in shard order — but
+    /// `Timeline::merge_from` is commutative, so the order is cosmetic).
+    pub timeline: Timeline,
+    /// Merged registry after [`Registry::refine_gauge_peaks`]: gauge
+    /// high-water marks are true combined peaks at sampling resolution
+    /// wherever a series exists, the documented sum-of-peaks upper bound
+    /// elsewhere.
+    pub registry: Registry,
+    /// Gauge high-water marks as the naive registry merge left them
+    /// (sums of per-shard peaks), captured before refinement so tests can
+    /// prove the refinement actually tightens the bound.
+    pub summed_peaks: Vec<(String, f64)>,
+}
+
+/// [`run_par_scenario`] with the timeline sampler armed on every shard.
+/// The sampling grid is a pure function of the seed, so — exactly like
+/// the state fingerprint — the merged timeline's JSON must be
+/// byte-identical in the thread count; the parallel-smoke CI job diffs
+/// precisely that.
+pub fn run_par_scenario_timeline(seed: u64, threads: usize) -> ParTimelines {
+    let shape = ParShape::from_seed(seed);
+    let topo = shape.topo();
+    let part = Partition::by_min_delay(&topo, SimDelta::from_millis(1))
+        .expect("island topologies have positive WAN delays");
+    let t_end = shape.t_end;
+    let interval = SimDelta::from_nanos((t_end.as_nanos() / 16).max(1_000_000));
+    let per_shard = run_partitioned(
+        &part,
+        threads,
+        t_end,
+        |shard| {
+            let (mut net, stack) = shape.build(shard, &part);
+            net.enable_timeline(interval);
+            (net, stack)
+        },
+        |_, mut net, mut stack| {
+            net.timeline_finalize(&mut stack, t_end);
+            net.publish_metrics();
+            let tl = net.take_timeline().expect("sampler was armed");
+            (tl, std::mem::take(&mut net.obs.metrics))
+        },
+    );
+    let mut timeline = Timeline::new(interval.as_nanos());
+    let mut registry = Registry::default();
+    for (tl, reg) in &per_shard {
+        timeline.merge_from(tl);
+        registry.merge_from(reg);
+    }
+    let names: Vec<String> = registry.gauges().map(|(n, _)| n.to_owned()).collect();
+    let summed_peaks: Vec<(String, f64)> = names
+        .into_iter()
+        .map(|n| {
+            let hw = registry.gauge_high_water(&n).expect("touched gauge");
+            (n, hw)
+        })
+        .collect();
+    registry.refine_gauge_peaks(&timeline);
+    ParTimelines {
+        timeline,
+        registry,
+        summed_peaks,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +339,58 @@ mod tests {
         let out = run_par_scenario(0, 1);
         assert!(out.shards >= 2);
         assert!(out.events > 1_000, "only {} events", out.events);
+    }
+
+    #[test]
+    fn merged_timeline_is_thread_count_invariant() {
+        for seed in 0..2 {
+            let one = run_par_scenario_timeline(seed, 1);
+            let four = run_par_scenario_timeline(seed, 4);
+            assert_eq!(
+                one.timeline.to_json(),
+                four.timeline.to_json(),
+                "seed {seed}: merged timeline depends on thread count"
+            );
+            assert_eq!(
+                one.registry.snapshot_json(),
+                four.registry.snapshot_json(),
+                "seed {seed}: merged registry depends on thread count"
+            );
+        }
+    }
+
+    /// Satellite check for the gauge-peak merge fix: the naive registry
+    /// merge sums per-shard high-water marks (an upper bound — shards
+    /// need not peak simultaneously), and `refine_gauge_peaks` replaces
+    /// that with the true combined peak read off the merged series.
+    #[test]
+    fn merged_gauge_peaks_are_refined_not_summed() {
+        let out = run_par_scenario_timeline(0, 2);
+        let name = "engine.pending_events";
+        let refined = out
+            .registry
+            .gauge_high_water(name)
+            .expect("every shard publishes the engine gauge");
+        let summed = out
+            .summed_peaks
+            .iter()
+            .find(|(n, _)| n == name)
+            .expect("captured before refinement")
+            .1;
+        let from_series = out
+            .timeline
+            .gauge_peak(name)
+            .expect("the sampler records the engine gauge");
+        let final_value = out.registry.gauge_value(name).unwrap_or(0.0);
+        assert!(
+            refined <= summed,
+            "refined peak {refined} exceeds the sum-of-peaks bound {summed}"
+        );
+        assert_eq!(
+            refined,
+            from_series.max(final_value),
+            "refined peak must come from the merged series"
+        );
     }
 
     #[test]

@@ -226,34 +226,76 @@ fn check_instant(sim: &mut Sim, out: &mut Vec<Violation>) {
     }
 }
 
-/// End-of-run consistency between the lifecycle tracer and the ledger.
+/// End-of-run consistency between the lifecycle tracer and the ledger,
+/// and between the timeline sampler and the metrics registry.
 fn check_final(sim: &mut Sim, out: &mut Vec<Violation>) {
     let audit = sim.net.audit();
-    let Some(tracer) = sim.net.packet_tracer() else {
-        return;
-    };
-    let mut flow_delivered = 0u64;
-    for f in tracer.flows() {
-        flow_delivered += f.delivered;
-        if f.delay.count() != f.delivered {
+    if let Some(tracer) = sim.net.packet_tracer() {
+        let mut flow_delivered = 0u64;
+        for f in tracer.flows() {
+            flow_delivered += f.delivered;
+            if f.delay.count() != f.delivered {
+                out.push(Violation::new(
+                    "lifecycle_histogram",
+                    format!(
+                        "flow {}: delay histogram count {} != delivered {}",
+                        f.name,
+                        f.delay.count(),
+                        f.delivered
+                    ),
+                ));
+            }
+        }
+        if flow_delivered != audit.delivered {
             out.push(Violation::new(
-                "lifecycle_histogram",
+                "lifecycle_delivered",
                 format!(
-                    "flow {}: delay histogram count {} != delivered {}",
-                    f.name,
-                    f.delay.count(),
-                    f.delivered
+                    "sum of per-flow deliveries {} != net delivered {}",
+                    flow_delivered, audit.delivered
                 ),
             ));
         }
     }
-    if flow_delivered != audit.delivered {
+    check_timeline(sim, out);
+}
+
+/// The `timeline_consistency` invariant slice: take the run's final
+/// sample, publish the registry, and require the last sample of every
+/// cumulative series to equal the end-of-run counter of the same name.
+/// Timestamp monotonicity is enforced at push time (`Timeline` asserts
+/// strictly increasing sample times), so value agreement here closes the
+/// loop on the in-run sampler: a stale sweep, a missed explicit push, or
+/// a gating mismatch between `publish_metrics` and the sampler all
+/// surface as a named violation on ordinary fuzz seeds.
+fn check_timeline(sim: &mut Sim, out: &mut Vec<Violation>) {
+    if !sim.net.timeline_enabled() {
+        return;
+    }
+    let now = sim.net.now();
+    sim.net.timeline_finalize(&mut sim.stack, now);
+    sim.net.publish_metrics();
+    let Some(tl) = sim.net.timeline() else {
+        return;
+    };
+    let mut series = 0u64;
+    for name in tl.names() {
+        let Some(last) = tl.last_counter(name) else {
+            continue; // gauges fluctuate; only cumulative series are pinned
+        };
+        series += 1;
+        if let Some(reg) = sim.net.obs.metrics.counter_value(name) {
+            if last != reg {
+                out.push(Violation::new(
+                    "timeline_consistency",
+                    format!("series {name}: final sample {last} != end-of-run counter {reg}"),
+                ));
+            }
+        }
+    }
+    if series == 0 {
         out.push(Violation::new(
-            "lifecycle_delivered",
-            format!(
-                "sum of per-flow deliveries {} != net delivered {}",
-                flow_delivered, audit.delivered
-            ),
+            "timeline_consistency",
+            "sampler armed but recorded no counter series".to_string(),
         ));
     }
 }

@@ -10,7 +10,9 @@
 
 use crate::conn::{CcKind, Connection, Out, SegFlags, SegIn, SegOut, State, TcpCfg};
 use mpichgq_dsrt::ProcId;
-use mpichgq_netsim::{FlowSpec, Net, NetHandler, NodeId, Packet, Proto, TcpFlags, TcpHeader, L4};
+use mpichgq_netsim::{
+    FlowSpec, Net, NetHandler, NodeId, Packet, Proto, TcpFlags, TcpHeader, TimelineSource, L4,
+};
 use mpichgq_sim::FxHashMap;
 use mpichgq_sim::{SimDelta, SimTime};
 use std::any::{Any, TypeId};
@@ -119,6 +121,18 @@ fn decode_token(token: u64) -> (u64, u32, u32) {
     )
 }
 
+/// Monomorphized sample-tick trampoline for one sampled service type:
+/// recovers `T` from the type-erased service box and forwards the tick.
+fn probe_thunk<T: Any + TimelineSource>(b: &mut dyn Any, net: &mut Net, at: SimTime) {
+    if let Some(t) = b.downcast_mut::<T>() {
+        t.timeline_sample(net, at);
+    }
+}
+
+/// A type-erased timeline probe: downcasts its service and lets it push
+/// samples ([`Stack::insert_sampled_service`]).
+type ProbeFn = fn(&mut dyn Any, &mut Net, SimTime);
+
 /// The transport + application layer for the whole simulation.
 pub struct Stack {
     socks: Vec<Sock>,
@@ -130,6 +144,12 @@ pub struct Stack {
     udp_binds: FxHashMap<(NodeId, u16), SockId>,
     next_port: FxHashMap<NodeId, u16>,
     services: HashMap<TypeId, Box<dyn Any>>,
+    /// Timeline probes of sampled services ([`Stack::insert_sampled_service`]):
+    /// each entry re-finds its service by `TypeId` at every sample tick, so
+    /// the take/put service discipline controllers use stays legal — a
+    /// service that is checked out mid-control is simply not sampled (ticks
+    /// never fire inside callbacks, so in practice it always is).
+    probes: Vec<(TypeId, ProbeFn)>,
     controllers: Vec<Option<Box<dyn Controller>>>,
 }
 
@@ -149,6 +169,7 @@ impl Stack {
             udp_binds: FxHashMap::default(),
             next_port: FxHashMap::default(),
             services: HashMap::new(),
+            probes: Vec::new(),
             controllers: Vec::new(),
         }
     }
@@ -192,6 +213,19 @@ impl Stack {
 
     pub fn insert_service<T: Any>(&mut self, svc: T) {
         self.services.insert(TypeId::of::<T>(), Box::new(svc));
+    }
+
+    /// [`Stack::insert_service`] for a service that also records timeline
+    /// series: when the network's sampler is armed, the service's
+    /// [`TimelineSource::timeline_sample`] runs at every sample tick.
+    /// Registering the same type again replaces the service but not the
+    /// probe (probes are idempotent per type).
+    pub fn insert_sampled_service<T: Any + TimelineSource>(&mut self, svc: T) {
+        let tid = TypeId::of::<T>();
+        if !self.probes.iter().any(|(t, _)| *t == tid) {
+            self.probes.push((tid, probe_thunk::<T>));
+        }
+        self.services.insert(tid, Box::new(svc));
     }
 
     pub fn service_mut<T: Any>(&mut self) -> Option<&mut T> {
@@ -495,6 +529,14 @@ impl NetHandler for Stack {
         if let Some(mut c) = slot.take() {
             c.on_control(payload, net, self);
             self.controllers[id] = Some(c);
+        }
+    }
+
+    fn timeline_sample(&mut self, net: &mut Net, at: SimTime) {
+        for (tid, probe) in &self.probes {
+            if let Some(b) = self.services.get_mut(tid) {
+                probe(b.as_mut(), net, at);
+            }
         }
     }
 }

@@ -52,6 +52,10 @@ def load(path):
             rates[f"{w['name']}/p99"] = (w["admission_p99_us"], "us", False)
     else:
         for w in doc["workloads"]:
+            # Entries labeled perf_gated: false (the instrumentation
+            # overhead probe) are informative only — never compared.
+            if not w.get("perf_gated", True):
+                continue
             rates[w["name"]] = (w["calendar"]["events_per_sec"], "ev/s", True)
     return rates
 

@@ -21,8 +21,11 @@ $BIN/sec3_finite_difference $FAST > results/sec3.txt &
 $BIN/ablations           $FAST  > results/ablations.txt &
 $BIN/fig_chaos           $FAST  > results/chaos.txt &
 wait
+$BIN/fig_af_conformance  $FAST  > results/af_conformance.txt &
+$BIN/fig_qdisc_ablation  $FAST  > results/qdisc_ablation.txt &
+wait
 echo "results/ refreshed:"
 grep -H "^#" results/*.txt | grep -iE "summary|phases|adequate|penalty|saturate" || true
 if command -v python3 >/dev/null; then
-  python3 scripts/check_metrics.py results/*/metrics.json
+  python3 scripts/check_metrics.py results/*/metrics.json results/*/timeline.json
 fi

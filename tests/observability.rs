@@ -3,9 +3,11 @@
 //! sections the `metrics.json` schema promises (DESIGN.md §9), and
 //! arming the flight recorder must not perturb the simulation itself.
 
-use mpichgq_bench::{fig1_tcp_sawtooth_run, Fig1Cfg};
+use mpichgq_bench::{
+    fig1_tcp_sawtooth_run, fig1_tcp_sawtooth_run_timeline, fig7_seq_trace_run_timeline, Fig1Cfg,
+};
 use mpichgq_obs::{parse, FlightRecorder, Histogram, JsonWriter};
-use mpichgq_sim::SimTime;
+use mpichgq_sim::{SimDelta, SimTime};
 
 fn short_cfg() -> Fig1Cfg {
     Fig1Cfg {
@@ -77,6 +79,72 @@ fn arming_the_flight_recorder_does_not_perturb_the_simulation() {
     assert!(off.metrics_json.contains("\"histograms\":{}"));
     assert!(!off.metrics_json.contains("\"slo\""));
     assert!(off.trace_json.contains("\"traceEvents\":[]"));
+}
+
+/// Two identical sampled runs must serialize byte-identical timelines,
+/// and the document must pass the same shape gate CI runs (`qtop --check`)
+/// while carrying the series the instrumented layers promise.
+#[test]
+fn fig1_timeline_is_byte_stable_and_passes_qtop_check() {
+    let interval = Some(SimDelta::from_millis(100));
+    let (_, a) = fig1_tcp_sawtooth_run_timeline(short_cfg(), 256, interval);
+    let (_, b) = fig1_tcp_sawtooth_run_timeline(short_cfg(), 256, interval);
+    let ta = a.timeline_json.expect("sampling was armed");
+    let tb = b.timeline_json.expect("sampling was armed");
+    assert_eq!(ta, tb, "timeline snapshot is not byte-stable");
+    mpichgq_apps::qtop::check(&ta)
+        .unwrap_or_else(|errs| panic!("timeline fails qtop --check: {errs:?}"));
+    let doc = parse(&ta).expect("timeline parses");
+    assert_eq!(doc.get("timeline").unwrap().as_u64(), Some(1));
+    assert_eq!(
+        doc.get("interval_ns").unwrap().as_u64(),
+        Some(100_000_000),
+        "interval must round-trip"
+    );
+    for series in [
+        "engine.events_processed",
+        "engine.pending_events",
+        "net.pkts.delivered",
+        "net.drops.policed",
+        "slo.misses",
+    ] {
+        assert!(
+            doc.get("series").unwrap().get(series).is_some(),
+            "timeline missing series {series}: {ta}"
+        );
+    }
+}
+
+/// The sampler must be provably free: with sampling off, every other
+/// artifact of the run — metrics snapshot, figure series, trace export,
+/// event count — is bit-identical to a sampled run's.
+#[test]
+fn sampling_off_is_bit_identical_for_fig1() {
+    let (series_off, off) = fig1_tcp_sawtooth_run_timeline(short_cfg(), 256, None);
+    let (series_on, on) =
+        fig1_tcp_sawtooth_run_timeline(short_cfg(), 256, Some(SimDelta::from_millis(100)));
+    assert_eq!(off.events, on.events, "sampling changed the event count");
+    assert_eq!(series_off.points(), series_on.points());
+    assert_eq!(off.metrics_json, on.metrics_json);
+    assert_eq!(off.trace_json, on.trace_json);
+    assert!(off.timeline_json.is_none());
+    assert!(on.timeline_json.is_some());
+}
+
+#[test]
+fn sampling_off_is_bit_identical_for_fig7() {
+    let window = SimTime::from_secs(4);
+    let (series_off, off) = fig7_seq_trace_run_timeline(30.0, window, 256, None);
+    let (series_on, on) =
+        fig7_seq_trace_run_timeline(30.0, window, 256, Some(SimDelta::from_millis(100)));
+    assert_eq!(off.events, on.events, "sampling changed the event count");
+    assert_eq!(series_off.points(), series_on.points());
+    assert_eq!(off.metrics_json, on.metrics_json);
+    assert_eq!(off.trace_json, on.trace_json);
+    assert!(off.timeline_json.is_none());
+    let tl = on.timeline_json.expect("sampling was armed");
+    mpichgq_apps::qtop::check(&tl)
+        .unwrap_or_else(|errs| panic!("fig7 timeline fails qtop --check: {errs:?}"));
 }
 
 /// The flight-recorder JSON schema pins `key` as u64 and `value` as i64
