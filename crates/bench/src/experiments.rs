@@ -5,14 +5,17 @@ use mpichgq_apps::{
     Scheduler, VizCfg, VizReceiver, VizSender,
 };
 use mpichgq_core::{enable_qos, AdaptPolicy, AdaptState, AdaptiveFlow, QosAgentCfg, QosAttribute};
-use mpichgq_gara::{CpuRequest, NetworkRequest, Request, StartSpec};
-use mpichgq_mpi::JobBuilder;
+use mpichgq_gara::{install as install_gara, CpuRequest, Gara, NetworkRequest, Request, StartSpec};
+use mpichgq_mpi::{
+    ErrorHandler, JobBuilder, JobHandle, Mpi, MpiProgram, Poll, ProgramFactory, ReqId, COMM_WORLD,
+};
 use mpichgq_netsim::{
-    depth_for, ClassCfg, DepthRule, Dscp, FaultAction, FaultPlan, FaultStats, FlowSpec, GarnetCfg,
-    NodeId, PolicingAction, Proto, QueueCfg, RedCfg, SchedCfg, SchedKind, TokenBucket,
+    depth_for, ClassCfg, DepthRule, Dscp, FaultAction, FaultPlan, FaultStats, FlowSpec, Framing,
+    GarnetCfg, LinkCfg, NodeId, PolicingAction, Proto, QueueCfg, RedCfg, SchedCfg, SchedKind,
+    TokenBucket, TopoBuilder,
 };
 use mpichgq_sim::{SchedulerKind, SimDelta, SimTime, TimeSeries};
-use mpichgq_tcp::TcpCfg;
+use mpichgq_tcp::{Sim, TcpCfg};
 
 /// The offered UDP contention load: enough to keep the best-effort queue
 /// of an OC3 trunk persistently full.
@@ -1158,13 +1161,7 @@ pub fn chaos_run(cfg: ChaosCfg, trace_capacity: usize) -> (TimeSeries, RunMetric
             FaultAction::CpuThrottle {
                 host: psrc,
                 per_mille: cfg.cpu_throttle_per_mille,
-            },
-        )
-        .at(
-            cfg.cpu_throttle_at + cfg.cpu_throttle_duration,
-            FaultAction::CpuThrottle {
-                host: psrc,
-                per_mille: 1000,
+                duration: Some(cfg.cpu_throttle_duration),
             },
         );
     lab.sim.net.install_fault_plan(plan);
@@ -1785,4 +1782,525 @@ pub fn sec3_finite_difference(cfg: Sec3Cfg) -> Sec3Out {
         steady_iters_per_sec,
         ideal_iters_per_sec: 1.0 / cfg.compute.as_secs_f64(),
     }
+}
+
+// ---------------------------------------------------------------------
+// Chaos ranks — rolling rank failures + a correlated two-host outage
+// while surviving premium flows hold their SLO (fig_chaos_ranks)
+// ---------------------------------------------------------------------
+
+/// Configuration of the rank-failure chaos experiment.
+///
+/// `pairs` premium checkpoint/restart streamer pairs (one two-rank MPI
+/// job each) share a two-router trunk with the paper's best-effort
+/// contention blaster. The fault plan is the MPICH-G2 multi-site
+/// reality: a *rolling* schedule crashes and restarts the first
+/// [`ChaosRanksCfg::rolling_crashes`] sender hosts one at a time, then
+/// one *correlated* outage takes both hosts of the last pair down at
+/// once (a site dropping off the grid). Every pair holds a GARA premium
+/// reservation and a [`PREMIUM_DEADLINE`] delivery deadline scored by
+/// the SLO layer; the first pair's reservation is owned by an
+/// [`AdaptiveFlow`] bound to its sender host, so the run exercises the
+/// crash-release → restart-re-reserve adaptation path end to end.
+///
+/// Every rank is restartable: senders checkpoint the next sequence
+/// number after each acked frame, receivers checkpoint their expected
+/// sequence number, and both resume from [`Mpi::restored`] after a
+/// `HostRestart` — the stop-and-wait ack protocol dedups the replayed
+/// frame, so each receiver observes every sequence number exactly once.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosRanksCfg {
+    /// Premium streamer pairs (sender at site A, receiver at site B).
+    pub pairs: usize,
+    /// Payload of one streamed frame (sequence number + padding).
+    pub frame_bytes: u32,
+    /// Pacing between acked frames (also the retry backoff while a
+    /// peer is down).
+    pub frame_interval: SimDelta,
+    /// Per-pair premium reservation.
+    pub reserve_bps: u64,
+    pub trunk_bps: u64,
+    pub trunk_delay: SimDelta,
+    /// Offered best-effort contention load (over trunk capacity).
+    pub contention_bps: u64,
+    pub contention_at: SimTime,
+    /// How many sender hosts the rolling plan crashes (pairs `0..n`,
+    /// strictly fewer than `pairs` so the correlated pair is distinct).
+    pub rolling_crashes: usize,
+    pub first_crash_at: SimTime,
+    pub crash_spacing: SimDelta,
+    /// Down time of each rolling crash before its `HostRestart`.
+    pub outage: SimDelta,
+    /// When both hosts of the last pair fail together.
+    pub correlated_at: SimTime,
+    pub correlated_outage: SimDelta,
+    pub duration: SimTime,
+    /// Seed of the fault layer's private RNG.
+    pub seed: u64,
+    pub scheduler: SchedulerKind,
+}
+
+impl Default for ChaosRanksCfg {
+    fn default() -> Self {
+        ChaosRanksCfg {
+            pairs: 6,
+            frame_bytes: 12_500,
+            frame_interval: SimDelta::from_millis(50),
+            reserve_bps: 3_000_000,
+            trunk_bps: 100_000_000,
+            trunk_delay: SimDelta::from_millis(2),
+            contention_bps: 130_000_000,
+            contention_at: SimTime::from_secs(1),
+            rolling_crashes: 3,
+            first_crash_at: SimTime::from_secs(4),
+            crash_spacing: SimDelta::from_secs(3),
+            outage: SimDelta::from_secs(2),
+            correlated_at: SimTime::from_secs(15),
+            correlated_outage: SimDelta::from_millis(2_500),
+            duration: SimTime::from_secs(24),
+            seed: 29,
+            scheduler: SchedulerKind::default(),
+        }
+    }
+}
+
+impl ChaosRanksCfg {
+    /// The compressed schedule the `--fast` CI job and the tier-1 shape
+    /// tests share (same stages, shorter phases, fewer pairs).
+    pub fn fast() -> ChaosRanksCfg {
+        ChaosRanksCfg {
+            pairs: 4,
+            rolling_crashes: 2,
+            contention_at: SimTime::from_millis(500),
+            first_crash_at: SimTime::from_secs(2),
+            crash_spacing: SimDelta::from_secs(2),
+            outage: SimDelta::from_millis(1_200),
+            correlated_at: SimTime::from_millis(6_500),
+            correlated_outage: SimDelta::from_millis(1_500),
+            duration: SimTime::from_secs(11),
+            ..ChaosRanksCfg::default()
+        }
+    }
+}
+
+/// Per-pair scorecard of one chaos-ranks run.
+#[derive(Debug, Clone, Copy)]
+pub struct PairScore {
+    pub pair: usize,
+    /// Frames the receiver accepted in order (across incarnations).
+    pub frames: u64,
+    /// Data-direction packets delivered / delivered past deadline.
+    pub delivered: u64,
+    pub misses: u64,
+    /// ≥99% of deliveries on time, and the pair actually streamed.
+    pub slo_met: bool,
+    /// Whether the fault plan touched this pair's hosts.
+    pub crashed: bool,
+    /// Incarnation counts (0 = never restarted).
+    pub sender_epoch: u32,
+    pub receiver_epoch: u32,
+}
+
+/// What the rolling-failure run did, read back from the SLO layer, the
+/// fault layer, the adaptation agent, and the MPI engine's counters.
+#[derive(Debug, Clone)]
+pub struct ChaosRanksOutcome {
+    pub scores: Vec<PairScore>,
+    /// Pairs meeting their SLO; every pair survives the plan (all
+    /// crashed hosts restart), so the denominator is `scores.len()`.
+    pub pairs_meeting_slo: usize,
+    pub slo_fraction: f64,
+    pub checkpoints: u64,
+    pub reqs_failed: u64,
+    pub unexpected_dropped: u64,
+    /// Final `mpi.unexpected.depth` gauge: a leak shows up as non-zero.
+    pub unexpected_depth: f64,
+    pub crash_releases: u64,
+    pub restart_rereserves: u64,
+    pub grants: u64,
+    pub faults: FaultStats,
+}
+
+const CR_TAG_DATA: u32 = 40;
+const CR_TAG_ACK: u32 = 41;
+const CR_TIMER: u32 = 1;
+
+fn cr_seq(payload: &[u8]) -> u64 {
+    u64::from_le_bytes(payload[..8].try_into().expect("8-byte header"))
+}
+
+/// Restartable stop-and-wait frame streamer (rank 0 of a pair): sends
+/// `frame_bytes` frames paced at `interval`, checkpoints the next
+/// sequence number after each ack, resumes from the checkpoint after a
+/// restart, and backs off by one interval whenever the peer is down.
+fn chaos_ranks_sender(frame_bytes: u32, interval: SimDelta) -> ProgramFactory {
+    use std::rc::Rc;
+    Rc::new(move || {
+        let mut cur: Option<u64> = None;
+        let mut send: Option<ReqId> = None;
+        let mut ack: Option<ReqId> = None;
+        let mut waiting = false;
+        Box::new(move |mpi: &mut Mpi| {
+            mpi.set_errhandler(COMM_WORLD, ErrorHandler::Return);
+            if cur.is_none() {
+                cur = Some(mpi.restored().map_or(0, |b| cr_seq(&b)));
+            }
+            loop {
+                if waiting {
+                    if !mpi.take_timer(CR_TIMER) {
+                        return Poll::Pending;
+                    }
+                    waiting = false;
+                }
+                let seq = cur.expect("restored above");
+                if send.is_none() && ack.is_none() {
+                    let mut frame = vec![0u8; frame_bytes as usize];
+                    frame[..8].copy_from_slice(&seq.to_le_bytes());
+                    send = Some(mpi.isend_bytes(COMM_WORLD, 1, CR_TAG_DATA, frame));
+                    ack = Some(mpi.irecv(COMM_WORLD, Some(1), Some(CR_TAG_ACK)));
+                }
+                if let Some(s) = send {
+                    match mpi.test_result(s) {
+                        Ok(None) => {}
+                        Ok(Some(_)) | Err(_) => send = None,
+                    }
+                }
+                match mpi.test_result(ack.expect("posted with send")) {
+                    Ok(Some(info)) => {
+                        ack = None;
+                        let acked = cr_seq(&info.payload.expect("eager ack"));
+                        // A stale ack (a pre-crash duplicate) is ignored;
+                        // the current frame is simply retried.
+                        if acked >= seq {
+                            cur = Some(acked + 1);
+                            mpi.checkpoint((acked + 1).to_le_bytes().to_vec());
+                        }
+                        mpi.set_timer(interval, CR_TIMER);
+                        waiting = true;
+                    }
+                    Ok(None) => return Poll::Pending,
+                    Err(_) => {
+                        // Peer down: requests to it fail fast, so pace the
+                        // retries with the frame interval.
+                        send = None;
+                        ack = None;
+                        mpi.set_timer(interval, CR_TIMER);
+                        waiting = true;
+                    }
+                }
+            }
+        }) as Box<dyn MpiProgram>
+    })
+}
+
+/// Restartable receiver (rank 1): accepts in-order frames, checkpoints
+/// the expected sequence number, and acks duplicates so a replayed
+/// frame unsticks the sender after either side restarts.
+fn chaos_ranks_receiver(
+    pair: usize,
+    progress: std::rc::Rc<std::cell::RefCell<Vec<u64>>>,
+) -> ProgramFactory {
+    use std::rc::Rc;
+    Rc::new(move || {
+        let progress = progress.clone();
+        let mut expected: Option<u64> = None;
+        let mut recv: Option<ReqId> = None;
+        let mut acks: Vec<ReqId> = Vec::new();
+        Box::new(move |mpi: &mut Mpi| {
+            mpi.set_errhandler(COMM_WORLD, ErrorHandler::Return);
+            if expected.is_none() {
+                expected = Some(mpi.restored().map_or(0, |b| cr_seq(&b)));
+            }
+            acks.retain(|&a| matches!(mpi.test_result(a), Ok(None)));
+            loop {
+                if recv.is_none() {
+                    recv = Some(mpi.irecv(COMM_WORLD, Some(0), Some(CR_TAG_DATA)));
+                }
+                match mpi.test_result(recv.expect("just posted")) {
+                    Ok(Some(info)) => {
+                        recv = None;
+                        let s = cr_seq(&info.payload.expect("frame payload"));
+                        let e = expected.expect("restored above");
+                        if s == e {
+                            expected = Some(e + 1);
+                            mpi.checkpoint((e + 1).to_le_bytes().to_vec());
+                            let mut p = progress.borrow_mut();
+                            p[pair] = p[pair].max(e + 1);
+                        }
+                        acks.push(mpi.isend_bytes(
+                            COMM_WORLD,
+                            0,
+                            CR_TAG_ACK,
+                            s.to_le_bytes().to_vec(),
+                        ));
+                    }
+                    Ok(None) => return Poll::Pending,
+                    Err(_) => {
+                        // Sender down: the next arrival (from its next
+                        // incarnation) re-polls this program.
+                        recv = None;
+                        return Poll::Pending;
+                    }
+                }
+            }
+        }) as Box<dyn MpiProgram>
+    })
+}
+
+/// Run the chaos-ranks experiment with the standard (environment-driven)
+/// windowing; see [`chaos_ranks_run_windowed`] for the explicit-window
+/// variant the determinism tests compare against.
+pub fn chaos_ranks_run(
+    cfg: ChaosRanksCfg,
+    trace_capacity: usize,
+) -> (RunMetrics, ChaosRanksOutcome) {
+    chaos_ranks_inner(cfg, trace_capacity, env_timeline_interval(), None)
+}
+
+/// [`chaos_ranks_run`] driven through the parallel engine's lock-step
+/// lookahead windows of the given width. The lab topology is a single
+/// shard, so the result must be bit-identical to the plain run — the
+/// 1-vs-N-threads determinism guarantee the CI smoke job rides on.
+pub fn chaos_ranks_run_windowed(
+    cfg: ChaosRanksCfg,
+    trace_capacity: usize,
+    window: SimDelta,
+) -> (RunMetrics, ChaosRanksOutcome) {
+    chaos_ranks_inner(cfg, trace_capacity, env_timeline_interval(), Some(window))
+}
+
+fn chaos_ranks_inner(
+    cfg: ChaosRanksCfg,
+    trace_capacity: usize,
+    timeline: Option<SimDelta>,
+    window: Option<SimDelta>,
+) -> (RunMetrics, ChaosRanksOutcome) {
+    use mpichgq_apps::{UdpBlaster, UdpSink};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    assert!(cfg.pairs >= 2, "need at least two pairs");
+    assert!(
+        cfg.rolling_crashes < cfg.pairs,
+        "rolling plan must leave the correlated pair distinct"
+    );
+
+    // Two sites around one trunk: senders (and the contention source) at
+    // site A, receivers (and the sink) at site B. Gigabit access links
+    // keep the trunk the bottleneck.
+    let mut b = TopoBuilder::new(0xC4A05);
+    let srcs: Vec<NodeId> = (0..cfg.pairs).map(|i| b.host(&format!("s{i}"))).collect();
+    let csrc = b.host("cx");
+    let ra = b.router("ra");
+    let rb = b.router("rb");
+    let dsts: Vec<NodeId> = (0..cfg.pairs).map(|i| b.host(&format!("d{i}"))).collect();
+    let cdst = b.host("cy");
+    let access = LinkCfg {
+        bandwidth_bps: 1_000_000_000,
+        delay: SimDelta::from_micros(20),
+        framing: Framing::Ethernet,
+    };
+    for &h in srcs.iter().chain([&csrc]) {
+        b.link(h, ra, access, QueueCfg::priority_default());
+    }
+    for &h in dsts.iter().chain([&cdst]) {
+        b.link(h, rb, access, QueueCfg::priority_default());
+    }
+    let trunk = LinkCfg {
+        bandwidth_bps: cfg.trunk_bps,
+        delay: cfg.trunk_delay,
+        framing: Framing::Ethernet,
+    };
+    b.link(ra, rb, trunk, QueueCfg::priority_default());
+    let mut sim = Sim::new(b.build());
+    let mut gara = Gara::new();
+    gara.manage_core_links(&sim.net, 0.7);
+    install_gara(&mut sim.stack, gara);
+
+    // Observability: flight recorder + timeline sampler as configured,
+    // and lifecycle tracing unconditionally — the SLO scorecard *is*
+    // this experiment's figure of merit.
+    if trace_capacity > 0 {
+        sim.net.obs.enable_trace(trace_capacity);
+    }
+    sim.net.enable_packet_tracing();
+    if let Some(interval) = timeline {
+        sim.net.enable_timeline(interval);
+    }
+    for i in 0..cfg.pairs {
+        sim.net.set_deadline_matching(
+            FlowSpec::host_pair(srcs[i], dsts[i], Proto::Tcp),
+            PREMIUM_DEADLINE,
+        );
+    }
+
+    // Contention: the paper's best-effort blaster, offered above trunk
+    // capacity so the BE queue stays persistently full.
+    let (sink, _meter) = UdpSink::new(20_000, SimDelta::from_secs(1));
+    sim.spawn_app(cdst, Box::new(sink));
+    sim.spawn_app(
+        csrc,
+        Box::new(
+            UdpBlaster::with_rate(cdst, 20_000, 1472, cfg.contention_bps)
+                .window(cfg.contention_at, cfg.duration),
+        ),
+    );
+
+    // Premium reservations: pair 0 through the adaptive agent (bound to
+    // its crash-scheduled sender host), the rest as static grants.
+    let flow = AdaptiveFlow::install(
+        &mut sim,
+        NetworkRequest {
+            src: srcs[0],
+            dst: dsts[0],
+            proto: Proto::Tcp,
+            src_port: None,
+            dst_port: None,
+            rate_bps: cfg.reserve_bps,
+            depth: DepthRule::Normal,
+            action: PolicingAction::Drop,
+            shape_at_source: false,
+        },
+        SimTime::from_millis(300),
+        AdaptPolicy {
+            min_rate_bps: cfg.reserve_bps / 2,
+            ..AdaptPolicy::default()
+        },
+    );
+    flow.bind_host(&mut sim, srcs[0]);
+    for i in 1..cfg.pairs {
+        let mut g = sim.stack.take_service::<Gara>().expect("gara installed");
+        g.reserve(
+            &mut sim.net,
+            Request::Network(NetworkRequest {
+                src: srcs[i],
+                dst: dsts[i],
+                proto: Proto::Tcp,
+                src_port: None,
+                dst_port: None,
+                rate_bps: cfg.reserve_bps,
+                depth: DepthRule::Normal,
+                action: PolicingAction::Drop,
+                shape_at_source: false,
+            }),
+            StartSpec::Now,
+            None,
+        )
+        .expect("static premium reservation admitted");
+        sim.stack.put_service_box(g);
+    }
+
+    // The fault plan: rolling sender crashes, then the correlated
+    // two-host outage of the last pair.
+    let mut plan = FaultPlan::new(cfg.seed);
+    for (k, &victim) in srcs.iter().enumerate().take(cfg.rolling_crashes) {
+        let at = cfg.first_crash_at + cfg.crash_spacing * k as u64;
+        plan = plan
+            .at(at, FaultAction::HostCrash { host: victim })
+            .at(at + cfg.outage, FaultAction::HostRestart { host: victim });
+    }
+    let last = cfg.pairs - 1;
+    plan = plan
+        .at(
+            cfg.correlated_at,
+            FaultAction::HostCrash { host: srcs[last] },
+        )
+        .at(
+            cfg.correlated_at,
+            FaultAction::HostCrash { host: dsts[last] },
+        )
+        .at(
+            cfg.correlated_at + cfg.correlated_outage,
+            FaultAction::HostRestart { host: srcs[last] },
+        )
+        .at(
+            cfg.correlated_at + cfg.correlated_outage,
+            FaultAction::HostRestart { host: dsts[last] },
+        );
+    sim.net.install_fault_plan(plan);
+
+    // One two-rank restartable job per pair.
+    let progress: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(vec![0; cfg.pairs]));
+    let mpi_cfg = mpichgq_mpi::MpiCfg {
+        tcp: TcpCfg {
+            send_buf: 256 * 1024,
+            recv_buf: 256 * 1024,
+            ..TcpCfg::default()
+        },
+        ..Default::default()
+    };
+    let jobs: Vec<JobHandle> = (0..cfg.pairs)
+        .map(|i| {
+            JobBuilder::new()
+                .base_port(12_000 + (i as u16) * 16)
+                .rank_restartable(
+                    srcs[i],
+                    chaos_ranks_sender(cfg.frame_bytes, cfg.frame_interval),
+                )
+                .rank_restartable(dsts[i], chaos_ranks_receiver(i, progress.clone()))
+                .cfg(mpi_cfg.clone())
+                .launch(&mut sim)
+        })
+        .collect();
+
+    match window {
+        Some(w) => mpichgq_netsim::run_windowed(&mut sim.net, &mut sim.stack, w, cfg.duration),
+        None => run_env_windowed(&mut sim, cfg.duration),
+    }
+
+    let at = sim.net.now();
+    sim.net.timeline_finalize(&mut sim.stack, at);
+    let metrics = RunMetrics {
+        events: sim.net.events_processed(),
+        metrics_json: sim.net.metrics_json(),
+        trace_json: sim.net.chrome_trace_json(),
+        timeline_json: sim.net.timeline_json(),
+    };
+
+    // Scorecard: data-direction deliveries and deadline misses per pair,
+    // from the SLO layer's per-flow ledger.
+    let tracer = sim.net.packet_tracer().expect("tracing armed above");
+    let scores: Vec<PairScore> = (0..cfg.pairs)
+        .map(|i| {
+            let (mut delivered, mut misses) = (0u64, 0u64);
+            for f in tracer.flows() {
+                if f.key.src == srcs[i] && f.key.dst == dsts[i] {
+                    delivered += f.delivered;
+                    misses += f.misses;
+                }
+            }
+            let frames = progress.borrow()[i];
+            PairScore {
+                pair: i,
+                frames,
+                delivered,
+                misses,
+                slo_met: delivered > 0 && misses * 100 <= delivered,
+                crashed: i < cfg.rolling_crashes || i == last,
+                sender_epoch: jobs[i].epoch_of(0),
+                receiver_epoch: jobs[i].epoch_of(1),
+            }
+        })
+        .collect();
+    let pairs_meeting_slo = scores.iter().filter(|s| s.slo_met).count();
+    let counter = |name: &str| sim.net.obs.metrics.counter_value(name).unwrap_or(0);
+    let outcome = ChaosRanksOutcome {
+        slo_fraction: pairs_meeting_slo as f64 / scores.len() as f64,
+        pairs_meeting_slo,
+        checkpoints: counter("mpi.checkpoints"),
+        reqs_failed: counter("mpi.reqs_failed"),
+        unexpected_dropped: counter("mpi.unexpected_dropped"),
+        unexpected_depth: sim
+            .net
+            .obs
+            .metrics
+            .gauge_value("mpi.unexpected.depth")
+            .unwrap_or(0.0),
+        crash_releases: counter("agent.crash_releases"),
+        restart_rereserves: counter("agent.restart_rereserves"),
+        grants: counter("agent.grants"),
+        faults: sim.net.fault_stats().unwrap_or_default(),
+        scores,
+    };
+    (metrics, outcome)
 }

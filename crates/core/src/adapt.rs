@@ -30,7 +30,7 @@
 
 use crate::qos::QosOutcome;
 use mpichgq_gara::{Gara, NetworkRequest, Request, ResvId, StartSpec, Status};
-use mpichgq_netsim::{Net, TimelineSource};
+use mpichgq_netsim::{Net, NodeId, TimelineSource};
 use mpichgq_sim::{SimDelta, SimTime};
 use mpichgq_tcp::{control_token, Controller, ControllerId, Sim, Stack};
 use std::cell::RefCell;
@@ -82,6 +82,10 @@ pub enum AdaptState {
     Degraded,
 }
 
+/// Control payload distinguishing a host-restart re-reserve ping from the
+/// ordinary tick stream (payload 0) in traces and replay.
+const RESTART_PING: u64 = 1;
+
 struct Inner {
     /// The full-rate request template; renegotiation clones it with a
     /// smaller `rate_bps`.
@@ -89,6 +93,9 @@ struct Inner {
     policy: AdaptPolicy,
     state: AdaptState,
     ctl: Option<ControllerId>,
+    /// True while the bound endpoint host is crashed: ticks are inert
+    /// (there is no agent process to act for) until `HostRestart`.
+    host_down: bool,
 }
 
 /// A premium flow that keeps itself reserved: install once, and the
@@ -160,6 +167,7 @@ impl AdaptiveFlow {
             policy,
             state: AdaptState::Idle,
             ctl: None,
+            host_down: false,
         }));
         let id = sim.stack.add_controller(Box::new(AdaptDriver {
             inner: inner.clone(),
@@ -178,6 +186,33 @@ impl AdaptiveFlow {
         let at = start.max(sim.net.now());
         sim.net.schedule_control(at, control_token(id, 0));
         AdaptiveFlow { inner }
+    }
+
+    /// Tie the flow's lifetime to its endpoint host. A `HostCrash` of
+    /// `host` releases any live reservation back to GARA (the agent
+    /// process died with its host; its bandwidth must not stay booked)
+    /// and freezes the loop; a `HostRestart` re-reserves at the full
+    /// requested rate immediately — the restarted agent's first act —
+    /// falling into the usual backoff/renegotiate ladder if admission
+    /// refuses.
+    pub fn bind_host(&self, sim: &mut Sim, host: NodeId) {
+        let inner = self.inner.clone();
+        sim.stack.on_host_crash(Box::new(move |net, stack, h| {
+            if h != host {
+                return;
+            }
+            let Some(mut gara) = stack.take_service::<Gara>() else {
+                return;
+            };
+            inner.borrow_mut().on_host_crashed(&mut gara, net);
+            stack.put_service_box(gara);
+        }));
+        let inner = self.inner.clone();
+        sim.stack.on_host_restart(Box::new(move |net, _stack, h| {
+            if h == host {
+                inner.borrow_mut().on_host_restarted(net);
+            }
+        }));
     }
 
     /// Current position of the state machine.
@@ -226,6 +261,11 @@ impl Inner {
     /// delivery: a stale probe or revocation ping against a healthy
     /// granted flow is a no-op.
     fn step(&mut self, gara: &mut Gara, net: &mut Net) {
+        if self.host_down {
+            // Stale ticks (a probe scheduled before the crash) are inert:
+            // there is no agent process to act for until restart.
+            return;
+        }
         match self.state {
             AdaptState::Idle => self.attempt_full(gara, net, 0),
             AdaptState::BackingOff { attempt } => self.attempt_full(gara, net, attempt),
@@ -242,6 +282,36 @@ impl Inner {
                 }
             }
             AdaptState::Degraded => self.probe(gara, net),
+        }
+    }
+
+    /// The bound endpoint host crashed: hand any live reservation back to
+    /// the broker and freeze until restart.
+    fn on_host_crashed(&mut self, gara: &mut Gara, net: &mut Net) {
+        let now = net.now();
+        self.host_down = true;
+        if let AdaptState::Granted { id, .. } | AdaptState::Renegotiated { id, .. } = self.state {
+            gara.cancel(net, id);
+            net.obs.metrics.add("agent.crash_releases", 1);
+            net.obs.trace.record(now, "agent.crash_release", id.0, 0);
+        }
+        self.state = AdaptState::Idle;
+        self.publish_gauges(net, 0);
+    }
+
+    /// The host came back: re-reserve at full rate right away (unless a
+    /// grant somehow survived), via a distinctly-tagged control ping.
+    fn on_host_restarted(&mut self, net: &mut Net) {
+        let now = net.now();
+        self.host_down = false;
+        if matches!(self.state, AdaptState::Granted { .. }) {
+            return;
+        }
+        self.state = AdaptState::Idle;
+        net.obs.metrics.add("agent.restart_rereserves", 1);
+        net.obs.trace.record(now, "agent.restart_rereserve", 0, 0);
+        if let Some(ctl) = self.ctl {
+            net.schedule_control(now, control_token(ctl, RESTART_PING));
         }
     }
 

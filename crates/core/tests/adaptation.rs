@@ -189,3 +189,78 @@ fn total_capacity_loss_degrades_and_recovers() {
     assert_eq!(counter(&sim, "agent.recoveries"), 1);
     assert_eq!(counter(&sim, "agent.degrades"), 1);
 }
+
+/// Crash/restart scenario for [`AdaptiveFlow::bind_host`]: crash releases
+/// the reservation back to admission control, restart re-reserves at full
+/// rate. Returns the sim so callers can compare runs.
+fn crash_restart_run() -> (Sim, AdaptiveFlow, NodeId, NodeId) {
+    use mpichgq_netsim::faults::{FaultAction, FaultPlan};
+    let (mut sim, src, dst) = dumbbell_sim();
+    sim.net.install_fault_plan(
+        FaultPlan::new(31)
+            .at(SimTime::from_secs(2), FaultAction::HostCrash { host: src })
+            .at(
+                SimTime::from_secs(4),
+                FaultAction::HostRestart { host: src },
+            ),
+    );
+    let flow = AdaptiveFlow::install(
+        &mut sim,
+        request(src, dst, 4_000_000),
+        SimTime::ZERO,
+        policy(),
+    );
+    flow.bind_host(&mut sim, src);
+    (sim, flow, src, dst)
+}
+
+#[test]
+fn host_crash_releases_reservation_and_restart_rereserves() {
+    let (mut sim, flow, src, dst) = crash_restart_run();
+    sim.run_until(SimTime::from_secs(1));
+    assert_eq!(flow.installed_rate_bps(), 4_000_000, "granted before crash");
+
+    // Crash at 2 s: the grant is handed back, so the *entire* 5 Mb/s EF
+    // pool is reservable by someone else while the host is down.
+    sim.run_until(SimTime::from_secs(3));
+    assert_eq!(flow.state(), AdaptState::Idle);
+    assert_eq!(flow.installed_rate_bps(), 0);
+    assert_eq!(counter(&sim, "agent.crash_releases"), 1);
+    let squatter = with_gara(&mut sim, |g, net| {
+        g.reserve(
+            net,
+            Request::Network(request(src, dst, 5_000_000)),
+            StartSpec::Now,
+            None,
+        )
+        .expect("full EF pool free while holder's host is down")
+    });
+    with_gara(&mut sim, |g, net| g.cancel(net, squatter));
+
+    // Restart at 4 s: the re-reserve ping lands immediately.
+    sim.run_until(SimTime::from_secs(5));
+    assert_eq!(
+        flow.installed_rate_bps(),
+        4_000_000,
+        "re-granted on restart"
+    );
+    assert_eq!(counter(&sim, "agent.restart_rereserves"), 1);
+    assert_eq!(counter(&sim, "agent.grants"), 2, "initial grant + re-grant");
+    assert_eq!(counter(&sim, "agent.crash_releases"), 1);
+    assert_eq!(counter(&sim, "gara.cancels"), 2, "crash release + squatter");
+    let fs = sim.net.fault_stats().unwrap();
+    assert_eq!((fs.host_crashes, fs.host_restarts), (1, 1));
+}
+
+#[test]
+fn crash_restart_adaptation_is_bit_identical() {
+    let (mut a, _, _, _) = crash_restart_run();
+    let (mut b, _, _, _) = crash_restart_run();
+    a.run_until(SimTime::from_secs(6));
+    b.run_until(SimTime::from_secs(6));
+    assert_eq!(
+        a.net.obs.metrics.snapshot_json(),
+        b.net.obs.metrics.snapshot_json(),
+        "crash/restart adaptation run is not deterministic"
+    );
+}

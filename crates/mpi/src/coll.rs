@@ -24,6 +24,20 @@ const TAG_REDUCE: u32 = 0x4300_0000;
 pub enum CollState {
     Pending,
     Ready,
+    /// Terminal: the given world rank failed while the collective was
+    /// outstanding. The operation can never complete (MPI_ERR_PROC_FAILED
+    /// on a collective); polling again keeps returning this.
+    Failed(usize),
+}
+
+/// Sticky failure check shared by every collective: once any member of the
+/// communicator has failed, the collective is dead — even if the rank later
+/// restarts (its new incarnation never joins an in-flight operation).
+fn check_failed(mpi: &Mpi, comm: CommId, sticky: &mut Option<usize>) -> Option<usize> {
+    if sticky.is_none() {
+        *sticky = mpi.comm_failed(comm);
+    }
+    *sticky
 }
 
 /// Dissemination barrier.
@@ -37,6 +51,7 @@ pub struct Barrier {
     recv_done: bool,
     posted: bool,
     done: bool,
+    failed: Option<usize>,
 }
 
 impl Barrier {
@@ -53,10 +68,14 @@ impl Barrier {
             recv_done: false,
             posted: false,
             done: n <= 1,
+            failed: None,
         }
     }
 
     pub fn poll(&mut self, mpi: &mut Mpi) -> CollState {
+        if let Some(r) = check_failed(mpi, self.comm, &mut self.failed) {
+            return CollState::Failed(r);
+        }
         if self.done {
             return CollState::Ready;
         }
@@ -114,6 +133,7 @@ pub struct Bcast {
     recv: Option<ReqId>,
     sends: Vec<ReqId>,
     phase: BcastPhase,
+    failed: Option<usize>,
 }
 
 #[derive(PartialEq)]
@@ -147,6 +167,7 @@ impl Bcast {
             recv: None,
             sends: Vec::new(),
             phase,
+            failed: None,
         }
     }
 
@@ -162,6 +183,9 @@ impl Bcast {
     }
 
     pub fn poll(&mut self, mpi: &mut Mpi) -> CollState {
+        if let Some(r) = check_failed(mpi, self.comm, &mut self.failed) {
+            return CollState::Failed(r);
+        }
         let n = mpi.comm(self.comm).size();
         let me = mpi.comm(self.comm).my_rank;
         let vme = self.vrank(mpi, me);
@@ -248,6 +272,7 @@ pub struct Gather {
     collected: Vec<Option<Vec<u8>>>,
     started: bool,
     done: bool,
+    failed: Option<usize>,
 }
 
 impl Gather {
@@ -262,10 +287,14 @@ impl Gather {
             collected: (0..n).map(|_| None).collect(),
             started: false,
             done: false,
+            failed: None,
         }
     }
 
     pub fn poll(&mut self, mpi: &mut Mpi) -> CollState {
+        if let Some(r) = check_failed(mpi, self.comm, &mut self.failed) {
+            return CollState::Failed(r);
+        }
         if self.done {
             return CollState::Ready;
         }
@@ -338,6 +367,7 @@ pub struct Reduce {
     recv: Option<ReqId>,
     send: Option<ReqId>,
     done: bool,
+    failed: Option<usize>,
 }
 
 impl Reduce {
@@ -351,6 +381,7 @@ impl Reduce {
             recv: None,
             send: None,
             done: false,
+            failed: None,
         }
     }
 
@@ -361,6 +392,9 @@ impl Reduce {
     }
 
     pub fn poll(&mut self, mpi: &mut Mpi) -> CollState {
+        if let Some(r) = check_failed(mpi, self.comm, &mut self.failed) {
+            return CollState::Failed(r);
+        }
         if self.done {
             return CollState::Ready;
         }
@@ -441,6 +475,7 @@ pub struct Allgather {
     recv: Option<ReqId>,
     posted: bool,
     done: bool,
+    failed: Option<usize>,
 }
 
 impl Allgather {
@@ -457,10 +492,14 @@ impl Allgather {
             recv: None,
             posted: false,
             done: n <= 1,
+            failed: None,
         }
     }
 
     pub fn poll(&mut self, mpi: &mut Mpi) -> CollState {
+        if let Some(r) = check_failed(mpi, self.comm, &mut self.failed) {
+            return CollState::Failed(r);
+        }
         if self.done {
             return CollState::Ready;
         }
@@ -545,8 +584,10 @@ impl Allreduce {
             return CollState::Ready;
         }
         if self.bcast.is_none() {
-            if self.reduce.poll(mpi) == CollState::Pending {
-                return CollState::Pending;
+            match self.reduce.poll(mpi) {
+                CollState::Pending => return CollState::Pending,
+                CollState::Failed(r) => return CollState::Failed(r),
+                CollState::Ready => {}
             }
             let comm = self.reduce.comm;
             let me = mpi.comm(comm).my_rank;
@@ -571,6 +612,7 @@ impl Allreduce {
                 CollState::Ready
             }
             CollState::Pending => CollState::Pending,
+            CollState::Failed(r) => CollState::Failed(r),
         }
     }
 
@@ -611,8 +653,10 @@ impl CommSplit {
         if self.result.is_some() {
             return CollState::Ready;
         }
-        if self.gather.poll(mpi) == CollState::Pending {
-            return CollState::Pending;
+        match self.gather.poll(mpi) {
+            CollState::Pending => return CollState::Pending,
+            CollState::Failed(r) => return CollState::Failed(r),
+            CollState::Ready => {}
         }
         let all = self.gather.take_all();
         let parent_group = mpi.comm(self.parent).group.clone();

@@ -55,6 +55,11 @@ pub struct Comm {
     pub my_rank: usize,
     pub kind: CommKind,
     pub attrs: HashMap<Keyval, AttrValue>,
+    /// What a peer-failure error does when observed on this communicator
+    /// (`MPI_Errhandler_set`). Defaults to
+    /// [`ErrorHandler::Abort`](crate::engine::ErrorHandler::Abort)
+    /// (`MPI_ERRORS_ARE_FATAL`), as MPI does.
+    pub errhandler: crate::engine::ErrorHandler,
 }
 
 impl Comm {
@@ -86,6 +91,27 @@ impl Comm {
             CommKind::Inter { remote } => remote.rank_of(world),
         }
     }
+
+    /// World ranks of members (local and, for intercommunicators, remote)
+    /// that are currently failed, ascending. `failed[world_rank]` is the
+    /// job's failure vector.
+    pub fn failed_members(&self, failed: &[bool]) -> Vec<usize> {
+        let remote: &[usize] = match &self.kind {
+            CommKind::Intra => &[],
+            CommKind::Inter { remote } => remote.members(),
+        };
+        let mut out: Vec<usize> = self
+            .group
+            .members()
+            .iter()
+            .chain(remote.iter())
+            .copied()
+            .filter(|&w| failed.get(w).copied().unwrap_or(false))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
 }
 
 /// The information MPICH-GQ's external-management hook extracts from a
@@ -111,6 +137,7 @@ mod tests {
             my_rank: 0,
             kind,
             attrs: HashMap::new(),
+            errhandler: Default::default(),
         }
     }
 
@@ -133,6 +160,19 @@ mod tests {
         assert_eq!(c.peer_world_rank(0), 9);
         assert_eq!(c.rank_of_world(9), Some(0));
         assert_eq!(c.rank_of_world(4), None);
+    }
+
+    #[test]
+    fn failed_members_cover_both_groups() {
+        let c = comm(CommKind::Inter {
+            remote: Group::from_members(vec![9]),
+        });
+        let mut failed = vec![false; 10];
+        assert!(c.failed_members(&failed).is_empty());
+        failed[7] = true;
+        failed[9] = true;
+        failed[5] = true; // not a member
+        assert_eq!(c.failed_members(&failed), vec![7, 9]);
     }
 
     #[test]

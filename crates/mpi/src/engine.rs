@@ -81,9 +81,16 @@ enum ReqSlot {
         src_world: Option<usize>,
         tag: Option<u32>,
     },
-    /// Receive matched an RTS; CTS sent; awaiting DATA.
+    /// Receive matched an RTS; CTS sent; awaiting DATA from `src_world`.
     RecvRndvInflight {
         comm: CommId,
+        src_world: usize,
+    },
+    /// The request can never complete: the peer rank it was bound to (or,
+    /// for a wildcard receive, a rank it might have matched) failed.
+    Failed {
+        comm: CommId,
+        src_world: usize,
     },
     Done(MsgInfo),
 }
@@ -110,6 +117,9 @@ struct Peer {
     txq: VecDeque<TxEntry>,
     /// Received stream bytes not yet consumed by a complete record.
     rx_avail: u64,
+    /// Whether this peer has been counted toward wireup (connection made,
+    /// accepted, or written off because the peer failed).
+    ready: bool,
 }
 
 /// Result of one program poll.
@@ -117,6 +127,30 @@ struct Peer {
 pub enum Poll {
     Pending,
     Done,
+    /// The program terminated because the given world rank failed.
+    Failed(usize),
+}
+
+/// What the error of a peer failure does to the rank that observes it
+/// through [`Mpi::test`] (`MPI_Errhandler`, per communicator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorHandler {
+    /// `MPI_ERRORS_ARE_FATAL` (the MPI default): the observing rank stops
+    /// and the whole job is flagged aborted.
+    #[default]
+    Abort,
+    /// `MPI_ERRORS_RETURN`: failures surface through [`Mpi::test_result`]
+    /// and the program decides what to do.
+    Return,
+}
+
+/// A peer-failure error (`MPI_ERR_PROC_FAILED`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MpiError {
+    /// World rank whose failure caused the error.
+    pub failed_world: usize,
+    /// Communicator the failing request was on.
+    pub comm: CommId,
 }
 
 /// A user MPI program, written as an explicit state machine.
@@ -163,6 +197,14 @@ pub struct RankEngine {
     started: bool,
     done: bool,
     conns_ready: usize,
+    /// True for an incarnation spawned after a host restart: wireup then
+    /// actively connects to *every* live peer (the survivors won't).
+    restarted: bool,
+    /// Set when `test` hit a failed request under the `Abort` handler; the
+    /// engine stops the rank after the current poll returns.
+    abort_on: Option<usize>,
+    /// Peers whose hosts restarted, not yet consumed by the program.
+    peer_restarts: VecDeque<usize>,
 }
 
 impl RankEngine {
@@ -173,7 +215,10 @@ impl RankEngine {
         program: Box<dyn MpiProgram>,
         init_hooks: Vec<InitHook>,
     ) -> RankEngine {
-        let size = shared.borrow().size();
+        let (size, restarted) = {
+            let sh = shared.borrow();
+            (sh.size(), sh.epoch[rank] > 0)
+        };
         let world = Comm {
             ctx_pt2pt: 0,
             ctx_coll: 1,
@@ -181,6 +226,7 @@ impl RankEngine {
             my_rank: rank,
             kind: CommKind::Intra,
             attrs: Default::default(),
+            errhandler: Default::default(),
         };
         RankEngine {
             rank,
@@ -192,6 +238,7 @@ impl RankEngine {
                     sock: None,
                     txq: VecDeque::new(),
                     rx_avail: 0,
+                    ready: false,
                 })
                 .collect(),
             comms: vec![world],
@@ -209,6 +256,9 @@ impl RankEngine {
             started: false,
             done: false,
             conns_ready: 0,
+            restarted,
+            abort_on: None,
+            peer_restarts: VecDeque::new(),
         }
     }
 
@@ -250,11 +300,23 @@ impl RankEngine {
             let mut mpi = Mpi { eng: self, ctx };
             p.poll(&mut mpi)
         };
+        // A `test` under the Abort handler stops the rank no matter what
+        // the program returned from this poll.
+        let result = match self.abort_on.take() {
+            Some(r) => Poll::Failed(r),
+            None => result,
+        };
         match result {
             Poll::Pending => self.program = Some(p),
             Poll::Done => {
                 self.done = true;
                 self.shared.borrow_mut().finished[self.rank] = true;
+            }
+            Poll::Failed(r) => {
+                self.done = true;
+                let mut sh = self.shared.borrow_mut();
+                sh.finished[self.rank] = true;
+                sh.errors[self.rank] = Some(r);
             }
         }
     }
@@ -353,7 +415,7 @@ impl RankEngine {
         ctx.net
             .obs
             .metrics
-            .set_gauge("mpi.unexpected_depth", self.unexpected.len() as f64);
+            .set_gauge("mpi.unexpected.depth", self.unexpected.len() as f64);
     }
 
     /// Process one complete inbound record; returns whether a request
@@ -426,11 +488,10 @@ impl RankEngine {
             }
             WireKind::RndvData => {
                 let rid = ReqId(msg.receiver_req);
-                let slot = std::mem::replace(&mut self.reqs[rid.0 as usize], ReqSlot::Free);
-                let ReqSlot::RecvRndvInflight { comm } = slot else {
-                    panic!("DATA for request not awaiting it");
-                };
-                self.reqs[rid.0 as usize] = ReqSlot::RecvRndvInflight { comm };
+                assert!(
+                    matches!(self.reqs[rid.0 as usize], ReqSlot::RecvRndvInflight { .. }),
+                    "DATA for request not awaiting it"
+                );
                 self.complete_recv(rid, msg.src_world, msg.tag, msg.len, msg.payload);
                 true
             }
@@ -467,7 +528,7 @@ impl RankEngine {
         payload: Option<Vec<u8>>,
     ) {
         let comm = match &self.reqs[rid.0 as usize] {
-            ReqSlot::RecvPosted { comm, .. } | ReqSlot::RecvRndvInflight { comm } => *comm,
+            ReqSlot::RecvPosted { comm, .. } | ReqSlot::RecvRndvInflight { comm, .. } => *comm,
             other => panic!("completing non-recv request: {}", slot_name(other)),
         };
         let src = self.comms[comm.0 as usize]
@@ -486,7 +547,10 @@ impl RankEngine {
             ReqSlot::RecvPosted { comm, .. } => *comm,
             other => panic!("CTS for non-posted request: {}", slot_name(other)),
         };
-        self.reqs[rid.0 as usize] = ReqSlot::RecvRndvInflight { comm };
+        self.reqs[rid.0 as usize] = ReqSlot::RecvRndvInflight {
+            comm,
+            src_world: rts.src_world,
+        };
         let cts = WireMsg {
             kind: WireKind::RndvCts,
             ctx: rts.ctx,
@@ -499,6 +563,64 @@ impl RankEngine {
         };
         let _ = self.enqueue_wire(rts.src_world, cts, None, ctx);
     }
+
+    // ------------------------------------------------------------------
+    // Failure handling
+    // ------------------------------------------------------------------
+
+    /// React to peer rank `r` failing: error every request bound to it
+    /// (queued sends, rendezvous in either direction, posted receives from
+    /// it, and *all* wildcard receives — any of them might have matched the
+    /// dead rank), and drain its unexpected-queue entries, which would
+    /// otherwise leak forever.
+    fn fail_peer(&mut self, r: usize, ctx: &mut Ctx) {
+        let peer = &mut self.peers[r];
+        peer.sock = None;
+        peer.rx_avail = 0;
+        let txq = std::mem::take(&mut peer.txq);
+        let mut victims: Vec<ReqId> = txq.into_iter().filter_map(|e| e.req).collect();
+        for (i, slot) in self.reqs.iter().enumerate() {
+            let rid = ReqId(i as u32);
+            let hit = match slot {
+                ReqSlot::SendRndvWaitCts { dest_world, .. } => *dest_world == r,
+                ReqSlot::RecvPosted { src_world, .. } => src_world.is_none_or(|s| s == r),
+                ReqSlot::RecvRndvInflight { src_world, .. } => *src_world == r,
+                _ => false,
+            };
+            if hit && !victims.contains(&rid) {
+                victims.push(rid);
+            }
+        }
+        for rid in victims {
+            let comm = match &self.reqs[rid.0 as usize] {
+                ReqSlot::SendActive { comm, .. }
+                | ReqSlot::SendRndvWaitCts { comm, .. }
+                | ReqSlot::RecvPosted { comm, .. }
+                | ReqSlot::RecvRndvInflight { comm, .. } => *comm,
+                other => panic!("failing a request in state {}", slot_name(other)),
+            };
+            self.posted.retain(|&p| p != rid);
+            self.reqs[rid.0 as usize] = ReqSlot::Failed { comm, src_world: r };
+            ctx.net.obs.metrics.add("mpi.reqs_failed", 1);
+        }
+        let before = self.unexpected.len();
+        self.unexpected.retain(|u| u.src_world != r);
+        let dropped = before - self.unexpected.len();
+        if dropped > 0 {
+            ctx.net
+                .obs
+                .metrics
+                .add("mpi.unexpected_dropped", dropped as u64);
+        }
+        self.note_unexpected_depth(ctx);
+        // A crash during wireup: that connection will never arrive; count
+        // it satisfied so the survivors still start.
+        if !self.peers[r].ready {
+            self.peers[r].ready = true;
+            self.conns_ready += 1;
+            self.maybe_start(ctx);
+        }
+    }
 }
 
 fn slot_name(s: &ReqSlot) -> &'static str {
@@ -508,6 +630,7 @@ fn slot_name(s: &ReqSlot) -> &'static str {
         ReqSlot::SendRndvWaitCts { .. } => "SendRndvWaitCts",
         ReqSlot::RecvPosted { .. } => "RecvPosted",
         ReqSlot::RecvRndvInflight { .. } => "RecvRndvInflight",
+        ReqSlot::Failed { .. } => "Failed",
         ReqSlot::Done(_) => "Done",
     }
 }
@@ -522,8 +645,24 @@ impl App for RankEngine {
 
     fn on_timer(&mut self, token: u32, ctx: &mut Ctx) {
         if token == TOKEN_WIREUP {
-            // Full-mesh wireup: rank r actively connects to every lower rank.
-            for j in 0..self.rank {
+            // Full-mesh wireup: rank r actively connects to every lower
+            // rank. A restarted incarnation connects to every live peer —
+            // the survivors keep their listeners but never re-dial.
+            // Currently-failed peers are written off as ready; if they
+            // restart, their new incarnation dials us.
+            let failed = self.shared.borrow().failed.clone();
+            for (j, &down) in failed.iter().enumerate() {
+                if j == self.rank || self.peers[j].ready {
+                    continue;
+                }
+                if down {
+                    self.peers[j].ready = true;
+                    self.conns_ready += 1;
+                    continue;
+                }
+                if !(self.restarted || j < self.rank) {
+                    continue;
+                }
                 let (host, port) = {
                     let sh = self.shared.borrow();
                     (sh.hosts[j], sh.port_of(j))
@@ -538,8 +677,13 @@ impl App for RankEngine {
         self.poll_program(ctx);
     }
 
-    fn on_connected(&mut self, _sock: SockId, ctx: &mut Ctx) {
-        self.conns_ready += 1;
+    fn on_connected(&mut self, sock: SockId, ctx: &mut Ctx) {
+        if let Some(j) = self.rank_of_sock(sock) {
+            if !self.peers[j].ready {
+                self.peers[j].ready = true;
+                self.conns_ready += 1;
+            }
+        }
         self.maybe_start(ctx);
     }
 
@@ -551,10 +695,40 @@ impl App for RankEngine {
             .rank_of_host(peer_host)
             .expect("connection from a host that runs no rank");
         self.peers[j].sock = Some(sock);
-        self.conns_ready += 1;
+        if !self.peers[j].ready {
+            self.peers[j].ready = true;
+            self.conns_ready += 1;
+        }
         // Flush anything queued before the connection existed.
         self.pump_tx(j, ctx);
         self.maybe_start(ctx);
+    }
+
+    fn on_peer_failed(&mut self, host: mpichgq_netsim::NodeId, ctx: &mut Ctx) {
+        let Some(r) = self.shared.borrow().rank_of_host(host) else {
+            return; // not a member of this job
+        };
+        if r == self.rank {
+            return;
+        }
+        // First engine notified flushes the shared streams; every engine
+        // fails its own requests.
+        self.shared.borrow_mut().mark_failed(r);
+        self.fail_peer(r, ctx);
+        self.poll_program(ctx);
+    }
+
+    fn on_peer_restarted(&mut self, host: mpichgq_netsim::NodeId, ctx: &mut Ctx) {
+        let Some(r) = self.shared.borrow().rank_of_host(host) else {
+            return;
+        };
+        if r == self.rank {
+            return; // our own (re)spawn notification
+        }
+        // The new incarnation dials us; on_accept rewires the socket. Here
+        // we only surface the event to the program.
+        self.peer_restarts.push_back(r);
+        self.poll_program(ctx);
     }
 
     fn on_readable(&mut self, sock: SockId, ctx: &mut Ctx) {
@@ -645,6 +819,14 @@ impl Mpi<'_, '_> {
         let c = &self.eng.comms[comm.0 as usize];
         let dest_world = c.peer_world_rank(dest);
         let wire_ctx = if coll { c.ctx_coll } else { c.ctx_pt2pt };
+        if self.eng.shared.borrow().failed[dest_world] {
+            // Sending to a dead rank errors immediately (MPI_ERR_PROC_FAILED).
+            self.ctx.net.obs.metrics.add("mpi.reqs_failed", 1);
+            return self.eng.alloc_req(ReqSlot::Failed {
+                comm,
+                src_world: dest_world,
+            });
+        }
         if len <= self.eng.cfg.eager_limit {
             self.ctx.net.obs.metrics.add("mpi.eager_sends", 1);
             self.ctx.net.obs.metrics.add("mpi.sent_bytes", len as u64);
@@ -753,6 +935,25 @@ impl Mpi<'_, '_> {
                 }
             }
         }
+        // A receive that names a dead source — or a wildcard while any
+        // member is dead (MPI_ANY_SOURCE can no longer be disambiguated) —
+        // fails immediately, mirroring what `fail_peer` does to receives
+        // that were already posted when the rank died.
+        let failed_src = {
+            let sh = self.eng.shared.borrow();
+            match src_world {
+                Some(s) => sh.failed[s].then_some(s),
+                None => self.eng.comms[comm.0 as usize]
+                    .failed_members(&sh.failed)
+                    .first()
+                    .copied(),
+            }
+        };
+        if let Some(s) = failed_src {
+            let rid = self.eng.alloc_req(ReqSlot::Failed { comm, src_world: s });
+            self.ctx.net.obs.metrics.add("mpi.reqs_failed", 1);
+            return rid;
+        }
         let rid = self.eng.alloc_req(ReqSlot::RecvPosted {
             comm,
             ctx: wire_ctx,
@@ -792,7 +993,34 @@ impl Mpi<'_, '_> {
     }
 
     /// Test a request for completion; consumes it when done (`MPI_Test`).
+    ///
+    /// If the request failed because a peer rank died, the communicator's
+    /// [`ErrorHandler`] decides: `Abort` consumes the request, flags the
+    /// whole job aborted, and stops this rank after the current poll;
+    /// `Return` keeps returning `None` — observe and consume the failure
+    /// with [`Mpi::test_result`].
     pub fn test(&mut self, req: ReqId) -> Option<MsgInfo> {
+        if let ReqSlot::Failed { comm, src_world } = self.eng.reqs[req.0 as usize] {
+            return match self.eng.comms[comm.0 as usize].errhandler {
+                ErrorHandler::Abort => {
+                    self.eng.reqs[req.0 as usize] = ReqSlot::Free;
+                    self.eng.free_reqs.push(req.0);
+                    self.eng.abort_on = Some(src_world);
+                    self.eng.shared.borrow_mut().aborted = true;
+                    self.ctx.net.obs.metrics.add("mpi.aborts", 1);
+                    None
+                }
+                ErrorHandler::Return => None,
+            };
+        }
+        self.test_result(req)
+            .expect("non-failed request cannot error")
+    }
+
+    /// Test a request, surfacing peer failure as an error
+    /// (`MPI_Test` + `MPI_ERRORS_RETURN`). Consumes the request when it is
+    /// done *or* failed.
+    pub fn test_result(&mut self, req: ReqId) -> Result<Option<MsgInfo>, MpiError> {
         match &self.eng.reqs[req.0 as usize] {
             ReqSlot::Done(_) => {
                 let ReqSlot::Done(info) =
@@ -801,11 +1029,78 @@ impl Mpi<'_, '_> {
                     unreachable!()
                 };
                 self.eng.free_reqs.push(req.0);
-                Some(info)
+                Ok(Some(info))
+            }
+            ReqSlot::Failed { comm, src_world } => {
+                let err = MpiError {
+                    failed_world: *src_world,
+                    comm: *comm,
+                };
+                self.eng.reqs[req.0 as usize] = ReqSlot::Free;
+                self.eng.free_reqs.push(req.0);
+                Err(err)
             }
             ReqSlot::Free => panic!("test on a freed request"),
-            _ => None,
+            _ => Ok(None),
         }
+    }
+
+    /// Set the failure disposition for a communicator
+    /// (`MPI_Errhandler_set`).
+    pub fn set_errhandler(&mut self, comm: CommId, h: ErrorHandler) {
+        self.eng.comms[comm.0 as usize].errhandler = h;
+    }
+
+    pub fn errhandler(&self, comm: CommId) -> ErrorHandler {
+        self.eng.comms[comm.0 as usize].errhandler
+    }
+
+    /// Lowest failed world rank in the communicator (local or remote
+    /// group), if any.
+    pub fn comm_failed(&self, comm: CommId) -> Option<usize> {
+        let sh = self.eng.shared.borrow();
+        self.eng.comms[comm.0 as usize]
+            .failed_members(&sh.failed)
+            .first()
+            .copied()
+    }
+
+    /// The group of currently-failed members of the communicator (the
+    /// `MPI_Comm_group_failed` analog from fault-tolerant MPI drafts).
+    pub fn comm_group_failed(&self, comm: CommId) -> Group {
+        let sh = self.eng.shared.borrow();
+        Group::from_members(self.eng.comms[comm.0 as usize].failed_members(&sh.failed))
+    }
+
+    /// Publish a checkpoint of this rank's program state. Survives a host
+    /// crash (the model of a checkpoint on stable storage off-host); the
+    /// next incarnation reads it back with [`Mpi::restored`].
+    pub fn checkpoint(&mut self, data: Vec<u8>) {
+        let r = self.eng.rank;
+        self.eng.shared.borrow_mut().checkpoints[r] = Some(data);
+        self.ctx.net.obs.metrics.add("mpi.checkpoints", 1);
+    }
+
+    /// The checkpoint to resume from, if this incarnation follows a
+    /// restart and one was published.
+    pub fn restored(&self) -> Option<Vec<u8>> {
+        let sh = self.eng.shared.borrow();
+        if sh.epoch[self.eng.rank] > 0 {
+            sh.checkpoints[self.eng.rank].clone()
+        } else {
+            None
+        }
+    }
+
+    /// This rank's incarnation number (0 = original launch).
+    pub fn epoch(&self) -> u32 {
+        self.eng.shared.borrow().epoch[self.eng.rank]
+    }
+
+    /// Consume a peer-restart notification, if one is pending: the world
+    /// rank whose host came back (its new incarnation is wiring up).
+    pub fn take_peer_restarted(&mut self) -> Option<usize> {
+        self.eng.peer_restarts.pop_front()
     }
 
     /// Duplicate a communicator with a fresh context (`MPI_Comm_dup`).
@@ -819,6 +1114,7 @@ impl Mpi<'_, '_> {
             my_rank: c.my_rank,
             kind: c.kind.clone(),
             attrs: Default::default(),
+            errhandler: c.errhandler,
         };
         self.eng.next_ctx += 2;
         self.eng.comms.push(new);
@@ -840,6 +1136,7 @@ impl Mpi<'_, '_> {
                 remote: Group::from_members(vec![peer_world]),
             },
             attrs: Default::default(),
+            errhandler: self.eng.comms[COMM_WORLD.0 as usize].errhandler,
         };
         self.eng.next_ctx += 2;
         self.eng.comms.push(new);
@@ -861,6 +1158,7 @@ impl Mpi<'_, '_> {
             my_rank,
             kind: CommKind::Intra,
             attrs: Default::default(),
+            errhandler: self.eng.comms[COMM_WORLD.0 as usize].errhandler,
         };
         self.eng.next_ctx += 2;
         self.eng.comms.push(new);

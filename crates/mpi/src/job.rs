@@ -5,6 +5,13 @@
 //! host (the experiments in §5 pair a sender and receiver host); each rank
 //! listens on `base_port + rank` and the mesh is established eagerly at
 //! launch.
+//!
+//! Ranks registered with [`JobBuilder::rank_restartable`] survive a
+//! `HostRestart` fault: a stack respawn hook relaunches a fresh program
+//! incarnation (from its factory) on the revived host, the shared job state
+//! clears the rank's failure flag and bumps its epoch, and the new engine
+//! re-dials every live peer. The program finds its last
+//! [`crate::Mpi::checkpoint`] via [`crate::Mpi::restored`].
 
 use crate::engine::{InitHook, MpiCfg, MpiProgram, RankEngine};
 use crate::wire::JobShared;
@@ -24,9 +31,40 @@ impl JobHandle {
         self.shared.borrow().all_finished()
     }
 
+    /// True once every rank that is not currently failed has finished
+    /// (dead, never-restarted ranks are excluded).
+    pub fn surviving_finished(&self) -> bool {
+        self.shared.borrow().all_surviving_finished()
+    }
+
     /// True once rank `r`'s program finished.
     pub fn rank_finished(&self, r: usize) -> bool {
         self.shared.borrow().finished[r]
+    }
+
+    /// Whether rank `r` is currently failed (host down, not restarted).
+    pub fn rank_failed(&self, r: usize) -> bool {
+        self.shared.borrow().failed[r]
+    }
+
+    /// Whether any rank is currently failed (crashed and not respawned).
+    pub fn any_failed(&self) -> bool {
+        self.shared.borrow().failed.iter().any(|&f| f)
+    }
+
+    /// The peer-failure error rank `r` terminated with, if any.
+    pub fn rank_error(&self, r: usize) -> Option<usize> {
+        self.shared.borrow().errors[r]
+    }
+
+    /// Rank `r`'s incarnation number (0 = original launch).
+    pub fn epoch_of(&self, r: usize) -> u32 {
+        self.shared.borrow().epoch[r]
+    }
+
+    /// Whether a rank under the `Abort` error handler observed a failure.
+    pub fn aborted(&self) -> bool {
+        self.shared.borrow().aborted
     }
 
     /// Host of rank `r`.
@@ -40,10 +78,14 @@ impl JobHandle {
     }
 }
 
+/// Factory producing a fresh program incarnation for a restartable rank.
+pub type ProgramFactory = Rc<dyn Fn() -> Box<dyn MpiProgram>>;
+
 /// Builds and launches an MPI job.
 pub struct JobBuilder {
     hosts: Vec<NodeId>,
     programs: Vec<Box<dyn MpiProgram>>,
+    factories: Vec<Option<ProgramFactory>>,
     base_port: u16,
     cfg: MpiCfg,
     init_hooks: Vec<InitHook>,
@@ -54,6 +96,7 @@ impl JobBuilder {
         JobBuilder {
             hosts: Vec::new(),
             programs: Vec::new(),
+            factories: Vec::new(),
             base_port: 10_000,
             cfg: MpiCfg::default(),
             init_hooks: Vec::new(),
@@ -69,6 +112,21 @@ impl JobBuilder {
         );
         self.hosts.push(host);
         self.programs.push(program);
+        self.factories.push(None);
+        self
+    }
+
+    /// Add one *restartable* rank: the factory builds each incarnation's
+    /// program (the first one too). After a `HostRestart` of its host, the
+    /// rank is respawned automatically with a fresh program.
+    pub fn rank_restartable(mut self, host: NodeId, factory: ProgramFactory) -> JobBuilder {
+        assert!(
+            !self.hosts.contains(&host),
+            "one rank per host: {host} already used"
+        );
+        self.hosts.push(host);
+        self.programs.push(factory());
+        self.factories.push(Some(factory));
         self
     }
 
@@ -96,6 +154,7 @@ impl JobBuilder {
             self.hosts.clone(),
             self.base_port,
         )));
+        let factories = self.factories;
         for (rank, program) in self.programs.into_iter().enumerate() {
             let engine = RankEngine::new(
                 rank,
@@ -105,6 +164,26 @@ impl JobBuilder {
                 self.init_hooks.clone(),
             );
             sim.spawn_app(self.hosts[rank], Box::new(engine));
+            if let Some(factory) = factories[rank].clone() {
+                let host = self.hosts[rank];
+                let shared = shared.clone();
+                let cfg = self.cfg.clone();
+                let init_hooks = self.init_hooks.clone();
+                sim.stack.on_host_restart(Box::new(move |net, stack, h| {
+                    if h != host {
+                        return;
+                    }
+                    shared.borrow_mut().mark_restarted(rank);
+                    let engine = RankEngine::new(
+                        rank,
+                        shared.clone(),
+                        cfg.clone(),
+                        factory(),
+                        init_hooks.clone(),
+                    );
+                    stack.spawn_app(net, host, Box::new(engine));
+                }));
+            }
         }
         JobHandle { shared }
     }

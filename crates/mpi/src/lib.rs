@@ -24,7 +24,10 @@ pub use coll::{
     Allgather, Allreduce, Barrier, Bcast, CollState, CommSplit, Gather, Reduce, ReduceOp,
 };
 pub use comm::{AttrValue, Comm, CommEndpoints, CommId, CommKind, Keyval, COMM_WORLD};
-pub use engine::{InitHook, Mpi, MpiCfg, MpiProgram, MsgInfo, Poll, PutHook, RankEngine, ReqId};
+pub use engine::{
+    ErrorHandler, InitHook, Mpi, MpiCfg, MpiError, MpiProgram, MsgInfo, Poll, PutHook, RankEngine,
+    ReqId,
+};
 pub use group::Group;
-pub use job::{JobBuilder, JobHandle};
+pub use job::{JobBuilder, JobHandle, ProgramFactory};
 pub use wire::{JobShared, WireKind, WireMsg, HEADER_BYTES};

@@ -72,6 +72,21 @@ pub struct JobShared {
     pub streams: HashMap<(usize, usize), VecDeque<WireMsg>>,
     /// Which ranks' programs have finished.
     pub finished: Vec<bool>,
+    /// Ranks currently failed (host crashed, not yet restarted). The
+    /// process-manager view: failure knowledge is global and instantaneous,
+    /// the strongest form of MPICH-G2's startup/monitoring service.
+    pub failed: Vec<bool>,
+    /// Incarnation counter per rank; bumped on each restart.
+    pub epoch: Vec<u32>,
+    /// Last checkpoint each rank published ([`crate::Mpi::checkpoint`]).
+    /// Survives the rank's host crashing — the paper-era model of a
+    /// checkpoint written to stable storage off-host.
+    pub checkpoints: Vec<Option<Vec<u8>>>,
+    /// The peer-failure error each rank terminated with, if any.
+    pub errors: Vec<Option<usize>>,
+    /// Set when a rank with the `Abort` error handler observed a failure
+    /// (`MPI_ERRORS_ARE_FATAL`): the whole job is considered aborted.
+    pub aborted: bool,
 }
 
 impl JobShared {
@@ -82,7 +97,41 @@ impl JobShared {
             base_port,
             streams: HashMap::new(),
             finished: vec![false; n],
+            failed: vec![false; n],
+            epoch: vec![0; n],
+            checkpoints: vec![None; n],
+            errors: vec![None; n],
+            aborted: false,
         }
+    }
+
+    /// Record `rank` as failed and flush every stream touching it: bytes to
+    /// or from a dead process will never move, and leaving the record
+    /// metadata queued would leak it across a restart (the restarted
+    /// incarnation starts from an empty stream).
+    pub fn mark_failed(&mut self, rank: usize) -> bool {
+        if self.failed[rank] {
+            return false;
+        }
+        self.failed[rank] = true;
+        self.streams.retain(|&(f, t), _| f != rank && t != rank);
+        true
+    }
+
+    /// Reset rank state for a fresh incarnation (respawn hook).
+    pub fn mark_restarted(&mut self, rank: usize) {
+        self.failed[rank] = false;
+        self.finished[rank] = false;
+        self.errors[rank] = None;
+        self.epoch[rank] += 1;
+    }
+
+    /// True once every rank that is not currently failed has finished.
+    pub fn all_surviving_finished(&self) -> bool {
+        self.finished
+            .iter()
+            .zip(&self.failed)
+            .all(|(&fin, &fail)| fin || fail)
     }
 
     pub fn size(&self) -> usize {
@@ -156,6 +205,26 @@ mod tests {
         assert!(js.pop_record(0, 1, 31).is_none());
         assert!(js.pop_record(0, 1, 32).is_some());
         assert!(js.pop_record(0, 1, 1_000_000).is_none());
+    }
+
+    #[test]
+    fn failure_flushes_streams_and_restart_resets() {
+        let mut js = JobShared::new(vec![NodeId(0), NodeId(1), NodeId(2)], 9000);
+        js.push_record(0, 1, msg(WireKind::Eager, 10));
+        js.push_record(1, 2, msg(WireKind::Eager, 10));
+        js.push_record(2, 0, msg(WireKind::Eager, 10));
+        assert!(js.mark_failed(1));
+        assert!(!js.mark_failed(1), "second report is a no-op");
+        // Streams touching rank 1 are gone; the 2 -> 0 stream survives.
+        assert!(js.pop_record(0, 1, u64::MAX).is_none());
+        assert!(js.pop_record(1, 2, u64::MAX).is_none());
+        assert!(js.pop_record(2, 0, u64::MAX).is_some());
+        js.finished = vec![true, false, true];
+        assert!(js.all_surviving_finished());
+        js.mark_restarted(1);
+        assert!(!js.failed[1]);
+        assert_eq!(js.epoch[1], 1);
+        assert!(!js.all_surviving_finished());
     }
 
     #[test]

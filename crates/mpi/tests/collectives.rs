@@ -62,6 +62,7 @@ fn allgather_all_sizes() {
                         Poll::Done
                     }
                     CollState::Pending => Poll::Pending,
+                    CollState::Failed(r) => panic!("unexpected rank failure: {r}"),
                 }
             })
         });
@@ -95,6 +96,7 @@ fn allreduce_sums_on_every_rank() {
                         Poll::Done
                     }
                     CollState::Pending => Poll::Pending,
+                    CollState::Failed(r) => panic!("unexpected rank failure: {r}"),
                 }
             })
         });
@@ -128,6 +130,7 @@ fn reduce_non_power_of_two() {
                         Poll::Done
                     }
                     CollState::Pending => Poll::Pending,
+                    CollState::Failed(r) => panic!("unexpected rank failure: {r}"),
                 }
             })
         });
@@ -159,6 +162,7 @@ fn bcast_from_nonzero_root_five_ranks() {
                     Poll::Done
                 }
                 CollState::Pending => Poll::Pending,
+                CollState::Failed(r) => panic!("unexpected rank failure: {r}"),
             }
         })
     });
@@ -196,11 +200,13 @@ fn comm_split_partitions_and_isolates() {
                         bar = Some(Barrier::new(mpi, c));
                     }
                     CollState::Pending => return Poll::Pending,
+                    CollState::Failed(r) => panic!("unexpected rank failure: {r}"),
                 }
             }
             match bar.as_mut().unwrap().poll(mpi) {
                 CollState::Ready => Poll::Done,
                 CollState::Pending => Poll::Pending,
+                CollState::Failed(r) => panic!("unexpected rank failure: {r}"),
             }
         })
     });
@@ -238,6 +244,7 @@ fn gather_five_ranks_nonzero_root() {
                     Poll::Done
                 }
                 CollState::Pending => Poll::Pending,
+                CollState::Failed(r) => panic!("unexpected rank failure: {r}"),
             }
         })
     });

@@ -433,6 +433,7 @@ fn barrier_synchronizes_four_ranks() {
                     Poll::Done
                 }
                 CollState::Pending => Poll::Pending,
+                CollState::Failed(r) => panic!("unexpected rank failure: {r}"),
             }
         };
         job = job.rank(hosts[r], Box::new(prog));
@@ -486,6 +487,7 @@ fn bcast_gather_reduce_roundtrip() {
                             phase = 2;
                         }
                         CollState::Pending => return Poll::Pending,
+                        CollState::Failed(r) => panic!("unexpected rank failure: {r}"),
                     },
                     2 => match gather.as_mut().unwrap().poll(mpi) {
                         CollState::Ready => {
@@ -503,6 +505,7 @@ fn bcast_gather_reduce_roundtrip() {
                             phase = 3;
                         }
                         CollState::Pending => return Poll::Pending,
+                        CollState::Failed(r) => panic!("unexpected rank failure: {r}"),
                     },
                     3 => match reduce.as_mut().unwrap().poll(mpi) {
                         CollState::Ready => {
@@ -514,6 +517,7 @@ fn bcast_gather_reduce_roundtrip() {
                             return Poll::Done;
                         }
                         CollState::Pending => return Poll::Pending,
+                        CollState::Failed(r) => panic!("unexpected rank failure: {r}"),
                     },
                     _ => unreachable!(),
                 }

@@ -1,5 +1,5 @@
 //! Deterministic fault injection: scripted link failures, loss and
-//! corruption bursts, and CPU throttling.
+//! corruption bursts, CPU throttling, and whole-host crash/restart.
 //!
 //! The figures only ever exercise the happy path — links stay up and
 //! reservations, once granted, stay granted. Real deployments of the
@@ -47,9 +47,27 @@ pub enum FaultAction {
         duration: SimDelta,
     },
     /// Throttle `host`'s CPU to `per_mille`/1000 of its capacity
-    /// (thermal/power capping of the DSRT host). `per_mille = 1000`
-    /// restores full speed.
-    CpuThrottle { host: NodeId, per_mille: u16 },
+    /// (thermal/power capping of the DSRT host).
+    ///
+    /// With `duration: None` the throttle is a persistent baseline change
+    /// (`per_mille = 1000` restores full speed). With `Some(d)` it is a
+    /// *window*: for `d` the host runs at the minimum of every active
+    /// window and the baseline, and when the last window expires the
+    /// baseline — the original rate, not the rate some other window left
+    /// behind — is restored. Windows may overlap freely.
+    CpuThrottle {
+        host: NodeId,
+        per_mille: u16,
+        duration: Option<SimDelta>,
+    },
+    /// Crash `host`: its applications die, its queued and in-flight
+    /// packets are dropped (accounted as `faults.drops.host_down`), it
+    /// stops sourcing traffic, and packets addressed to it are dropped on
+    /// arrival until a `HostRestart`.
+    HostCrash { host: NodeId },
+    /// Restart a crashed host: it may source and sink traffic again, and
+    /// restart hooks (e.g. an MPI job respawning the host's rank) run.
+    HostRestart { host: NodeId },
 }
 
 /// A seeded, scripted fault schedule — built once, replayable forever.
@@ -125,6 +143,18 @@ pub struct FaultStats {
     pub link_downs: u64,
     /// `LinkUp` actions applied.
     pub link_ups: u64,
+    /// Packets dropped because an endpoint host was crashed: purged from
+    /// the host's egress queues and shapers at crash time, sourced by a
+    /// not-yet-silenced sender, or arriving at (or from) a dead host.
+    pub drops_host_down: u64,
+    /// `HostCrash` actions applied.
+    pub host_crashes: u64,
+    /// `HostRestart` actions applied.
+    pub host_restarts: u64,
+    /// Tripwire: packets that reached a dead host's delivery path despite
+    /// the drop gates. Zero by construction; the qcheck
+    /// `dead_host_delivery` invariant convicts any regression.
+    pub dead_deliveries: u64,
 }
 
 /// Per-channel fault state. `*_until` of [`SimTime::ZERO`] means "window
@@ -155,6 +185,7 @@ pub(crate) enum FaultVerdict {
     DropLinkDown,
     DropLoss,
     DropCorrupt,
+    DropHostDown,
 }
 
 impl FaultVerdict {
@@ -165,6 +196,34 @@ impl FaultVerdict {
             FaultVerdict::DropLinkDown => "fault.drop.link_down",
             FaultVerdict::DropLoss => "fault.drop.loss",
             FaultVerdict::DropCorrupt => "fault.drop.corrupt",
+            FaultVerdict::DropHostDown => "fault.drop.host_down",
+        }
+    }
+}
+
+/// One active CPU-throttle window on a host.
+#[derive(Debug, Clone, Copy)]
+struct ThrottleWindow {
+    per_mille: u16,
+    until: SimTime,
+}
+
+/// Per-host fault state: liveness plus the CPU-throttle baseline and any
+/// active throttle windows.
+#[derive(Debug, Clone)]
+struct HostFaults {
+    down: bool,
+    /// The persistent (`duration: None`) throttle rate; 1000 = full speed.
+    base_per_mille: u16,
+    windows: Vec<ThrottleWindow>,
+}
+
+impl HostFaults {
+    fn clear() -> HostFaults {
+        HostFaults {
+            down: false,
+            base_per_mille: 1000,
+            windows: Vec::new(),
         }
     }
 }
@@ -176,14 +235,16 @@ impl FaultVerdict {
 pub(crate) struct FaultLayer {
     rng: SimRng,
     chans: Vec<ChanFaults>,
+    hosts: Vec<HostFaults>,
     pub(crate) stats: FaultStats,
 }
 
 impl FaultLayer {
-    pub(crate) fn new(seed: u64, n_chans: usize) -> FaultLayer {
+    pub(crate) fn new(seed: u64, n_chans: usize, n_nodes: usize) -> FaultLayer {
         FaultLayer {
             rng: SimRng::new(seed ^ 0x000F_A017_5EED),
             chans: vec![ChanFaults::CLEAR; n_chans],
+            hosts: vec![HostFaults::clear(); n_nodes],
             stats: FaultStats::default(),
         }
     }
@@ -191,6 +252,63 @@ impl FaultLayer {
     #[inline]
     pub(crate) fn is_down(&self, chan: ChanId) -> bool {
         self.chans[chan.0 as usize].down
+    }
+
+    /// Whether `node` is currently crashed.
+    #[inline]
+    pub(crate) fn host_is_down(&self, node: NodeId) -> bool {
+        self.hosts[node.0 as usize].down
+    }
+
+    /// Flip `node`'s liveness; counts the transition and reports whether
+    /// the state actually changed (a double crash or double restart is a
+    /// no-op so fuzzed plans cannot skew the accounting).
+    pub(crate) fn set_host_down(&mut self, node: NodeId, down: bool) -> bool {
+        let h = &mut self.hosts[node.0 as usize];
+        if h.down == down {
+            return false;
+        }
+        h.down = down;
+        if down {
+            self.stats.host_crashes += 1;
+        } else {
+            self.stats.host_restarts += 1;
+        }
+        true
+    }
+
+    /// Account one packet dropped because a host at either end was dead.
+    #[inline]
+    pub(crate) fn note_host_down_drop(&mut self) {
+        self.stats.drops_host_down += 1;
+    }
+
+    /// Install a throttle on `node`: a baseline change (`until: None`) or
+    /// a window that expires at `until`.
+    pub(crate) fn set_throttle(&mut self, node: NodeId, per_mille: u16, until: Option<SimTime>) {
+        let h = &mut self.hosts[node.0 as usize];
+        let pm = per_mille.clamp(1, 1000);
+        match until {
+            None => h.base_per_mille = pm,
+            Some(until) => h.windows.push(ThrottleWindow {
+                per_mille: pm,
+                until,
+            }),
+        }
+    }
+
+    /// The rate `node` should run at *right now*: the minimum of the
+    /// baseline and every still-active window. Expired windows are pruned
+    /// here, so when the last one lapses the answer is the baseline — the
+    /// original rate — regardless of how the windows overlapped.
+    pub(crate) fn effective_throttle(&mut self, node: NodeId, now: SimTime) -> u16 {
+        let h = &mut self.hosts[node.0 as usize];
+        h.windows.retain(|w| now < w.until);
+        h.windows
+            .iter()
+            .map(|w| w.per_mille)
+            .min()
+            .map_or(h.base_per_mille, |w| w.min(h.base_per_mille))
     }
 
     pub(crate) fn set_down(&mut self, chan: ChanId, down: bool) {
@@ -249,6 +367,7 @@ mod tests {
                 FaultAction::CpuThrottle {
                     host: NodeId(0),
                     per_mille: 300,
+                    duration: None,
                 },
             );
         assert_eq!(plan.len(), 3);
@@ -268,7 +387,7 @@ mod tests {
 
     #[test]
     fn down_channel_drops_everything() {
-        let mut layer = FaultLayer::new(9, 2);
+        let mut layer = FaultLayer::new(9, 2, 0);
         layer.set_down(ChanId(1), true);
         for _ in 0..10 {
             assert_eq!(
@@ -293,7 +412,7 @@ mod tests {
     #[test]
     fn loss_window_expires_and_draws_deterministically() {
         let run = || {
-            let mut layer = FaultLayer::new(42, 1);
+            let mut layer = FaultLayer::new(42, 1, 0);
             layer.set_loss(ChanId(0), 500, SimTime::from_secs(10));
             let mut verdicts = Vec::new();
             for i in 0..200u64 {
@@ -308,7 +427,7 @@ mod tests {
         // ~50% loss: both outcomes must occur in 200 draws.
         assert!(sa.drops_loss > 50 && sa.drops_loss < 150, "{sa:?}");
         // Outside the window the channel is clean and draws nothing.
-        let mut layer = FaultLayer::new(42, 1);
+        let mut layer = FaultLayer::new(42, 1, 0);
         layer.set_loss(ChanId(0), 1000, SimTime::from_secs(1));
         assert_eq!(
             layer.deliver_verdict(SimTime::from_secs(2), ChanId(0)),
@@ -319,7 +438,7 @@ mod tests {
 
     #[test]
     fn corruption_is_accounted_separately() {
-        let mut layer = FaultLayer::new(3, 1);
+        let mut layer = FaultLayer::new(3, 1, 0);
         layer.set_corrupt(ChanId(0), 1000, SimTime::from_secs(1));
         assert_eq!(
             layer.deliver_verdict(SimTime::ZERO, ChanId(0)),
@@ -327,5 +446,50 @@ mod tests {
         );
         assert_eq!(layer.stats.drops_corrupt, 1);
         assert_eq!(layer.stats.drops_loss, 0);
+    }
+
+    #[test]
+    fn host_crash_and_restart_bookkeeping() {
+        let mut layer = FaultLayer::new(1, 0, 3);
+        assert!(!layer.host_is_down(NodeId(2)));
+        assert!(layer.set_host_down(NodeId(2), true));
+        assert!(layer.host_is_down(NodeId(2)));
+        // Double crash is a no-op, not a second counted transition.
+        assert!(!layer.set_host_down(NodeId(2), true));
+        assert!(layer.set_host_down(NodeId(2), false));
+        assert!(!layer.set_host_down(NodeId(2), false));
+        assert_eq!(layer.stats.host_crashes, 1);
+        assert_eq!(layer.stats.host_restarts, 1);
+        layer.note_host_down_drop();
+        assert_eq!(layer.stats.drops_host_down, 1);
+    }
+
+    /// The satellite regression: three overlapping throttle windows must
+    /// compose as a running minimum and, once all have lapsed, restore
+    /// the *original* baseline — not the rate the previous window held.
+    /// (The naive save-and-restore implementation would leave the host at
+    /// 500‰ after t=12 here.)
+    #[test]
+    fn overlapping_throttle_windows_restore_the_original_rate() {
+        let t = |s: u64| SimTime::from_secs(s);
+        let h = NodeId(0);
+        let mut layer = FaultLayer::new(1, 0, 1);
+        // Windows: [0,10)@500, [2,6)@300, [4,12)@700.
+        layer.set_throttle(h, 500, Some(t(10)));
+        assert_eq!(layer.effective_throttle(h, t(0)), 500);
+        layer.set_throttle(h, 300, Some(t(6)));
+        assert_eq!(layer.effective_throttle(h, t(2)), 300);
+        layer.set_throttle(h, 700, Some(t(12)));
+        assert_eq!(layer.effective_throttle(h, t(4)), 300);
+        // Middle window expires: back to min(500, 700), not 300's prior.
+        assert_eq!(layer.effective_throttle(h, t(6)), 500);
+        assert_eq!(layer.effective_throttle(h, t(10)), 700);
+        // All windows gone: the original full rate, not 500 or 700.
+        assert_eq!(layer.effective_throttle(h, t(12)), 1000);
+        // A persistent baseline composes with windows the same way.
+        layer.set_throttle(h, 800, None);
+        layer.set_throttle(h, 400, Some(t(20)));
+        assert_eq!(layer.effective_throttle(h, t(13)), 400);
+        assert_eq!(layer.effective_throttle(h, t(20)), 800);
     }
 }

@@ -97,6 +97,9 @@ pub struct Chan {
     /// fault verdict). `tx_packets - rx_packets` is the wire in-flight count
     /// the conservation audit charges to this channel.
     pub rx_packets: u64,
+    /// Packets purged from this channel's queue by a `HostCrash` (popped
+    /// but never transmitted; accounted as `faults.drops.host_down`).
+    pub purged: u64,
 }
 
 impl Chan {
@@ -154,6 +157,7 @@ mod tests {
             tx_packets: 0,
             tx_bytes_wire: 0,
             rx_packets: 0,
+            purged: 0,
         };
         // 1000 bytes at 8 Mb/s = 1 ms.
         assert_eq!(chan.serialization(1000), SimDelta::from_millis(1));

@@ -79,6 +79,10 @@ pub enum Ev {
     Control { token: u64 },
     /// A scripted fault from an installed [`FaultPlan`] fires.
     Fault { action: FaultAction },
+    /// A windowed `CpuThrottle` lapsed: re-derive the host's effective
+    /// rate from the windows still active (restoring the baseline once
+    /// the last one is gone).
+    ThrottleExpire { host: NodeId },
 }
 
 /// Upper layers (transport stacks, scenario controllers) implement this.
@@ -99,6 +103,19 @@ pub trait NetHandler {
     /// so that sampling never perturbs the event stream. Default: no-op.
     fn timeline_sample(&mut self, net: &mut Net, at: SimTime) {
         let _ = (net, at);
+    }
+    /// A `HostCrash` fault took `host` down. The network has already
+    /// silenced the host (egress purged, tx/rx gated); the handler kills
+    /// everything it runs there — applications, sockets, CPU work — and
+    /// notifies peers. Default: no-op.
+    fn host_crashed(&mut self, net: &mut Net, host: NodeId) {
+        let _ = (net, host);
+    }
+    /// A `HostRestart` fault brought `host` back. The handler re-creates
+    /// whatever should survive a reboot (e.g. respawning a checkpointed
+    /// MPI rank). Default: no-op.
+    fn host_restarted(&mut self, net: &mut Net, host: NodeId) {
+        let _ = (net, host);
     }
 }
 
@@ -140,6 +157,9 @@ pub struct ChanAudit {
     pub tx_packets: u64,
     /// Packets whose propagation completed (counted before fault verdicts).
     pub rx_packets: u64,
+    /// Packets popped from the queue by a `HostCrash` purge instead of a
+    /// transmission (accounted as `faults.drops.host_down`).
+    pub purged: u64,
     pub prio_inversions: u64,
 }
 
@@ -150,11 +170,12 @@ impl ChanAudit {
     }
 
     /// The per-interface identity: every packet accepted into the queue was
-    /// either popped or is still queued, every pop started a transmission,
-    /// and nothing arrived off the wire that was never put on it.
+    /// either popped or is still queued, every pop started a transmission
+    /// (or was a crash purge), and nothing arrived off the wire that was
+    /// never put on it.
     pub fn conserved(&self) -> bool {
         self.enqueued == self.dequeued + self.queued_pkts
-            && self.dequeued == self.tx_packets
+            && self.dequeued == self.tx_packets + self.purged
             && self.rx_packets <= self.tx_packets
     }
 }
@@ -172,7 +193,7 @@ pub struct NetAudit {
     pub queue_full: u64,
     /// Dropped for lack of a route or a wrong-host arrival.
     pub misrouted: u64,
-    /// Dropped by injected faults (link down, loss, corruption).
+    /// Dropped by injected faults (link down, loss, corruption, host down).
     pub fault_drops: u64,
     /// Waiting in interface queues right now.
     pub queued_pkts: u64,
@@ -671,10 +692,12 @@ impl Net {
                     FaultAction::LinkDown(c) | FaultAction::LinkUp(c) => Some(c),
                     FaultAction::LossBurst { chan, .. }
                     | FaultAction::CorruptBurst { chan, .. } => Some(chan),
-                    FaultAction::CpuThrottle { host, .. } => {
+                    FaultAction::CpuThrottle { host, .. }
+                    | FaultAction::HostCrash { host }
+                    | FaultAction::HostRestart { host } => {
                         assert_eq!(
                             sc.shard_of[host.0 as usize], sc.shard,
-                            "fault plan throttles host {} owned by shard {}, \
+                            "fault plan targets host {} owned by shard {}, \
                              but this net is shard {}; install the plan on the \
                              owning shard",
                             host.0, sc.shard_of[host.0 as usize], sc.shard
@@ -703,8 +726,24 @@ impl Net {
                 }
             }
         }
+        for &(_, action) in plan.actions() {
+            if let FaultAction::HostCrash { host } | FaultAction::HostRestart { host } = action {
+                assert_eq!(
+                    self.nodes[host.0 as usize].kind,
+                    NodeKind::Host,
+                    "HostCrash/HostRestart targets node {} ({}), which is a \
+                     router; only hosts crash",
+                    host.0,
+                    self.nodes[host.0 as usize].name
+                );
+            }
+        }
         if self.faults.is_none() {
-            self.faults = Some(Box::new(FaultLayer::new(plan.seed(), self.chans.len())));
+            self.faults = Some(Box::new(FaultLayer::new(
+                plan.seed(),
+                self.chans.len(),
+                self.nodes.len(),
+            )));
         }
         for &(at, action) in plan.actions() {
             self.engine.schedule(at, Ev::Fault { action });
@@ -719,6 +758,11 @@ impl Net {
     /// Whether `chan` is currently cut by a fault.
     pub fn link_is_down(&self, chan: ChanId) -> bool {
         self.faults.as_ref().is_some_and(|f| f.is_down(chan))
+    }
+
+    /// Whether `host` is currently crashed by a `HostCrash` fault.
+    pub fn host_is_down(&self, host: NodeId) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.host_is_down(host))
     }
 
     fn apply_fault(&mut self, action: FaultAction) {
@@ -761,13 +805,113 @@ impl Net {
                     .trace
                     .record(now, "fault.corrupt_burst", chan.0 as u64, per_mille as i64);
             }
-            FaultAction::CpuThrottle { host, per_mille } => {
+            FaultAction::CpuThrottle {
+                host,
+                per_mille,
+                duration,
+            } => {
                 self.obs
                     .trace
                     .record(now, "fault.cpu_throttle", host.0 as u64, per_mille as i64);
-                self.cpu_set_throttle(host, per_mille.min(1000) as f64 / 1000.0);
+                f.set_throttle(host, per_mille, duration.map(|d| now + d));
+                if let Some(d) = duration {
+                    self.engine.schedule(now + d, Ev::ThrottleExpire { host });
+                }
+                let eff = self
+                    .faults
+                    .as_mut()
+                    .expect("checked above")
+                    .effective_throttle(host, now);
+                self.cpu_set_throttle(host, eff as f64 / 1000.0);
+            }
+            // Handled in `dispatch`, which has the handler to notify.
+            FaultAction::HostCrash { .. } | FaultAction::HostRestart { .. } => {
+                unreachable!("host faults are dispatched with the handler")
             }
         }
+    }
+
+    /// Take `host` down: silence its egress (purge queued and shaper-held
+    /// packets into the `drops.host_down` ledger column), gate its future
+    /// tx/rx, and hand the crash up to the handler so applications die.
+    /// A crash of an already-dead host is a no-op.
+    fn host_crash<H: NetHandler>(&mut self, host: NodeId, h: &mut H) {
+        let now = self.now();
+        let Some(f) = self.faults.as_mut() else {
+            return;
+        };
+        if !f.set_host_down(host, true) {
+            return;
+        }
+        self.obs
+            .trace
+            .record(now, "fault.host_crash", host.0 as u64, 0);
+        let mut purged: u64 = 0;
+        // Egress interface queues: pop (so the queue ledger still balances)
+        // and charge each packet to the crash instead of a transmission.
+        let ifaces = self.nodes[host.0 as usize].ifaces.clone();
+        for chan in ifaces {
+            while let Some(pkt) = self.queues[chan.0 as usize].pop() {
+                self.chans[chan.0 as usize].purged += 1;
+                purged += 1;
+                self.obs.trace.record(
+                    now,
+                    "fault.drop.host_down",
+                    chan.0 as u64,
+                    pkt.ip_len() as i64,
+                );
+                if let Some(t) = self.lifecycle.as_deref_mut() {
+                    t.on_drop(now, pkt.id, SpanKind::DropFault, chan.0);
+                }
+            }
+        }
+        // Shaper backlogs die with the host. Bumping the generation lazily
+        // cancels any armed release event.
+        for s in &mut self.nodes[host.0 as usize].shapers {
+            s.gen += 1;
+            s.armed = false;
+            for pkt in std::mem::take(&mut s.queue) {
+                purged += 1;
+                self.obs.trace.record(
+                    now,
+                    "fault.drop.host_down",
+                    host.0 as u64,
+                    pkt.ip_len() as i64,
+                );
+                if let Some(t) = self.lifecycle.as_deref_mut() {
+                    t.on_drop(now, pkt.id, SpanKind::DropFault, u32::MAX);
+                }
+            }
+        }
+        self.faults
+            .as_mut()
+            .expect("checked above")
+            .stats
+            .drops_host_down += purged;
+        h.host_crashed(self, host);
+    }
+
+    /// Bring a crashed `host` back: tx/rx gates lift, the effective CPU
+    /// throttle is re-applied, and the handler runs its restart hooks.
+    /// Restarting a live host is a no-op.
+    fn host_restart<H: NetHandler>(&mut self, host: NodeId, h: &mut H) {
+        let now = self.now();
+        let Some(f) = self.faults.as_mut() else {
+            return;
+        };
+        if !f.set_host_down(host, false) {
+            return;
+        }
+        self.obs
+            .trace
+            .record(now, "fault.host_restart", host.0 as u64, 0);
+        let eff = self
+            .faults
+            .as_mut()
+            .expect("checked above")
+            .effective_throttle(host, now);
+        self.cpu_set_throttle(host, eff as f64 / 1000.0);
+        h.host_restarted(self, host);
     }
 
     // ------------------------------------------------------------------
@@ -876,6 +1020,13 @@ impl Net {
             m.record_total("faults.drops.corrupt", f.stats.drops_corrupt);
             m.record_total("faults.link_downs", f.stats.link_downs);
             m.record_total("faults.link_ups", f.stats.link_ups);
+            // Host-fault keys appear only when a crash actually happened,
+            // so legacy snapshots stay byte-identical.
+            if f.stats.host_crashes + f.stats.host_restarts > 0 {
+                m.record_total("faults.drops.host_down", f.stats.drops_host_down);
+                m.record_total("faults.host_crashes", f.stats.host_crashes);
+                m.record_total("faults.host_restarts", f.stats.host_restarts);
+            }
         }
 
         let mut early = [0u64; 3]; // qdisc.* aggregates: [ef, af, be]
@@ -1169,6 +1320,12 @@ impl Net {
             tl.push_counter("faults.drops.corrupt", at_ns, f.stats.drops_corrupt);
             tl.push_counter("faults.link_downs", at_ns, f.stats.link_downs);
             tl.push_counter("faults.link_ups", at_ns, f.stats.link_ups);
+            // Same activity gate as publish_metrics (timeline_consistency).
+            if f.stats.host_crashes + f.stats.host_restarts > 0 {
+                tl.push_counter("faults.drops.host_down", at_ns, f.stats.drops_host_down);
+                tl.push_counter("faults.host_crashes", at_ns, f.stats.host_crashes);
+                tl.push_counter("faults.host_restarts", at_ns, f.stats.host_restarts);
+            }
         }
 
         let mut early = [0u64; 3];
@@ -1381,6 +1538,7 @@ impl Net {
                 queued_pkts: q.len(),
                 tx_packets: c.tx_packets,
                 rx_packets: c.rx_packets,
+                purged: c.purged,
                 prio_inversions: st.prio_inversions,
             };
             queued_pkts += ca.queued_pkts;
@@ -1412,7 +1570,12 @@ impl Net {
         let fault_drops = self
             .faults
             .as_ref()
-            .map(|f| f.stats.drops_link_down + f.stats.drops_loss + f.stats.drops_corrupt)
+            .map(|f| {
+                f.stats.drops_link_down
+                    + f.stats.drops_loss
+                    + f.stats.drops_corrupt
+                    + f.stats.drops_host_down
+            })
             .unwrap_or(0);
         NetAudit {
             sent: self.obs.metrics.counter_value("net.pkts.sent").unwrap_or(0),
@@ -1444,6 +1607,13 @@ impl Net {
     pub fn send_ip(&mut self, mut pkt: Packet) {
         let src = pkt.src;
         debug_assert_eq!(self.nodes[src.0 as usize].kind, NodeKind::Host);
+        // A dead host sources nothing: the packet is never counted as sent,
+        // so the conservation ledger never owes it anywhere. (The handler
+        // killed the host's apps at crash time; this gate catches stragglers
+        // driven by cross-host state.)
+        if self.host_is_down(src) {
+            return;
+        }
         pkt.id = self.alloc_pkt_id();
         self.obs.metrics.inc(self.ctrs.pkts_sent, 1);
         let now = self.now();
@@ -1655,7 +1825,21 @@ impl Net {
                 self.chans[chan.0 as usize].rx_packets += 1;
                 if let Some(f) = self.faults.as_mut() {
                     let now = self.engine.now();
-                    let verdict = f.deliver_verdict(now, chan);
+                    // A dead endpoint trumps every per-channel verdict: a
+                    // crashed sender's in-flight packets vanish, and a
+                    // crashed receiver hears nothing. The probabilistic
+                    // loss/corruption draws are skipped entirely, so the
+                    // private RNG stream is untouched by the outage.
+                    let (cf, ct) = {
+                        let c = &self.chans[chan.0 as usize];
+                        (c.from, c.to)
+                    };
+                    let verdict = if f.host_is_down(cf) || f.host_is_down(ct) {
+                        f.note_host_down_drop();
+                        FaultVerdict::DropHostDown
+                    } else {
+                        f.deliver_verdict(now, chan)
+                    };
                     if verdict != FaultVerdict::Deliver {
                         self.obs.trace.record(
                             now,
@@ -1671,8 +1855,20 @@ impl Net {
                 }
                 self.on_deliver(chan, pkt, h)
             }
-            Ev::HostTimer { host, token } => h.host_timer(self, host, token),
+            Ev::HostTimer { host, token } => {
+                // Timers armed before a crash stay scheduled; they fire into
+                // the void while the host is down. (The stack additionally
+                // drops stale tokens after a restart — its demux maps were
+                // cleared at crash time.)
+                if self.host_is_down(host) {
+                    return;
+                }
+                h.host_timer(self, host, token)
+            }
             Ev::CpuDone { host, work, gen } => {
+                if self.host_is_down(host) {
+                    return;
+                }
                 let now = self.now();
                 match self.nodes[host.0 as usize].cpu.complete(now, work, gen) {
                     CompleteOutcome::Stale => {}
@@ -1683,6 +1879,9 @@ impl Net {
                 }
             }
             Ev::ShaperRelease { host, shaper, gen } => {
+                if self.host_is_down(host) {
+                    return; // the crash purge bumped the gen anyway
+                }
                 let now = self.now();
                 let node = &mut self.nodes[host.0 as usize];
                 let Some(s) = node.shapers.iter_mut().find(|s| s.id == shaper) else {
@@ -1710,7 +1909,22 @@ impl Net {
                 self.shaper_scratch = pkts;
             }
             Ev::Control { token } => h.control(self, token),
-            Ev::Fault { action } => self.apply_fault(action),
+            Ev::Fault { action } => match action {
+                FaultAction::HostCrash { host } => self.host_crash(host, h),
+                FaultAction::HostRestart { host } => self.host_restart(host, h),
+                other => self.apply_fault(other),
+            },
+            Ev::ThrottleExpire { host } => {
+                let now = self.now();
+                let Some(f) = self.faults.as_mut() else {
+                    return;
+                };
+                let eff = f.effective_throttle(host, now);
+                self.obs
+                    .trace
+                    .record(now, "fault.cpu_throttle", host.0 as u64, eff as i64);
+                self.cpu_set_throttle(host, eff as f64 / 1000.0);
+            }
         }
     }
 
@@ -1746,6 +1960,14 @@ impl Net {
             }
             NodeKind::Host => {
                 if pkt.dst == node_id {
+                    // Tripwire, not a gate: the dispatch-time host-down drop
+                    // must make this unreachable for a dead host. The qcheck
+                    // `dead_host_delivery` invariant convicts any regression.
+                    if let Some(f) = self.faults.as_mut() {
+                        if f.host_is_down(node_id) {
+                            f.stats.dead_deliveries += 1;
+                        }
+                    }
                     self.obs.metrics.inc(self.ctrs.pkts_delivered, 1);
                     if let Some(t) = self.lifecycle.as_deref_mut() {
                         let now = self.engine.now();
@@ -1808,8 +2030,11 @@ impl Net {
             return;
         }
         // A cut channel transmits nothing; queued packets wait for LinkUp.
+        // A crashed host's interfaces transmit nothing either (its queues
+        // were purged at crash time; this also stops a race with packets
+        // enqueued in the same instant).
         if let Some(f) = &self.faults {
-            if f.is_down(chan) {
+            if f.is_down(chan) || f.host_is_down(self.chans[chan.0 as usize].from) {
                 return;
             }
         }
@@ -1933,6 +2158,7 @@ impl TopoBuilder {
             tx_packets: 0,
             tx_bytes_wire: 0,
             rx_packets: 0,
+            purged: 0,
         });
         // Seed each queue's discipline RNG (RED/WRED draws) from the
         // topology seed and the channel index alone, so a shard worker
@@ -2285,6 +2511,7 @@ mod tests {
                     FaultAction::CpuThrottle {
                         host: h1,
                         per_mille: 500,
+                        duration: None,
                     },
                 )
                 .at(
@@ -2292,6 +2519,7 @@ mod tests {
                     FaultAction::CpuThrottle {
                         host: h1,
                         per_mille: 1000,
+                        duration: None,
                     },
                 ),
         );
@@ -2299,6 +2527,118 @@ mod tests {
         let mut h = CpuH { done_at: None };
         net.run_to_quiescence(&mut h);
         assert_eq!(h.done_at, Some(SimTime::from_millis(3_500)));
+    }
+
+    #[test]
+    fn windowed_cpu_throttle_restores_baseline_through_the_event_loop() {
+        struct CpuH {
+            done_at: Option<SimTime>,
+        }
+        impl NetHandler for CpuH {
+            fn deliver(&mut self, _n: &mut Net, _h: NodeId, _p: Packet) {}
+            fn host_timer(&mut self, _n: &mut Net, _h: NodeId, _t: u64) {}
+            fn cpu_done(&mut self, net: &mut Net, _host: NodeId, _proc: ProcId) {
+                self.done_at = Some(net.now());
+            }
+            fn control(&mut self, _n: &mut Net, _t: u64) {}
+        }
+        let (mut net, h1, _h2) = line_topology();
+        let pid = net.cpu_add_process(h1);
+        // Two overlapping windows: [1s,3s)@500 and [2s,4s)@250. Effective:
+        // full until 1 s, 50% over [1,2), 25% over [2,3) (min of both), 25%
+        // over [3,4), full after — the *baseline*, though the 500‰ window
+        // was still notionally "older". 2.5 cpu-s of work: 1 by t=1, 0.5
+        // over [1,2), 0.25 over [2,3), 0.25 over [3,4), and the last 0.5 at
+        // full speed = done at 4.5 s.
+        net.install_fault_plan(
+            FaultPlan::new(1)
+                .at(
+                    SimTime::from_secs(1),
+                    FaultAction::CpuThrottle {
+                        host: h1,
+                        per_mille: 500,
+                        duration: Some(SimDelta::from_secs(2)),
+                    },
+                )
+                .at(
+                    SimTime::from_secs(2),
+                    FaultAction::CpuThrottle {
+                        host: h1,
+                        per_mille: 250,
+                        duration: Some(SimDelta::from_secs(2)),
+                    },
+                ),
+        );
+        net.cpu_start_work(h1, pid, SimDelta::from_millis(2_500));
+        let mut h = CpuH { done_at: None };
+        net.run_to_quiescence(&mut h);
+        assert_eq!(h.done_at, Some(SimTime::from_millis(4_500)));
+    }
+
+    #[test]
+    fn host_crash_silences_and_restart_revives_with_conservation() {
+        let (mut net, h1, h2) = line_topology();
+        let mut h = Collect::new();
+        net.install_fault_plan(
+            FaultPlan::new(5)
+                .at(SimTime::from_millis(3), FaultAction::HostCrash { host: h1 })
+                .at(
+                    SimTime::from_millis(50),
+                    FaultAction::HostRestart { host: h1 },
+                ),
+        );
+        // Ten packets: at 1 ms serialization each, one is on the wire and
+        // the rest are queued on h1's iface when the crash hits at t=3 ms.
+        for _ in 0..10 {
+            net.send_ip(udp(h1, h2, 972));
+        }
+        // A packet toward the dead host is dropped on arrival, not
+        // delivered — and the sender's ledger still balances.
+        net.set_host_timer(h2, SimTime::from_millis(10), 7);
+        net.run_until(&mut h, SimTime::from_millis(10));
+        net.send_ip(udp(h2, h1, 972));
+        // While down, the dead host sources nothing.
+        net.send_ip(udp(h1, h2, 972));
+        net.run_until(&mut h, SimTime::from_millis(49));
+        let st = net.fault_stats().unwrap();
+        assert_eq!(st.host_crashes, 1);
+        assert!(net.host_is_down(h1));
+        // Deliveries stopped at the crash: 2 packets had fully left h1's
+        // queue by t=3 ms (tx at 1 and 2 ms); in-flight ones died.
+        assert!(h.got.len() < 10, "crash must cut the stream short");
+        assert!(st.drops_host_down > 0, "{st:?}");
+        assert_eq!(st.dead_deliveries, 0);
+        // Conservation holds mid-outage.
+        let audit = net.audit();
+        assert!(audit.conserved(), "{audit:?}");
+        // Restart: the host sources and sinks again.
+        net.run_until(&mut h, SimTime::from_millis(60));
+        assert!(!net.host_is_down(h1));
+        let before = h.got.len();
+        net.send_ip(udp(h1, h2, 972));
+        net.send_ip(udp(h2, h1, 972));
+        net.run_to_quiescence(&mut h);
+        assert_eq!(h.got.len(), before + 2);
+        let st = net.fault_stats().unwrap();
+        assert_eq!(st.host_restarts, 1);
+        assert_eq!(st.dead_deliveries, 0);
+        let audit = net.audit();
+        assert!(audit.conserved(), "{audit:?}");
+        // The purge shows up on h1's egress interface row.
+        let purged: u64 = audit.chans.iter().map(|c| c.purged).sum();
+        assert!(purged > 0);
+    }
+
+    #[test]
+    fn dead_host_timers_are_suppressed() {
+        let (mut net, h1, _h2) = line_topology();
+        let mut h = Collect::new();
+        net.install_fault_plan(
+            FaultPlan::new(1).at(SimTime::from_millis(1), FaultAction::HostCrash { host: h1 }),
+        );
+        net.set_host_timer(h1, SimTime::from_millis(5), 1);
+        net.run_to_quiescence(&mut h);
+        assert!(h.timers.is_empty(), "timer fired on a dead host");
     }
 
     #[test]

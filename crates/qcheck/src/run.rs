@@ -77,6 +77,7 @@ pub fn run_spec(spec: &ScenarioSpec, inject: &Inject) -> RunOutcome {
 /// window arithmetic the multi-shard engine shares.
 pub fn run_spec_threads(spec: &ScenarioSpec, inject: &Inject, threads: usize) -> RunOutcome {
     let built = scenario::build(spec, inject);
+    let jobs = built.jobs;
     let mut sim = built.sim;
     let slice = SimDelta::from_nanos((built.t_end.as_nanos() / SLICES).max(1));
     let mut violations = Vec::new();
@@ -102,7 +103,7 @@ pub fn run_spec_threads(spec: &ScenarioSpec, inject: &Inject, threads: usize) ->
         }
     }
     if violations.is_empty() {
-        check_final(&mut sim, &mut violations);
+        check_final(&mut sim, &jobs, &mut violations);
     }
     let audit = sim.net.audit();
     RunOutcome {
@@ -188,6 +189,19 @@ fn check_instant(sim: &mut Sim, out: &mut Vec<Violation>) {
             ),
         ));
     }
+    // No packet may ever be handed to a host that is down: delivery to a
+    // crashed host is gated at dispatch, and the tripwire counts misses.
+    if let Some(fs) = sim.net.fault_stats() {
+        if fs.dead_deliveries > 0 {
+            out.push(Violation::new(
+                "dead_host_delivery",
+                format!(
+                    "t={now:?}: {} packets delivered to crashed hosts",
+                    fs.dead_deliveries
+                ),
+            ));
+        }
+    }
     for sock in sim.stack.tcp_sock_ids() {
         let st = sim.stack.conn_stats(sock).expect("tcp sock has stats");
         if st.karn_violations > 0 {
@@ -228,8 +242,20 @@ fn check_instant(sim: &mut Sim, out: &mut Vec<Violation>) {
 
 /// End-of-run consistency between the lifecycle tracer and the ledger,
 /// and between the timeline sampler and the metrics registry.
-fn check_final(sim: &mut Sim, out: &mut Vec<Violation>) {
+fn check_final(sim: &mut Sim, jobs: &[mpichgq_mpi::JobHandle], out: &mut Vec<Violation>) {
     let audit = sim.net.audit();
+    // A job with a crashed, never-respawned member must not leave any
+    // survivor spinning: the failure propagates (Abort terminates the
+    // program, Return surfaces the error) and every surviving rank's
+    // program has returned by quiescence.
+    for (i, job) in jobs.iter().enumerate() {
+        if job.any_failed() && !job.surviving_finished() {
+            out.push(Violation::new(
+                "mpi_failure_progress",
+                format!("job {i}: a rank is dead but surviving ranks have not finished"),
+            ));
+        }
+    }
     if let Some(tracer) = sim.net.packet_tracer() {
         let mut flow_delivered = 0u64;
         for f in tracer.flows() {

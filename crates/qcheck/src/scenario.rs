@@ -101,6 +101,8 @@ impl Controller for QcScript {
 pub struct BuiltScenario {
     pub sim: Sim,
     pub t_end: SimTime,
+    /// Handles to the MPI jobs, for the failure-progress invariant.
+    pub jobs: Vec<mpichgq_mpi::JobHandle>,
 }
 
 /// Expand `spec` into a live simulation. Deterministic: identical
@@ -119,6 +121,9 @@ pub fn build(spec: &ScenarioSpec, inject: &Inject) -> BuiltScenario {
     // Forked last so pre-qdisc corpora keep their historical streams; the
     // stream is consumed only when `knobs.qdisc > 0`.
     let mut qdisc_rng = rng.fork_labeled("qdisc");
+    // Newest stream, forked after every older one and consumed only when
+    // `knobs.host_faults > 0` — crash-free scenarios stay bit-identical.
+    let mut hostfault_rng = rng.fork_labeled("hostfaults");
 
     let duration = SimDelta::from_millis(k.duration_ms);
     let t_end = SimTime::ZERO + duration;
@@ -211,7 +216,7 @@ pub fn build(spec: &ScenarioSpec, inject: &Inject) -> BuiltScenario {
     }
 
     // --- Fault plan (always-restoring windows inside the run). ----------
-    if k.faults > 0 {
+    if k.faults > 0 || k.host_faults > 0 {
         let mut plan = FaultPlan::new(spec.seed);
         for _ in 0..k.faults {
             let chan = chans[fault_rng.below(chans.len() as u64) as usize];
@@ -236,6 +241,19 @@ pub fn build(spec: &ScenarioSpec, inject: &Inject) -> BuiltScenario {
                     },
                 ),
             };
+        }
+        // Crash/restart cycles, drawn after every link-fault window so the
+        // link-fault stream keeps its historical draws. The restart is
+        // *not* clamped to the run: a cycle near the end leaves its host
+        // dead at quiescence, which is exactly the never-restarted case
+        // the `mpi_failure_progress` invariant wants to see.
+        for _ in 0..k.host_faults {
+            let victim = hosts[hostfault_rng.below(hosts.len() as u64) as usize];
+            let at = SimTime::ZERO + frac(&mut hostfault_rng, 150, 700);
+            let down_for = frac(&mut hostfault_rng, 80, 250);
+            plan = plan
+                .at(at, FaultAction::HostCrash { host: victim })
+                .at(at + down_for, FaultAction::HostRestart { host: victim });
         }
         net.install_fault_plan(plan);
     }
@@ -279,6 +297,7 @@ pub fn build(spec: &ScenarioSpec, inject: &Inject) -> BuiltScenario {
     }
 
     // --- MPI ping-pong pairs. --------------------------------------------
+    let mut jobs = Vec::new();
     for p in 0..k.mpi_pairs {
         let (a, z) = distinct_pair(&mut mpi_rng, &hosts);
         let iters = mpi_rng.range(3, 30) as u32;
@@ -287,12 +306,32 @@ pub fn build(spec: &ScenarioSpec, inject: &Inject) -> BuiltScenario {
             tcp: tcp_cfg,
             ..Default::default()
         };
-        mpichgq_mpi::JobBuilder::new()
-            .rank(a, Box::new(QcPingPong::new(iters, len)))
-            .rank(z, Box::new(QcPingPong::new(iters, len)))
-            .base_port(9_000 + 100 * p as u16)
-            .cfg(cfg)
-            .launch(&mut sim);
+        let builder = mpichgq_mpi::JobBuilder::new();
+        // With crash/restart cycles armed, ranks are restartable: a
+        // revived host re-wires a fresh incarnation (its peer, under the
+        // default Abort handler, has already terminated — the respawn
+        // exercises wireup against finished engines). Crash-free
+        // scenarios keep the plain path so launch behavior is untouched.
+        let builder = if k.host_faults > 0 {
+            let mk = move |_p: u64| -> mpichgq_mpi::ProgramFactory {
+                std::rc::Rc::new(move || {
+                    Box::new(QcPingPong::new(iters, len)) as Box<dyn mpichgq_mpi::MpiProgram>
+                })
+            };
+            builder
+                .rank_restartable(a, mk(p))
+                .rank_restartable(z, mk(p))
+        } else {
+            builder
+                .rank(a, Box::new(QcPingPong::new(iters, len)))
+                .rank(z, Box::new(QcPingPong::new(iters, len)))
+        };
+        jobs.push(
+            builder
+                .base_port(9_000 + 100 * p as u16)
+                .cfg(cfg)
+                .launch(&mut sim),
+        );
     }
 
     // --- GARA service + schedule. ----------------------------------------
@@ -324,7 +363,7 @@ pub fn build(spec: &ScenarioSpec, inject: &Inject) -> BuiltScenario {
     sim.net
         .enable_timeline(SimDelta::from_nanos((t_end.as_nanos() / 16).max(1_000_000)));
 
-    BuiltScenario { sim, t_end }
+    BuiltScenario { sim, t_end, jobs }
 }
 
 /// Draw one GARA operation from `rng` against `hosts`: the exact

@@ -34,6 +34,12 @@ pub struct Knobs {
     pub gara_ops: u64,
     /// Injected fault windows (link outage, loss burst, corruption burst).
     pub faults: u64,
+    /// Crash/restart cycles: each draws a victim host, a crash time, and
+    /// a downtime; the restart may land past the end of the run, leaving
+    /// the host dead at quiescence (the never-restarted case the
+    /// `mpi_failure_progress` invariant audits). Zero draws nothing from
+    /// the `"hostfaults"` stream, keeping pre-fault corpora bit-identical.
+    pub host_faults: u64,
     /// Core-link queue discipline selector. Zero is the legacy
     /// strict-priority drop-tail configuration (bit-identical to
     /// pre-qdisc corpora); 1..=6 picks a scheduler (SP/WFQ/DRR) and
@@ -55,6 +61,7 @@ impl Knobs {
             mpi_pairs: 0,
             gara_ops: 0,
             faults: 0,
+            host_faults: 0,
             qdisc: 0,
         }
     }
@@ -73,6 +80,9 @@ impl Knobs {
             gara_ops: rng.range(0, 6),
             faults: rng.range(0, 3),
             qdisc: rng.range(0, 7),
+            // Drawn last (newest knob) so every older dimension keeps its
+            // historical value for a given seed.
+            host_faults: rng.range(0, 3),
         }
     }
 
@@ -80,6 +90,7 @@ impl Knobs {
     /// cheapest dimensions to remove first.
     pub fn fields() -> &'static [(&'static str, KnobField)] {
         &[
+            ("host_faults", |k| &mut k.host_faults),
             ("qdisc", |k| &mut k.qdisc),
             ("faults", |k| &mut k.faults),
             ("mpi_pairs", |k| &mut k.mpi_pairs),
@@ -123,6 +134,8 @@ impl Knobs {
         w.u64(self.gara_ops);
         w.key("faults");
         w.u64(self.faults);
+        w.key("host_faults");
+        w.u64(self.host_faults);
         w.key("qdisc");
         w.u64(self.qdisc);
         w.end_object();
@@ -147,6 +160,8 @@ impl Knobs {
             // Absent in pre-qdisc repro artifacts: default to the legacy
             // strict-priority discipline they were recorded under.
             qdisc: v.get("qdisc").and_then(|x| x.as_u64()).unwrap_or(0),
+            // Likewise absent in pre-host-fault artifacts.
+            host_faults: v.get("host_faults").and_then(|x| x.as_u64()).unwrap_or(0),
         })
     }
 }

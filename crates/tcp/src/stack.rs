@@ -49,6 +49,14 @@ pub trait App {
     fn on_timer(&mut self, token: u32, ctx: &mut Ctx) {}
     fn on_udp(&mut self, sock: SockId, from: (NodeId, u16), len: u32, ctx: &mut Ctx) {}
     fn on_cpu_done(&mut self, ctx: &mut Ctx) {}
+    /// Another host crashed (`HostCrash` fault). Broadcast to every app
+    /// still alive, in `AppId` order — the simulator's stand-in for
+    /// MPICH's instantaneous process-failure notification; a real runtime
+    /// would learn this from connection teardown or a failure detector.
+    fn on_peer_failed(&mut self, host: NodeId, ctx: &mut Ctx) {}
+    /// A crashed host came back (`HostRestart` fault). Broadcast after
+    /// the restart hooks have respawned whatever lives there.
+    fn on_peer_restarted(&mut self, host: NodeId, ctx: &mut Ctx) {}
 }
 
 /// Scenario scripting hook: reservations made mid-run, contention starting
@@ -97,6 +105,10 @@ struct Sock {
     tx: StreamBuf,
     /// Recorder series name for data-segment sequence traces (Figure 7).
     trace: Option<String>,
+    /// Set when the owning host crashed: the socket keeps its final
+    /// connection state (audits still sum its counters) but never
+    /// produces or consumes anything again.
+    dead: bool,
 }
 
 struct AppSlot {
@@ -151,7 +163,21 @@ pub struct Stack {
     /// never fire inside callbacks, so in practice it always is).
     probes: Vec<(TypeId, ProbeFn)>,
     controllers: Vec<Option<Box<dyn Controller>>>,
+    /// Host-restart hooks ([`Stack::on_host_restart`]), run in
+    /// registration order when a crashed host comes back — before the
+    /// `on_peer_restarted` broadcast, so respawned state is visible to
+    /// peers' callbacks.
+    respawn_hooks: Vec<RespawnHook>,
+    /// Host-crash hooks ([`Stack::on_host_crash`]), run in registration
+    /// order after the host's sockets and apps die — before the
+    /// `on_peer_failed` broadcast (e.g. a QoS agent releasing the dead
+    /// host's reservations).
+    crash_hooks: Vec<RespawnHook>,
 }
+
+/// A host-restart hook: `(net, stack, host)` — free to spawn apps, open
+/// sockets, or touch services.
+pub type RespawnHook = Box<dyn FnMut(&mut Net, &mut Stack, NodeId)>;
 
 impl Default for Stack {
     fn default() -> Self {
@@ -171,7 +197,22 @@ impl Stack {
             services: HashMap::new(),
             probes: Vec::new(),
             controllers: Vec::new(),
+            respawn_hooks: Vec::new(),
+            crash_hooks: Vec::new(),
         }
+    }
+
+    /// Register a hook to run whenever a crashed host restarts (e.g. an
+    /// MPI job respawning the rank that lived there). Hooks run in
+    /// registration order, before apps hear `on_peer_restarted`.
+    pub fn on_host_restart(&mut self, hook: RespawnHook) {
+        self.respawn_hooks.push(hook);
+    }
+
+    /// Register a hook to run whenever a host crashes (after its sockets
+    /// and apps die, before peers hear `on_peer_failed`).
+    pub fn on_host_crash(&mut self, hook: RespawnHook) {
+        self.crash_hooks.push(hook);
     }
 
     /// Register an application on `host`, registering a CPU process for it,
@@ -454,6 +495,7 @@ impl Stack {
                         data: VecDeque::new(),
                     },
                     trace: None,
+                    dead: false,
                 });
                 self.conns.insert(key, sock);
                 // Link the two endpoints for byte-stream transport.
@@ -493,6 +535,12 @@ impl NetHandler for Stack {
         match kind {
             KIND_TCP => {
                 let sock = SockId(index);
+                if self.socks[sock.0 as usize].dead {
+                    // A timer armed before the host crashed; the socket is
+                    // gone (timers for *down* hosts are suppressed in the
+                    // net layer, but this one may fire after a restart).
+                    return;
+                }
                 let now = net.now();
                 let outs = match &mut self.socks[sock.0 as usize].kind {
                     SockKind::Tcp(c) => c.on_timer(payload as u64, now),
@@ -539,6 +587,85 @@ impl NetHandler for Stack {
             }
         }
     }
+
+    fn host_crashed(&mut self, net: &mut Net, host: NodeId) {
+        // Sockets die first: demux entries go away (a restarted host gets
+        // fresh ports), but the socket slots stay so stack-wide audits keep
+        // summing their final counters. Connections *to* the crashed host
+        // die with it — the process-manager model of instant failure
+        // knowledge — which also stops their retransmissions from reaching
+        // a restarted incarnation's fresh listener.
+        for i in 0..self.socks.len() {
+            let s = &mut self.socks[i];
+            let local = s.host == host;
+            let to_dead_peer =
+                matches!(s.kind, SockKind::Tcp(_)) && s.peer.is_some_and(|(ph, _)| ph == host);
+            if s.dead || !(local || to_dead_peer) {
+                continue;
+            }
+            s.dead = true;
+            match &s.kind {
+                SockKind::Tcp(_) => {
+                    if let Some((ph, pp)) = s.peer {
+                        self.conns.remove(&(s.host, s.lport, ph, pp));
+                    }
+                }
+                SockKind::Listener { .. } => {
+                    self.listeners.remove(&(s.host, s.lport));
+                }
+                SockKind::Udp => {
+                    self.udp_binds.remove(&(s.host, s.lport));
+                }
+            }
+        }
+        // Applications die with the host; their CPU processes are removed
+        // so reservations free up and queued work vanishes.
+        for i in 0..self.apps.len() {
+            let slot = &mut self.apps[i];
+            if slot.host != host || slot.app.is_none() {
+                continue;
+            }
+            slot.app = None;
+            let proc = slot.proc;
+            net.cpu_remove_process(host, proc);
+        }
+        // Crash hooks run while the failure is fresh, before the peer
+        // broadcast (same take-vec discipline as restart hooks).
+        let mut hooks = std::mem::take(&mut self.crash_hooks);
+        for h in hooks.iter_mut() {
+            h(net, self, host);
+        }
+        hooks.append(&mut self.crash_hooks);
+        self.crash_hooks = hooks;
+        // Failure notification is global and instantaneous (MPICH's
+        // process-failure model): every surviving app hears it now, in
+        // AppId order.
+        for i in 0..self.apps.len() {
+            let id = AppId(i as u32);
+            if self.apps[i].app.is_some() {
+                self.wake(net, id, |a, ctx| a.on_peer_failed(host, ctx));
+            }
+        }
+    }
+
+    fn host_restarted(&mut self, net: &mut Net, host: NodeId) {
+        // Respawn hooks first (they re-create the host's processes), then
+        // the broadcast — peers and the fresh processes all hear it.
+        let mut hooks = std::mem::take(&mut self.respawn_hooks);
+        for h in hooks.iter_mut() {
+            h(net, self, host);
+        }
+        // A hook may itself have registered hooks; keep them, after the
+        // originals.
+        hooks.append(&mut self.respawn_hooks);
+        self.respawn_hooks = hooks;
+        for i in 0..self.apps.len() {
+            let id = AppId(i as u32);
+            if self.apps[i].app.is_some() {
+                self.wake(net, id, |a, ctx| a.on_peer_restarted(host, ctx));
+            }
+        }
+    }
 }
 
 /// Capability handle passed to application callbacks.
@@ -575,6 +702,7 @@ impl Ctx<'_> {
                 data: VecDeque::new(),
             },
             trace: None,
+            dead: false,
         });
         self.stack
             .conns
@@ -597,6 +725,7 @@ impl Ctx<'_> {
             from_listener: None,
             tx: StreamBuf::default(),
             trace: None,
+            dead: false,
         });
         let prev = self.stack.listeners.insert((self.host, port), sock);
         assert!(
@@ -610,6 +739,9 @@ impl Ctx<'_> {
     /// Write counted bytes; returns how many were accepted (send buffer).
     pub fn send(&mut self, sock: SockId, len: u64) -> u64 {
         let s = &mut self.stack.socks[sock.0 as usize];
+        if s.dead {
+            return 0;
+        }
         assert_eq!(s.mode, DataMode::Counted, "send() on a Bytes-mode socket");
         let now = self.net.now();
         let (accepted, outs) = match &mut s.kind {
@@ -623,6 +755,9 @@ impl Ctx<'_> {
     /// Write real bytes; returns how many were accepted.
     pub fn send_bytes(&mut self, sock: SockId, bytes: &[u8]) -> usize {
         let s = &mut self.stack.socks[sock.0 as usize];
+        if s.dead {
+            return 0;
+        }
         assert_eq!(
             s.mode,
             DataMode::Bytes,
@@ -641,6 +776,9 @@ impl Ctx<'_> {
     /// Read up to `max` counted bytes.
     pub fn recv(&mut self, sock: SockId, max: u64) -> u64 {
         let s = &mut self.stack.socks[sock.0 as usize];
+        if s.dead {
+            return 0;
+        }
         assert_eq!(s.mode, DataMode::Counted, "recv() on a Bytes-mode socket");
         let (n, outs) = match &mut s.kind {
             SockKind::Tcp(c) => c.read(max),
@@ -653,6 +791,9 @@ impl Ctx<'_> {
     /// Read up to `max` real bytes.
     pub fn recv_bytes(&mut self, sock: SockId, max: u64) -> Vec<u8> {
         let s = &mut self.stack.socks[sock.0 as usize];
+        if s.dead {
+            return Vec::new();
+        }
         assert_eq!(
             s.mode,
             DataMode::Bytes,
@@ -699,6 +840,9 @@ impl Ctx<'_> {
 
     /// Close the sending direction.
     pub fn close(&mut self, sock: SockId) {
+        if self.stack.socks[sock.0 as usize].dead {
+            return;
+        }
         let now = self.net.now();
         let outs = match &mut self.stack.socks[sock.0 as usize].kind {
             SockKind::Tcp(c) => c.close(now),
@@ -778,6 +922,7 @@ impl Ctx<'_> {
             from_listener: None,
             tx: StreamBuf::default(),
             trace: None,
+            dead: false,
         });
         let prev = self.stack.udp_binds.insert((self.host, port), sock);
         assert!(

@@ -183,3 +183,101 @@ fn udp_to_unbound_port_is_dropped_quietly() {
     sim.run_until(SimTime::from_secs(1)); // must not panic
     assert_eq!(sim.net.drops.misrouted, 0);
 }
+
+#[test]
+fn host_crash_kills_apps_and_restart_respawns_via_hook() {
+    // A server on `b` crashes mid-conversation; the surviving client hears
+    // `on_peer_failed`, the respawn hook relaunches the server on restart,
+    // and a fresh connection moves data again.
+    use mpichgq_netsim::faults::{FaultAction, FaultPlan};
+    let (mut sim, a, b) = sim2();
+    sim.net.install_fault_plan(
+        FaultPlan::new(7)
+            .at(SimTime::from_secs(1), FaultAction::HostCrash { host: b })
+            .at(SimTime::from_secs(2), FaultAction::HostRestart { host: b }),
+    );
+    let log: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+
+    struct Server {
+        log: Rc<RefCell<Vec<String>>>,
+        tag: &'static str,
+    }
+    impl App for Server {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.tcp_listen(7000, TcpCfg::default(), DataMode::Bytes);
+        }
+        fn on_readable(&mut self, sock: SockId, ctx: &mut Ctx) {
+            let data = ctx.recv_bytes(sock, 1024);
+            self.log
+                .borrow_mut()
+                .push(format!("{} got {}", self.tag, data.len()));
+        }
+    }
+    struct Client {
+        dst: NodeId,
+        log: Rc<RefCell<Vec<String>>>,
+    }
+    impl App for Client {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            let s = ctx.tcp_connect(self.dst, 7000, TcpCfg::default(), DataMode::Bytes);
+            let _ = s;
+        }
+        fn on_connected(&mut self, sock: SockId, ctx: &mut Ctx) {
+            ctx.send_bytes(sock, &[0xAB; 4]);
+        }
+        fn on_peer_failed(&mut self, host: NodeId, _ctx: &mut Ctx) {
+            self.log
+                .borrow_mut()
+                .push(format!("peer {} failed", host.0));
+        }
+        fn on_peer_restarted(&mut self, host: NodeId, ctx: &mut Ctx) {
+            self.log
+                .borrow_mut()
+                .push(format!("peer {} restarted", host.0));
+            // Reconnect: the respawn hook has already relaunched the server.
+            ctx.tcp_connect(self.dst, 7000, TcpCfg::default(), DataMode::Bytes);
+        }
+    }
+
+    sim.spawn_app(
+        b,
+        Box::new(Server {
+            log: log.clone(),
+            tag: "server1",
+        }),
+    );
+    sim.spawn_app(
+        a,
+        Box::new(Client {
+            dst: b,
+            log: log.clone(),
+        }),
+    );
+    let hook_log = log.clone();
+    sim.stack.on_host_restart(Box::new(move |net, stack, host| {
+        stack.spawn_app(
+            net,
+            host,
+            Box::new(Server {
+                log: hook_log.clone(),
+                tag: "server2",
+            }),
+        );
+    }));
+    sim.run_until(SimTime::from_secs(5));
+
+    let got = log.borrow().clone();
+    assert_eq!(
+        got,
+        vec![
+            "server1 got 4".to_string(),
+            format!("peer {} failed", b.0),
+            format!("peer {} restarted", b.0),
+            "server2 got 4".to_string(),
+        ]
+    );
+    let fs = sim.net.fault_stats().unwrap();
+    assert_eq!(fs.host_crashes, 1);
+    assert_eq!(fs.host_restarts, 1);
+    assert_eq!(fs.dead_deliveries, 0);
+}

@@ -83,6 +83,32 @@ REQUIRED_BY_EXPERIMENT = {
         "ef_traffic": True,
         "timeline": True,
     },
+    # The rank-failure chaos run (DESIGN.md §17): rolling HostCrash /
+    # HostRestart faults with checkpoint/restart recovery, the crash
+    # release + restart re-reserve adaptation path, and the host-down
+    # drop ledger, with every premium pair deadline-scored by the SLO
+    # layer.
+    "chaos_ranks": {
+        "counters": [
+            "agent.requests",
+            "agent.grants",
+            "agent.crash_releases",
+            "agent.restart_rereserves",
+            "gara.reservations_granted",
+            "faults.drops.host_down",
+            "faults.host_crashes",
+            "faults.host_restarts",
+            "mpi.checkpoints",
+            "mpi.reqs_failed",
+            "slo.misses",
+        ],
+        "gauges": [
+            "agent.granted_rate_bps",
+        ],
+        "traced": True,
+        "ef_traffic": True,
+        "timeline": True,
+    },
     # The TCP sawtooth (fig1) is the canonical sampled run: its committed
     # timeline.json is the regression anchor for the time-series schema.
     "fig1": {"timeline": True},

@@ -23,6 +23,7 @@ $BIN/fig_chaos           $FAST  > results/chaos.txt &
 wait
 $BIN/fig_af_conformance  $FAST  > results/af_conformance.txt &
 $BIN/fig_qdisc_ablation  $FAST  > results/qdisc_ablation.txt &
+$BIN/fig_chaos_ranks     $FAST  > results/chaos_ranks.txt &
 wait
 echo "results/ refreshed:"
 grep -H "^#" results/*.txt | grep -iE "summary|phases|adequate|penalty|saturate" || true

@@ -107,6 +107,7 @@ fn run(low_latency: bool) -> (f64, u64) {
                             state = 2;
                         }
                         CollState::Pending => return Poll::Pending,
+                        CollState::Failed(r) => panic!("unexpected rank failure: {r}"),
                     },
                     _ => unreachable!(),
                 }

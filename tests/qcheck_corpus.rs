@@ -94,6 +94,11 @@ fn pinned_corpus_fingerprints_are_unchanged_by_the_interval_tree_swap() {
     for (seed, fingerprint, events) in PINNED {
         let mut spec = ScenarioSpec::from_seed(seed);
         spec.knobs.qdisc = 0;
+        // Likewise pinned to zero since the rank-failure work: crash-free
+        // scenarios draw nothing from the "hostfaults" stream, so these
+        // fingerprints also prove the crash/restart machinery is inert
+        // when unarmed.
+        spec.knobs.host_faults = 0;
         let out = run_spec(&spec, &Inject::default());
         assert_eq!(
             out.fingerprint, fingerprint,
